@@ -1,0 +1,77 @@
+/**
+ * Ablation study (beyond the paper's figures; DESIGN.md design-choice
+ * inventory): isolate the contribution of each NDPExt mechanism by
+ * disabling it and measuring the slowdown relative to full NDPExt.
+ *
+ *   no-replication : Algorithm 1 restricted to one global group/stream
+ *   modulo-hash    : consistent hashing replaced with modulo rehash
+ *   no-block       : affine blocks shrunk to one cacheline (no prefetch)
+ *   long-slb-miss  : 10x SLB refill cost (metadata locality sensitivity)
+ *   static-equal   : no runtime optimization at all (NDPExt-static)
+ */
+
+#include <cstdio>
+#include <functional>
+
+#include "bench_util.h"
+
+using namespace ndpext;
+
+namespace {
+
+struct Variant
+{
+    const char* label;
+    PolicyKind policy;
+    std::function<void(SystemConfig&)> tweak;
+};
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const auto args = bench::BenchArgs::parse(argc, argv);
+
+    const std::vector<Variant> variants = {
+        {"full ndpext", PolicyKind::NdpExt, [](SystemConfig&) {}},
+        {"no-replication", PolicyKind::NdpExt,
+         [](SystemConfig& cfg) { cfg.allowReplication = false; }},
+        {"modulo-hash", PolicyKind::NdpExt,
+         [](SystemConfig& cfg) {
+             cfg.cache.remapMode = RemapMode::Modulo;
+         }},
+        {"no-block", PolicyKind::NdpExt,
+         [](SystemConfig& cfg) { cfg.cache.affineBlockBytes = 64; }},
+        {"long-slb-miss", PolicyKind::NdpExt,
+         [](SystemConfig& cfg) { cfg.cache.slbMissCycles *= 10; }},
+        {"static-equal", PolicyKind::NdpExtStatic, [](SystemConfig&) {}},
+    };
+
+    std::printf("Ablation: slowdown when disabling each NDPExt "
+                "mechanism (geomean over analysis workloads)\n\n");
+    bench::Table table({"norm. perf"});
+
+    std::vector<double> base_cycles;
+    for (const auto& v : variants) {
+        SystemConfig cfg = bench::benchConfig(args);
+        v.tweak(cfg);
+        cfg.finalize();
+        std::vector<double> cycles;
+        for (const auto& name : bench::analysisWorkloads()) {
+            Workload& w =
+                bench::preparedWorkload(name, args, cfg.numUnits());
+            const RunResult r = bench::runPolicy(cfg, v.policy, w);
+            cycles.push_back(static_cast<double>(r.cycles));
+        }
+        const double gm = bench::geomean(cycles);
+        if (base_cycles.empty()) {
+            base_cycles.push_back(gm);
+        }
+        table.addRow(v.label, {base_cycles.front() / gm});
+    }
+    table.print();
+    std::printf("\nvalues < 1 mean the ablated design is slower than "
+                "full NDPExt.\n");
+    return 0;
+}

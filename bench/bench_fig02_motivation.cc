@@ -1,0 +1,63 @@
+/**
+ * Fig. 2(a) reproduction: average access-latency breakdown of PageRank
+ * under a simple static cacheline-interleaving policy, on (1) the NDP
+ * system and (2) a conventional NUCA host. The paper's observations to
+ * reproduce: the NDP system spends a much larger latency fraction on the
+ * interconnect (32% vs 13%) and visible cycles on remote metadata/tag
+ * accesses (~10%), while achieving a much higher cache hit rate (70% vs
+ * 47%) thanks to its larger capacity.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace ndpext;
+
+int
+main(int argc, char** argv)
+{
+    const auto args = bench::BenchArgs::parse(argc, argv);
+    const SystemConfig cfg = bench::benchConfig(args);
+    Workload& pr = bench::preparedWorkload("pr", args, cfg.numUnits());
+
+    std::printf("Fig. 2(a): PageRank latency breakdown, static "
+                "cacheline interleaving\n\n");
+
+    // --- NDP system with the static-interleave baseline policy ---
+    const RunResult ndp =
+        bench::runPolicy(cfg, PolicyKind::StaticInterleave, pr);
+    const double ndp_total = static_cast<double>(ndp.bd.total());
+    std::printf("NDP (static interleave):\n");
+    std::printf("  metadata/tags   %5.1f %%\n",
+                100.0 * static_cast<double>(ndp.bd.metadata) / ndp_total);
+    std::printf("  intra-stack icn %5.1f %%\n",
+                100.0 * static_cast<double>(ndp.bd.icnIntra) / ndp_total);
+    std::printf("  inter-stack icn %5.1f %%\n",
+                100.0 * static_cast<double>(ndp.bd.icnInter) / ndp_total);
+    std::printf("  DRAM cache      %5.1f %%\n",
+                100.0 * static_cast<double>(ndp.bd.dramCache) / ndp_total);
+    std::printf("  next level      %5.1f %%\n",
+                100.0 * static_cast<double>(ndp.bd.extMem) / ndp_total);
+    std::printf("  cache hit rate  %5.1f %%  (paper: ~70%%)\n",
+                100.0 * (1.0 - ndp.missRate));
+    std::printf("  icn share       %5.1f %%  (paper: ~32%%)\n\n",
+                100.0 * static_cast<double>(ndp.bd.icn()) / ndp_total);
+
+    // --- Conventional NUCA host ---
+    const RunResult host = bench::runHost(pr);
+    const double host_total = static_cast<double>(host.bd.total());
+    std::printf("NUCA host (S-NUCA LLC):\n");
+    std::printf("  interconnect    %5.1f %%\n",
+                100.0 * static_cast<double>(host.bd.icn()) / host_total);
+    std::printf("  LLC array       %5.1f %%\n",
+                100.0 * static_cast<double>(host.bd.dramCache)
+                    / host_total);
+    std::printf("  main memory     %5.1f %%\n",
+                100.0 * static_cast<double>(host.bd.extMem) / host_total);
+    std::printf("  cache hit rate  %5.1f %%  (paper: ~47%%)\n",
+                100.0 * (1.0 - host.missRate));
+    std::printf("  icn share       %5.1f %%  (paper: ~13%%)\n",
+                100.0 * static_cast<double>(host.bd.icn()) / host_total);
+    return 0;
+}

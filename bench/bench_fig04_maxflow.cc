@@ -1,0 +1,73 @@
+/**
+ * Fig. 4(b) reproduction: host-processor execution time of the max-flow
+ * sampler assignment as a function of the stream count. The paper reports
+ * well under half a millisecond for 512 streams; the shape to reproduce
+ * is sub-millisecond growth with stream count. Uses google-benchmark.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "runtime/sampler_assign.h"
+#include "stream/stream_table.h"
+
+using namespace ndpext;
+
+namespace {
+
+/** Build the bitvectors: 64 units, each stream touched by ~25% of units. */
+std::vector<std::vector<bool>>
+makeBitvectors(std::uint32_t num_units, std::uint32_t num_streams,
+               std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<bool>> accessed(
+        num_units, std::vector<bool>(StreamTable::kMaxStreams, false));
+    for (std::uint32_t s = 0; s < num_streams; ++s) {
+        bool any = false;
+        for (std::uint32_t u = 0; u < num_units; ++u) {
+            if (rng.nextBool(0.25)) {
+                accessed[u][s] = true;
+                any = true;
+            }
+        }
+        if (!any) {
+            accessed[s % num_units][s] = true;
+        }
+    }
+    return accessed;
+}
+
+void
+BM_SamplerAssignment(benchmark::State& state)
+{
+    const auto num_streams = static_cast<std::uint32_t>(state.range(0));
+    const std::uint32_t num_units = 64;
+    const auto accessed = makeBitvectors(num_units, num_streams, 7);
+    std::vector<StreamId> streams;
+    for (std::uint32_t s = 0; s < num_streams; ++s) {
+        streams.push_back(static_cast<StreamId>(s));
+    }
+    const SamplerAssigner assigner(4);
+
+    std::uint64_t covered = 0;
+    for (auto _ : state) {
+        const auto result = assigner.assign(accessed, streams);
+        covered = result.covered;
+        benchmark::DoNotOptimize(covered);
+    }
+    state.counters["streams"] = num_streams;
+    state.counters["covered"] = static_cast<double>(covered);
+}
+
+} // namespace
+
+BENCHMARK(BM_SamplerAssignment)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

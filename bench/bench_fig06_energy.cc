@@ -1,0 +1,60 @@
+/**
+ * Fig. 6 reproduction: energy-consumption breakdown of NDPExt vs Nexus,
+ * per workload, normalized to Nexus. The paper reports NDPExt saving
+ * ~40% energy on average: static energy follows execution time, DRAM
+ * energy drops (no tag traffic, fewer extended-memory accesses), and
+ * interconnect energy roughly halves.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace ndpext;
+
+namespace {
+
+void
+printBreakdown(const char* tag, const EnergyBreakdown& e, double norm)
+{
+    std::printf("  %-8s static %5.1f%%  ndpDram %5.1f%%  extDram %5.1f%%  "
+                "cxl %5.1f%%  icn %5.1f%%  sram %5.1f%%  total %.3f\n",
+                tag, 100.0 * e.staticNj / e.totalNj(),
+                100.0 * e.ndpDramNj / e.totalNj(),
+                100.0 * e.extDramNj / e.totalNj(),
+                100.0 * e.cxlLinkNj / e.totalNj(),
+                100.0 * e.icnNj / e.totalNj(),
+                100.0 * e.sramNj / e.totalNj(), e.totalNj() / norm);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const auto args = bench::BenchArgs::parse(argc, argv);
+    const SystemConfig cfg = bench::benchConfig(args);
+    const std::vector<std::string>& names =
+        args.workloads.empty() ? allWorkloadNames() : args.workloads;
+
+    std::printf("Fig. 6: energy breakdown, NDPExt vs Nexus "
+                "(totals normalized to Nexus)\n\n");
+
+    std::vector<double> ratios;
+    for (const auto& name : names) {
+        Workload& w = bench::preparedWorkload(name, args, cfg.numUnits());
+        const RunResult nexus =
+            bench::runPolicy(cfg, PolicyKind::Nexus, w);
+        const RunResult ndpext =
+            bench::runPolicy(cfg, PolicyKind::NdpExt, w);
+        std::printf("%s:\n", name.c_str());
+        printBreakdown("nexus", nexus.energy, nexus.energy.totalNj());
+        printBreakdown("ndpext", ndpext.energy, nexus.energy.totalNj());
+        ratios.push_back(ndpext.energy.totalNj()
+                         / nexus.energy.totalNj());
+    }
+    std::printf("\ngeomean NDPExt/Nexus energy: %.3f "
+                "(paper: ~0.60, i.e. 40.3%% savings)\n",
+                bench::geomean(ratios));
+    return 0;
+}

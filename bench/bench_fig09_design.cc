@@ -1,0 +1,181 @@
+/**
+ * Fig. 9 reproduction: design-choice studies. Each sub-experiment sweeps
+ * one parameter and reports performance normalized to the NDPExt default
+ * (geomean over the analysis workload subset):
+ *
+ *   --exp=assoc       Fig. 9(a) indirect-cache associativity 1..64
+ *   --exp=block       Fig. 9(b) affine block size 256 B..4 kB
+ *   --exp=affine_cap  Fig. 9(c) affine space restriction
+ *   --exp=ksets       Fig. 9(d) sampler sets k = 8..128
+ *   --exp=method      Fig. 9(e) reconfiguration method S/P/F
+ *   --exp=interval    Fig. 9(f) reconfiguration interval
+ *
+ * Run without --exp to execute all six.
+ */
+
+#include <cstdio>
+#include <functional>
+
+#include "bench_util.h"
+
+using namespace ndpext;
+
+namespace {
+
+using ConfigTweak = std::function<void(SystemConfig&)>;
+
+double
+geomeanCycles(const bench::BenchArgs& args, const SystemConfig& cfg,
+              PolicyKind policy = PolicyKind::NdpExt)
+{
+    // A 3-workload subset keeps the 28-variant sweep tractable on one
+    // core; pass --workloads= to widen it.
+    static const std::vector<std::string> kSubset = {"recsys", "pr",
+                                                     "hotspot"};
+    const auto& names = args.workloads.empty() ? kSubset : args.workloads;
+    std::vector<double> cycles;
+    for (const auto& name : names) {
+        Workload& w = bench::preparedWorkload(name, args, cfg.numUnits());
+        const RunResult r = bench::runPolicy(cfg, policy, w);
+        cycles.push_back(static_cast<double>(r.cycles));
+    }
+    return bench::geomean(cycles);
+}
+
+void
+sweep(const char* title, const bench::BenchArgs& args,
+      const std::vector<std::pair<std::string, ConfigTweak>>& variants,
+      std::size_t default_index)
+{
+    std::printf("%s\n", title);
+    std::vector<double> results;
+    for (const auto& [label, tweak] : variants) {
+        SystemConfig cfg = bench::benchConfig(args);
+        tweak(cfg);
+        cfg.finalize();
+        results.push_back(geomeanCycles(args, cfg));
+    }
+    const double base = results[default_index];
+    bench::Table table({"norm. perf"});
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        table.addRow(variants[i].first, {base / results[i]});
+    }
+    table.print();
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const auto args = bench::BenchArgs::parse(argc, argv);
+    const bool all = args.exp.empty();
+
+    if (all || args.exp == "assoc") {
+        std::vector<std::pair<std::string, ConfigTweak>> v;
+        for (const std::uint32_t ways : {1u, 2u, 4u, 16u, 64u}) {
+            v.emplace_back("ways=" + std::to_string(ways),
+                           [ways](SystemConfig& cfg) {
+                               cfg.cache.indirectWays = ways;
+                           });
+        }
+        // The way-predicted alternative design (Section IV-C mentions
+        // CAMEO/Unison-style prediction as an option).
+        for (const std::uint32_t ways : {2u, 4u}) {
+            v.emplace_back("ways=" + std::to_string(ways) + "+pred",
+                           [ways](SystemConfig& cfg) {
+                               cfg.cache.indirectWays = ways;
+                               cfg.cache.indirectWayPrediction = true;
+                           });
+        }
+        sweep("Fig. 9(a): indirect-cache associativity "
+              "(paper: direct-mapped within a few % of 64-way)",
+              args, v, 0);
+    }
+    if (all || args.exp == "block") {
+        std::vector<std::pair<std::string, ConfigTweak>> v;
+        for (const std::uint32_t bytes : {256u, 512u, 1024u, 2048u,
+                                          4096u}) {
+            v.emplace_back("block=" + std::to_string(bytes),
+                           [bytes](SystemConfig& cfg) {
+                               cfg.cache.affineBlockBytes = bytes;
+                           });
+        }
+        sweep("Fig. 9(b): affine block size "
+              "(paper: >=1 kB slightly better for spatial workloads)",
+              args, v, 2);
+    }
+    if (all || args.exp == "affine_cap") {
+        std::vector<std::pair<std::string, ConfigTweak>> v;
+        // Fractions of the unit cache, plus unrestricted.
+        const std::vector<std::pair<std::string, std::uint64_t>> caps = {
+            {"1/64", 64}, {"1/16", 16}, {"1/4 (dflt)", 4}, {"1/1", 1},
+        };
+        for (const auto& [label, divisor] : caps) {
+            const std::uint64_t div = divisor;
+            v.emplace_back(label, [div](SystemConfig& cfg) {
+                cfg.cache.affineCapBytesPerUnit =
+                    cfg.unitCacheBytes / div;
+            });
+        }
+        v.emplace_back("unlimited", [](SystemConfig& cfg) {
+            cfg.cache.affineCapBytesPerUnit = 0;
+        });
+        sweep("Fig. 9(c): affine space restriction "
+              "(paper: 16 MB/256 MB restriction costs ~2% vs unlimited)",
+              args, v, 2);
+    }
+    if (all || args.exp == "ksets") {
+        std::vector<std::pair<std::string, ConfigTweak>> v;
+        for (const std::uint32_t k : {8u, 16u, 32u, 64u, 128u}) {
+            v.emplace_back("k=" + std::to_string(k),
+                           [k](SystemConfig& cfg) {
+                               cfg.cache.sampler.kSets = k;
+                           });
+        }
+        sweep("Fig. 9(d): sampling sets per capacity case "
+              "(paper: insensitive to k)",
+              args, v, 2);
+    }
+    if (all || args.exp == "method") {
+        // S = equal static allocation (the NDPExt-static policy);
+        // P = reconfigure only during the first epochs; F = every epoch.
+        std::printf("Fig. 9(e): reconfiguration method "
+                    "(paper: Full > Partial > Static, esp. mv/pr)\n");
+        SystemConfig base = bench::benchConfig(args);
+        const double s_cycles =
+            geomeanCycles(args, base, PolicyKind::NdpExtStatic);
+        SystemConfig partial = bench::benchConfig(args);
+        partial.runtime.method = RuntimeParams::Method::Partial;
+        partial.runtime.partialUntilCycles =
+            partial.runtime.epochCycles * 2;
+        partial.finalize();
+        const double p_cycles = geomeanCycles(args, partial);
+        const double f_cycles = geomeanCycles(args, base);
+        bench::Table table({"norm. perf"});
+        table.addRow("S(tatic)", {f_cycles / s_cycles});
+        table.addRow("P(artial)", {f_cycles / p_cycles});
+        table.addRow("F(ull)", {1.0});
+        table.print();
+        std::printf("\n");
+    }
+    if (all || args.exp == "interval") {
+        std::vector<std::pair<std::string, ConfigTweak>> v;
+        const std::vector<std::pair<std::string, Cycles>> intervals = {
+            {"0.125M", 125'000}, {"0.25M", 250'000},
+            {"0.5M (dflt)", 500'000}, {"1M", 1'000'000},
+            {"2M", 2'000'000},
+        };
+        for (const auto& [label, cycles] : intervals) {
+            const Cycles c = cycles;
+            v.emplace_back(label, [c](SystemConfig& cfg) {
+                cfg.runtime.epochCycles = c;
+            });
+        }
+        sweep("Fig. 9(f): reconfiguration interval "
+              "(paper: 50M cycles sufficient; 2x longer costs ~26%)",
+              args, v, 2);
+    }
+    return 0;
+}

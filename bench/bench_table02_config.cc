@@ -1,0 +1,73 @@
+/**
+ * Table II reproduction: print the system configurations (paper-scale and
+ * the scaled simulation default) so every parameter is auditable.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace ndpext;
+
+namespace {
+
+void
+printConfig(const char* title, const SystemConfig& cfg)
+{
+    const DramTimingParams dram = cfg.unitDram();
+    const DramTimingParams ext = DramTimingParams::ddr5Extended();
+    std::printf("=== %s ===\n", title);
+    std::printf("NDP system        %ux%u inter-stack mesh, %u units/stack; "
+                "%u NDP cores total\n",
+                cfg.stacksX, cfg.stacksY, cfg.unitsX * cfg.unitsY,
+                cfg.numUnits());
+    std::printf("NDP core          %.1f GHz, in-order; L1D %lu kB %u-way, "
+                "%u B lines\n",
+                static_cast<double>(cfg.coreFreqMhz) / 1000.0,
+                static_cast<unsigned long>(cfg.core.l1dCapacityBytes / 1024),
+                cfg.core.l1dWays, cfg.core.lineBytes);
+    std::printf("NDP %-5s         %.0f MHz, RCD-CAS-RP %u-%u-%u; "
+                "%lu MB cache/unit; RD/WR %.1f pJ/b, ACT/PRE %.1f nJ\n",
+                cfg.memType == NdpMemType::Hbm3 ? "HBM3" : "HMC2",
+                dram.clockMhz, dram.tRcd, dram.tCas, dram.tRp,
+                static_cast<unsigned long>(cfg.unitCacheBytes / 1_MiB),
+                dram.rdWrPjPerBit, dram.actPreNj);
+    std::printf("Extended memory   DDR5-4800, %u banks, RCD-CAS-RP "
+                "%u-%u-%u; RD/WR %.1f pJ/b, ACT/PRE %.1f nJ\n",
+                ext.banks, ext.tRcd, ext.tCas, ext.tRp, ext.rdWrPjPerBit,
+                ext.actPreNj);
+    std::printf("Intra-stack net   %lu cycles/hop, %.1f pJ/b\n",
+                static_cast<unsigned long>(cfg.noc.intraHopCycles),
+                cfg.noc.intraPjPerBit);
+    std::printf("Inter-stack net   %.0f GB/s per dir, %lu cycles/hop, "
+                "%.1f pJ/b\n",
+                cfg.noc.interLinkBytesPerCycle * 2.0,
+                static_cast<unsigned long>(cfg.noc.interHopCycles),
+                cfg.noc.interPjPerBit);
+    std::printf("CXL link          %lu cycles (%.0f ns), %.1f GB/s, "
+                "%.1f pJ/b\n",
+                static_cast<unsigned long>(cfg.cxl.linkLatencyCycles),
+                static_cast<double>(cfg.cxl.linkLatencyCycles) / 2.0,
+                cfg.cxl.linkBytesPerCycle * 2.0, cfg.cxl.pjPerBit);
+    std::printf("Stream cache      affine block %u B, affine cap %lu kB/u, "
+                "SLB %u entries, %u samplers x (k=%u, c=%u)\n",
+                cfg.cache.affineBlockBytes,
+                static_cast<unsigned long>(
+                    cfg.cache.affineCapBytesPerUnit / 1024),
+                cfg.cache.slbEntries, cfg.cache.samplersPerUnit,
+                cfg.cache.sampler.kSets, cfg.cache.sampler.numCapacities);
+    std::printf("Runtime           epoch %lu cycles, method Full\n\n",
+                static_cast<unsigned long>(cfg.runtime.epochCycles));
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const auto args = bench::BenchArgs::parse(argc, argv);
+    std::printf("Table II: system configurations\n\n");
+    printConfig("scaled simulation default", bench::benchConfig(args));
+    printConfig("paper scale (Table II)", SystemConfig::paperScale());
+    return 0;
+}

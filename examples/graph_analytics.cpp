@@ -1,0 +1,50 @@
+/**
+ * Graph analytics scenario: the paper's motivating use case of running
+ * large-scale graph kernels on NDP with CXL-extended memory. Runs the
+ * GAP-derived kernels under NDPExt and the strongest NUCA baseline
+ * (Nexus), and reports the per-kernel speedup and where it comes from
+ * (interconnect latency vs miss rate).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "system/ndp_system.h"
+#include "workloads/workload.h"
+
+using namespace ndpext;
+
+int
+main()
+{
+    SystemConfig config = SystemConfig::scaledDefault();
+    config.finalize();
+
+    WorkloadParams params;
+    params.numCores = config.numUnits();
+    params.footprintBytes = 96_MiB;
+    params.accessesPerCore = 20000;
+
+    const std::vector<std::string> kernels = {"bfs", "pr", "cc", "bc",
+                                              "tc"};
+    std::printf("%-6s %10s %10s %8s %12s %12s\n", "kernel", "nexus Mcyc",
+                "ndpext Mcyc", "speedup", "icn ns (N/E)", "miss (N/E)");
+    for (const auto& name : kernels) {
+        auto workload = makeWorkload(name);
+        workload->prepare(params);
+
+        NdpSystem nexus_sys(config, PolicyKind::Nexus);
+        const RunResult nexus = nexus_sys.run(*workload);
+        NdpSystem ndpext_sys(config, PolicyKind::NdpExt);
+        const RunResult ndpext = ndpext_sys.run(*workload);
+
+        std::printf("%-6s %10.2f %10.2f %7.2fx %5.0f/%-5.0f %6.2f/%-5.2f\n",
+                    name.c_str(), static_cast<double>(nexus.cycles) / 1e6,
+                    static_cast<double>(ndpext.cycles) / 1e6,
+                    static_cast<double>(nexus.cycles)
+                        / static_cast<double>(ndpext.cycles),
+                    nexus.avgIcnCycles() / 2.0, ndpext.avgIcnCycles() / 2.0,
+                    nexus.missRate, ndpext.missRate);
+    }
+    return 0;
+}

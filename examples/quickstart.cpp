@@ -1,0 +1,59 @@
+/**
+ * Quickstart: simulate PageRank on an NDPExt system and print the
+ * headline metrics.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "system/ndp_system.h"
+#include "workloads/workload.h"
+
+using namespace ndpext;
+
+int
+main()
+{
+    // 1. Pick a system configuration. scaledDefault() is the Table II
+    //    machine with capacities scaled for fast simulation; tweak any
+    //    field before finalize().
+    SystemConfig config = SystemConfig::scaledDefault();
+    config.finalize();
+
+    // 2. Prepare a workload: 13 are built in (see allWorkloadNames()).
+    //    prepare() synthesizes the dataset and defines the streams.
+    WorkloadParams params;
+    params.numCores = config.numUnits();
+    params.footprintBytes = 96_MiB; // 1.5x the aggregate DRAM cache
+    params.accessesPerCore = 20000;
+    auto workload = makeWorkload("pr");
+    workload->prepare(params);
+
+    // 3. Run it under a cache-management policy.
+    NdpSystem system(config, PolicyKind::NdpExt);
+    const RunResult result = system.run(*workload);
+
+    // 4. Inspect the results.
+    std::printf("workload            %s\n", result.workload.c_str());
+    std::printf("policy              %s\n", result.policy.c_str());
+    std::printf("cycles              %llu\n",
+                static_cast<unsigned long long>(result.cycles));
+    std::printf("accesses            %llu\n",
+                static_cast<unsigned long long>(result.accesses));
+    std::printf("DRAM-cache miss     %.1f %%\n", 100.0 * result.missRate);
+    std::printf("avg mem latency     %.0f cycles\n",
+                result.avgMemLatency());
+    std::printf("avg icn latency     %.0f cycles\n", result.avgIcnCycles());
+    std::printf("reconfigurations    %llu\n",
+                static_cast<unsigned long long>(result.reconfigurations));
+    std::printf("energy              %.2f mJ\n",
+                result.energy.totalNj() * 1e-6);
+
+    // Every simulator counter is also available as a named stat:
+    std::printf("SLB misses          %.0f\n",
+                result.stats.get("cache.slbMisses"));
+    return 0;
+}

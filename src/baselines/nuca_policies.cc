@@ -1,0 +1,369 @@
+#include "baselines/nuca_policies.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/bitutils.h"
+#include "common/logging.h"
+
+namespace ndpext {
+
+namespace {
+
+/** Access-weighted average latency from a demand's accessors to a unit. */
+double
+weightedLatency(const StreamDemand& d, UnitId unit, const NocModel& noc)
+{
+    double total = 0.0;
+    double weight = 0.0;
+    for (std::size_t i = 0; i < d.accUnits.size(); ++i) {
+        const double w = static_cast<double>(d.accCounts[i]);
+        total += w * static_cast<double>(noc.pureLatency(d.accUnits[i],
+                                                         unit));
+        weight += w;
+    }
+    return weight == 0.0 ? 0.0 : total / weight;
+}
+
+/** Bump row bases per unit over the emitted allocations. */
+void
+assignRowBases(std::vector<std::pair<StreamId, StreamAlloc>>& out,
+               std::uint32_t num_units, std::uint32_t rows_per_unit)
+{
+    std::vector<std::uint32_t> next(num_units, 0);
+    for (auto& [sid, alloc] : out) {
+        (void)sid;
+        for (UnitId u = 0; u < num_units; ++u) {
+            if (alloc.shareRows[u] > 0) {
+                alloc.rowBase[u] = next[u];
+                next[u] += alloc.shareRows[u];
+                NDP_ASSERT(next[u] <= rows_per_unit,
+                           "baseline over-allocated unit ", u);
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::vector<std::uint32_t>
+placeCenterOfMass(const StreamDemand& demand, std::uint64_t rows,
+                  const std::vector<std::uint32_t>& free_rows,
+                  const NocModel& noc)
+{
+    const std::uint32_t num_units =
+        static_cast<std::uint32_t>(free_rows.size());
+    std::vector<UnitId> order(num_units);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](UnitId a, UnitId b) {
+        const double la = weightedLatency(demand, a, noc);
+        const double lb = weightedLatency(demand, b, noc);
+        return la != lb ? la < lb : a < b;
+    });
+
+    // Fill toward the centroid, but spread each partition over at least
+    // ~8 units: lines interleave across a partition's banks, so a
+    // one-unit partition would serialize a hot stream on one DRAM slice
+    // (which no real NUCA placement does).
+    const std::uint64_t per_unit_cap =
+        std::max<std::uint64_t>(1, ceilDiv(rows, 16));
+    std::vector<std::uint32_t> placed(num_units, 0);
+    std::uint64_t remaining = rows;
+    for (int pass = 0; pass < 2 && remaining > 0; ++pass) {
+        for (const UnitId u : order) {
+            if (remaining == 0) {
+                break;
+            }
+            const std::uint64_t room = free_rows[u] - placed[u];
+            std::uint64_t give = std::min<std::uint64_t>(remaining, room);
+            if (pass == 0) {
+                // First pass also leaves most of each unit to other
+                // streams so partitions interleave instead of stacking
+                // whole units (bank-level load balance).
+                const std::uint64_t unit_share = std::max<std::uint64_t>(
+                    1,
+                    std::min<std::uint64_t>(per_unit_cap,
+                                            free_rows[u] / 4));
+                give = std::min(give,
+                                unit_share
+                                    - std::min<std::uint64_t>(unit_share,
+                                                              placed[u]));
+            }
+            placed[u] += static_cast<std::uint32_t>(give);
+            remaining -= give;
+        }
+    }
+    return placed;
+}
+
+std::vector<std::pair<StreamId, StreamAlloc>>
+StaticInterleaveConfigurator::configure(
+    const std::vector<StreamDemand>& demands)
+{
+    // All lines spread uniformly over all units: partition the per-unit
+    // rows across streams proportionally to footprint, single group.
+    std::vector<std::pair<StreamId, StreamAlloc>> out;
+    double total_fp = 0.0;
+    for (const auto& d : demands) {
+        total_fp += static_cast<double>(d.footprintBytes);
+    }
+    if (total_fp == 0.0) {
+        return out;
+    }
+    std::vector<std::uint32_t> used(ctx_.numUnits, 0);
+    for (const auto& d : demands) {
+        StreamAlloc alloc(ctx_.numUnits);
+        alloc.numGroups = 1;
+        const double frac =
+            static_cast<double>(d.footprintBytes) / total_fp;
+        const auto want = static_cast<std::uint32_t>(std::max(
+            1.0, std::floor(frac * ctx_.rowsPerUnit)));
+        for (UnitId u = 0; u < ctx_.numUnits; ++u) {
+            const std::uint32_t give =
+                std::min(want, ctx_.rowsPerUnit - used[u]);
+            alloc.shareRows[u] = give;
+            used[u] += give;
+        }
+        out.emplace_back(d.sid, std::move(alloc));
+    }
+    assignRowBases(out, ctx_.numUnits, ctx_.rowsPerUnit);
+    return out;
+}
+
+std::vector<std::uint64_t>
+JigsawConfigurator::sizeStreams(const std::vector<StreamDemand>& demands,
+                                std::uint64_t total_bytes) const
+{
+    // Classic lookahead: repeatedly grant the steepest miss-curve segment.
+    // Every accessed stream starts with a small floor so one noisy epoch
+    // curve cannot starve it outright (same guard as the NDPExt
+    // algorithm; see DESIGN.md 4.1).
+    std::vector<std::uint64_t> sizes(demands.size(), 0);
+    std::uint64_t budget = total_bytes;
+    const std::uint64_t floor_bytes =
+        total_bytes / (8 * std::max<std::size_t>(1, demands.size()));
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+        sizes[i] = std::min(demands[i].footprintBytes, floor_bytes);
+        budget -= std::min(budget, sizes[i]);
+    }
+    while (budget > 0) {
+        double best_slope = 0.0;
+        std::size_t best = demands.size();
+        std::uint64_t best_next = 0;
+        for (std::size_t i = 0; i < demands.size(); ++i) {
+            const StreamDemand& d = demands[i];
+            if (sizes[i] >= d.footprintBytes) {
+                continue;
+            }
+            const auto seg = d.curve.bestSegment(sizes[i]);
+            std::uint64_t next = seg.target;
+            if (next == 0 || next > d.footprintBytes) {
+                next = d.footprintBytes;
+            }
+            if (next <= sizes[i]) {
+                continue;
+            }
+            if (seg.target != 0 && seg.slope > best_slope) {
+                best_slope = seg.slope;
+                best = i;
+                best_next = next;
+            }
+        }
+        if (best == demands.size()) {
+            break;
+        }
+        const std::uint64_t grant =
+            std::min<std::uint64_t>(best_next - sizes[best], budget);
+        sizes[best] += grant;
+        budget -= grant;
+    }
+    return sizes;
+}
+
+std::vector<std::pair<StreamId, StreamAlloc>>
+JigsawConfigurator::configure(const std::vector<StreamDemand>& demands)
+{
+    const std::uint64_t total_bytes =
+        static_cast<std::uint64_t>(ctx_.numUnits) * ctx_.rowsPerUnit
+        * ctx_.rowBytes;
+    const auto sizes = sizeStreams(demands, total_bytes);
+
+    // Place the largest/hottest partitions first so they win the centers.
+    std::vector<std::size_t> order(demands.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return sizes[a] > sizes[b];
+    });
+
+    std::vector<std::uint32_t> free_rows(ctx_.numUnits, ctx_.rowsPerUnit);
+    std::vector<std::pair<StreamId, StreamAlloc>> out;
+    out.reserve(demands.size());
+    for (const std::size_t i : order) {
+        const StreamDemand& d = demands[i];
+        StreamAlloc alloc(ctx_.numUnits);
+        alloc.numGroups = 1;
+        const std::uint64_t rows = ceilDiv(sizes[i], ctx_.rowBytes);
+        const auto placed = placeCenterOfMass(d, rows, free_rows, noc_);
+        for (UnitId u = 0; u < ctx_.numUnits; ++u) {
+            alloc.shareRows[u] = placed[u];
+            free_rows[u] -= placed[u];
+        }
+        out.emplace_back(d.sid, std::move(alloc));
+    }
+    assignRowBases(out, ctx_.numUnits, ctx_.rowsPerUnit);
+    return out;
+}
+
+std::vector<std::pair<StreamId, StreamAlloc>>
+WhirlpoolConfigurator::configure(const std::vector<StreamDemand>& demands)
+{
+    // Static classification: partition sizes proportional to footprint
+    // (no runtime curves), center-of-mass placement, computed once.
+    const std::uint64_t total_bytes =
+        static_cast<std::uint64_t>(ctx_.numUnits) * ctx_.rowsPerUnit
+        * ctx_.rowBytes;
+    double total_fp = 0.0;
+    for (const auto& d : demands) {
+        total_fp += static_cast<double>(d.footprintBytes);
+    }
+    std::vector<std::uint32_t> free_rows(ctx_.numUnits, ctx_.rowsPerUnit);
+    std::vector<std::pair<StreamId, StreamAlloc>> out;
+    for (const auto& d : demands) {
+        StreamAlloc alloc(ctx_.numUnits);
+        alloc.numGroups = 1;
+        const double frac = total_fp == 0.0
+            ? 0.0
+            : static_cast<double>(d.footprintBytes) / total_fp;
+        const std::uint64_t bytes = std::min<std::uint64_t>(
+            d.footprintBytes,
+            static_cast<std::uint64_t>(frac
+                                       * static_cast<double>(total_bytes)));
+        const auto placed = placeCenterOfMass(
+            d, ceilDiv(std::max<std::uint64_t>(bytes, ctx_.rowBytes),
+                       ctx_.rowBytes),
+            free_rows, noc_);
+        for (UnitId u = 0; u < ctx_.numUnits; ++u) {
+            alloc.shareRows[u] = placed[u];
+            free_rows[u] -= placed[u];
+        }
+        out.emplace_back(d.sid, std::move(alloc));
+    }
+    assignRowBases(out, ctx_.numUnits, ctx_.rowsPerUnit);
+    return out;
+}
+
+std::vector<std::pair<StreamId, StreamAlloc>>
+NexusConfigurator::configure(const std::vector<StreamDemand>& demands)
+{
+    const std::uint64_t total_bytes =
+        static_cast<std::uint64_t>(ctx_.numUnits) * ctx_.rowsPerUnit
+        * ctx_.rowBytes;
+    const auto sizes = sizeStreams(demands, total_bytes);
+
+    // Choose ONE global degree R for all read-only data -- Nexus's rigid
+    // scheme (Section II-B): the degree that suits the hottest small
+    // read-only stream is applied to every read-only stream, which is
+    // precisely why NDPExt's per-stream replication beats it (paper:
+    // 2.43x on recsys). The candidate degree is what the stream's access
+    // share of half the machine could hold of its footprint.
+    const std::uint64_t total_bytes_cap =
+        static_cast<std::uint64_t>(ctx_.numUnits) * ctx_.rowsPerUnit
+        * ctx_.rowBytes;
+    std::uint64_t all_accesses = 0;
+    for (const auto& d : demands) {
+        for (const auto c : d.accCounts) {
+            all_accesses += c;
+        }
+    }
+    double best = 1.0;
+    for (const auto& d : demands) {
+        if (!d.readOnly || d.footprintBytes == 0 || all_accesses == 0) {
+            continue;
+        }
+        std::uint64_t acc = 0;
+        for (const auto c : d.accCounts) {
+            acc += c;
+        }
+        const double share = static_cast<double>(acc)
+            / static_cast<double>(all_accesses);
+        best = std::max(best,
+                        share * static_cast<double>(total_bytes_cap / 2)
+                            / static_cast<double>(d.footprintBytes));
+    }
+    lastDegree_ = static_cast<std::uint32_t>(
+        std::min<double>(maxDegree_, std::max(1.0, best)));
+    const std::uint32_t best_degree = lastDegree_;
+
+    // Allocate: read-only streams get R groups over contiguous accessor
+    // clusters; read-write streams are placed like Jigsaw.
+    std::vector<std::size_t> order(demands.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return sizes[a] > sizes[b];
+    });
+
+    std::vector<std::uint32_t> free_rows(ctx_.numUnits, ctx_.rowsPerUnit);
+    std::vector<std::pair<StreamId, StreamAlloc>> out;
+    for (const std::size_t i : order) {
+        const StreamDemand& d = demands[i];
+        StreamAlloc alloc(ctx_.numUnits);
+        const std::uint64_t rows = ceilDiv(sizes[i], ctx_.rowBytes);
+        const std::uint32_t degree = d.readOnly
+            ? std::min<std::uint32_t>(
+                  best_degree,
+                  std::max<std::uint32_t>(
+                      1,
+                      static_cast<std::uint32_t>(d.accUnits.size())))
+            : 1;
+        alloc.numGroups = static_cast<std::uint16_t>(degree);
+
+        if (degree == 1) {
+            const auto placed = placeCenterOfMass(d, rows, free_rows, noc_);
+            for (UnitId u = 0; u < ctx_.numUnits; ++u) {
+                alloc.shareRows[u] = placed[u];
+                free_rows[u] -= placed[u];
+            }
+        } else {
+            // Contiguous accessor clusters; each caches one copy of
+            // size/R placed around its own centroid.
+            const std::uint64_t rows_per_copy =
+                std::max<std::uint64_t>(1, rows / degree);
+            const std::size_t chunk = static_cast<std::size_t>(
+                ceilDiv(d.accUnits.size(), degree));
+            for (std::uint32_t g = 0; g < degree; ++g) {
+                StreamDemand sub = d;
+                sub.accUnits.clear();
+                sub.accCounts.clear();
+                for (std::size_t a = g * chunk;
+                     a < std::min(d.accUnits.size(), (g + 1) * chunk);
+                     ++a) {
+                    sub.accUnits.push_back(d.accUnits[a]);
+                    sub.accCounts.push_back(d.accCounts[a]);
+                }
+                if (sub.accUnits.empty()) {
+                    continue;
+                }
+                const auto placed =
+                    placeCenterOfMass(sub, rows_per_copy, free_rows, noc_);
+                for (UnitId u = 0; u < ctx_.numUnits; ++u) {
+                    if (placed[u] == 0) {
+                        continue;
+                    }
+                    // A unit may only serve one group; skip if taken.
+                    if (alloc.shareRows[u] != 0) {
+                        continue;
+                    }
+                    alloc.shareRows[u] = placed[u];
+                    alloc.groupOf[u] = static_cast<std::uint16_t>(g);
+                    free_rows[u] -= placed[u];
+                }
+            }
+        }
+        out.emplace_back(d.sid, std::move(alloc));
+    }
+    assignRowBases(out, ctx_.numUnits, ctx_.rowsPerUnit);
+    return out;
+}
+
+} // namespace ndpext

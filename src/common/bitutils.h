@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Small integer helpers used throughout the address-mapping code.
+ */
+
+#ifndef NDPEXT_COMMON_BITUTILS_H
+#define NDPEXT_COMMON_BITUTILS_H
+
+#include <bit>
+#include <cstdint>
+
+namespace ndpext {
+
+/** True iff v is a power of two (0 is not). */
+constexpr bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); v must be nonzero. */
+constexpr std::uint32_t
+floorLog2(std::uint64_t v)
+{
+    return 63 - static_cast<std::uint32_t>(std::countl_zero(v));
+}
+
+/** ceil(log2(v)); v must be nonzero. */
+constexpr std::uint32_t
+ceilLog2(std::uint64_t v)
+{
+    return v <= 1 ? 0 : floorLog2(v - 1) + 1;
+}
+
+/** ceil(a / b). */
+constexpr std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round v down to a multiple of align (align need not be a power of 2). */
+constexpr std::uint64_t
+alignDown(std::uint64_t v, std::uint64_t align)
+{
+    return (v / align) * align;
+}
+
+/** Round v up to a multiple of align. */
+constexpr std::uint64_t
+alignUp(std::uint64_t v, std::uint64_t align)
+{
+    return ceilDiv(v, align) * align;
+}
+
+} // namespace ndpext
+
+#endif // NDPEXT_COMMON_BITUTILS_H

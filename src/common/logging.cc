@@ -1,0 +1,38 @@
+#include "common/logging.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace ndpext {
+namespace logging_detail {
+
+[[noreturn]] void
+panicImpl(const char* file, int line, const std::string& msg)
+{
+    std::cerr << "panic: " << msg << "\n  @ " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+[[noreturn]] void
+fatalImpl(const char* file, int line, const std::string& msg)
+{
+    std::cerr << "fatal: " << msg << "\n  @ " << file << ":" << line
+              << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string& msg)
+{
+    std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string& msg)
+{
+    std::cout << "info: " << msg << std::endl;
+}
+
+} // namespace logging_detail
+} // namespace ndpext

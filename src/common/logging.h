@@ -1,0 +1,85 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic()  -- an internal invariant was violated (a simulator bug); aborts.
+ * fatal()  -- the user asked for something unsupported/inconsistent; exits.
+ * warn()   -- questionable but survivable condition.
+ * inform() -- plain status output.
+ */
+
+#ifndef NDPEXT_COMMON_LOGGING_H
+#define NDPEXT_COMMON_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace ndpext {
+
+namespace logging_detail {
+
+/** Concatenate all arguments with operator<< into one string. */
+template <typename... Args>
+std::string
+concat(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+[[noreturn]] void panicImpl(const char* file, int line, const std::string& msg);
+[[noreturn]] void fatalImpl(const char* file, int line, const std::string& msg);
+void warnImpl(const std::string& msg);
+void informImpl(const std::string& msg);
+
+} // namespace logging_detail
+
+/** Abort with a message; use for simulator bugs that should never happen. */
+template <typename... Args>
+[[noreturn]] void
+panic(const char* file, int line, Args&&... args)
+{
+    logging_detail::panicImpl(
+        file, line, logging_detail::concat(std::forward<Args>(args)...));
+}
+
+/** Exit with a message; use for invalid user configuration. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char* file, int line, Args&&... args)
+{
+    logging_detail::fatalImpl(
+        file, line, logging_detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    logging_detail::warnImpl(
+        logging_detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    logging_detail::informImpl(
+        logging_detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace ndpext
+
+#define NDP_PANIC(...) ::ndpext::panic(__FILE__, __LINE__, __VA_ARGS__)
+#define NDP_FATAL(...) ::ndpext::fatal(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Cheap always-on invariant check (simulation is not perf-critical code). */
+#define NDP_ASSERT(cond, ...)                                                \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            NDP_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__);        \
+        }                                                                    \
+    } while (0)
+
+#endif // NDPEXT_COMMON_LOGGING_H

@@ -1,0 +1,116 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ndpext {
+
+namespace {
+
+constexpr std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    // Seed the four lanes through splitmix64 as recommended by the
+    // xoshiro authors; avoids the all-zero state.
+    std::uint64_t z = seed;
+    for (auto& lane : s_) {
+        z += 0x9e3779b97f4a7c15ULL;
+        lane = mix64(z);
+    }
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    NDP_ASSERT(bound > 0);
+    // Modulo bias is negligible for the bounds used here (<< 2^63).
+    return next() % bound;
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t
+Rng::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    NDP_ASSERT(lo <= hi);
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(nextBounded(span));
+}
+
+bool
+Rng::nextBool(double p_true)
+{
+    return nextDouble() < p_true;
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double theta, std::uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed)
+{
+    NDP_ASSERT(n > 0);
+    NDP_ASSERT(theta > 0.0 && theta < 1.0, "theta=", theta);
+    double zeta2 = 0.0;
+    for (std::uint64_t i = 1; i <= 2 && i <= n; ++i) {
+        zeta2 += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    zetan_ = 0.0;
+    // Exact zeta for small n; integral approximation beyond 10k terms.
+    const std::uint64_t exact = n < 10000 ? n : 10000;
+    for (std::uint64_t i = 1; i <= exact; ++i) {
+        zetan_ += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    if (n > exact) {
+        // integral of x^-theta from `exact` to n
+        zetan_ += (std::pow(static_cast<double>(n), 1.0 - theta)
+                   - std::pow(static_cast<double>(exact), 1.0 - theta))
+            / (1.0 - theta);
+    }
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta))
+        / (1.0 - zeta2 / zetan_);
+}
+
+std::uint64_t
+ZipfSampler::next()
+{
+    const double u = rng_.nextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) {
+        return 0;
+    }
+    if (uz < 1.0 + std::pow(0.5, theta_)) {
+        return 1;
+    }
+    const double frac =
+        std::pow(eta_ * u - eta_ + 1.0, alpha_);
+    std::uint64_t v = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * frac);
+    return v >= n_ ? n_ - 1 : v;
+}
+
+} // namespace ndpext

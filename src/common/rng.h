@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the simulator and the workload generators is
+ * drawn from seeded xoshiro256** instances so every run is reproducible.
+ */
+
+#ifndef NDPEXT_COMMON_RNG_H
+#define NDPEXT_COMMON_RNG_H
+
+#include <cstdint>
+#include <vector>
+
+namespace ndpext {
+
+/** Finalizer from splitmix64; also used as the simulator's hash mixer. */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** xoshiro256** 1.0 -- fast, high-quality, deterministic. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 1);
+
+    /** Uniform 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform in [0, bound). bound must be nonzero. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform in [lo, hi]. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Bernoulli draw. */
+    bool nextBool(double p_true);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+/**
+ * Zipfian sampler over [0, n) with parameter theta, using the classic
+ * Gray-et-al rejection-inversion free approximation (precomputed zeta).
+ * Models the skewed popularity of embedding rows / graph vertices.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::uint64_t n, double theta, std::uint64_t seed);
+
+    std::uint64_t next();
+
+    std::uint64_t domain() const { return n_; }
+
+  private:
+    std::uint64_t n_;
+    double theta_;
+    double alpha_;
+    double zetan_;
+    double eta_;
+    Rng rng_;
+};
+
+/** Fisher-Yates shuffle driven by the given Rng. */
+template <typename T>
+void
+shuffle(std::vector<T>& v, Rng& rng)
+{
+    for (std::size_t i = v.size(); i > 1; --i) {
+        std::size_t j = rng.nextBounded(i);
+        std::swap(v[i - 1], v[j]);
+    }
+}
+
+} // namespace ndpext
+
+#endif // NDPEXT_COMMON_RNG_H

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every NDPExt module.
+ *
+ * The simulator measures time in core cycles at the NDP core frequency
+ * (2 GHz by default, see SystemConfig); all device timings are converted
+ * into core cycles at construction time so the hot path never divides.
+ */
+
+#ifndef NDPEXT_COMMON_TYPES_H
+#define NDPEXT_COMMON_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace ndpext {
+
+/** Physical byte address (48-bit significant, stored in 64). */
+using Addr = std::uint64_t;
+
+/** Time in core cycles. */
+using Cycles = std::uint64_t;
+
+/** Identifier of an NDP unit (logic die slice + local DRAM region). */
+using UnitId = std::uint32_t;
+
+/** Identifier of a 3D memory stack. */
+using StackId = std::uint32_t;
+
+/** Identifier of an NDP core. One core per NDP unit in this model. */
+using CoreId = std::uint32_t;
+
+/** Software-defined stream identifier (9 bits in the paper, Table I). */
+using StreamId = std::uint16_t;
+
+/** Index of an element within a stream, in access order. */
+using ElemId = std::uint64_t;
+
+/** Sentinel stream id for accesses that do not belong to any stream. */
+inline constexpr StreamId kNoStream = std::numeric_limits<StreamId>::max();
+
+/** Sentinel for "no unit". */
+inline constexpr UnitId kNoUnit = std::numeric_limits<UnitId>::max();
+
+/** Cacheline size used by the SRAM cache hierarchy (Table II). */
+inline constexpr std::uint32_t kCachelineBytes = 64;
+
+/** Kibi/mebi/gibi byte helpers. */
+inline constexpr std::uint64_t operator""_KiB(unsigned long long v)
+{
+    return v << 10;
+}
+inline constexpr std::uint64_t operator""_MiB(unsigned long long v)
+{
+    return v << 20;
+}
+inline constexpr std::uint64_t operator""_GiB(unsigned long long v)
+{
+    return v << 30;
+}
+
+/**
+ * One memory request as seen by the memory system, produced by a workload
+ * access generator running on an in-order NDP core.
+ */
+struct Access
+{
+    /** Physical byte address. */
+    Addr addr = 0;
+    /** Request size in bytes (<= one element / one cacheline). */
+    std::uint32_t size = 8;
+    /** True for stores. */
+    bool isWrite = false;
+    /**
+     * Stream the address belongs to, or kNoStream. The generator knows the
+     * stream; hardware-side membership is still validated through the SLB
+     * model (base/size range match), mirroring the paper's TCAM lookup.
+     */
+    StreamId sid = kNoStream;
+    /** Element index within the stream, in access order (Section IV-A). */
+    ElemId elem = 0;
+    /**
+     * Compute cycles the in-order core spends before issuing this access
+     * (models the non-memory instructions between loads/stores).
+     */
+    std::uint32_t computeCycles = 1;
+};
+
+} // namespace ndpext
+
+#endif // NDPEXT_COMMON_TYPES_H

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The interface between workloads and cores.
+ *
+ * A workload supplies one AccessGenerator per core; the in-order core pulls
+ * accesses one at a time, exactly like an execution-driven trace. Generators
+ * are deterministic (seeded Rng) and lazy -- no trace files are ever
+ * materialized.
+ */
+
+#ifndef NDPEXT_CPU_ACCESS_GENERATOR_H
+#define NDPEXT_CPU_ACCESS_GENERATOR_H
+
+#include "common/types.h"
+
+namespace ndpext {
+
+class AccessGenerator
+{
+  public:
+    virtual ~AccessGenerator() = default;
+
+    /**
+     * Produce the next access for this core.
+     * @return false when the core's work is exhausted.
+     */
+    virtual bool next(Access& out) = 0;
+};
+
+} // namespace ndpext
+
+#endif // NDPEXT_CPU_ACCESS_GENERATOR_H

@@ -1,0 +1,69 @@
+#include "cpu/core.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ndpext {
+
+InOrderCore::InOrderCore(CoreId id, const CoreParams& params,
+                         MemoryBackend& backend)
+    : id_(id), params_(params), backend_(backend),
+      l1d_(SetAssocCache::fromCapacity(params.l1dCapacityBytes,
+                                       params.lineBytes, params.l1dWays)),
+      mshrFree_(std::max<std::uint32_t>(1, params.mshrs), 0)
+{
+}
+
+bool
+InOrderCore::step(AccessGenerator& gen)
+{
+    Access acc;
+    if (!gen.next(acc)) {
+        // Drain: the run is only complete once in-flight misses land.
+        for (const Cycles done : mshrFree_) {
+            now_ = std::max(now_, done);
+        }
+        return false;
+    }
+    ++accesses_;
+    now_ += acc.computeCycles;
+    computeCycles_ += acc.computeCycles;
+
+    const std::uint64_t line = acc.addr / params_.lineBytes;
+    if (l1d_.access(line, acc.isWrite)) {
+        ++l1Hits_;
+        now_ += params_.l1HitCycles;
+        return true;
+    }
+
+    // Miss: grab an MSHR; stall only if all of them are in flight.
+    auto slot = std::min_element(mshrFree_.begin(), mshrFree_.end());
+    const Cycles issue = std::max(now_, *slot);
+    memStallCycles_ += issue - now_;
+
+    const MemResult res = backend_.access(id_, acc, issue);
+    NDP_ASSERT(res.done >= issue);
+    *slot = res.done;
+    now_ = issue + params_.l1HitCycles; // issue occupancy, then overlap
+
+    const auto ev = l1d_.insert(line, acc.isWrite);
+    if (ev.valid && ev.dirty) {
+        backend_.writeback(id_, ev.key * params_.lineBytes, issue);
+    }
+    return true;
+}
+
+void
+InOrderCore::report(StatGroup& stats, const std::string& prefix) const
+{
+    stats.add(prefix + ".accesses", static_cast<double>(accesses_));
+    stats.add(prefix + ".l1Hits", static_cast<double>(l1Hits_));
+    stats.add(prefix + ".cycles", static_cast<double>(now_));
+    stats.add(prefix + ".computeCycles",
+              static_cast<double>(computeCycles_));
+    stats.add(prefix + ".memStallCycles",
+              static_cast<double>(memStallCycles_));
+}
+
+} // namespace ndpext

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * In-order NDP core (Table II: 2 GHz, in-order, 32 kB L1I + 64 kB L1D).
+ *
+ * The core executes a stream of accesses from its generator: each access
+ * first costs its computeCycles (the non-memory instructions preceding
+ * it), then probes the private L1D. L1 hits cost l1HitCycles; misses
+ * occupy an MSHR and overlap with further execution -- the core stalls
+ * only when every MSHR is busy (or at the end of the run, to drain).
+ * Dirty L1 evictions produce non-blocking writebacks. L1I is modelled as
+ * always hitting (NDP kernels are small loops) and contributes only
+ * static energy.
+ */
+
+#ifndef NDPEXT_CPU_CORE_H
+#define NDPEXT_CPU_CORE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/set_assoc_cache.h"
+#include "common/types.h"
+#include "cpu/access_generator.h"
+#include "sim/stats.h"
+
+namespace ndpext {
+
+struct CoreParams
+{
+    Cycles l1HitCycles = 2;
+    std::uint64_t l1dCapacityBytes = 64_KiB;
+    std::uint32_t l1dWays = 4;
+    std::uint32_t lineBytes = kCachelineBytes;
+    /**
+     * Outstanding L1 misses (MSHRs). The cores are in-order but the
+     * paper's kernels are SIMD/unrolled streaming loops with substantial
+     * memory-level parallelism; the core stalls only when all MSHRs are
+     * busy. Set to 1 for strict stall-on-miss.
+     */
+    std::uint32_t mshrs = 8;
+};
+
+/** Completion of a request issued to the memory system. */
+struct MemResult
+{
+    Cycles done = 0;
+};
+
+/** The memory system as seen by one core. */
+class MemoryBackend
+{
+  public:
+    virtual ~MemoryBackend() = default;
+
+    /** Service an L1 miss issued by `core` at time `now`. */
+    virtual MemResult access(CoreId core, const Access& access,
+                             Cycles now) = 0;
+
+    /** Non-blocking dirty-line writeback. Default: ignored. */
+    virtual void
+    writeback(CoreId core, Addr line_addr, Cycles now)
+    {
+        (void)core;
+        (void)line_addr;
+        (void)now;
+    }
+};
+
+class InOrderCore
+{
+  public:
+    InOrderCore(CoreId id, const CoreParams& params, MemoryBackend& backend);
+
+    InOrderCore(const InOrderCore&) = delete;
+    InOrderCore& operator=(const InOrderCore&) = delete;
+    InOrderCore(InOrderCore&&) = default;
+
+    /**
+     * Execute the next access from `gen`.
+     * @return false if the generator is exhausted; the core's clock is
+     *         then advanced past all outstanding misses (drain).
+     */
+    bool step(AccessGenerator& gen);
+
+    CoreId id() const { return id_; }
+    Cycles now() const { return now_; }
+
+    /** Drop all L1 lines (used at reconfiguration invalidations). */
+    void flushL1() { l1d_.invalidateAll(); }
+
+    const SetAssocCache& l1dTags() const { return l1d_; }
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t l1Hits() const { return l1Hits_; }
+    std::uint64_t l1Misses() const { return accesses_ - l1Hits_; }
+    Cycles computeCycles() const { return computeCycles_; }
+    Cycles memStallCycles() const { return memStallCycles_; }
+
+    void report(StatGroup& stats, const std::string& prefix) const;
+
+  private:
+    CoreId id_;
+    CoreParams params_;
+    MemoryBackend& backend_;
+    SetAssocCache l1d_;
+
+    Cycles now_ = 0;
+    /** Completion times of in-flight misses (one per MSHR). */
+    std::vector<Cycles> mshrFree_;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t l1Hits_ = 0;
+    Cycles computeCycles_ = 0;
+    Cycles memStallCycles_ = 0;
+};
+
+} // namespace ndpext
+
+#endif // NDPEXT_CPU_CORE_H

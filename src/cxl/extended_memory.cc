@@ -1,0 +1,55 @@
+#include "cxl/extended_memory.h"
+
+namespace ndpext {
+
+ExtendedMemory::ExtendedMemory(const CxlParams& cxl,
+                               const DramTimingParams& dram,
+                               std::uint64_t core_freq_mhz)
+    : cxl_(cxl), dram_(dram, core_freq_mhz), link_(cxl.linkBytesPerCycle)
+{
+}
+
+CxlResult
+ExtendedMemory::access(Addr addr, std::uint32_t bytes, bool is_write,
+                       Cycles now)
+{
+    // Request flit over the link (64 B header+address class payload).
+    const Cycles req_start = link_.reserve(64, now);
+    const Cycles at_device =
+        req_start + cxl_.linkLatencyCycles + link_.serviceCycles(64);
+
+    const DramResult dr = dram_.access(addr, bytes, is_write, at_device);
+
+    // Response payload back over the link.
+    const Cycles rsp_start = link_.reserve(bytes, dr.done);
+    const Cycles done =
+        rsp_start + cxl_.linkLatencyCycles + link_.serviceCycles(bytes);
+
+    ++accesses_;
+    linkEnergyNj_ +=
+        static_cast<double>(bytes + 64) * 8.0 * cxl_.pjPerBit * 1e-3;
+    return CxlResult{done};
+}
+
+void
+ExtendedMemory::report(StatGroup& stats, const std::string& prefix) const
+{
+    stats.add(prefix + ".accesses", static_cast<double>(accesses_));
+    stats.add(prefix + ".linkEnergyNj", linkEnergyNj_);
+    stats.add(prefix + ".linkQueueCycles",
+              static_cast<double>(link_.totalQueueCycles()));
+    stats.add(prefix + ".linkReservations",
+              static_cast<double>(link_.reservations()));
+    dram_.report(stats, prefix + ".dram");
+}
+
+void
+ExtendedMemory::reset()
+{
+    dram_.reset();
+    link_.reset();
+    accesses_ = 0;
+    linkEnergyNj_ = 0.0;
+}
+
+} // namespace ndpext

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * CXL.mem Type-3 extended memory: a CXL link in front of DDR5 channels.
+ *
+ * Table II: 16-lane link, 200 ns link latency (excluding DRAM access),
+ * 11.4 pJ/bit; backing DDR5-4800 with 4 channels x 2 ranks x 16 banks.
+ * Fig. 8(b) sweeps the link latency (50/70/200 ns cases).
+ */
+
+#ifndef NDPEXT_CXL_EXTENDED_MEMORY_H
+#define NDPEXT_CXL_EXTENDED_MEMORY_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+#include "mem/dram.h"
+#include "sim/resource.h"
+#include "sim/stats.h"
+
+namespace ndpext {
+
+struct CxlParams
+{
+    /** One-way link latency in core cycles (200 ns @ 2 GHz = 400). */
+    Cycles linkLatencyCycles = 400;
+    /** Link bandwidth, bytes per core cycle (x16 CXL 3.0 ~ 121 GB/s). */
+    double linkBytesPerCycle = 60.0;
+    /** Link transfer energy, pJ per bit. */
+    double pjPerBit = 11.4;
+};
+
+/** Completion info of one extended-memory access. */
+struct CxlResult
+{
+    Cycles done = 0;
+};
+
+/**
+ * The CXL endpoint + DDR5 device. The link is a shared bandwidth resource;
+ * every access pays one round trip: request over the link, DDR5 access,
+ * response over the link.
+ */
+class ExtendedMemory
+{
+  public:
+    ExtendedMemory(const CxlParams& cxl, const DramTimingParams& dram,
+                   std::uint64_t core_freq_mhz);
+
+    /** Access `bytes` at `addr`, arriving at the CXL port at `now`. */
+    CxlResult access(Addr addr, std::uint32_t bytes, bool is_write,
+                     Cycles now);
+
+    const CxlParams& params() const { return cxl_; }
+    const DramDevice& dram() const { return dram_; }
+
+    std::uint64_t accesses() const { return accesses_; }
+    double linkEnergyNj() const { return linkEnergyNj_; }
+    double dramEnergyNj() const { return dram_.dynamicEnergyNj(); }
+
+    void report(StatGroup& stats, const std::string& prefix) const;
+    void reset();
+
+  private:
+    CxlParams cxl_;
+    DramDevice dram_;
+    BandwidthResource link_;
+
+    std::uint64_t accesses_ = 0;
+    double linkEnergyNj_ = 0.0;
+};
+
+} // namespace ndpext
+
+#endif // NDPEXT_CXL_EXTENDED_MEMORY_H

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Stream Lookahead Buffer (Section IV-C, Fig. 3c).
+ *
+ * Each NDP unit caches simplified remap-table entries for up to 32 streams
+ * in a TCAM-searchable SRAM structure (4.6 kB). A hit resolves the stream
+ * and its in-group shares in one cycle class; a miss asks the host
+ * processor to read the full stream remap table and refill the entry,
+ * like a TLB walk (the paper's analogy to virtual memory translation).
+ *
+ * The functional content of an entry (shares, row base) lives in the
+ * StreamRemapTable; the SLB models *which* streams are locally resident
+ * and charges the refill penalty.
+ */
+
+#ifndef NDPEXT_NDP_SLB_H
+#define NDPEXT_NDP_SLB_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/stats.h"
+
+namespace ndpext {
+
+class Slb
+{
+  public:
+    /**
+     * @param entries      Capacity in streams (paper: 32).
+     * @param hit_cycles   TCAM search latency on a hit.
+     * @param miss_cycles  Host round trip to refill from the remap table.
+     */
+    Slb(std::uint32_t entries = 32, Cycles hit_cycles = 2,
+        Cycles miss_cycles = 1000);
+
+    /**
+     * Look up a stream; installs it on a miss (LRU eviction).
+     * @return lookup latency in cycles.
+     */
+    Cycles lookup(StreamId sid);
+
+    /** Drop one stream (remap-table update invalidates SLB copies). */
+    void invalidate(StreamId sid);
+
+    /** Drop everything (epoch reconfiguration). */
+    void invalidateAll();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+    void report(StatGroup& stats, const std::string& prefix) const;
+
+  private:
+    struct Entry
+    {
+        StreamId sid = kNoStream;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    std::vector<Entry> entries_;
+    Cycles hitCycles_;
+    Cycles missCycles_;
+    std::uint64_t useClock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace ndpext
+
+#endif // NDPEXT_NDP_SLB_H

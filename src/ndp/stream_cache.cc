@@ -1,0 +1,697 @@
+#include "ndp/stream_cache.h"
+
+#include <algorithm>
+
+#include "common/bitutils.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace ndpext {
+
+StreamCacheController::StreamCacheController(
+    const StreamCacheParams& params, StreamTable& streams, NocModel& noc,
+    ExtendedMemory& ext, const DramTimingParams& unit_dram,
+    std::uint64_t unit_cache_bytes, std::uint64_t core_freq_mhz)
+    : params_(params), streams_(streams), noc_(noc), ext_(ext),
+      rowBytes_(static_cast<std::uint32_t>(unit_dram.rowBytes)),
+      rowsPerUnit_(
+          static_cast<std::uint32_t>(unit_cache_bytes / unit_dram.rowBytes)),
+      remap_(noc.topology().numUnits(), rowsPerUnit_, rowBytes_,
+             params.remapMode)
+{
+    NDP_ASSERT(rowsPerUnit_ > 0, "unit cache smaller than one DRAM row");
+    const std::uint32_t n = noc.topology().numUnits();
+    units_.reserve(n);
+    for (std::uint32_t u = 0; u < n; ++u) {
+        units_.push_back(
+            std::make_unique<UnitState>(unit_dram, core_freq_mhz, params_));
+    }
+}
+
+std::uint32_t
+StreamCacheController::granuleOf(const StreamConfig& cfg) const
+{
+    if (params_.cachelineMode) {
+        return kCachelineBytes;
+    }
+    if (cfg.type == StreamType::Affine) {
+        return std::max(params_.affineBlockBytes, cfg.elemSize);
+    }
+    // Indirect elements are cached individually (Section IV-C), but a
+    // DRAM burst is one cacheline, so sub-line elements are grouped into
+    // one burst-sized unit (adjacent element ids share it).
+    return std::max<std::uint32_t>(cfg.elemSize, kCachelineBytes);
+}
+
+std::uint64_t
+StreamCacheController::granuleForAccess(const StreamConfig& cfg,
+                                        const Access& acc) const
+{
+    if (params_.cachelineMode) {
+        // Baselines track physical 64 B lines.
+        return acc.addr / kCachelineBytes;
+    }
+    return granuleIdOf(cfg, acc.elem);
+}
+
+std::uint64_t
+StreamCacheController::granuleIdOf(const StreamConfig& cfg,
+                                   ElemId elem) const
+{
+    const std::uint32_t granule = granuleOf(cfg);
+    const std::uint64_t elems_per_granule =
+        std::max<std::uint64_t>(1, granule / cfg.elemSize);
+    return elem / elems_per_granule;
+}
+
+Addr
+StreamCacheController::granuleAddr(const StreamConfig& cfg,
+                                   std::uint64_t granule) const
+{
+    if (params_.cachelineMode) {
+        return granule * kCachelineBytes; // granule is a global line id
+    }
+    const std::uint32_t g = granuleOf(cfg);
+    const std::uint64_t elems_per_granule =
+        std::max<std::uint64_t>(1, g / cfg.elemSize);
+    const ElemId first = granule * elems_per_granule;
+    return cfg.addrOf(std::min<ElemId>(first, cfg.numElems() - 1));
+}
+
+std::uint32_t
+StreamCacheController::granuleFetchBytes(const StreamConfig& cfg) const
+{
+    // Extended-memory transfers are at least one cacheline.
+    return std::max<std::uint32_t>(granuleOf(cfg), kCachelineBytes);
+}
+
+SamplerBank&
+StreamCacheController::samplerBank(UnitId unit)
+{
+    NDP_ASSERT(unit < units_.size());
+    return units_[unit]->samplers;
+}
+
+const SamplerBank&
+StreamCacheController::samplerBank(UnitId unit) const
+{
+    NDP_ASSERT(unit < units_.size());
+    return units_[unit]->samplers;
+}
+
+const DramDevice&
+StreamCacheController::unitDram(UnitId unit) const
+{
+    NDP_ASSERT(unit < units_.size());
+    return units_[unit]->dram;
+}
+
+TagStore&
+StreamCacheController::storeFor(UnitId unit, StreamId sid)
+{
+    auto& stores = units_[unit]->stores;
+    auto it = stores.find(sid);
+    if (it != stores.end()) {
+        return it->second;
+    }
+    const StreamConfig& cfg = streams_.stream(sid);
+    const std::uint32_t ways = params_.cachelineMode
+        ? 1
+        : (cfg.type == StreamType::Affine ? params_.affineWays
+                                          : params_.indirectWays);
+    const std::uint64_t slots = remap_.unitSlots(sid, unit);
+    auto [ins, ok] = stores.emplace(sid, TagStore(slots, ways));
+    NDP_ASSERT(ok);
+    return ins->second;
+}
+
+DramResult
+StreamCacheController::dramAt(const CacheLocation& loc, std::uint32_t bytes,
+                              bool is_write, Cycles t)
+{
+    DramDevice& dram = units_[loc.unit]->dram;
+    const std::uint32_t banks = dram.params().banks;
+    const std::uint32_t bank = loc.deviceRow % banks;
+    const std::uint64_t row = loc.deviceRow / banks;
+    return dram.accessRow(bank, row, bytes, is_write, t);
+}
+
+Cycles
+StreamCacheController::bypassToExt(UnitId unit, Addr addr,
+                                   std::uint32_t bytes, bool is_write,
+                                   Cycles t)
+{
+    const NocResult to = noc_.transferToCxl(unit, params_.reqBytes, t);
+    bd_.icnIntra +=
+        static_cast<Cycles>(to.intraHops) * noc_.params().intraHopCycles;
+    bd_.icnInter += (to.done - t)
+        - static_cast<Cycles>(to.intraHops) * noc_.params().intraHopCycles;
+    Cycles at = to.done;
+
+    const CxlResult er = ext_.access(addr, bytes, is_write, at);
+    bd_.extMem += er.done - at;
+    at = er.done;
+
+    const NocResult back = noc_.transferFromCxl(unit, bytes, at);
+    bd_.icnIntra +=
+        static_cast<Cycles>(back.intraHops) * noc_.params().intraHopCycles;
+    bd_.icnInter += (back.done - at)
+        - static_cast<Cycles>(back.intraHops) * noc_.params().intraHopCycles;
+    return back.done;
+}
+
+Cycles
+StreamCacheController::fetchFill(UnitId unit, const StreamConfig& cfg,
+                                 std::uint64_t granule,
+                                 const CacheLocation& loc, Cycles t)
+{
+    const std::uint32_t bytes = granuleFetchBytes(cfg);
+    const Addr addr = granuleAddr(cfg, granule);
+
+    const NocResult to = noc_.transferToCxl(unit, params_.reqBytes, t);
+    bd_.icnIntra +=
+        static_cast<Cycles>(to.intraHops) * noc_.params().intraHopCycles;
+    bd_.icnInter += (to.done - t)
+        - static_cast<Cycles>(to.intraHops) * noc_.params().intraHopCycles;
+    Cycles at = to.done;
+
+    const CxlResult er = ext_.access(addr, bytes, false, at);
+    bd_.extMem += er.done - at;
+    at = er.done;
+
+    const NocResult back = noc_.transferFromCxl(unit, bytes, at);
+    bd_.icnIntra +=
+        static_cast<Cycles>(back.intraHops) * noc_.params().intraHopCycles;
+    bd_.icnInter += (back.done - at)
+        - static_cast<Cycles>(back.intraHops) * noc_.params().intraHopCycles;
+    at = back.done;
+
+    // Install into the local DRAM row(s); critical word forwarded in
+    // parallel, so the requester sees the fill completion time.
+    const DramResult dr = dramAt(loc, bytes, true, at);
+    bd_.dramCache += dr.done - at;
+    return dr.done;
+}
+
+void
+StreamCacheController::writebackVictim(UnitId unit, const StreamConfig& cfg,
+                                       std::uint64_t victim_granule,
+                                       Cycles t)
+{
+    // Off the critical path: reserve bandwidth, do not stall the requester.
+    const std::uint32_t bytes = granuleFetchBytes(cfg);
+    const NocResult to = noc_.transferToCxl(unit, bytes, t);
+    ext_.access(granuleAddr(cfg, victim_granule), bytes, true, to.done);
+    ++writebacks_;
+}
+
+Cycles
+StreamCacheController::metadataLookup(UnitId unit, Addr addr, Cycles t)
+{
+    SetAssocCache& meta = *units_[unit]->metaCache;
+    const std::uint64_t key = addr / params_.metadataGranuleBytes;
+    if (meta.access(key, false)) {
+        bd_.metadata += params_.metadataHitCycles;
+        return t + params_.metadataHitCycles;
+    }
+    meta.insert(key, false);
+
+    // Metadata lives in DRAM, distributed by address hash; a miss costs a
+    // (often remote) DRAM access on the critical path (Section III-B).
+    const UnitId home =
+        static_cast<UnitId>(mix64(key) % units_.size());
+    Cycles at = t;
+    if (home != unit) {
+        const NocResult nr = noc_.transfer(unit, home, 32, at);
+        bd_.icnIntra += static_cast<Cycles>(nr.intraHops)
+            * noc_.params().intraHopCycles;
+        bd_.icnInter += (nr.done - at)
+            - static_cast<Cycles>(nr.intraHops)
+                * noc_.params().intraHopCycles;
+        at = nr.done;
+    }
+    const DramResult dr =
+        units_[home]->dram.access(key * 4, kCachelineBytes, false, at);
+    bd_.metadata += dr.done - at;
+    at = dr.done;
+    if (home != unit) {
+        const Cycles before = at;
+        const NocResult nr = noc_.transfer(home, unit, 32, at);
+        bd_.icnIntra += static_cast<Cycles>(nr.intraHops)
+            * noc_.params().intraHopCycles;
+        bd_.icnInter += (nr.done - before)
+            - static_cast<Cycles>(nr.intraHops)
+                * noc_.params().intraHopCycles;
+        at = nr.done;
+    }
+    return at;
+}
+
+MemResult
+StreamCacheController::access(CoreId core, const Access& acc, Cycles now)
+{
+    const UnitId u = core; // one core per NDP unit
+    NDP_ASSERT(u < units_.size(), "core=", core);
+    ++bd_.requests;
+    Cycles t = now;
+
+    if (params_.cachelineMode) {
+        // Baselines: per-access metadata lookup instead of the SLB.
+        t = metadataLookup(u, acc.addr, t);
+    } else if (acc.sid == kNoStream) {
+        // SLB TCAM search finds no stream: bypass (rare, Section IV-C).
+        t += params_.slbHitCycles;
+        bd_.metadata += params_.slbHitCycles;
+        sramEnergyNj_ += params_.slbPjPerLookup * 1e-3;
+        ++bypasses_;
+        return MemResult{bypassToExt(u, acc.addr, kCachelineBytes,
+                                     acc.isWrite, t)};
+    } else {
+        const Cycles slb_lat = units_[u]->slb.lookup(acc.sid);
+        t += slb_lat;
+        bd_.metadata += slb_lat;
+        sramEnergyNj_ += params_.slbPjPerLookup * 1e-3;
+    }
+
+    if (acc.sid == kNoStream) {
+        ++bypasses_;
+        return MemResult{bypassToExt(u, acc.addr, kCachelineBytes,
+                                     acc.isWrite, t)};
+    }
+
+    StreamConfig& cfg = streams_.stream(acc.sid);
+    NDP_ASSERT(cfg.contains(acc.addr), "access outside stream ", cfg.name);
+
+    // Write to a read-only stream: host exception, collapse replicas.
+    if (acc.isWrite && cfg.readOnly) {
+        streams_.markWritten(acc.sid);
+        collapseReplication(acc.sid);
+        ++writeExceptions_;
+        t += params_.writeExceptionCycles;
+        bd_.metadata += params_.writeExceptionCycles;
+    }
+
+    // Sampling hardware observes the (granule-level) access.
+    const std::uint64_t granule = granuleForAccess(cfg, acc);
+    units_[u]->samplers.observe(acc.sid, granule);
+
+    return accessCached(u, cfg, acc, t);
+}
+
+namespace {
+
+void
+bumpStreamCounter(std::vector<std::uint64_t>& v, StreamId sid)
+{
+    if (v.size() <= sid) {
+        v.resize(sid + 1, 0);
+    }
+    ++v[sid];
+}
+
+} // namespace
+
+std::uint64_t
+StreamCacheController::streamHits(StreamId sid) const
+{
+    return sid < streamHits_.size() ? streamHits_[sid] : 0;
+}
+
+std::uint64_t
+StreamCacheController::streamMisses(StreamId sid) const
+{
+    return sid < streamMisses_.size() ? streamMisses_[sid] : 0;
+}
+
+MemResult
+StreamCacheController::accessCached(UnitId u, const StreamConfig& cfg,
+                                    const Access& acc, Cycles t)
+{
+    const std::uint64_t granule = granuleForAccess(cfg, acc);
+
+    if (remap_.groupSlots(cfg.sid, u) == 0) {
+        // No cache space allocated (e.g., affine space restriction or
+        // pre-first-epoch): stream directly from extended memory.
+        ++uncached_;
+        bumpStreamCounter(streamMisses_, cfg.sid);
+        return MemResult{bypassToExt(u, acc.addr, kCachelineBytes,
+                                     acc.isWrite, t)};
+    }
+
+    const CacheLocation loc = remap_.locate(cfg.sid, granule, u);
+    const bool remote = loc.unit != u;
+
+    if (remote) {
+        const NocResult nr = noc_.transfer(u, loc.unit, params_.reqBytes, t);
+        bd_.icnIntra += static_cast<Cycles>(nr.intraHops)
+            * noc_.params().intraHopCycles;
+        bd_.icnInter += (nr.done - t)
+            - static_cast<Cycles>(nr.intraHops)
+                * noc_.params().intraHopCycles;
+        t = nr.done;
+    }
+    t += params_.unitHandlerCycles;
+
+    TagStore& ts = storeFor(loc.unit, cfg.sid);
+    if (!ts.usable()) {
+        ++uncached_;
+        return MemResult{bypassToExt(u, acc.addr, kCachelineBytes,
+                                     acc.isWrite, t)};
+    }
+
+    if (params_.cachelineMode) {
+        // Baseline path: the metadata lookup already resolved the tag;
+        // a hit needs one DRAM data access, a miss fetches the line.
+        const auto res = ts.accessFill(loc.unitSlot, granule, acc.isWrite);
+        if (res.hit) {
+            ++hits_;
+            bumpStreamCounter(streamHits_, cfg.sid);
+            const DramResult dr =
+                dramAt(loc, kCachelineBytes, acc.isWrite, t);
+            bd_.dramCache += dr.done - t;
+            t = dr.done;
+        } else {
+            ++misses_;
+            bumpStreamCounter(streamMisses_, cfg.sid);
+            if (res.evictedDirty) {
+                writebackVictim(loc.unit, cfg, res.evictedKey, t);
+            }
+            t = fetchFill(loc.unit, cfg, granule, loc, t);
+        }
+    } else if (cfg.type == StreamType::Affine) {
+        // SRAM tag array first; DRAM touched only as needed.
+        t += params_.ataCycles;
+        bd_.metadata += params_.ataCycles;
+        sramEnergyNj_ += params_.ataPjPerLookup * 1e-3;
+
+        const auto res = ts.accessFill(loc.unitSlot, granule, acc.isWrite);
+        if (res.hit) {
+            ++hits_;
+            bumpStreamCounter(streamHits_, cfg.sid);
+            const DramResult dr =
+                dramAt(loc, kCachelineBytes, acc.isWrite, t);
+            bd_.dramCache += dr.done - t;
+            t = dr.done;
+        } else {
+            ++misses_;
+            bumpStreamCounter(streamMisses_, cfg.sid);
+            if (res.evictedDirty) {
+                writebackVictim(loc.unit, cfg, res.evictedKey, t);
+            }
+            t = fetchFill(loc.unit, cfg, granule, loc, t);
+        }
+    } else {
+        // Indirect: tag-with-data. Direct-mapped (default): one DRAM
+        // access returns tag + data. Associative without prediction: one
+        // wider access reads the whole set. With way prediction, read
+        // only the predicted (MRU) way and pay a second access when a
+        // hit lands in another way.
+        const std::uint32_t set_factor =
+            (params_.indirectWays > 1 && !params_.indirectWayPrediction)
+            ? params_.indirectWays
+            : 1;
+        const std::uint32_t probe_bytes = std::min<std::uint32_t>(
+            (granuleOf(cfg) + 8) * set_factor, rowBytes_);
+        const DramResult dr = dramAt(loc, probe_bytes, acc.isWrite, t);
+        bd_.dramCache += dr.done - t;
+        t = dr.done;
+
+        const auto res = ts.accessFill(loc.unitSlot, granule, acc.isWrite);
+        if (params_.indirectWays > 1 && params_.indirectWayPrediction) {
+            ++wayPredictions_;
+            if (res.hit && res.way != res.predictedWay) {
+                ++wayMispredictions_;
+                const DramResult retry = dramAt(
+                    loc,
+                    std::min<std::uint32_t>(granuleOf(cfg) + 8, rowBytes_),
+                    acc.isWrite, t);
+                bd_.dramCache += retry.done - t;
+                t = retry.done;
+            }
+        }
+        if (res.hit) {
+            ++hits_;
+            bumpStreamCounter(streamHits_, cfg.sid);
+        } else {
+            ++misses_;
+            bumpStreamCounter(streamMisses_, cfg.sid);
+            if (res.evictedDirty) {
+                writebackVictim(loc.unit, cfg, res.evictedKey, t);
+            }
+            t = fetchFill(loc.unit, cfg, granule, loc, t);
+        }
+    }
+
+    if (remote) {
+        const Cycles before = t;
+        const NocResult nr =
+            noc_.transfer(loc.unit, u, params_.rspBytes, t);
+        bd_.icnIntra += static_cast<Cycles>(nr.intraHops)
+            * noc_.params().intraHopCycles;
+        bd_.icnInter += (nr.done - before)
+            - static_cast<Cycles>(nr.intraHops)
+                * noc_.params().intraHopCycles;
+        t = nr.done;
+    }
+    return MemResult{t};
+}
+
+void
+StreamCacheController::writeback(CoreId core, Addr line_addr, Cycles now)
+{
+    const UnitId u = core;
+    const StreamId sid = streams_.findByAddr(line_addr);
+    if (sid == kNoStream) {
+        // Non-stream dirty line: write straight to extended memory.
+        const NocResult to =
+            noc_.transferToCxl(u, kCachelineBytes, now);
+        ext_.access(line_addr, kCachelineBytes, true, to.done);
+        return;
+    }
+    StreamConfig& cfg = streams_.stream(sid);
+    if (cfg.readOnly) {
+        streams_.markWritten(sid);
+        collapseReplication(sid);
+        ++writeExceptions_;
+    }
+    if (remap_.groupSlots(sid, u) == 0) {
+        const NocResult to =
+            noc_.transferToCxl(u, kCachelineBytes, now);
+        ext_.access(line_addr, kCachelineBytes, true, to.done);
+        return;
+    }
+    const std::uint64_t granule = params_.cachelineMode
+        ? line_addr / kCachelineBytes
+        : granuleIdOf(cfg, cfg.elemIdOf(line_addr));
+    const CacheLocation loc = remap_.locate(sid, granule, u);
+    if (loc.unit != u) {
+        noc_.transfer(u, loc.unit, kCachelineBytes, now);
+    }
+    TagStore& ts = storeFor(loc.unit, sid);
+    if (ts.usable() && ts.probe(loc.unitSlot, granule)) {
+        ts.accessFill(loc.unitSlot, granule, true); // mark dirty
+        dramAt(loc, kCachelineBytes, true, now);
+    } else {
+        // Not cached: write through to extended memory.
+        const NocResult to =
+            noc_.transferToCxl(loc.unit, kCachelineBytes, now);
+        ext_.access(line_addr, kCachelineBytes, true, to.done);
+    }
+}
+
+void
+StreamCacheController::collapseReplication(StreamId sid)
+{
+    const StreamAlloc* cur = remap_.alloc(sid);
+    if (cur == nullptr || cur->numGroups <= 1) {
+        return;
+    }
+    // Keep only the serving-group capacity shape but merge all units into
+    // one global group; replicas become plain distributed capacity.
+    StreamAlloc merged = *cur;
+    for (auto& g : merged.groupOf) {
+        g = 0;
+    }
+    merged.numGroups = 1;
+    const StreamConfig& cfg = streams_.stream(sid);
+    remap_.setAlloc(sid, std::move(merged), granuleOf(cfg), noc_);
+
+    // Invalidate the stream's cached data everywhere (clean: no writeback
+    // needed, Section IV-B) and its SLB entries.
+    for (UnitId u = 0; u < units_.size(); ++u) {
+        auto it = units_[u]->stores.find(sid);
+        if (it != units_[u]->stores.end()) {
+            invalidatedRows_ += remap_.alloc(sid)->shareRows[u];
+            units_[u]->stores.erase(it);
+        }
+        units_[u]->slb.invalidate(sid);
+    }
+}
+
+void
+StreamCacheController::applyConfiguration(
+    const std::vector<std::pair<StreamId, StreamAlloc>>& allocs)
+{
+    // A reconfiguration repartitions the whole cache: streams absent from
+    // the new scheme lose their space (and their cached data).
+    std::vector<bool> in_config(streams_.numStreams(), false);
+    for (const auto& [sid, alloc] : allocs) {
+        (void)alloc;
+        if (sid < in_config.size()) {
+            in_config[sid] = true;
+        }
+    }
+    for (std::size_t s = 0; s < in_config.size(); ++s) {
+        const StreamId sid = static_cast<StreamId>(s);
+        if (in_config[s] || remap_.alloc(sid) == nullptr) {
+            continue;
+        }
+        invalidatedRows_ += remap_.alloc(sid)->totalRows();
+        remap_.clearAlloc(sid);
+        for (auto& unit : units_) {
+            unit->stores.erase(sid);
+        }
+    }
+
+    for (const auto& [sid, alloc] : allocs) {
+        const StreamConfig& cfg = streams_.stream(sid);
+        const std::uint32_t granule = granuleOf(cfg);
+        const std::uint32_t ways = params_.cachelineMode
+            ? 1
+            : (cfg.type == StreamType::Affine ? params_.affineWays
+                                              : params_.indirectWays);
+
+        // Capture the outgoing stores to carry surviving rows over.
+        std::unordered_map<UnitId, TagStore> old_stores;
+        std::uint64_t old_rows = 0;
+        const StreamAlloc* prev = remap_.alloc(sid);
+        if (prev != nullptr) {
+            old_rows = prev->totalRows();
+            for (UnitId u = 0; u < units_.size(); ++u) {
+                auto it = units_[u]->stores.find(sid);
+                if (it != units_[u]->stores.end()) {
+                    old_stores.emplace(u, std::move(it->second));
+                    units_[u]->stores.erase(it);
+                }
+            }
+        }
+
+        remap_.setAlloc(sid, alloc, granule, noc_);
+
+        // Build fresh stores for every unit with space.
+        for (UnitId u = 0; u < units_.size(); ++u) {
+            const std::uint64_t slots = remap_.unitSlots(sid, u);
+            if (slots == 0) {
+                continue;
+            }
+            units_[u]->stores.emplace(sid, TagStore(slots, ways));
+        }
+
+        // Carry rows preserved by consistent hashing.
+        const auto& surviving = remap_.survivingRows(sid);
+        const std::uint64_t sets_per_row = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(rowBytes_) / granule / ways);
+        for (const auto& row : surviving) {
+            auto oit = old_stores.find(row.unit);
+            auto nit = units_[row.unit]->stores.find(sid);
+            if (oit == old_stores.end()
+                || nit == units_[row.unit]->stores.end()) {
+                continue;
+            }
+            nit->second.copyRange(
+                oit->second,
+                static_cast<std::uint64_t>(row.oldRowOffset) * sets_per_row,
+                static_cast<std::uint64_t>(row.newRowOffset) * sets_per_row,
+                sets_per_row);
+        }
+        const std::uint64_t survived = surviving.size();
+        survivedRows_ += survived;
+        invalidatedRows_ += old_rows > survived ? old_rows - survived : 0;
+    }
+
+    remap_.validateCapacity();
+
+    // Remap-table contents changed: all SLB copies are stale.
+    for (auto& unit : units_) {
+        unit->slb.invalidateAll();
+    }
+}
+
+std::uint64_t
+StreamCacheController::slbMissTotal() const
+{
+    std::uint64_t total = 0;
+    for (const auto& unit : units_) {
+        total += unit->slb.misses();
+    }
+    return total;
+}
+
+double
+StreamCacheController::missRate() const
+{
+    const double denom = static_cast<double>(hits_ + misses_ + uncached_);
+    return denom == 0.0
+        ? 0.0
+        : static_cast<double>(misses_ + uncached_) / denom;
+}
+
+double
+StreamCacheController::wayPredictionRate() const
+{
+    if (wayPredictions_ == 0) {
+        return 1.0;
+    }
+    return 1.0
+        - static_cast<double>(wayMispredictions_)
+            / static_cast<double>(wayPredictions_);
+}
+
+double
+StreamCacheController::metadataHitRate() const
+{
+    if (!params_.cachelineMode) {
+        return 1.0;
+    }
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    for (const auto& unit : units_) {
+        hits += unit->metaCache->hits();
+        misses += unit->metaCache->misses();
+    }
+    const double total = static_cast<double>(hits + misses);
+    return total == 0.0 ? 1.0 : static_cast<double>(hits) / total;
+}
+
+double
+StreamCacheController::dramCacheEnergyNj() const
+{
+    double total = 0.0;
+    for (const auto& unit : units_) {
+        total += unit->dram.dynamicEnergyNj();
+    }
+    return total;
+}
+
+void
+StreamCacheController::report(StatGroup& stats,
+                              const std::string& prefix) const
+{
+    bd_.report(stats, prefix + ".lat");
+    stats.add(prefix + ".hits", static_cast<double>(hits_));
+    stats.add(prefix + ".misses", static_cast<double>(misses_));
+    stats.add(prefix + ".uncached", static_cast<double>(uncached_));
+    stats.add(prefix + ".bypasses", static_cast<double>(bypasses_));
+    stats.add(prefix + ".writeExceptions",
+              static_cast<double>(writeExceptions_));
+    stats.add(prefix + ".writebacks", static_cast<double>(writebacks_));
+    stats.add(prefix + ".invalidatedRows",
+              static_cast<double>(invalidatedRows_));
+    stats.add(prefix + ".survivedRows", static_cast<double>(survivedRows_));
+    stats.add(prefix + ".slbMisses",
+              static_cast<double>(slbMissTotal()));
+    stats.add(prefix + ".dramCacheEnergyNj", dramCacheEnergyNj());
+    stats.add(prefix + ".sramEnergyNj", sramEnergyNj_);
+}
+
+} // namespace ndpext

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * The NDPExt stream cache controller (Section IV): the full hardware
+ * datapath from an L1 miss to data return.
+ *
+ * Datapath for an access from the core on unit U to stream S:
+ *   1. SLB lookup at U (TCAM range match; miss -> host remap-table refill).
+ *      Non-stream addresses bypass the DRAM cache to extended memory.
+ *   2. Element id -> granule id (1 kB block for affine, element for
+ *      indirect); hashed within the serving replication group to a
+ *      (unit, DRAM row, slot) location.
+ *   3. Remote locations are reached over the intra/inter-stack network.
+ *   4. Affine: SRAM affine-tag-array check, then a DRAM access on a hit.
+ *      Indirect: a single DRAM access returns tag+data (direct-mapped,
+ *      tag-with-data as in Alloy-style DRAM caches).
+ *   5. Misses fetch the granule from CXL extended memory and install it;
+ *      dirty victims are written back without stalling the requester.
+ *   6. The first write to a read-only stream raises the host exception
+ *      that collapses its replication groups (Section IV-B).
+ */
+
+#ifndef NDPEXT_NDP_STREAM_CACHE_H
+#define NDPEXT_NDP_STREAM_CACHE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/set_assoc_cache.h"
+#include "common/types.h"
+#include "cpu/core.h"
+#include "cxl/extended_memory.h"
+#include "mem/dram.h"
+#include "ndp/remap_table.h"
+#include "ndp/slb.h"
+#include "ndp/tag_store.h"
+#include "noc/noc_model.h"
+#include "sampler/sampler.h"
+#include "sim/breakdown.h"
+#include "stream/stream_table.h"
+
+namespace ndpext {
+
+struct StreamCacheParams
+{
+    /** Affine cache block (Section IV-C; Fig. 9b sweeps this). */
+    std::uint32_t affineBlockBytes = 1024;
+    /**
+     * Total DRAM-cache space usable by affine streams per unit, so the
+     * affine tags fit in SRAM (paper: 16 MB of 256 MB). Scaled configs set
+     * this to the same 1/16 fraction. 0 = unrestricted (Fig. 9c).
+     */
+    std::uint64_t affineCapBytesPerUnit = 16_MiB;
+    /** ATA associativity. */
+    std::uint32_t affineWays = 4;
+    /** Indirect-cache associativity (1 = paper default; Fig. 9a). */
+    std::uint32_t indirectWays = 1;
+    /**
+     * Way prediction for associative indirect caches (the CAMEO/Unison
+     * alternative the paper mentions in Section IV-C): one DRAM access
+     * reads the predicted (MRU) way; a mispredicted hit pays a second
+     * access. Without prediction, an associative lookup reads all ways
+     * of the set in one wider DRAM access.
+     */
+    bool indirectWayPrediction = false;
+    /** SRAM affine tag array lookup latency. */
+    Cycles ataCycles = 2;
+    std::uint32_t slbEntries = 32;
+    Cycles slbHitCycles = 2;
+    /** Host round trip to refill an SLB entry. */
+    Cycles slbMissCycles = 1000;
+    /** Request-handling pipeline at the destination unit. */
+    Cycles unitHandlerCycles = 1;
+    /** Host exception on the first write to a read-only stream. */
+    Cycles writeExceptionCycles = 2000;
+    /** Control flit size for remote requests. */
+    std::uint32_t reqBytes = 32;
+    /** Data response size back to the requesting core. */
+    std::uint32_t rspBytes = 64;
+    /** SRAM lookup energies (CACTI-class structures), pJ per lookup. */
+    double slbPjPerLookup = 5.0;
+    double ataPjPerLookup = 10.0;
+    /** Samplers per unit (Section V-A). */
+    std::uint32_t samplersPerUnit = 4;
+    SamplerParams sampler;
+    RemapMode remapMode = RemapMode::ConsistentHash;
+
+    /**
+     * Cacheline-grained baseline mode (Section VI "Baseline designs"):
+     * the adapted NUCA comparators (Jigsaw/Whirlpool/Nexus/static
+     * interleaving) cache 64 B lines, keep per-line tags in DRAM, and
+     * front them with a per-unit dual-granularity metadata cache
+     * (Bi-Modal style: one metadata entry per 512 B block, 64 B data
+     * migration). Every access performs a metadata lookup; metadata-cache
+     * misses cost a (possibly remote) DRAM access.
+     */
+    bool cachelineMode = false;
+    std::uint64_t metadataCacheBytes = 128_KiB;
+    std::uint32_t metadataGranuleBytes = 512;
+    std::uint32_t metadataCacheWays = 8;
+    Cycles metadataHitCycles = 2;
+};
+
+/**
+ * The distributed stream cache across all NDP units. Owns per-unit local
+ * DRAM devices, SLBs, tag stores and sampler banks; uses shared NoC and
+ * extended-memory models.
+ */
+class StreamCacheController : public MemoryBackend
+{
+  public:
+    /**
+     * @param unit_cache_bytes DRAM-cache capacity per unit.
+     * @param unit_dram        Timing of each unit's local DRAM slice.
+     */
+    StreamCacheController(const StreamCacheParams& params,
+                          StreamTable& streams, NocModel& noc,
+                          ExtendedMemory& ext,
+                          const DramTimingParams& unit_dram,
+                          std::uint64_t unit_cache_bytes,
+                          std::uint64_t core_freq_mhz);
+
+    StreamCacheController(const StreamCacheController&) = delete;
+    StreamCacheController& operator=(const StreamCacheController&) = delete;
+
+    // MemoryBackend
+    MemResult access(CoreId core, const Access& access, Cycles now) override;
+    void writeback(CoreId core, Addr line_addr, Cycles now) override;
+
+    /** Granule (caching unit) of a stream in bytes. */
+    std::uint32_t granuleOf(const StreamConfig& cfg) const;
+
+    /** Granule id of an element of a stream. */
+    std::uint64_t granuleIdOf(const StreamConfig& cfg, ElemId elem) const;
+
+    StreamRemapTable& remap() { return remap_; }
+    const StreamRemapTable& remap() const { return remap_; }
+    SamplerBank& samplerBank(UnitId unit);
+    const SamplerBank& samplerBank(UnitId unit) const;
+    std::uint32_t numUnits() const
+    {
+        return static_cast<std::uint32_t>(units_.size());
+    }
+    std::uint32_t rowsPerUnit() const { return rowsPerUnit_; }
+    std::uint32_t rowBytes() const { return rowBytes_; }
+    const StreamCacheParams& params() const { return params_; }
+    const StreamTable& streams() const { return streams_; }
+
+    /**
+     * Install a new epoch configuration: per-stream allocations from the
+     * configuration algorithm. Rebuilds tag stores, carrying surviving
+     * rows under consistent hashing, and accounts invalidation traffic.
+     */
+    void applyConfiguration(
+        const std::vector<std::pair<StreamId, StreamAlloc>>& allocs);
+
+    /** Collapse a stream's replication to one group (write exception). */
+    void collapseReplication(StreamId sid);
+
+    // --- statistics ---
+    const LatencyBreakdown& breakdown() const { return bd_; }
+    std::uint64_t cacheHits() const { return hits_; }
+    std::uint64_t cacheMisses() const { return misses_; }
+    std::uint64_t uncachedStreamAccesses() const { return uncached_; }
+    std::uint64_t bypasses() const { return bypasses_; }
+    std::uint64_t writeExceptions() const { return writeExceptions_; }
+    /** Way-prediction accuracy (1.0 when prediction is off/unused). */
+    double wayPredictionRate() const;
+    std::uint64_t slbMissTotal() const;
+    double missRate() const;
+    /** Baseline metadata-cache hit rate (cachelineMode only). */
+    double metadataHitRate() const;
+    /** Rows invalidated / preserved across all reconfigurations. */
+    std::uint64_t invalidatedRows() const { return invalidatedRows_; }
+    std::uint64_t survivedRows() const { return survivedRows_; }
+    /** Per-stream hit/miss counts (0 for never-accessed sids). */
+    std::uint64_t streamHits(StreamId sid) const;
+    std::uint64_t streamMisses(StreamId sid) const;
+    double dramCacheEnergyNj() const;
+    double sramEnergyNj() const { return sramEnergyNj_; }
+    const DramDevice& unitDram(UnitId unit) const;
+
+    void report(StatGroup& stats, const std::string& prefix) const;
+
+  private:
+    struct UnitState
+    {
+        DramDevice dram;
+        Slb slb;
+        SamplerBank samplers;
+        std::unordered_map<StreamId, TagStore> stores;
+        /** Only in cachelineMode: the baseline metadata cache. */
+        std::unique_ptr<SetAssocCache> metaCache;
+
+        UnitState(const DramTimingParams& dram_params,
+                  std::uint64_t core_freq_mhz,
+                  const StreamCacheParams& params)
+            : dram(dram_params, core_freq_mhz),
+              slb(params.slbEntries, params.slbHitCycles,
+                  params.slbMissCycles),
+              samplers(params.samplersPerUnit, params.sampler)
+        {
+            if (params.cachelineMode) {
+                // One 4 B metadata entry per metadataGranule block.
+                const std::uint64_t entries =
+                    params.metadataCacheBytes / 4;
+                metaCache = std::make_unique<SetAssocCache>(
+                    static_cast<std::uint32_t>(
+                        entries / params.metadataCacheWays),
+                    params.metadataCacheWays);
+            }
+        }
+    };
+
+    /** Access path for stream data resident (or installable) in cache. */
+    MemResult accessCached(UnitId src, const StreamConfig& cfg,
+                           const Access& acc, Cycles t);
+
+    /** Direct extended-memory access (non-stream or uncached stream). */
+    Cycles bypassToExt(UnitId unit, Addr addr, std::uint32_t bytes,
+                       bool is_write, Cycles t);
+
+    /** CXL fetch + DRAM install of a granule at `loc`. */
+    Cycles fetchFill(UnitId unit, const StreamConfig& cfg,
+                     std::uint64_t granule, const CacheLocation& loc,
+                     Cycles t);
+
+    /** Non-blocking dirty-victim writeback to extended memory. */
+    void writebackVictim(UnitId unit, const StreamConfig& cfg,
+                         std::uint64_t victim_granule, Cycles t);
+
+    /**
+     * Baseline metadata lookup at the requesting unit: metadata cache
+     * probe, on miss a (possibly remote) DRAM tag access. Returns the
+     * time the metadata is known.
+     */
+    Cycles metadataLookup(UnitId unit, Addr addr, Cycles t);
+
+    /** Granule id of an access (mode-dependent). */
+    std::uint64_t granuleForAccess(const StreamConfig& cfg,
+                                   const Access& acc) const;
+
+    /** DRAM access at a resolved cache location. */
+    DramResult dramAt(const CacheLocation& loc, std::uint32_t bytes,
+                      bool is_write, Cycles t);
+
+    TagStore& storeFor(UnitId unit, StreamId sid);
+
+    Addr granuleAddr(const StreamConfig& cfg, std::uint64_t granule) const;
+    std::uint32_t granuleFetchBytes(const StreamConfig& cfg) const;
+
+    StreamCacheParams params_;
+    StreamTable& streams_;
+    NocModel& noc_;
+    ExtendedMemory& ext_;
+    std::uint32_t rowBytes_;
+    std::uint32_t rowsPerUnit_;
+    StreamRemapTable remap_;
+    std::vector<std::unique_ptr<UnitState>> units_;
+
+    LatencyBreakdown bd_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t uncached_ = 0;
+    std::uint64_t bypasses_ = 0;
+    std::uint64_t writeExceptions_ = 0;
+    std::uint64_t wayPredictions_ = 0;
+    std::uint64_t wayMispredictions_ = 0;
+    std::uint64_t invalidatedRows_ = 0;
+    std::uint64_t survivedRows_ = 0;
+    std::uint64_t writebacks_ = 0;
+    double sramEnergyNj_ = 0.0;
+    /** Per-stream hit/miss counters (index = sid). */
+    std::vector<std::uint64_t> streamHits_;
+    std::vector<std::uint64_t> streamMisses_;
+};
+
+} // namespace ndpext
+
+#endif // NDPEXT_NDP_STREAM_CACHE_H

@@ -1,0 +1,98 @@
+#include "noc/mesh.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace ndpext {
+
+namespace {
+
+std::uint32_t
+absDiff(std::uint32_t a, std::uint32_t b)
+{
+    return a > b ? a - b : b - a;
+}
+
+} // namespace
+
+MeshTopology::MeshTopology(std::uint32_t stacks_x, std::uint32_t stacks_y,
+                           std::uint32_t units_x, std::uint32_t units_y)
+    : stacksX_(stacks_x), stacksY_(stacks_y), unitsX_(units_x),
+      unitsY_(units_y)
+{
+    NDP_ASSERT(stacks_x > 0 && stacks_y > 0 && units_x > 0 && units_y > 0);
+}
+
+StackId
+MeshTopology::stackOf(UnitId unit) const
+{
+    NDP_ASSERT(unit < numUnits(), "unit=", unit);
+    return unit / unitsPerStack();
+}
+
+Coord
+MeshTopology::stackCoord(StackId stack) const
+{
+    NDP_ASSERT(stack < numStacks(), "stack=", stack);
+    return Coord{stack % stacksX_, stack / stacksX_};
+}
+
+Coord
+MeshTopology::localCoord(UnitId unit) const
+{
+    const std::uint32_t local = unit % unitsPerStack();
+    return Coord{local % unitsX_, local / unitsX_};
+}
+
+UnitId
+MeshTopology::unitAt(StackId stack, Coord local) const
+{
+    NDP_ASSERT(stack < numStacks() && local.x < unitsX_
+               && local.y < unitsY_);
+    return stack * unitsPerStack() + local.y * unitsX_ + local.x;
+}
+
+std::uint32_t
+MeshTopology::stackDistance(StackId a, StackId b) const
+{
+    const Coord ca = stackCoord(a);
+    const Coord cb = stackCoord(b);
+    return absDiff(ca.x, cb.x) + absDiff(ca.y, cb.y);
+}
+
+std::uint32_t
+MeshTopology::localDistance(UnitId a, UnitId b) const
+{
+    NDP_ASSERT(stackOf(a) == stackOf(b));
+    const Coord ca = localCoord(a);
+    const Coord cb = localCoord(b);
+    return absDiff(ca.x, cb.x) + absDiff(ca.y, cb.y);
+}
+
+std::uint32_t
+MeshTopology::hopsToPortal(UnitId unit) const
+{
+    // Portal at the (rounded-down) center of the intra-stack mesh.
+    const Coord c = localCoord(unit);
+    const Coord portal{(unitsX_ - 1) / 2, (unitsY_ - 1) / 2};
+    return absDiff(c.x, portal.x) + absDiff(c.y, portal.y);
+}
+
+MeshTopology::Hops
+MeshTopology::route(UnitId src, UnitId dst) const
+{
+    Hops h;
+    if (src == dst) {
+        return h;
+    }
+    if (stackOf(src) == stackOf(dst)) {
+        h.intra = localDistance(src, dst);
+        return h;
+    }
+    h.intra = hopsToPortal(src) + hopsToPortal(dst);
+    h.inter = stackDistance(stackOf(src), stackOf(dst));
+    return h;
+}
+
+} // namespace ndpext

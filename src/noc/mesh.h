@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Geometry of the NDP interconnect: a mesh of 3D stacks, each containing an
+ * internal mesh of NDP units (Section III-A, Fig. 1).
+ *
+ * Unit ids are assigned stack-major: unit = stack * unitsPerStack + local,
+ * with local ids row-major within the stack's unitsX x unitsY grid, and
+ * stack ids row-major within the stacksX x stacksY grid.
+ */
+
+#ifndef NDPEXT_NOC_MESH_H
+#define NDPEXT_NOC_MESH_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace ndpext {
+
+/** Integer 2-D coordinate. */
+struct Coord
+{
+    std::uint32_t x = 0;
+    std::uint32_t y = 0;
+
+    bool operator==(const Coord&) const = default;
+};
+
+class MeshTopology
+{
+  public:
+    /**
+     * @param stacks_x,stacks_y  Inter-stack mesh shape (Table II: 4x2).
+     * @param units_x,units_y    Intra-stack mesh shape (Table II: 4x4).
+     */
+    MeshTopology(std::uint32_t stacks_x, std::uint32_t stacks_y,
+                 std::uint32_t units_x, std::uint32_t units_y);
+
+    std::uint32_t numStacks() const { return stacksX_ * stacksY_; }
+    std::uint32_t unitsPerStack() const { return unitsX_ * unitsY_; }
+    std::uint32_t numUnits() const { return numStacks() * unitsPerStack(); }
+    std::uint32_t stacksX() const { return stacksX_; }
+    std::uint32_t stacksY() const { return stacksY_; }
+
+    StackId stackOf(UnitId unit) const;
+    Coord stackCoord(StackId stack) const;
+    Coord localCoord(UnitId unit) const;
+    UnitId unitAt(StackId stack, Coord local) const;
+
+    /** Manhattan distance between two stacks in the stack mesh. */
+    std::uint32_t stackDistance(StackId a, StackId b) const;
+
+    /** Intra-stack Manhattan distance (same stack required). */
+    std::uint32_t localDistance(UnitId a, UnitId b) const;
+
+    /**
+     * Intra-stack hops from a unit to its stack's inter-stack portal.
+     * The portal sits at the mesh center, so corner units pay more hops to
+     * leave the stack, matching the "center is more valuable" effect the
+     * paper discusses in Section III-B.
+     */
+    std::uint32_t hopsToPortal(UnitId unit) const;
+
+    /**
+     * Total (intra_hops, inter_hops) of the route between two units:
+     * same stack -> local Manhattan route; different stacks -> source
+     * portal, stack-mesh route, destination portal.
+     */
+    struct Hops
+    {
+        std::uint32_t intra = 0;
+        std::uint32_t inter = 0;
+    };
+    Hops route(UnitId src, UnitId dst) const;
+
+    /** The stack hosting the CXL controller attach point (stack 0). */
+    StackId cxlStack() const { return 0; }
+
+  private:
+    std::uint32_t stacksX_;
+    std::uint32_t stacksY_;
+    std::uint32_t unitsX_;
+    std::uint32_t unitsY_;
+};
+
+} // namespace ndpext
+
+#endif // NDPEXT_NOC_MESH_H

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Interconnect timing/energy model over a MeshTopology.
+ *
+ * Table II parameters:
+ *   intra-stack: 128-bit links, 1.5 ns/hop (3 core cycles @2 GHz), 0.4 pJ/bit
+ *   inter-stack: 32 GB/s per direction, 10 ns/hop (20 cycles), 4 pJ/bit
+ *
+ * Intra-stack links are wide and plentiful, so they contribute latency and
+ * energy only. Inter-stack SerDes links are the scarce resource the paper's
+ * placement optimizes: each stack's egress toward each mesh direction is a
+ * BandwidthResource, so hot stack-to-stack traffic queues.
+ */
+
+#ifndef NDPEXT_NOC_NOC_MODEL_H
+#define NDPEXT_NOC_NOC_MODEL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "noc/mesh.h"
+#include "sim/resource.h"
+#include "sim/stats.h"
+
+namespace ndpext {
+
+struct NocParams
+{
+    /** Per-hop latency of the intra-stack mesh, core cycles. */
+    Cycles intraHopCycles = 3;
+    /** Per-hop latency of inter-stack links, core cycles. */
+    Cycles interHopCycles = 20;
+    /** Inter-stack link bandwidth per direction, bytes per core cycle. */
+    double interLinkBytesPerCycle = 16.0; // 32 GB/s @ 2 GHz
+    /** Intra-stack hop energy, pJ per bit. */
+    double intraPjPerBit = 0.4;
+    /** Inter-stack hop energy, pJ per bit. */
+    double interPjPerBit = 4.0;
+};
+
+/** Outcome of one network transfer. */
+struct NocResult
+{
+    /** Arrival time of the payload at the destination. */
+    Cycles done = 0;
+    std::uint32_t intraHops = 0;
+    std::uint32_t interHops = 0;
+};
+
+class NocModel
+{
+  public:
+    NocModel(const MeshTopology& topo, const NocParams& params);
+
+    /**
+     * Move `bytes` from unit `src` to unit `dst` starting at `now`;
+     * reserves inter-stack links along the XY stack route.
+     */
+    NocResult transfer(UnitId src, UnitId dst, std::uint32_t bytes,
+                       Cycles now);
+
+    /**
+     * Transfer between a unit and the CXL attach point (the portal of the
+     * CXL stack); used on every extended-memory access.
+     */
+    NocResult transferToCxl(UnitId src, std::uint32_t bytes, Cycles now);
+    NocResult transferFromCxl(UnitId dst, std::uint32_t bytes, Cycles now);
+
+    /** Zero-load latency between two units (no reservation). */
+    Cycles pureLatency(UnitId src, UnitId dst) const;
+
+    /** Attenuation factor k = dramLat / (dramLat + icnLat) (Section V-C). */
+    double attenuation(UnitId from, UnitId to, Cycles dram_latency) const;
+
+    const MeshTopology& topology() const { return topo_; }
+    const NocParams& params() const { return params_; }
+
+    double energyNj() const { return energyNj_; }
+    std::uint64_t transfers() const { return transfers_; }
+    /** Sum over transfers of (arrival - request) cycles. */
+    Cycles totalTransferCycles() const { return totalCycles_; }
+
+    void report(StatGroup& stats, const std::string& prefix) const;
+    void reset();
+
+  private:
+    /** Reserve the egress link of `stack` toward direction `dir`. */
+    Cycles reserveHop(StackId stack, int dir, std::uint32_t bytes,
+                      Cycles at);
+
+    /** Walk the XY stack route reserving each inter-stack hop. */
+    Cycles routeStacks(StackId src, StackId dst, std::uint32_t bytes,
+                       Cycles start, std::uint32_t* inter_hops);
+
+    NocResult transferUnitPortal(UnitId unit, StackId portal_stack,
+                                 std::uint32_t bytes, Cycles now,
+                                 bool to_portal);
+
+    MeshTopology topo_;
+    NocParams params_;
+    /** [stack][direction 0..3] egress link resources (E,W,N,S). */
+    std::vector<std::vector<BandwidthResource>> links_;
+
+    double energyNj_ = 0.0;
+    std::uint64_t transfers_ = 0;
+    Cycles totalCycles_ = 0;
+};
+
+} // namespace ndpext
+
+#endif // NDPEXT_NOC_NOC_MODEL_H

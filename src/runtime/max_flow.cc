@@ -1,0 +1,86 @@
+#include "runtime/max_flow.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace ndpext {
+
+MaxFlow::MaxFlow(std::uint32_t num_nodes) : head_(num_nodes, -1)
+{
+    NDP_ASSERT(num_nodes >= 2);
+}
+
+std::size_t
+MaxFlow::addEdge(std::uint32_t u, std::uint32_t v, std::int64_t capacity)
+{
+    NDP_ASSERT(u < head_.size() && v < head_.size() && capacity >= 0);
+    const std::size_t idx = edges_.size();
+    edges_.push_back(
+        Edge{v, capacity, head_[u]});
+    head_[u] = static_cast<std::int32_t>(idx);
+    edges_.push_back(Edge{u, 0, head_[v]});
+    head_[v] = static_cast<std::int32_t>(idx + 1);
+    originalCap_.push_back(capacity);
+    originalCap_.push_back(0);
+    return idx;
+}
+
+std::int64_t
+MaxFlow::solve(std::uint32_t s, std::uint32_t t)
+{
+    NDP_ASSERT(s < head_.size() && t < head_.size() && s != t);
+    std::int64_t total = 0;
+    std::vector<std::int32_t> parent_edge(head_.size());
+
+    while (true) {
+        // BFS for the shortest augmenting path.
+        std::fill(parent_edge.begin(), parent_edge.end(), -1);
+        std::queue<std::uint32_t> q;
+        q.push(s);
+        parent_edge[s] = -2;
+        while (!q.empty() && parent_edge[t] == -1) {
+            const std::uint32_t u = q.front();
+            q.pop();
+            for (std::int32_t e = head_[u]; e != -1;
+                 e = edges_[static_cast<std::size_t>(e)].next) {
+                const Edge& edge = edges_[static_cast<std::size_t>(e)];
+                if (edge.cap > 0 && parent_edge[edge.to] == -1) {
+                    parent_edge[edge.to] = e;
+                    q.push(edge.to);
+                }
+            }
+        }
+        if (parent_edge[t] == -1) {
+            break; // no augmenting path left
+        }
+
+        // Find bottleneck.
+        std::int64_t push = std::numeric_limits<std::int64_t>::max();
+        for (std::uint32_t v = t; v != s;) {
+            const std::int32_t e = parent_edge[v];
+            push = std::min(push, edges_[static_cast<std::size_t>(e)].cap);
+            v = edges_[static_cast<std::size_t>(e) ^ 1].to;
+        }
+        // Apply.
+        for (std::uint32_t v = t; v != s;) {
+            const std::int32_t e = parent_edge[v];
+            edges_[static_cast<std::size_t>(e)].cap -= push;
+            edges_[static_cast<std::size_t>(e) ^ 1].cap += push;
+            v = edges_[static_cast<std::size_t>(e) ^ 1].to;
+        }
+        total += push;
+    }
+    return total;
+}
+
+std::int64_t
+MaxFlow::flowOn(std::size_t idx) const
+{
+    NDP_ASSERT(idx < edges_.size());
+    return originalCap_[idx] - edges_[idx].cap;
+}
+
+} // namespace ndpext

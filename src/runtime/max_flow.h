@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Edmonds-Karp max-flow (Section V-B) used to assign per-unit hardware
+ * samplers to data streams. BFS-augmented Ford-Fulkerson: O(V * E^2),
+ * ample for the bipartite graphs here (<= 64 units + 512 streams).
+ */
+
+#ifndef NDPEXT_RUNTIME_MAX_FLOW_H
+#define NDPEXT_RUNTIME_MAX_FLOW_H
+
+#include <cstdint>
+#include <vector>
+
+namespace ndpext {
+
+class MaxFlow
+{
+  public:
+    explicit MaxFlow(std::uint32_t num_nodes);
+
+    /**
+     * Add a directed edge u -> v with the given capacity.
+     * @return edge index usable with flowOn().
+     */
+    std::size_t addEdge(std::uint32_t u, std::uint32_t v,
+                        std::int64_t capacity);
+
+    /** Compute the maximum s -> t flow. */
+    std::int64_t solve(std::uint32_t s, std::uint32_t t);
+
+    /** Flow pushed through edge `idx` after solve(). */
+    std::int64_t flowOn(std::size_t idx) const;
+
+    std::uint32_t numNodes() const
+    {
+        return static_cast<std::uint32_t>(head_.size());
+    }
+
+  private:
+    struct Edge
+    {
+        std::uint32_t to;
+        std::int64_t cap; ///< residual capacity
+        std::int32_t next;
+    };
+
+    // Edges stored in pairs: edge 2i is forward, 2i+1 its residual twin.
+    std::vector<Edge> edges_;
+    std::vector<std::int32_t> head_;
+    std::vector<std::int64_t> originalCap_;
+};
+
+} // namespace ndpext
+
+#endif // NDPEXT_RUNTIME_MAX_FLOW_H

@@ -1,0 +1,330 @@
+#include "runtime/ndp_runtime.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+
+#include "common/logging.h"
+#include "runtime/static_config.h"
+
+namespace ndpext {
+
+namespace {
+
+double
+microsSince(std::chrono::steady_clock::time_point t0)
+{
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    return std::chrono::duration<double, std::micro>(dt).count();
+}
+
+/**
+ * Default miss-rate curve for never-sampled streams. With no cache at all
+ * every access misses; with any space, coarse-granule streams (affine
+ * blocks) immediately capture their spatial locality, so the per-access
+ * rate drops to ~1/elemsPerGranule and then declines linearly with the
+ * captured fraction of the footprint.
+ */
+MissCurve
+defaultRateCurve(const std::vector<std::uint64_t>& capacities,
+                 std::uint64_t footprint, std::uint64_t elems_per_granule)
+{
+    const double epg =
+        static_cast<double>(std::max<std::uint64_t>(1, elems_per_granule));
+    std::vector<double> misses(capacities.size());
+    for (std::size_t i = 0; i < capacities.size(); ++i) {
+        const double frac = footprint == 0
+            ? 0.0
+            : std::min(1.0,
+                       static_cast<double>(capacities[i])
+                           / static_cast<double>(footprint));
+        misses[i] = (1.0 - frac) / epg;
+    }
+    MissCurve curve(capacities, std::move(misses));
+    curve.setZeroMisses(1.0);
+    return curve;
+}
+
+/** Divide a curve's misses by `total` to get a per-access rate curve. */
+MissCurve
+toRateCurve(const MissCurve& curve, std::uint64_t total)
+{
+    std::vector<double> rates(curve.misses().size());
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        rates[i] = total == 0
+            ? 0.0
+            : curve.misses()[i] / static_cast<double>(total);
+    }
+    MissCurve rate(curve.capacities(), std::move(rates));
+    rate.setZeroMisses(total == 0
+                           ? 1.0
+                           : curve.zeroMisses()
+                               / static_cast<double>(total));
+    return rate;
+}
+
+/** Multiply a rate curve back to absolute misses for `total` accesses. */
+MissCurve
+scaleRateCurve(const MissCurve& rate, std::uint64_t total)
+{
+    std::vector<double> misses(rate.misses().size());
+    for (std::size_t i = 0; i < misses.size(); ++i) {
+        misses[i] = rate.misses()[i] * static_cast<double>(total);
+    }
+    MissCurve scaled(rate.capacities(), std::move(misses));
+    scaled.setZeroMisses(rate.zeroMisses() * static_cast<double>(total));
+    return scaled;
+}
+
+} // namespace
+
+std::vector<std::pair<StreamId, StreamAlloc>>
+StaticEqualConfigurator::configure(const std::vector<StreamDemand>& demands)
+{
+    (void)demands;
+    return makeStaticEqualConfig(
+        cache_.streams(), cache_.numUnits(), cache_.rowsPerUnit(),
+        cache_.rowBytes(), cache_.params().affineCapBytesPerUnit);
+}
+
+NdpRuntime::NdpRuntime(const RuntimeParams& params,
+                       StreamCacheController& cache,
+                       std::unique_ptr<Configurator> configurator)
+    : params_(params), cache_(cache),
+      configurator_(std::move(configurator)),
+      assigner_(params.samplersPerUnit)
+{
+    NDP_ASSERT(configurator_ != nullptr);
+}
+
+void
+NdpRuntime::assignSamplers(bool first_epoch)
+{
+    const std::uint32_t num_units = cache_.numUnits();
+    const StreamTable& table = cache_.streams();
+    const std::size_t num_streams = table.numStreams();
+
+    std::vector<std::vector<bool>> accessed(num_units);
+    for (UnitId u = 0; u < num_units; ++u) {
+        accessed[u] = cache_.samplerBank(u).accessedBitvector();
+    }
+    if (first_epoch) {
+        // No profile yet: optimistically assume every unit may touch
+        // every stream so the max-flow spreads coverage.
+        for (UnitId u = 0; u < num_units; ++u) {
+            for (std::size_t s = 0; s < num_streams; ++s) {
+                accessed[u][s] = true;
+            }
+        }
+    }
+
+    // Cover pending (previously uncovered) streams first, then the rest.
+    std::vector<StreamId> order;
+    std::set<StreamId> seen;
+    for (const StreamId sid : pendingUncovered_) {
+        if (seen.insert(sid).second) {
+            order.push_back(sid);
+        }
+    }
+    for (std::size_t s = 0; s < num_streams; ++s) {
+        const StreamId sid = static_cast<StreamId>(s);
+        if (seen.insert(sid).second) {
+            order.push_back(sid);
+        }
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const SamplerAssignment assignment = assigner_.assign(accessed, order);
+    lastAssignMicros_ = microsSince(t0);
+    covered_ += assignment.covered;
+    pendingUncovered_ = assignment.uncovered;
+
+    for (UnitId u = 0; u < num_units; ++u) {
+        std::vector<std::pair<StreamId, std::uint32_t>> slots;
+        for (const StreamId sid : assignment.perUnit[u]) {
+            slots.emplace_back(sid,
+                               cache_.granuleOf(table.stream(sid)));
+        }
+        cache_.samplerBank(u).assign(slots);
+    }
+}
+
+std::vector<StreamDemand>
+NdpRuntime::gatherDemands()
+{
+    const std::uint32_t num_units = cache_.numUnits();
+    const StreamTable& table = cache_.streams();
+    std::vector<StreamDemand> demands;
+
+    for (const StreamConfig& cfg : table.all()) {
+        StreamDemand d;
+        d.sid = cfg.sid;
+        d.granuleBytes = cache_.granuleOf(cfg);
+        d.readOnly = cfg.readOnly;
+        d.affine = cfg.type == StreamType::Affine;
+        d.footprintBytes = cfg.size;
+
+        std::uint64_t total = 0;
+        const MissCurveSampler* sampler = nullptr;
+        for (UnitId u = 0; u < num_units; ++u) {
+            const SamplerBank& bank = cache_.samplerBank(u);
+            const std::uint64_t count = bank.accessCount(cfg.sid);
+            if (count > 0) {
+                d.accUnits.push_back(u);
+                d.accCounts.push_back(count);
+                total += count;
+            }
+            if (sampler == nullptr) {
+                const MissCurveSampler* s = bank.samplerFor(cfg.sid);
+                if (s != nullptr
+                    && s->accesses() >= params_.minSamplerAccesses) {
+                    sampler = s;
+                }
+            }
+        }
+        if (total == 0) {
+            continue; // not accessed this epoch
+        }
+
+        // Footprint-proportional prior; blended with measurements below.
+        // Sampling windows at simulation scale are orders of magnitude
+        // shorter than the paper's 50M-cycle epochs, so sparse random
+        // streams look reuse-free within one window. The optimistic
+        // pointwise-min blend keeps sizing sane while letting confident
+        // measurements (scans, hot sets) sharpen the curve.
+        const MissCurve prior = scaleRateCurve(
+            defaultRateCurve(
+                MissCurveSampler(cache_.params().sampler).capacities(),
+                d.footprintBytes, d.granuleBytes / cfg.elemSize),
+            total);
+
+        if (sampler != nullptr) {
+            d.curve = MissCurve::pointwiseMin(sampler->curve(total), prior);
+            // EWMA-smooth the per-access rate curve across epochs so one
+            // noisy window cannot swing the whole allocation (and thrash
+            // cached data through reconfigurations).
+            MissCurve fresh = toRateCurve(d.curve, total);
+            const auto prev = lastRateCurves_.find(cfg.sid);
+            if (prev != lastRateCurves_.end()) {
+                std::vector<double> mixed(fresh.misses().size());
+                for (std::size_t i = 0; i < mixed.size(); ++i) {
+                    mixed[i] = 0.5 * fresh.misses()[i]
+                        + 0.5 * prev->second.misses()[i];
+                }
+                MissCurve smooth(fresh.capacities(), std::move(mixed));
+                smooth.setZeroMisses(fresh.zeroMisses());
+                fresh = std::move(smooth);
+                d.curve = scaleRateCurve(fresh, total);
+            }
+            lastRateCurves_[cfg.sid] = std::move(fresh);
+        } else {
+            const auto it = lastRateCurves_.find(cfg.sid);
+            if (it != lastRateCurves_.end()) {
+                d.curve = scaleRateCurve(it->second, total);
+            } else {
+                d.curve = prior;
+            }
+        }
+        demands.push_back(std::move(d));
+    }
+    return demands;
+}
+
+void
+NdpRuntime::start()
+{
+    assignSamplers(/*first_epoch=*/true);
+
+    // Initial configuration for every policy, from footprint-default
+    // demands (every stream assumed accessed by every unit equally).
+    // Adaptive policies refine it at each epoch end; without it the
+    // entire first epoch would run uncached, which is negligible over
+    // the paper's multi-billion-cycle runs but not at simulation scale.
+    std::vector<StreamDemand> demands;
+    const StreamTable& table = cache_.streams();
+    for (const StreamConfig& cfg : table.all()) {
+        StreamDemand d;
+        d.sid = cfg.sid;
+        d.granuleBytes = cache_.granuleOf(cfg);
+        d.readOnly = cfg.readOnly;
+        d.affine = cfg.type == StreamType::Affine;
+        d.footprintBytes = cfg.size;
+        for (UnitId u = 0; u < cache_.numUnits(); ++u) {
+            d.accUnits.push_back(u);
+            d.accCounts.push_back(1);
+        }
+        const MissCurve rate = defaultRateCurve(
+            MissCurveSampler(cache_.params().sampler).capacities(),
+            d.footprintBytes, d.granuleBytes / cfg.elemSize);
+        d.curve = scaleRateCurve(rate, 1000);
+        demands.push_back(std::move(d));
+    }
+    if (!demands.empty()) {
+        cache_.applyConfiguration(configurator_->configure(demands));
+        configuredOnce_ = !configurator_->reconfigures();
+        ++reconfigs_;
+    }
+}
+
+void
+NdpRuntime::onEpochEnd(Cycles now)
+{
+    const bool adapt = configurator_->reconfigures()
+        && (params_.method == RuntimeParams::Method::Full
+            || (params_.method == RuntimeParams::Method::Partial
+                && now <= params_.partialUntilCycles)
+            || (params_.method == RuntimeParams::Method::Static
+                && !configuredOnce_));
+
+    if (adapt) {
+        const auto demands = gatherDemands();
+        if (!demands.empty()) {
+            const auto t0 = std::chrono::steady_clock::now();
+            auto config = configurator_->configure(demands);
+            lastConfigMicros_ = microsSince(t0);
+            // Skip reconfigurations that barely move the allocation:
+            // applying them would invalidate cached rows for no benefit
+            // (stability guard; DESIGN.md 4.1).
+            std::uint64_t changed_rows = 0;
+            std::uint64_t total_rows = 0;
+            for (const auto& [sid, alloc] : config) {
+                const StreamAlloc* cur = cache_.remap().alloc(sid);
+                for (UnitId u = 0; u < cache_.numUnits(); ++u) {
+                    const std::uint32_t now_rows = alloc.shareRows[u];
+                    const std::uint32_t old_rows =
+                        cur == nullptr ? 0 : cur->shareRows[u];
+                    changed_rows += now_rows > old_rows
+                        ? now_rows - old_rows
+                        : old_rows - now_rows;
+                    total_rows += now_rows;
+                }
+            }
+            if (total_rows == 0
+                || changed_rows * 10 >= total_rows) {
+                cache_.applyConfiguration(config);
+                ++reconfigs_;
+            } else {
+                ++skippedReconfigs_;
+            }
+            configuredOnce_ = true;
+        }
+    }
+
+    // Rotate sampler coverage for the next epoch, then clear counters.
+    assignSamplers(/*first_epoch=*/false);
+    for (UnitId u = 0; u < cache_.numUnits(); ++u) {
+        cache_.samplerBank(u).newEpoch();
+    }
+}
+
+void
+NdpRuntime::report(StatGroup& stats, const std::string& prefix) const
+{
+    stats.add(prefix + ".reconfigurations",
+              static_cast<double>(reconfigs_));
+    stats.add(prefix + ".streamsCovered", static_cast<double>(covered_));
+    stats.set(prefix + ".lastAssignMicros", lastAssignMicros_);
+    stats.set(prefix + ".lastConfigMicros", lastConfigMicros_);
+}
+
+} // namespace ndpext

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The host-side software runtime (Section V).
+ *
+ * Every epoch (50 M cycles at paper scale) the runtime:
+ *   1. gathers the per-unit stream-access bitvectors and counters,
+ *   2. assigns samplers to streams for the *next* epoch via max-flow
+ *      (Section V-B), rotating in any streams left uncovered,
+ *   3. reads out the sampled miss curves (falling back to the previous
+ *      epoch's curve, or a linear default, for streams without a sampler),
+ *   4. invokes the configurator to produce the new stream remap table, and
+ *   5. applies it to the hardware (consistent hashing preserves rows).
+ *
+ * The configurator is pluggable so the same epoch machinery drives NDPExt
+ * (Algorithm 1), NDPExt-static, and the adapted NUCA baselines.
+ */
+
+#ifndef NDPEXT_RUNTIME_NDP_RUNTIME_H
+#define NDPEXT_RUNTIME_NDP_RUNTIME_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "ndp/stream_cache.h"
+#include "runtime/config_algorithm.h"
+#include "runtime/sampler_assign.h"
+#include "sim/stats.h"
+
+namespace ndpext {
+
+/** Strategy that turns profiled demands into a cache configuration. */
+class Configurator
+{
+  public:
+    virtual ~Configurator() = default;
+
+    virtual std::vector<std::pair<StreamId, StreamAlloc>>
+    configure(const std::vector<StreamDemand>& demands) = 0;
+
+    /** False for one-shot (static) policies. */
+    virtual bool reconfigures() const { return true; }
+
+    virtual std::string name() const = 0;
+};
+
+/** NDPExt's Algorithm 1 wrapped as a Configurator. */
+class NdpExtConfigurator : public Configurator
+{
+  public:
+    NdpExtConfigurator(const ConfigParams& params, const NocModel& noc)
+        : algo_(params, noc)
+    {
+    }
+
+    std::vector<std::pair<StreamId, StreamAlloc>>
+    configure(const std::vector<StreamDemand>& demands) override
+    {
+        return algo_.run(demands);
+    }
+
+    std::string name() const override { return "ndpext"; }
+
+    ConfigAlgorithm& algorithm() { return algo_; }
+
+  private:
+    ConfigAlgorithm algo_;
+};
+
+/** NDPExt-static: equal allocation, one-shot (see static_config.h). */
+class StaticEqualConfigurator : public Configurator
+{
+  public:
+    explicit StaticEqualConfigurator(const StreamCacheController& cache)
+        : cache_(cache)
+    {
+    }
+
+    std::vector<std::pair<StreamId, StreamAlloc>>
+    configure(const std::vector<StreamDemand>& demands) override;
+
+    bool reconfigures() const override { return false; }
+    std::string name() const override { return "ndpext-static"; }
+
+  private:
+    const StreamCacheController& cache_;
+};
+
+struct RuntimeParams
+{
+    /** Reconfiguration interval in core cycles (paper: 50 M). */
+    Cycles epochCycles = 2'000'000;
+    /** Reconfiguration method (Fig. 9e). */
+    enum class Method
+    {
+        Static,  ///< configure once at start, never adapt
+        Partial, ///< adapt only until partialUntilCycles
+        Full,    ///< adapt every epoch
+    };
+    Method method = Method::Full;
+    Cycles partialUntilCycles = 8'000'000;
+    /** Samplers per unit (S). */
+    std::uint32_t samplersPerUnit = 4;
+    /**
+     * Minimum accesses a sampler must have observed before its miss curve
+     * is trusted; below this the runtime keeps the previous epoch's curve
+     * or the footprint-proportional default. Short scaled epochs would
+     * otherwise yield cold-miss-only (flat) curves and starve every
+     * stream of cache space.
+     */
+    std::uint64_t minSamplerAccesses = 256;
+};
+
+class NdpRuntime
+{
+  public:
+    NdpRuntime(const RuntimeParams& params, StreamCacheController& cache,
+               std::unique_ptr<Configurator> configurator);
+
+    /**
+     * Called once before simulation: installs the initial sampler
+     * assignment; one-shot configurators also allocate now (using
+     * footprint-proportional default demands).
+     */
+    void start();
+
+    /** Called at each epoch boundary. */
+    void onEpochEnd(Cycles now);
+
+    const RuntimeParams& params() const { return params_; }
+    std::uint64_t reconfigurations() const { return reconfigs_; }
+    /** Epoch configs skipped because they barely changed anything. */
+    std::uint64_t skippedReconfigurations() const
+    {
+        return skippedReconfigs_;
+    }
+    std::uint64_t streamsCovered() const { return covered_; }
+    /** Wall-clock microseconds spent in the last sampler assignment. */
+    double lastAssignMicros() const { return lastAssignMicros_; }
+    /** Wall-clock microseconds spent in the last configuration run. */
+    double lastConfigMicros() const { return lastConfigMicros_; }
+
+    void report(StatGroup& stats, const std::string& prefix) const;
+
+  private:
+    /** Build demands from this epoch's profile. */
+    std::vector<StreamDemand> gatherDemands();
+
+    /** Run max-flow assignment and install it in the sampler banks. */
+    void assignSamplers(bool first_epoch);
+
+    RuntimeParams params_;
+    StreamCacheController& cache_;
+    std::unique_ptr<Configurator> configurator_;
+    SamplerAssigner assigner_;
+
+    /** Last known miss-rate curve per stream (misses for 1 access). */
+    std::map<StreamId, MissCurve> lastRateCurves_;
+    /** Streams the last assignment could not cover (rotated in next). */
+    std::vector<StreamId> pendingUncovered_;
+
+    std::uint64_t reconfigs_ = 0;
+    std::uint64_t skippedReconfigs_ = 0;
+    std::uint64_t covered_ = 0;
+    double lastAssignMicros_ = 0.0;
+    double lastConfigMicros_ = 0.0;
+    bool configuredOnce_ = false;
+};
+
+} // namespace ndpext
+
+#endif // NDPEXT_RUNTIME_NDP_RUNTIME_H

@@ -1,0 +1,72 @@
+#include "runtime/sampler_assign.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "runtime/max_flow.h"
+
+namespace ndpext {
+
+SamplerAssignment
+SamplerAssigner::assign(const std::vector<std::vector<bool>>& accessed,
+                        const std::vector<StreamId>& streams) const
+{
+    const std::uint32_t num_units =
+        static_cast<std::uint32_t>(accessed.size());
+    const std::uint32_t num_streams =
+        static_cast<std::uint32_t>(streams.size());
+
+    SamplerAssignment out;
+    out.perUnit.assign(num_units, {});
+    if (num_units == 0 || num_streams == 0) {
+        return out;
+    }
+
+    // Node layout: 0 = source, 1..U = units, U+1..U+S = streams, last=sink.
+    const std::uint32_t source = 0;
+    const std::uint32_t unit0 = 1;
+    const std::uint32_t stream0 = unit0 + num_units;
+    const std::uint32_t sink = stream0 + num_streams;
+    MaxFlow flow(sink + 1);
+
+    for (std::uint32_t u = 0; u < num_units; ++u) {
+        flow.addEdge(source, unit0 + u, samplersPerUnit_);
+    }
+    // Remember (edge index, unit, stream) for extraction.
+    struct Candidate
+    {
+        std::size_t edge;
+        std::uint32_t unit;
+        std::uint32_t streamIdx;
+    };
+    std::vector<Candidate> candidates;
+    for (std::uint32_t s = 0; s < num_streams; ++s) {
+        const StreamId sid = streams[s];
+        for (std::uint32_t u = 0; u < num_units; ++u) {
+            if (sid < accessed[u].size() && accessed[u][sid]) {
+                const std::size_t e =
+                    flow.addEdge(unit0 + u, stream0 + s, 1);
+                candidates.push_back(Candidate{e, u, s});
+            }
+        }
+        flow.addEdge(stream0 + s, sink, 1);
+    }
+
+    out.covered = static_cast<std::uint64_t>(flow.solve(source, sink));
+
+    std::vector<bool> stream_covered(num_streams, false);
+    for (const auto& c : candidates) {
+        if (flow.flowOn(c.edge) > 0) {
+            out.perUnit[c.unit].push_back(streams[c.streamIdx]);
+            stream_covered[c.streamIdx] = true;
+        }
+    }
+    for (std::uint32_t s = 0; s < num_streams; ++s) {
+        if (!stream_covered[s]) {
+            out.uncovered.push_back(streams[s]);
+        }
+    }
+    return out;
+}
+
+} // namespace ndpext

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Sampler-to-stream assignment as a max-flow problem (Section V-B, Fig. 4a).
+ *
+ * Bipartite graph: super source -> each NDP unit (capacity S = samplers per
+ * unit) -> streams the unit accessed (unit capacity edges) -> super sink
+ * (capacity 1 per stream). The max flow saturates one sampler per covered
+ * stream; uncovered streams (rare) are reported so the runtime can rotate
+ * them into the next epoch.
+ */
+
+#ifndef NDPEXT_RUNTIME_SAMPLER_ASSIGN_H
+#define NDPEXT_RUNTIME_SAMPLER_ASSIGN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ndpext {
+
+struct SamplerAssignment
+{
+    /** assignment[unit] = sids that unit's samplers monitor next epoch. */
+    std::vector<std::vector<StreamId>> perUnit;
+    /** Streams no sampler could cover this round. */
+    std::vector<StreamId> uncovered;
+    /** Streams covered. */
+    std::uint64_t covered = 0;
+};
+
+class SamplerAssigner
+{
+  public:
+    /**
+     * @param samplers_per_unit S in the paper (4).
+     */
+    explicit SamplerAssigner(std::uint32_t samplers_per_unit = 4)
+        : samplersPerUnit_(samplers_per_unit)
+    {
+    }
+
+    /**
+     * @param accessed accessed[unit][sid] = unit touched the stream this
+     *        epoch (the hardware bitvectors).
+     * @param streams  the sids to cover (typically all streams accessed by
+     *        anyone, minus those already profiled).
+     */
+    SamplerAssignment assign(
+        const std::vector<std::vector<bool>>& accessed,
+        const std::vector<StreamId>& streams) const;
+
+  private:
+    std::uint32_t samplersPerUnit_;
+};
+
+} // namespace ndpext
+
+#endif // NDPEXT_RUNTIME_SAMPLER_ASSIGN_H

@@ -1,0 +1,67 @@
+#include "runtime/static_config.h"
+
+#include <algorithm>
+
+#include "common/bitutils.h"
+#include "common/logging.h"
+
+namespace ndpext {
+
+std::vector<std::pair<StreamId, StreamAlloc>>
+makeStaticEqualConfig(const StreamTable& streams, std::uint32_t num_units,
+                      std::uint32_t rows_per_unit, std::uint32_t row_bytes,
+                      std::uint64_t affine_cap_bytes_per_unit)
+{
+    std::vector<std::pair<StreamId, StreamAlloc>> out;
+    const std::size_t n = streams.numStreams();
+    if (n == 0) {
+        return out;
+    }
+
+    const std::uint32_t affine_cap_rows = affine_cap_bytes_per_unit == 0
+        ? rows_per_unit
+        : static_cast<std::uint32_t>(
+              std::min<std::uint64_t>(rows_per_unit,
+                                      affine_cap_bytes_per_unit / row_bytes));
+
+    // Equal split, but never allocate beyond a stream's footprint; the
+    // remainder is redistributed by a second pass over the others.
+    const std::uint32_t base_share = std::max<std::uint32_t>(
+        1, rows_per_unit / static_cast<std::uint32_t>(n));
+
+    std::vector<std::uint32_t> used(num_units, 0);
+    std::vector<std::uint32_t> affine_used(num_units, 0);
+    for (const StreamConfig& cfg : streams.all()) {
+        StreamAlloc alloc(num_units);
+        alloc.numGroups = 1;
+        // Rows the stream can use per unit: equal share, clamped to the
+        // footprint spread over all units.
+        const std::uint64_t fp_rows =
+            std::max<std::uint64_t>(1, ceilDiv(cfg.size, row_bytes));
+        const std::uint32_t want = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(base_share,
+                                    ceilDiv(fp_rows, num_units)));
+        for (UnitId u = 0; u < num_units; ++u) {
+            std::uint32_t give = std::min(want, rows_per_unit - used[u]);
+            if (cfg.type == StreamType::Affine) {
+                const std::uint32_t affine_left =
+                    affine_cap_rows - std::min(affine_cap_rows,
+                                               affine_used[u]);
+                give = std::min(give, affine_left);
+            }
+            if (give == 0) {
+                continue;
+            }
+            alloc.shareRows[u] = give;
+            alloc.rowBase[u] = used[u];
+            used[u] += give;
+            if (cfg.type == StreamType::Affine) {
+                affine_used[u] += give;
+            }
+        }
+        out.emplace_back(cfg.sid, std::move(alloc));
+    }
+    return out;
+}
+
+} // namespace ndpext

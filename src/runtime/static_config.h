@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The NDPExt-static configuration (Section VI "Baseline designs"): cache
+ * space equally allocated to every stream on every unit, one global
+ * replication group per stream, never reconfigured. Exercises the stream
+ * cache hardware without the runtime optimization, isolating the benefit
+ * of the software side (Fig. 5 "NDPExt-static" bars, Fig. 9e "S").
+ */
+
+#ifndef NDPEXT_RUNTIME_STATIC_CONFIG_H
+#define NDPEXT_RUNTIME_STATIC_CONFIG_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "ndp/remap_table.h"
+#include "stream/stream_table.h"
+
+namespace ndpext {
+
+/**
+ * Build the equal-share configuration.
+ *
+ * @param streams        all configured streams.
+ * @param num_units      NDP unit count.
+ * @param rows_per_unit  cache rows per unit.
+ * @param row_bytes      DRAM row size.
+ * @param affine_cap_bytes_per_unit cap on affine rows per unit (0 = none).
+ */
+std::vector<std::pair<StreamId, StreamAlloc>>
+makeStaticEqualConfig(const StreamTable& streams, std::uint32_t num_units,
+                      std::uint32_t rows_per_unit, std::uint32_t row_bytes,
+                      std::uint64_t affine_cap_bytes_per_unit);
+
+} // namespace ndpext
+
+#endif // NDPEXT_RUNTIME_STATIC_CONFIG_H

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Latency breakdown buckets shared by all cache-policy backends, matching
+ * the categories of the paper's Fig. 2(a): metadata lookups, interconnect,
+ * DRAM cache, and next-level (extended) memory. Core compute/L1 time is
+ * tracked by the cores themselves.
+ */
+
+#ifndef NDPEXT_SIM_BREAKDOWN_H
+#define NDPEXT_SIM_BREAKDOWN_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+#include "sim/stats.h"
+
+namespace ndpext {
+
+struct LatencyBreakdown
+{
+    /** Metadata lookups: SLB/ATA (NDPExt) or tag metadata (baselines). */
+    Cycles metadata = 0;
+    /** Interconnect cycles, split by link class. */
+    Cycles icnIntra = 0;
+    Cycles icnInter = 0;
+    /** DRAM-cache array access cycles. */
+    Cycles dramCache = 0;
+    /** Extended-memory (CXL + DDR5) cycles. */
+    Cycles extMem = 0;
+    /** Requests accounted. */
+    std::uint64_t requests = 0;
+
+    Cycles
+    total() const
+    {
+        return metadata + icnIntra + icnInter + dramCache + extMem;
+    }
+
+    Cycles icn() const { return icnIntra + icnInter; }
+
+    double
+    avg(Cycles bucket) const
+    {
+        return requests == 0
+            ? 0.0
+            : static_cast<double>(bucket) / static_cast<double>(requests);
+    }
+
+    void
+    report(StatGroup& stats, const std::string& prefix) const
+    {
+        stats.add(prefix + ".metadata", static_cast<double>(metadata));
+        stats.add(prefix + ".icnIntra", static_cast<double>(icnIntra));
+        stats.add(prefix + ".icnInter", static_cast<double>(icnInter));
+        stats.add(prefix + ".dramCache", static_cast<double>(dramCache));
+        stats.add(prefix + ".extMem", static_cast<double>(extMem));
+        stats.add(prefix + ".requests", static_cast<double>(requests));
+    }
+};
+
+} // namespace ndpext
+
+#endif // NDPEXT_SIM_BREAKDOWN_H

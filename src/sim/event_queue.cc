@@ -1,0 +1,56 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ndpext {
+
+void
+EventQueue::schedule(Cycles when, Callback cb)
+{
+    NDP_ASSERT(when >= now_, "scheduling in the past: when=", when,
+               " now=", now_);
+    heap_.push(Event{when, nextSeq_++, std::move(cb)});
+}
+
+void
+EventQueue::scheduleIn(Cycles delta, Callback cb)
+{
+    schedule(now_ + delta, std::move(cb));
+}
+
+void
+EventQueue::runUntil(Cycles until)
+{
+    while (!heap_.empty() && heap_.top().when <= until) {
+        // Copy out before pop: the callback may schedule more events.
+        Event ev = heap_.top();
+        heap_.pop();
+        now_ = ev.when;
+        ev.cb(now_);
+    }
+    if (until > now_) {
+        now_ = until;
+    }
+}
+
+void
+EventQueue::runAll()
+{
+    while (!heap_.empty()) {
+        Event ev = heap_.top();
+        heap_.pop();
+        now_ = ev.when;
+        ev.cb(now_);
+    }
+}
+
+Cycles
+EventQueue::nextTick() const
+{
+    NDP_ASSERT(!heap_.empty());
+    return heap_.top().when;
+}
+
+} // namespace ndpext

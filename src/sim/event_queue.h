@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Discrete-event queue driving epoch-level simulation control.
+ *
+ * Memory accesses themselves are evaluated analytically (see DESIGN.md
+ * section 4.1); the event queue sequences coarse events: epoch boundaries,
+ * runtime reconfigurations, and workload phase changes.
+ */
+
+#ifndef NDPEXT_SIM_EVENT_QUEUE_H
+#define NDPEXT_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ndpext {
+
+/** Min-heap of (tick, seq, callback) events. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void(Cycles now)>;
+
+    /** Schedule `cb` at absolute time `when` (>= now). */
+    void schedule(Cycles when, Callback cb);
+
+    /** Schedule `cb` `delta` cycles from now. */
+    void scheduleIn(Cycles delta, Callback cb);
+
+    /** Fire all events with tick <= `until`; advances now() to `until`. */
+    void runUntil(Cycles until);
+
+    /** Fire everything; advances now() to the last event's tick. */
+    void runAll();
+
+    Cycles now() const { return now_; }
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /** Tick of the earliest pending event; only valid if !empty(). */
+    Cycles nextTick() const;
+
+  private:
+    struct Event
+    {
+        Cycles when;
+        std::uint64_t seq; // FIFO tie-break for same-tick events
+        Callback cb;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Event& a, const Event& b) const
+        {
+            return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    Cycles now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace ndpext
+
+#endif // NDPEXT_SIM_EVENT_QUEUE_H

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Contention primitives of the cycle-approximate model.
+ *
+ * A BandwidthResource represents anything that serializes transfers (a DRAM
+ * bank data bus, an inter-stack SerDes link, the CXL port). Because one
+ * access's latency chain is evaluated end-to-end, reservations arrive out
+ * of simulated-time order (a miss reserves its response link far in the
+ * future before another core's earlier request is seen). A scalar
+ * next-free-time would turn that into phantom queueing, so reservations
+ * are kept as busy *intervals* and new requests fill the earliest gap at
+ * or after their arrival time.
+ */
+
+#ifndef NDPEXT_SIM_RESOURCE_H
+#define NDPEXT_SIM_RESOURCE_H
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace ndpext {
+
+class BandwidthResource
+{
+  public:
+    /**
+     * @param bytes_per_cycle Service bandwidth. Fractional values are
+     *        supported (e.g., 32 GB/s at 2 GHz = 16 bytes/cycle).
+     */
+    explicit BandwidthResource(double bytes_per_cycle = 0.0)
+        : bytesPerCycle_(bytes_per_cycle)
+    {
+    }
+
+    void
+    setBandwidth(double bytes_per_cycle)
+    {
+        bytesPerCycle_ = bytes_per_cycle;
+    }
+
+    /**
+     * Reserve the resource for a transfer of `bytes` arriving at `now`.
+     * @return the time the transfer starts (>= now); the transfer
+     *         completes at start + serviceCycles(bytes).
+     */
+    Cycles
+    reserve(std::uint64_t bytes, Cycles now)
+    {
+        NDP_ASSERT(bytesPerCycle_ > 0.0, "unconfigured bandwidth resource");
+        return reserveFor(serviceCycles(bytes), now);
+    }
+
+    /**
+     * Occupy the resource for `duration` cycles starting at the earliest
+     * gap at or after `now` (first-fit insertion into the busy list).
+     */
+    Cycles
+    reserveFor(Cycles duration, Cycles now)
+    {
+        if (duration == 0) {
+            duration = 1;
+        }
+        Cycles t = now;
+        std::size_t pos = 0;
+        for (; pos < busy_.size(); ++pos) {
+            const Interval& iv = busy_[pos];
+            if (iv.end <= t) {
+                continue; // interval entirely before us
+            }
+            if (iv.start >= t + duration) {
+                break; // we fit in the gap before this interval
+            }
+            t = iv.end; // collide: try right after it
+        }
+        // Find the sorted insertion point for (t, t+duration).
+        auto it = std::lower_bound(
+            busy_.begin(), busy_.end(), t,
+            [](const Interval& iv, Cycles start) {
+                return iv.start < start;
+            });
+        busy_.insert(it, Interval{t, t + duration});
+        if (busy_.size() > kMaxTracked) {
+            busy_.pop_front(); // oldest interval: far in the past
+        }
+        ++reservations_;
+        queueCycles_ += t - now;
+        return t;
+    }
+
+    /** Cycles to push `bytes` through the resource. */
+    Cycles
+    serviceCycles(std::uint64_t bytes) const
+    {
+        const double c = static_cast<double>(bytes) / bytesPerCycle_;
+        const auto whole = static_cast<Cycles>(c);
+        return whole + (static_cast<double>(whole) < c ? 1 : 0);
+    }
+
+    /** End of the latest tracked reservation. */
+    Cycles
+    nextFree() const
+    {
+        Cycles latest = 0;
+        for (const auto& iv : busy_) {
+            latest = std::max(latest, iv.end);
+        }
+        return latest;
+    }
+
+    std::uint64_t reservations() const { return reservations_; }
+    Cycles totalQueueCycles() const { return queueCycles_; }
+
+    void
+    reset()
+    {
+        busy_.clear();
+        reservations_ = 0;
+        queueCycles_ = 0;
+    }
+
+  private:
+    struct Interval
+    {
+        Cycles start;
+        Cycles end;
+    };
+
+    /** Intervals kept; older ones are in the past and prunable. */
+    static constexpr std::size_t kMaxTracked = 128;
+
+    double bytesPerCycle_;
+    std::deque<Interval> busy_; // sorted by start
+    std::uint64_t reservations_ = 0;
+    Cycles queueCycles_ = 0;
+};
+
+} // namespace ndpext
+
+#endif // NDPEXT_SIM_RESOURCE_H

@@ -1,0 +1,59 @@
+#include "sim/stats.h"
+
+namespace ndpext {
+
+void
+StatGroup::add(const std::string& name, double delta)
+{
+    stats_[name] += delta;
+}
+
+void
+StatGroup::set(const std::string& name, double value)
+{
+    stats_[name] = value;
+}
+
+double
+StatGroup::get(const std::string& name) const
+{
+    auto it = stats_.find(name);
+    return it == stats_.end() ? 0.0 : it->second;
+}
+
+bool
+StatGroup::has(const std::string& name) const
+{
+    return stats_.count(name) != 0;
+}
+
+void
+StatGroup::merge(const StatGroup& other, const std::string& prefix)
+{
+    for (const auto& [name, value] : other.stats_) {
+        stats_[prefix + "." + name] += value;
+    }
+}
+
+double
+StatGroup::sumPrefix(const std::string& prefix) const
+{
+    double total = 0.0;
+    for (auto it = stats_.lower_bound(prefix); it != stats_.end(); ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0) {
+            break;
+        }
+        total += it->second;
+    }
+    return total;
+}
+
+void
+StatGroup::dump(std::ostream& os) const
+{
+    for (const auto& [name, value] : stats_) {
+        os << name << " " << value << "\n";
+    }
+}
+
+} // namespace ndpext

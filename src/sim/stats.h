@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Lightweight hierarchical statistics registry.
+ *
+ * Components register named counters/scalars into a StatGroup; groups nest
+ * by name ("unit3.dram.actCount"). Values are plain doubles so counters and
+ * derived averages share one mechanism, in the spirit of gem5's Stats
+ * package at a fraction of the machinery.
+ */
+
+#ifndef NDPEXT_SIM_STATS_H
+#define NDPEXT_SIM_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace ndpext {
+
+/** A flat, ordered map of fully-qualified stat name -> value. */
+class StatGroup
+{
+  public:
+    /** Add `delta` to the named stat (creating it at 0). */
+    void add(const std::string& name, double delta);
+
+    /** Set the named stat to an absolute value. */
+    void set(const std::string& name, double value);
+
+    /** Read a stat; returns 0 for unknown names. */
+    double get(const std::string& name) const;
+
+    /** True if the stat exists. */
+    bool has(const std::string& name) const;
+
+    /** Merge another group in, prefixing its names with `prefix.`. */
+    void merge(const StatGroup& other, const std::string& prefix);
+
+    /** Sum of all stats whose name starts with the given prefix. */
+    double sumPrefix(const std::string& prefix) const;
+
+    /** Dump "name value" lines in name order. */
+    void dump(std::ostream& os) const;
+
+    void clear() { stats_.clear(); }
+
+    const std::map<std::string, double>& raw() const { return stats_; }
+
+  private:
+    std::map<std::string, double> stats_;
+};
+
+} // namespace ndpext
+
+#endif // NDPEXT_SIM_STATS_H

@@ -1,0 +1,140 @@
+#include "stream/stream_config.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ndpext {
+
+bool
+StreamConfig::isReordered() const
+{
+    for (std::uint8_t d = 0; d < dims; ++d) {
+        if (order[d] != d) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+StreamConfig::validate() const
+{
+    NDP_ASSERT(size > 0 && elemSize > 0, "stream ", name);
+    NDP_ASSERT(size % elemSize == 0, "stream ", name,
+               ": size not a multiple of elemSize");
+    NDP_ASSERT(dims >= 1 && dims <= 3, "stream ", name, ": dims=", dims);
+    if (dims > 1) {
+        NDP_ASSERT(type == StreamType::Affine,
+                   "multi-dim indirect stream ", name);
+        // Strides must nest: stride[d] = stride[d-1] * length[d-1].
+        std::uint64_t expect = elemSize;
+        std::uint64_t total = 1;
+        for (std::uint8_t d = 0; d < dims; ++d) {
+            NDP_ASSERT(stride[d] == expect, "stream ", name,
+                       ": non-nested stride at dim ", d);
+            NDP_ASSERT(length[d] > 0, "stream ", name,
+                       ": zero length at dim ", d);
+            expect *= length[d];
+            total *= length[d];
+        }
+        NDP_ASSERT(total * elemSize == size, "stream ", name,
+                   ": lengths inconsistent with size");
+        // Order must be a permutation of [0, dims).
+        bool seen[3] = {false, false, false};
+        for (std::uint8_t d = 0; d < dims; ++d) {
+            NDP_ASSERT(order[d] < dims && !seen[order[d]], "stream ", name,
+                       ": order is not a permutation");
+            seen[order[d]] = true;
+        }
+    }
+}
+
+ElemId
+StreamConfig::elemIdOf(Addr addr) const
+{
+    NDP_ASSERT(contains(addr), "stream ", name, ": addr out of range");
+    const std::uint64_t offset = addr - base;
+    if (dims == 1 || !isReordered()) {
+        return offset / elemSize;
+    }
+    // Recover logical indices from the storage layout (strides nest).
+    std::uint64_t idx[3] = {0, 0, 0};
+    std::uint64_t rem = offset;
+    for (int d = dims - 1; d >= 0; --d) {
+        idx[d] = rem / stride[static_cast<std::size_t>(d)];
+        rem %= stride[static_cast<std::size_t>(d)];
+    }
+    // Linearize in access order: order[0] is the innermost accessed dim.
+    ElemId id = 0;
+    for (int k = dims - 1; k >= 0; --k) {
+        const std::uint8_t d = order[static_cast<std::size_t>(k)];
+        id = id * length[d] + idx[d];
+    }
+    return id;
+}
+
+Addr
+StreamConfig::addrOf(ElemId elem) const
+{
+    NDP_ASSERT(elem < numElems(), "stream ", name, ": elem out of range");
+    if (dims == 1 || !isReordered()) {
+        return base + elem * elemSize;
+    }
+    // Decompose the access-order index, then apply storage strides.
+    std::uint64_t idx[3] = {0, 0, 0};
+    std::uint64_t rem = elem;
+    for (std::uint8_t k = 0; k < dims; ++k) {
+        const std::uint8_t d = order[k];
+        idx[d] = rem % length[d];
+        rem /= length[d];
+    }
+    Addr addr = base;
+    for (std::uint8_t d = 0; d < dims; ++d) {
+        addr += idx[d] * stride[d];
+    }
+    return addr;
+}
+
+StreamConfig
+StreamConfig::dense(std::string name, StreamType type, Addr base,
+                    std::uint64_t size, std::uint32_t elem_size)
+{
+    StreamConfig cfg;
+    cfg.name = std::move(name);
+    cfg.type = type;
+    cfg.base = base;
+    cfg.size = size;
+    cfg.elemSize = elem_size;
+    cfg.dims = 1;
+    cfg.stride[0] = elem_size;
+    cfg.length[0] = size / elem_size;
+    cfg.validate();
+    return cfg;
+}
+
+StreamConfig
+StreamConfig::matrix2d(std::string name, Addr base, std::uint64_t rows,
+                       std::uint64_t cols, std::uint32_t elem_size,
+                       bool col_major)
+{
+    StreamConfig cfg;
+    cfg.name = std::move(name);
+    cfg.type = StreamType::Affine;
+    cfg.base = base;
+    cfg.size = rows * cols * elem_size;
+    cfg.elemSize = elem_size;
+    cfg.dims = 2;
+    // Storage: row-major; dim 0 = column index (innermost), dim 1 = row.
+    cfg.stride[0] = elem_size;
+    cfg.stride[1] = cols * elem_size;
+    cfg.length[0] = cols;
+    cfg.length[1] = rows;
+    if (col_major) {
+        cfg.order = {1, 0, 2}; // iterate rows innermost
+    }
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace ndpext

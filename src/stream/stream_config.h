@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Software-defined stream metadata (Table I) and the affine element-id
+ * mapping with up-to-3-dimension access reordering (Section IV-A).
+ *
+ * A stream's *element id* is its index in ACCESS order. For plain streams
+ * that equals (addr - base) / elemSize; for reordered affine streams (e.g.,
+ * column-major accesses to a row-major matrix) it is the linearization of
+ * the logical indices in the access-dimension order. The hardware caches
+ * elements by access order, so consecutive ids share a cache block, which
+ * is how reordering "significantly improves data spatial locality".
+ */
+
+#ifndef NDPEXT_STREAM_STREAM_CONFIG_H
+#define NDPEXT_STREAM_STREAM_CONFIG_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace ndpext {
+
+enum class StreamType : std::uint8_t
+{
+    Affine,
+    Indirect,
+};
+
+/**
+ * One entry of the centralized stream table (Table I: sid 9b, base 48b,
+ * size 48b, elemSize, readOnly, stride 48x3, length 48x2, order 3b).
+ */
+struct StreamConfig
+{
+    StreamId sid = kNoStream;
+    StreamType type = StreamType::Affine;
+    /** Human-readable name for reports ("edge_list", "rank_scores"...). */
+    std::string name;
+    /** Base physical address. */
+    Addr base = 0;
+    /** Total stream size in bytes. */
+    std::uint64_t size = 0;
+    /** Size of each element in bytes. */
+    std::uint32_t elemSize = 8;
+    /**
+     * Read-only bit, initialized to 1; the first write raises an exception
+     * to the host which clears it and collapses replication (Section IV-B).
+     */
+    bool readOnly = true;
+
+    /** Number of logical dimensions (1 to 3); affine only. */
+    std::uint8_t dims = 1;
+    /**
+     * Storage stride in bytes along dims 0 (innermost) .. 2. For dims < 3
+     * the unused entries are 0. stride[0] is elemSize for dense streams.
+     */
+    std::array<std::uint64_t, 3> stride{0, 0, 0};
+    /** Element count along each dim; length[0] derived from size if 0. */
+    std::array<std::uint64_t, 3> length{0, 0, 0};
+    /**
+     * Access dimension order: order[k] is the storage dim iterated at
+     * nesting level k (0 = innermost accessed dim). Default identity.
+     */
+    std::array<std::uint8_t, 3> order{0, 1, 2};
+
+    /** Total element count. */
+    std::uint64_t numElems() const { return size / elemSize; }
+
+    /** End address (exclusive). */
+    Addr end() const { return base + size; }
+
+    /** True if addr falls inside [base, base+size). */
+    bool
+    contains(Addr addr) const
+    {
+        return addr >= base && addr < end();
+    }
+
+    /** True if the access order differs from the storage order. */
+    bool isReordered() const;
+
+    /** Validate internal consistency; panics on malformed configs. */
+    void validate() const;
+
+    /**
+     * Element id (access-order index) of a byte address inside the stream.
+     * For indirect / 1-D streams this is (addr - base) / elemSize.
+     */
+    ElemId elemIdOf(Addr addr) const;
+
+    /** Inverse of elemIdOf: start address of an element. */
+    Addr addrOf(ElemId elem) const;
+
+    /** Convenience builder for a dense 1-D stream. */
+    static StreamConfig dense(std::string name, StreamType type, Addr base,
+                              std::uint64_t size, std::uint32_t elem_size);
+
+    /**
+     * Convenience builder for a 2-D affine stream over a row-major matrix
+     * of `rows` x `cols` elements, accessed column-major if `col_major`.
+     */
+    static StreamConfig matrix2d(std::string name, Addr base,
+                                 std::uint64_t rows, std::uint64_t cols,
+                                 std::uint32_t elem_size, bool col_major);
+};
+
+} // namespace ndpext
+
+#endif // NDPEXT_STREAM_STREAM_CONFIG_H

@@ -1,0 +1,143 @@
+#include "stream/stream_inference.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/bitutils.h"
+#include "common/logging.h"
+
+namespace ndpext {
+
+namespace {
+
+constexpr std::size_t kMaxTrackedDeltas = 64;
+constexpr std::size_t kRecentWindow = 128;
+constexpr std::uint64_t kMinSamples = 16;
+
+} // namespace
+
+StreamConfig
+InferredStream::toConfig(std::string name, bool read_only) const
+{
+    const Addr aligned_base = alignDown(base, elemSize);
+    const std::uint64_t size =
+        alignUp(end - aligned_base, elemSize);
+    StreamConfig cfg = StreamConfig::dense(std::move(name), type,
+                                           aligned_base, size, elemSize);
+    cfg.readOnly = read_only;
+    return cfg;
+}
+
+StreamClassifier::StreamClassifier(double regularity_threshold)
+    : threshold_(regularity_threshold), recent_(kRecentWindow, 0)
+{
+    NDP_ASSERT(regularity_threshold > 0.0 && regularity_threshold <= 1.0);
+}
+
+void
+StreamClassifier::observe(Addr addr)
+{
+    if (samples_ == 0) {
+        minAddr_ = maxAddr_ = addr;
+    } else {
+        minAddr_ = std::min(minAddr_, addr);
+        maxAddr_ = std::max(maxAddr_, addr);
+        const std::int64_t delta = static_cast<std::int64_t>(addr)
+            - static_cast<std::int64_t>(last_);
+        auto it = std::find_if(deltas_.begin(), deltas_.end(),
+                               [delta](const auto& e) {
+                                   return e.first == delta;
+                               });
+        if (it != deltas_.end()) {
+            ++it->second;
+        } else if (deltas_.size() < kMaxTrackedDeltas) {
+            deltas_.emplace_back(delta, 1);
+        }
+        // Reuse detection over a small window.
+        for (const Addr a : recent_) {
+            if (a == addr && samples_ > 0) {
+                ++revisits_;
+                break;
+            }
+        }
+    }
+    recent_[recentCursor_] = addr;
+    recentCursor_ = (recentCursor_ + 1) % recent_.size();
+    last_ = addr;
+    ++samples_;
+}
+
+std::optional<InferredStream>
+StreamClassifier::infer() const
+{
+    if (samples_ < kMinSamples) {
+        return std::nullopt;
+    }
+    InferredStream out;
+    out.base = minAddr_;
+
+    // Element size: gcd of the absolute deltas (clamped).
+    std::uint64_t gcd = 0;
+    std::uint64_t total_deltas = 0;
+    std::int64_t dominant = 0;
+    std::uint64_t dominant_count = 0;
+    for (const auto& [delta, count] : deltas_) {
+        total_deltas += count;
+        if (delta != 0) {
+            gcd = std::gcd(gcd, static_cast<std::uint64_t>(
+                                    delta < 0 ? -delta : delta));
+        }
+        if (count > dominant_count && delta != 0) {
+            dominant_count = count;
+            dominant = delta;
+        }
+    }
+    out.elemSize = static_cast<std::uint32_t>(
+        std::clamp<std::uint64_t>(gcd == 0 ? 8 : gcd, 1, 4096));
+    out.end = maxAddr_ + out.elemSize;
+
+    out.regularity = total_deltas == 0
+        ? 0.0
+        : static_cast<double>(dominant_count)
+            / static_cast<double>(total_deltas);
+    out.reuse =
+        static_cast<double>(revisits_) / static_cast<double>(samples_);
+
+    if (out.regularity >= threshold_ && dominant != 0) {
+        out.type = StreamType::Affine;
+        out.strideElems = dominant / static_cast<std::int64_t>(
+                                         out.elemSize);
+        if (out.strideElems == 0) {
+            out.strideElems = 1;
+        }
+    } else {
+        out.type = StreamType::Indirect;
+        out.strideElems = 0;
+    }
+    return out;
+}
+
+void
+StreamClassifier::reset()
+{
+    samples_ = 0;
+    last_ = 0;
+    minAddr_ = maxAddr_ = 0;
+    deltas_.clear();
+    revisits_ = 0;
+    std::fill(recent_.begin(), recent_.end(), 0);
+    recentCursor_ = 0;
+}
+
+std::optional<InferredStream>
+inferStream(const std::vector<Addr>& addresses,
+            double regularity_threshold)
+{
+    StreamClassifier classifier(regularity_threshold);
+    for (const Addr a : addresses) {
+        classifier.observe(a);
+    }
+    return classifier.infer();
+}
+
+} // namespace ndpext

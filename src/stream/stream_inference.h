@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Automatic stream classification from observed address sequences.
+ *
+ * The paper annotates streams manually (averaging 4.3 lines per workload)
+ * and defers compiler support to future work (Section IV-A). This module
+ * provides the runtime-side building block: given a per-data-structure
+ * address trace, classify its access pattern as affine (constant stride),
+ * strided-affine, or indirect, and propose the configure_stream()
+ * arguments. A practical deployment would run it over a profiling window
+ * before the first epoch.
+ */
+
+#ifndef NDPEXT_STREAM_STREAM_INFERENCE_H
+#define NDPEXT_STREAM_STREAM_INFERENCE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "stream/stream_config.h"
+
+namespace ndpext {
+
+/** Verdict of the classifier for one address range. */
+struct InferredStream
+{
+    StreamType type = StreamType::Indirect;
+    /** Observed range [base, end). */
+    Addr base = 0;
+    Addr end = 0;
+    /** Inferred element size (gcd of deltas, clamped to [1, 4096]). */
+    std::uint32_t elemSize = 8;
+    /** Dominant stride in elements (affine only; 1 = dense scan). */
+    std::int64_t strideElems = 1;
+    /** Fraction of deltas matching the dominant stride. */
+    double regularity = 0.0;
+    /** Fraction of re-visited addresses (reuse indicator). */
+    double reuse = 0.0;
+
+    /** Materialize a StreamConfig covering the observed range. */
+    StreamConfig toConfig(std::string name, bool read_only) const;
+};
+
+/**
+ * Online classifier: feed addresses one at a time; ask for the verdict
+ * any time after minSamples addresses.
+ */
+class StreamClassifier
+{
+  public:
+    /**
+     * @param regularity_threshold Fraction of constant-stride deltas
+     *        above which the pattern counts as affine (paper workloads:
+     *        affine streams are >99% regular).
+     */
+    explicit StreamClassifier(double regularity_threshold = 0.9);
+
+    /** Observe the next accessed address of this data structure. */
+    void observe(Addr addr);
+
+    std::uint64_t samples() const { return samples_; }
+
+    /** Classify what has been seen so far (nullopt below 16 samples). */
+    std::optional<InferredStream> infer() const;
+
+    void reset();
+
+  private:
+    double threshold_;
+    std::uint64_t samples_ = 0;
+    Addr last_ = 0;
+    Addr minAddr_ = 0;
+    Addr maxAddr_ = 0;
+    /** Delta histogram: (delta, count), kept small. */
+    std::vector<std::pair<std::int64_t, std::uint64_t>> deltas_;
+    std::uint64_t revisits_ = 0;
+    /** Small recent-address window for reuse detection. */
+    std::vector<Addr> recent_;
+    std::size_t recentCursor_ = 0;
+};
+
+/**
+ * Convenience batch API: classify a whole trace slice at once.
+ */
+std::optional<InferredStream>
+inferStream(const std::vector<Addr>& addresses,
+            double regularity_threshold = 0.9);
+
+} // namespace ndpext
+
+#endif // NDPEXT_STREAM_STREAM_INFERENCE_H

@@ -1,0 +1,68 @@
+#include "stream/stream_table.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ndpext {
+
+StreamId
+StreamTable::configureStream(StreamConfig cfg)
+{
+    cfg.validate();
+    NDP_ASSERT(streams_.size() < kMaxStreams, "too many streams");
+
+    // Reject overlap with any existing stream (Section IV-C: one address
+    // is associated with at most one stream).
+    auto it = byBase_.upper_bound(cfg.base);
+    if (it != byBase_.begin()) {
+        auto prev = std::prev(it);
+        const StreamConfig& p = streams_[prev->second];
+        NDP_ASSERT(p.end() <= cfg.base, "stream ", cfg.name,
+                   " overlaps stream ", p.name);
+    }
+    if (it != byBase_.end()) {
+        const StreamConfig& n = streams_[it->second];
+        NDP_ASSERT(cfg.end() <= n.base, "stream ", cfg.name,
+                   " overlaps stream ", n.name);
+    }
+
+    const StreamId sid = static_cast<StreamId>(streams_.size());
+    cfg.sid = sid;
+    byBase_[cfg.base] = sid;
+    streams_.push_back(std::move(cfg));
+    return sid;
+}
+
+const StreamConfig&
+StreamTable::stream(StreamId sid) const
+{
+    NDP_ASSERT(sid < streams_.size(), "bad sid ", sid);
+    return streams_[sid];
+}
+
+StreamConfig&
+StreamTable::stream(StreamId sid)
+{
+    NDP_ASSERT(sid < streams_.size(), "bad sid ", sid);
+    return streams_[sid];
+}
+
+StreamId
+StreamTable::findByAddr(Addr addr) const
+{
+    auto it = byBase_.upper_bound(addr);
+    if (it == byBase_.begin()) {
+        return kNoStream;
+    }
+    const StreamId sid = std::prev(it)->second;
+    return streams_[sid].contains(addr) ? sid : kNoStream;
+}
+
+void
+StreamTable::markWritten(StreamId sid)
+{
+    stream(sid).readOnly = false;
+}
+
+} // namespace ndpext

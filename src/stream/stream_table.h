@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The centralized stream table kept by the host runtime (Section IV-B).
+ *
+ * Streams are registered through configureStream() -- the repo's analogue
+ * of the paper's configure_stream(type, base, size, elemSize, ...) API --
+ * after data allocation and before accesses. The table owns the authoritative
+ * StreamConfig records; NDP units cache subsets in their SLBs.
+ */
+
+#ifndef NDPEXT_STREAM_STREAM_TABLE_H
+#define NDPEXT_STREAM_STREAM_TABLE_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+#include "stream/stream_config.h"
+
+namespace ndpext {
+
+class StreamTable
+{
+  public:
+    /** Maximum stream count (9-bit sid, Section IV-B). */
+    static constexpr std::size_t kMaxStreams = 512;
+
+    /**
+     * Register a stream; assigns and returns its sid. Ranges must not
+     * overlap existing streams (one address maps to at most one stream,
+     * Section IV-C).
+     */
+    StreamId configureStream(StreamConfig cfg);
+
+    const StreamConfig& stream(StreamId sid) const;
+    StreamConfig& stream(StreamId sid);
+
+    std::size_t numStreams() const { return streams_.size(); }
+
+    /** Find the stream containing addr, or kNoStream. */
+    StreamId findByAddr(Addr addr) const;
+
+    /** Clear the read-only bit (write-to-read-only exception path). */
+    void markWritten(StreamId sid);
+
+    const std::vector<StreamConfig>& all() const { return streams_; }
+
+  private:
+    std::vector<StreamConfig> streams_;
+    /** base address -> sid, for range lookups. */
+    std::map<Addr, StreamId> byBase_;
+};
+
+} // namespace ndpext
+
+#endif // NDPEXT_STREAM_STREAM_TABLE_H

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The non-NDP host system (Section VI): the same workload generators run
+ * on 64 host cores with a 32 MB NUCA LLC and DDR5 main memory. Produces
+ * the normalization baseline for Fig. 5 and the NUCA half of Fig. 2(a).
+ */
+
+#ifndef NDPEXT_SYSTEM_HOST_SYSTEM_H
+#define NDPEXT_SYSTEM_HOST_SYSTEM_H
+
+#include "baselines/host_llc.h"
+#include "system/ndp_system.h"
+#include "workloads/workload.h"
+
+namespace ndpext {
+
+class HostSystem
+{
+  public:
+    explicit HostSystem(const HostParams& params = HostParams{});
+
+    /** Run a prepared workload (numCores must equal the host core count). */
+    RunResult run(const Workload& workload);
+
+    const HostParams& params() const { return params_; }
+
+  private:
+    HostParams params_;
+    CoreParams core_;
+    bool used_ = false;
+};
+
+} // namespace ndpext
+
+#endif // NDPEXT_SYSTEM_HOST_SYSTEM_H

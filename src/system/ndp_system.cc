@@ -1,0 +1,165 @@
+#include "system/ndp_system.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "baselines/nuca_policies.h"
+#include "common/logging.h"
+#include "runtime/static_config.h"
+
+namespace ndpext {
+
+namespace {
+
+/** Build the configurator matching the policy. */
+std::unique_ptr<Configurator>
+makeConfigurator(PolicyKind policy, const SystemConfig& cfg,
+                 const StreamCacheController& cache, const NocModel& noc)
+{
+    const DramTimingParams dram = cfg.unitDram();
+    const DramDevice probe(dram, cfg.coreFreqMhz);
+
+    BaselineContext ctx;
+    ctx.numUnits = cache.numUnits();
+    ctx.rowsPerUnit = cache.rowsPerUnit();
+    ctx.rowBytes = cache.rowBytes();
+    ctx.dramLatency = probe.rowHitLatency();
+
+    switch (policy) {
+      case PolicyKind::NdpExt: {
+        ConfigParams params;
+        params.numUnits = cache.numUnits();
+        params.rowsPerUnit = cache.rowsPerUnit();
+        params.rowBytes = cache.rowBytes();
+        params.affineCapBytesPerUnit =
+            cache.params().affineCapBytesPerUnit;
+        params.dramLatency = probe.rowHitLatency();
+        params.allowReplication = cfg.allowReplication;
+        return std::make_unique<NdpExtConfigurator>(params, noc);
+      }
+      case PolicyKind::NdpExtStatic:
+        return std::make_unique<StaticEqualConfigurator>(cache);
+      case PolicyKind::Jigsaw:
+        return std::make_unique<JigsawConfigurator>(ctx, noc);
+      case PolicyKind::Whirlpool:
+        return std::make_unique<WhirlpoolConfigurator>(ctx, noc);
+      case PolicyKind::Nexus:
+        return std::make_unique<NexusConfigurator>(ctx, noc);
+      case PolicyKind::StaticInterleave:
+        return std::make_unique<StaticInterleaveConfigurator>(ctx, noc);
+    }
+    NDP_PANIC("bad policy kind");
+}
+
+} // namespace
+
+NdpSystem::NdpSystem(const SystemConfig& config, PolicyKind policy)
+    : cfg_(config), policy_(policy)
+{
+    cfg_.finalize();
+    cfg_.cache.cachelineMode = isCachelinePolicy(policy);
+}
+
+RunResult
+NdpSystem::run(const Workload& workload)
+{
+    NDP_ASSERT(!used_, "NdpSystem is single-use; construct a fresh one");
+    used_ = true;
+    NDP_ASSERT(workload.prepared(), "workload not prepared");
+    NDP_ASSERT(workload.params().numCores == cfg_.numUnits(),
+               "workload cores (", workload.params().numCores,
+               ") != NDP units (", cfg_.numUnits(), ")");
+
+    // --- construct the machine ---
+    StreamTable table;
+    workload.registerStreams(table);
+
+    MeshTopology topo(cfg_.stacksX, cfg_.stacksY, cfg_.unitsX, cfg_.unitsY);
+    NocModel noc(topo, cfg_.noc);
+    ExtendedMemory ext(cfg_.cxl, DramTimingParams::ddr5Extended(),
+                       cfg_.coreFreqMhz);
+    StreamCacheController cache(cfg_.cache, table, noc, ext,
+                                cfg_.unitDram(), cfg_.unitCacheBytes,
+                                cfg_.coreFreqMhz);
+    NdpRuntime runtime(cfg_.runtime, cache,
+                       makeConfigurator(policy_, cfg_, cache, noc));
+
+    const std::uint32_t n = cfg_.numUnits();
+    std::vector<InOrderCore> cores;
+    cores.reserve(n);
+    std::vector<std::unique_ptr<AccessGenerator>> gens;
+    gens.reserve(n);
+    for (CoreId c = 0; c < n; ++c) {
+        cores.emplace_back(c, cfg_.core, cache);
+        gens.push_back(workload.makeGenerator(c));
+    }
+
+    runtime.start();
+
+    // --- event loop: advance the globally-earliest core; fire epochs ---
+    using HeapItem = std::pair<Cycles, CoreId>;
+    std::priority_queue<HeapItem, std::vector<HeapItem>,
+                        std::greater<HeapItem>>
+        ready;
+    for (CoreId c = 0; c < n; ++c) {
+        ready.emplace(cores[c].now(), c);
+    }
+    Cycles next_epoch = cfg_.runtime.epochCycles;
+    Cycles finish = 0;
+    while (!ready.empty()) {
+        const auto [when, c] = ready.top();
+        ready.pop();
+        if (when >= next_epoch) {
+            runtime.onEpochEnd(next_epoch);
+            next_epoch += cfg_.runtime.epochCycles;
+            ready.emplace(when, c);
+            continue;
+        }
+        if (cores[c].step(*gens[c])) {
+            ready.emplace(cores[c].now(), c);
+        } else {
+            finish = std::max(finish, cores[c].now());
+        }
+    }
+
+    // --- collect results ---
+    RunResult res;
+    res.workload = workload.name();
+    res.policy = policyName(policy_);
+    res.cycles = finish;
+    res.bd = cache.breakdown();
+    res.missRate = cache.missRate();
+    res.metadataHitRate = cache.metadataHitRate();
+    res.writeExceptions = cache.writeExceptions();
+    res.invalidatedRows = cache.invalidatedRows();
+    res.survivedRows = cache.survivedRows();
+    res.reconfigurations = runtime.reconfigurations();
+    res.slbMisses = cache.slbMissTotal();
+    for (const auto& core : cores) {
+        res.accesses += core.accesses();
+        res.l1Hits += core.l1Hits();
+        core.report(res.stats, "core" + std::to_string(core.id()));
+    }
+
+    const double seconds = static_cast<double>(finish)
+        / (static_cast<double>(cfg_.coreFreqMhz) * 1e6);
+    res.energy.staticNj = (cfg_.staticWattsPerUnit * n
+                           + cfg_.staticWattsExt)
+        * seconds * 1e9;
+    res.energy.ndpDramNj = cache.dramCacheEnergyNj();
+    res.energy.extDramNj = ext.dramEnergyNj();
+    res.energy.cxlLinkNj = ext.linkEnergyNj();
+    res.energy.icnNj = noc.energyNj();
+    res.energy.sramNj = cache.sramEnergyNj();
+
+    cache.report(res.stats, "cache");
+    noc.report(res.stats, "noc");
+    ext.report(res.stats, "ext");
+    runtime.report(res.stats, "runtime");
+    res.stats.set("cycles", static_cast<double>(finish));
+    return res;
+}
+
+} // namespace ndpext

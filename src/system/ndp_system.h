@@ -1,0 +1,99 @@
+/**
+ * @file
+ * NdpSystem wires every component together -- cores, stream cache (or the
+ * cacheline baseline datapath), NoC, local DRAM, CXL extended memory, and
+ * the host runtime -- runs a workload to completion, and returns the
+ * metrics the paper's figures are built from.
+ */
+
+#ifndef NDPEXT_SYSTEM_NDP_SYSTEM_H
+#define NDPEXT_SYSTEM_NDP_SYSTEM_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/breakdown.h"
+#include "sim/stats.h"
+#include "system/system_config.h"
+#include "workloads/workload.h"
+
+namespace ndpext {
+
+struct EnergyBreakdown
+{
+    double staticNj = 0.0;
+    double ndpDramNj = 0.0;
+    double extDramNj = 0.0;
+    double cxlLinkNj = 0.0;
+    double icnNj = 0.0;
+    double sramNj = 0.0;
+
+    double
+    totalNj() const
+    {
+        return staticNj + ndpDramNj + extDramNj + cxlLinkNj + icnNj
+            + sramNj;
+    }
+};
+
+struct RunResult
+{
+    std::string workload;
+    std::string policy;
+    /** Completion time: the slowest core's final cycle. */
+    Cycles cycles = 0;
+    std::uint64_t accesses = 0;
+    std::uint64_t l1Hits = 0;
+    /** Memory-system latency breakdown over L1 misses. */
+    LatencyBreakdown bd;
+    /** DRAM-cache miss rate over stream accesses (Fig. 7 dots). */
+    double missRate = 0.0;
+    /** Baseline metadata-cache hit rate (Section VII-A discussion). */
+    double metadataHitRate = 1.0;
+    EnergyBreakdown energy;
+    std::uint64_t writeExceptions = 0;
+    std::uint64_t invalidatedRows = 0;
+    std::uint64_t survivedRows = 0;
+    std::uint64_t reconfigurations = 0;
+    std::uint64_t slbMisses = 0;
+
+    /** Average interconnect latency per request in cycles (Fig. 7 bars). */
+    double
+    avgIcnCycles() const
+    {
+        return bd.avg(bd.icnIntra + bd.icnInter);
+    }
+    /** Average end-to-end memory latency per L1 miss, cycles. */
+    double
+    avgMemLatency() const
+    {
+        return bd.avg(bd.total());
+    }
+
+    StatGroup stats;
+};
+
+class NdpSystem
+{
+  public:
+    NdpSystem(const SystemConfig& config, PolicyKind policy);
+
+    /**
+     * Run a prepared workload (numCores must equal the unit count).
+     * The system is single-use: construct a fresh one per run.
+     */
+    RunResult run(const Workload& workload);
+
+    const SystemConfig& config() const { return cfg_; }
+    PolicyKind policy() const { return policy_; }
+
+  private:
+    SystemConfig cfg_;
+    PolicyKind policy_;
+    bool used_ = false;
+};
+
+} // namespace ndpext
+
+#endif // NDPEXT_SYSTEM_NDP_SYSTEM_H

@@ -1,0 +1,129 @@
+#include "system/system_config.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ndpext {
+
+std::string
+policyName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::NdpExt:
+        return "ndpext";
+      case PolicyKind::NdpExtStatic:
+        return "ndpext-static";
+      case PolicyKind::Jigsaw:
+        return "jigsaw";
+      case PolicyKind::Whirlpool:
+        return "whirlpool";
+      case PolicyKind::Nexus:
+        return "nexus";
+      case PolicyKind::StaticInterleave:
+        return "static-interleave";
+    }
+    NDP_PANIC("bad policy kind");
+}
+
+PolicyKind
+policyFromName(const std::string& name)
+{
+    if (name == "ndpext") {
+        return PolicyKind::NdpExt;
+    }
+    if (name == "ndpext-static") {
+        return PolicyKind::NdpExtStatic;
+    }
+    if (name == "jigsaw") {
+        return PolicyKind::Jigsaw;
+    }
+    if (name == "whirlpool") {
+        return PolicyKind::Whirlpool;
+    }
+    if (name == "nexus") {
+        return PolicyKind::Nexus;
+    }
+    if (name == "static-interleave") {
+        return PolicyKind::StaticInterleave;
+    }
+    NDP_FATAL("unknown policy: ", name);
+}
+
+bool
+isCachelinePolicy(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::NdpExt:
+      case PolicyKind::NdpExtStatic:
+        return false;
+      case PolicyKind::Jigsaw:
+      case PolicyKind::Whirlpool:
+      case PolicyKind::Nexus:
+      case PolicyKind::StaticInterleave:
+        return true;
+    }
+    NDP_PANIC("bad policy kind");
+}
+
+DramTimingParams
+SystemConfig::unitDram() const
+{
+    return memType == NdpMemType::Hbm3 ? DramTimingParams::hbm3Unit()
+                                       : DramTimingParams::hmc2Unit();
+}
+
+void
+SystemConfig::finalize()
+{
+    NDP_ASSERT(numUnits() > 0);
+    const DramTimingParams dram = unitDram();
+    NDP_ASSERT(unitCacheBytes >= dram.rowBytes * 4,
+               "unit cache must hold at least 4 DRAM rows");
+
+    // Affine space restriction: the paper's 16 MB cap exists to bound
+    // the affine tag array to 16k SRAM entries -- an *absolute* hardware
+    // budget, not a fraction of the DRAM cache. At scaled capacities the
+    // restriction therefore only binds when the unit cache exceeds what
+    // 16k tags can cover (Fig. 9c sweeps it explicitly).
+    if (cache.affineCapBytesPerUnit == 16_MiB) {
+        cache.affineCapBytesPerUnit = std::min<std::uint64_t>(
+            16_MiB,
+            std::max<std::uint64_t>(unitCacheBytes / 4,
+                                    dram.rowBytes * 4));
+    }
+
+    // Sampler capacity range spans one unit's DRAM cache, geometric, as
+    // in Section V-A (32 kB..256 MB at paper scale).
+    cache.sampler.maxCapacityBytes = unitCacheBytes;
+    cache.sampler.minCapacityBytes =
+        std::max<std::uint64_t>(1024, unitCacheBytes / 8192);
+}
+
+SystemConfig
+SystemConfig::scaledDefault()
+{
+    SystemConfig cfg;
+    // Scaled runs complete in a few million cycles; epochs scale with
+    // them (paper: 50M-cycle epochs over billions of cycles).
+    cfg.runtime.epochCycles = 500'000;
+    cfg.runtime.partialUntilCycles = 2'000'000;
+    cfg.finalize();
+    return cfg;
+}
+
+SystemConfig
+SystemConfig::paperScale()
+{
+    SystemConfig cfg;
+    cfg.unitsX = 4;
+    cfg.unitsY = 4;
+    cfg.unitCacheBytes = 256_MiB;
+    cfg.cache.affineCapBytesPerUnit = 16_MiB;
+    cfg.runtime.epochCycles = 50'000'000;
+    cfg.runtime.partialUntilCycles = 200'000'000;
+    cfg.finalize();
+    return cfg;
+}
+
+} // namespace ndpext

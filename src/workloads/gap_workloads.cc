@@ -1,0 +1,413 @@
+#include "workloads/gap_workloads.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "workloads/rodinia_workloads.h"
+#include "workloads/tensor_workloads.h"
+
+namespace ndpext {
+
+void
+GapWorkload::doPrepare()
+{
+    const std::uint64_t csr_budget =
+        p_.footprintBytes * csrFootprintPercent() / 100;
+    const std::uint32_t degree = 16;
+    const std::uint32_t scale = scaleForFootprint(csr_budget, degree);
+    graph_ = makeRmatGraph(scale, degree, p_.seed + 13);
+
+    offsets_ = addDense("csr_offsets", StreamType::Affine,
+                        (graph_.numVertices + 1) * 8, 8, true);
+    edges_ = addDense("csr_edges", edgesStreamType(),
+                      std::max<std::uint64_t>(64, graph_.numEdges * 4), 4,
+                      true);
+    addPropertyStreams();
+}
+
+GapGenerator::GapGenerator(const GapWorkload& w, CoreId core)
+    : BoundedGenerator(w, core), gw_(w)
+{
+    // Contiguous vertex partition per core.
+    const std::uint64_t per_core =
+        gw_.graph().numVertices / w.params().numCores;
+    vertex_ = per_core * core;
+    edgeCursor_ = gw_.graph().offsets[vertex_];
+    edgeEnd_ = gw_.graph().offsets[vertex_ + 1];
+}
+
+void
+GapGenerator::nextVertex()
+{
+    const CsrGraph& g = gw_.graph();
+    vertex_ = (vertex_ + 1) % g.numVertices;
+    edgeCursor_ = g.offsets[vertex_];
+    edgeEnd_ = g.offsets[vertex_ + 1];
+}
+
+// -------------------------------------------------------------------- bfs
+
+void
+BfsWorkload::addPropertyStreams()
+{
+    visited_ = addDense("visited", StreamType::Indirect,
+                        graph_.numVertices * 4, 4, false);
+    parent_ = addDense("parent", StreamType::Indirect,
+                       graph_.numVertices * 4, 4, false);
+}
+
+class BfsGenerator : public GapGenerator
+{
+  public:
+    BfsGenerator(const BfsWorkload& w, CoreId core)
+        : GapGenerator(w, core), w_(w)
+    {
+    }
+
+    void
+    produce(Access& out) override
+    {
+        const std::uint64_t step = phase_ % 3;
+        ++phase_;
+        if (step == 0) {
+            if (edgeCursor_ >= edgeEnd_) {
+                nextVertex();
+                phase_ = 1;
+                emit(out, w_.offsets_, vertex_, false, 2);
+                return;
+            }
+            emit(out, w_.edges_, edgeCursor_, false, 2);
+            return;
+        }
+        const std::uint32_t nbr = edgeCursor_ < gw_.graph().numEdges
+            ? gw_.graph().edges[edgeCursor_]
+            : 0;
+        if (step == 1) {
+            emit(out, w_.visited_, nbr, false, 2);
+            return;
+        }
+        // Claim roughly 1 in 4 neighbors (frontier expansion writes).
+        const bool claim = (mix64(nbr + phase_) & 3) == 0;
+        emit(out, w_.parent_, nbr, claim, 2);
+        ++edgeCursor_;
+    }
+
+  private:
+    const BfsWorkload& w_;
+};
+
+std::unique_ptr<AccessGenerator>
+BfsWorkload::makeGenerator(CoreId core) const
+{
+    return std::make_unique<BfsGenerator>(*this, core);
+}
+
+// --------------------------------------------------------------------- pr
+
+void
+PageRankWorkload::addPropertyStreams()
+{
+    ranks_ = addDense("ranks", StreamType::Indirect,
+                      graph_.numVertices * 8, 8, true);
+    newRanks_ = addDense("new_ranks", StreamType::Indirect,
+                         graph_.numVertices * 8, 8, false);
+    outDeg_ = addDense("out_degrees", StreamType::Indirect,
+                       graph_.numVertices * 4, 4, true);
+}
+
+class PageRankGenerator : public GapGenerator
+{
+  public:
+    PageRankGenerator(const PageRankWorkload& w, CoreId core)
+        : GapGenerator(w, core), w_(w)
+    {
+    }
+
+    void
+    produce(Access& out) override
+    {
+        // Pull-style PR: per owned vertex, gather ranks[nbr]/deg[nbr]
+        // over the incoming edge list, then write new_ranks[v].
+        if (stage_ == 0) {
+            stage_ = 1;
+            emit(out, w_.offsets_, vertex_, false, 2);
+            return;
+        }
+        if (edgeCursor_ < edgeEnd_) {
+            const std::uint64_t step = phase_ % 3;
+            ++phase_;
+            const std::uint32_t nbr = gw_.graph().edges[edgeCursor_];
+            if (step == 0) {
+                emit(out, w_.edges_, edgeCursor_, false, 2);
+                return;
+            }
+            if (step == 1) {
+                emit(out, w_.ranks_, nbr, false, 3);
+                return;
+            }
+            emit(out, w_.outDeg_, nbr, false, 3);
+            ++edgeCursor_;
+            return;
+        }
+        emit(out, w_.newRanks_, vertex_, true, 2);
+        nextVertex();
+        stage_ = 0;
+    }
+
+  private:
+    const PageRankWorkload& w_;
+    int stage_ = 0;
+};
+
+std::unique_ptr<AccessGenerator>
+PageRankWorkload::makeGenerator(CoreId core) const
+{
+    return std::make_unique<PageRankGenerator>(*this, core);
+}
+
+// --------------------------------------------------------------------- cc
+
+void
+CcWorkload::addPropertyStreams()
+{
+    comp_ = addDense("components", StreamType::Indirect,
+                     graph_.numVertices * 4, 4, false);
+}
+
+class CcGenerator : public GapGenerator
+{
+  public:
+    CcGenerator(const CcWorkload& w, CoreId core)
+        : GapGenerator(w, core), w_(w)
+    {
+    }
+
+    void
+    produce(Access& out) override
+    {
+        const std::uint64_t step = phase_ % 4;
+        ++phase_;
+        if (step == 0) {
+            if (edgeCursor_ >= edgeEnd_) {
+                nextVertex();
+            }
+            emit(out, w_.comp_, vertex_, false, 2);
+            return;
+        }
+        if (step == 1) {
+            emit(out, w_.edges_, std::min(edgeCursor_, edgeEnd_), false,
+                 2);
+            return;
+        }
+        const std::uint32_t nbr = edgeCursor_ < gw_.graph().numEdges
+            ? gw_.graph().edges[edgeCursor_]
+            : 0;
+        if (step == 2) {
+            emit(out, w_.comp_, nbr, false, 2);
+            return;
+        }
+        // Hook/compress writes the smaller label (~1 in 3 edges early on).
+        const bool hook = (mix64(nbr ^ phase_) % 3) == 0;
+        emit(out, w_.comp_, hook ? nbr : vertex_, hook, 2);
+        ++edgeCursor_;
+    }
+
+  private:
+    const CcWorkload& w_;
+};
+
+std::unique_ptr<AccessGenerator>
+CcWorkload::makeGenerator(CoreId core) const
+{
+    return std::make_unique<CcGenerator>(*this, core);
+}
+
+// --------------------------------------------------------------------- bc
+
+void
+BcWorkload::addPropertyStreams()
+{
+    dist_ = addDense("distances", StreamType::Indirect,
+                     graph_.numVertices * 4, 4, false);
+    sigma_ = addDense("sigma", StreamType::Indirect,
+                      graph_.numVertices * 8, 8, false);
+    delta_ = addDense("delta", StreamType::Indirect,
+                      graph_.numVertices * 8, 8, false);
+}
+
+class BcGenerator : public GapGenerator
+{
+  public:
+    BcGenerator(const BcWorkload& w, CoreId core)
+        : GapGenerator(w, core), w_(w)
+    {
+    }
+
+    void
+    produce(Access& out) override
+    {
+        const std::uint64_t step = phase_ % 5;
+        ++phase_;
+        if (step == 0) {
+            if (edgeCursor_ >= edgeEnd_) {
+                nextVertex();
+                backward_ = !backward_;
+            }
+            emit(out, w_.edges_, std::min(edgeCursor_, edgeEnd_), false,
+                 2);
+            return;
+        }
+        const std::uint32_t nbr = edgeCursor_ < gw_.graph().numEdges
+            ? gw_.graph().edges[edgeCursor_]
+            : 0;
+        switch (step) {
+          case 1:
+            emit(out, w_.dist_, nbr, false, 2);
+            return;
+          case 2:
+            emit(out, w_.sigma_, nbr, !backward_, 3);
+            return;
+          case 3:
+            emit(out, w_.delta_, backward_ ? nbr : vertex_, backward_, 3);
+            return;
+          default:
+            emit(out, w_.dist_, vertex_, false, 2);
+            ++edgeCursor_;
+            return;
+        }
+    }
+
+  private:
+    const BcWorkload& w_;
+    bool backward_ = false;
+};
+
+std::unique_ptr<AccessGenerator>
+BcWorkload::makeGenerator(CoreId core) const
+{
+    return std::make_unique<BcGenerator>(*this, core);
+}
+
+// --------------------------------------------------------------------- tc
+
+void
+TcWorkload::addPropertyStreams()
+{
+    counts_ = addDense("tri_counts", StreamType::Indirect,
+                       graph_.numVertices * 8, 8, false);
+}
+
+class TcGenerator : public GapGenerator
+{
+  public:
+    TcGenerator(const TcWorkload& w, CoreId core)
+        : GapGenerator(w, core), w_(w)
+    {
+    }
+
+    void
+    produce(Access& out) override
+    {
+        // Per edge (u, v): scan u's list, then binary-probe v's list --
+        // random reads into the (read-only) edge array.
+        const std::uint64_t step = phase_ % 4;
+        ++phase_;
+        if (step == 0) {
+            if (edgeCursor_ >= edgeEnd_) {
+                nextVertex();
+            }
+            emit(out, w_.edges_, std::min(edgeCursor_, edgeEnd_), false,
+                 3);
+            return;
+        }
+        const CsrGraph& g = gw_.graph();
+        const std::uint32_t nbr = edgeCursor_ < g.numEdges
+            ? g.edges[edgeCursor_]
+            : 0;
+        if (step == 1) {
+            emit(out, w_.offsets_, nbr, false, 2);
+            return;
+        }
+        if (step == 2) {
+            // Binary-search probe into the neighbor's adjacency range.
+            const std::uint64_t lo = g.offsets[nbr];
+            const std::uint64_t hi = g.offsets[nbr + 1];
+            const std::uint64_t probe = lo == hi
+                ? lo
+                : lo + rng_.nextBounded(hi - lo);
+            emit(out, w_.edges_, std::min(probe, g.numEdges - 1), false,
+                 4);
+            return;
+        }
+        emit(out, w_.counts_, vertex_, true, 2);
+        ++edgeCursor_;
+    }
+
+  private:
+    const TcWorkload& w_;
+};
+
+std::unique_ptr<AccessGenerator>
+TcWorkload::makeGenerator(CoreId core) const
+{
+    return std::make_unique<TcGenerator>(*this, core);
+}
+
+// ------------------------------------------------------------- registry
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string& name)
+{
+    if (name == "recsys") {
+        return std::make_unique<RecsysWorkload>();
+    }
+    if (name == "mv") {
+        return std::make_unique<MvWorkload>();
+    }
+    if (name == "gnn") {
+        return std::make_unique<GnnWorkload>();
+    }
+    if (name == "backprop") {
+        return std::make_unique<BackpropWorkload>();
+    }
+    if (name == "hotspot") {
+        return std::make_unique<HotspotWorkload>();
+    }
+    if (name == "lavaMD") {
+        return std::make_unique<LavaMdWorkload>();
+    }
+    if (name == "lud") {
+        return std::make_unique<LudWorkload>();
+    }
+    if (name == "pathfinder") {
+        return std::make_unique<PathfinderWorkload>();
+    }
+    if (name == "bfs") {
+        return std::make_unique<BfsWorkload>();
+    }
+    if (name == "pr") {
+        return std::make_unique<PageRankWorkload>();
+    }
+    if (name == "cc") {
+        return std::make_unique<CcWorkload>();
+    }
+    if (name == "bc") {
+        return std::make_unique<BcWorkload>();
+    }
+    if (name == "tc") {
+        return std::make_unique<TcWorkload>();
+    }
+    NDP_FATAL("unknown workload: ", name);
+}
+
+const std::vector<std::string>&
+allWorkloadNames()
+{
+    static const std::vector<std::string> kNames = {
+        "recsys", "mv",  "gnn", "backprop", "hotspot", "lavaMD",
+        "lud",    "pathfinder", "bfs", "pr", "cc", "bc", "tc",
+    };
+    return kNames;
+}
+
+} // namespace ndpext

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * GAP benchmark graph workloads (Section VI): bfs, pr, cc, bc, tc over
+ * synthetic R-MAT graphs. CSR offsets/edges are affine scans; per-vertex
+ * property arrays are indirect streams indexed by the (power-law) edge
+ * destinations, giving the fine-grained irregular sharing that motivates
+ * a global distributed cache (Section III-A).
+ */
+
+#ifndef NDPEXT_WORKLOADS_GAP_WORKLOADS_H
+#define NDPEXT_WORKLOADS_GAP_WORKLOADS_H
+
+#include "workloads/graph.h"
+#include "workloads/workload.h"
+
+namespace ndpext {
+
+/** Common CSR plumbing for the five graph kernels. */
+class GapWorkload : public Workload
+{
+  public:
+    const CsrGraph& graph() const { return graph_; }
+
+  protected:
+    void doPrepare() final;
+
+    /** Register the kernel's property streams (after offsets/edges). */
+    virtual void addPropertyStreams() = 0;
+
+    /** Fraction of the footprint consumed by the CSR itself. */
+    virtual std::uint32_t csrFootprintPercent() const { return 70; }
+
+    /**
+     * Stream annotation of the edge array. Most kernels scan it
+     * sequentially (affine); tc overrides this because its dominant edge
+     * access is the data-dependent binary-search probe, which the stream
+     * model classifies as indirect (Section II-C).
+     */
+    virtual StreamType edgesStreamType() const
+    {
+        return StreamType::Affine;
+    }
+
+    CsrGraph graph_;
+    StreamId offsets_ = 0;
+    StreamId edges_ = 0;
+};
+
+/** Per-core traversal state shared by the graph generators. */
+class GapGenerator : public BoundedGenerator
+{
+  public:
+    GapGenerator(const GapWorkload& w, CoreId core);
+
+  protected:
+    /** Advance to the next owned vertex (round-robin partition). */
+    void nextVertex();
+
+    const GapWorkload& gw_;
+    std::uint64_t vertex_ = 0;
+    std::uint64_t edgeCursor_ = 0;
+    std::uint64_t edgeEnd_ = 0;
+    std::uint64_t phase_ = 0;
+};
+
+class BfsWorkload : public GapWorkload
+{
+  public:
+    std::string name() const override { return "bfs"; }
+    std::unique_ptr<AccessGenerator> makeGenerator(CoreId core) const
+        override;
+
+  protected:
+    void addPropertyStreams() override;
+
+  private:
+    friend class BfsGenerator;
+    StreamId visited_ = 0;
+    StreamId parent_ = 0;
+};
+
+class PageRankWorkload : public GapWorkload
+{
+  public:
+    std::string name() const override { return "pr"; }
+    std::unique_ptr<AccessGenerator> makeGenerator(CoreId core) const
+        override;
+
+  protected:
+    void addPropertyStreams() override;
+
+  private:
+    friend class PageRankGenerator;
+    StreamId ranks_ = 0;    ///< read-only within an iteration
+    StreamId newRanks_ = 0; ///< written per vertex
+    StreamId outDeg_ = 0;
+};
+
+class CcWorkload : public GapWorkload
+{
+  public:
+    std::string name() const override { return "cc"; }
+    std::unique_ptr<AccessGenerator> makeGenerator(CoreId core) const
+        override;
+
+  protected:
+    void addPropertyStreams() override;
+
+  private:
+    friend class CcGenerator;
+    StreamId comp_ = 0;
+};
+
+class BcWorkload : public GapWorkload
+{
+  public:
+    std::string name() const override { return "bc"; }
+    std::unique_ptr<AccessGenerator> makeGenerator(CoreId core) const
+        override;
+
+  protected:
+    void addPropertyStreams() override;
+
+  private:
+    friend class BcGenerator;
+    StreamId dist_ = 0;
+    StreamId sigma_ = 0;
+    StreamId delta_ = 0;
+};
+
+class TcWorkload : public GapWorkload
+{
+  public:
+    std::string name() const override { return "tc"; }
+    std::unique_ptr<AccessGenerator> makeGenerator(CoreId core) const
+        override;
+
+  protected:
+    void addPropertyStreams() override;
+    std::uint32_t csrFootprintPercent() const override { return 95; }
+    StreamType edgesStreamType() const override
+    {
+        return StreamType::Indirect;
+    }
+
+  private:
+    friend class TcGenerator;
+    StreamId counts_ = 0;
+};
+
+} // namespace ndpext
+
+#endif // NDPEXT_WORKLOADS_GAP_WORKLOADS_H

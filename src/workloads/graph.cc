@@ -1,0 +1,84 @@
+#include "workloads/graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace ndpext {
+
+CsrGraph
+makeRmatGraph(std::uint32_t scale, std::uint32_t avg_degree,
+              std::uint64_t seed)
+{
+    NDP_ASSERT(scale >= 4 && scale <= 28, "scale=", scale);
+    NDP_ASSERT(avg_degree >= 1);
+    const std::uint64_t v_count = 1ULL << scale;
+    const std::uint64_t e_count = v_count * avg_degree;
+
+    // R-MAT quadrant probabilities (Graph500 defaults).
+    constexpr double kA = 0.57;
+    constexpr double kB = 0.19;
+    constexpr double kC = 0.19;
+
+    Rng rng(seed);
+    std::vector<std::uint32_t> src(e_count);
+    std::vector<std::uint32_t> dst(e_count);
+    for (std::uint64_t e = 0; e < e_count; ++e) {
+        std::uint64_t s = 0;
+        std::uint64_t d = 0;
+        for (std::uint32_t bit = 0; bit < scale; ++bit) {
+            const double p = rng.nextDouble();
+            s <<= 1;
+            d <<= 1;
+            if (p < kA) {
+                // top-left: no bits set
+            } else if (p < kA + kB) {
+                d |= 1;
+            } else if (p < kA + kB + kC) {
+                s |= 1;
+            } else {
+                s |= 1;
+                d |= 1;
+            }
+        }
+        src[e] = static_cast<std::uint32_t>(s);
+        dst[e] = static_cast<std::uint32_t>(d);
+    }
+
+    // Counting sort into CSR.
+    CsrGraph g;
+    g.numVertices = v_count;
+    g.numEdges = e_count;
+    g.offsets.assign(v_count + 1, 0);
+    for (const auto s : src) {
+        ++g.offsets[s + 1];
+    }
+    for (std::uint64_t v = 0; v < v_count; ++v) {
+        g.offsets[v + 1] += g.offsets[v];
+    }
+    g.edges.resize(e_count);
+    std::vector<std::uint64_t> cursor(g.offsets.begin(),
+                                      g.offsets.end() - 1);
+    for (std::uint64_t e = 0; e < e_count; ++e) {
+        g.edges[cursor[src[e]]++] = dst[e];
+    }
+    return g;
+}
+
+std::uint32_t
+scaleForFootprint(std::uint64_t target_bytes, std::uint32_t avg_degree)
+{
+    // CSR bytes ~ V * 8 + V * degree * 4.
+    for (std::uint32_t scale = 26; scale > 4; --scale) {
+        const std::uint64_t v = 1ULL << scale;
+        const std::uint64_t bytes =
+            v * 8 + v * static_cast<std::uint64_t>(avg_degree) * 4;
+        if (bytes <= target_bytes) {
+            return scale;
+        }
+    }
+    return 4;
+}
+
+} // namespace ndpext

@@ -1,0 +1,424 @@
+#include "workloads/rodinia_workloads.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ndpext {
+
+namespace {
+
+constexpr std::uint64_t kLine4 = kCachelineBytes / 4; // 16 floats per line
+
+} // namespace
+
+// ---------------------------------------------------------------backprop
+
+void
+BackpropWorkload::doPrepare()
+{
+    // Dense MLP: w and oldw take ~45% of the footprint each.
+    const std::uint64_t w_bytes = p_.footprintBytes * 45 / 100;
+    input_ = addDense("input_units", StreamType::Affine,
+                      std::max<std::uint64_t>(1_MiB, p_.footprintBytes / 32),
+                      4, true);
+    weights_ = addDense("w", StreamType::Affine, w_bytes, 4, true);
+    oldWeights_ = addDense("oldw", StreamType::Affine, w_bytes, 4, false);
+    hidden_ = addDense("hidden_units", StreamType::Affine, 256_KiB, 4,
+                       false);
+}
+
+class BackpropGenerator : public BoundedGenerator
+{
+  public:
+    BackpropGenerator(const BackpropWorkload& w, CoreId core)
+        : BoundedGenerator(w, core), w_(w),
+          // First ~70% of the run is the read-heavy layerforward kernel,
+          // the rest the write-heavy adjust_weights kernel.
+          phase2Start_(w.params().accessesPerCore * 70 / 100)
+    {
+        wCursor_ = core * 4096;
+    }
+
+    void
+    produce(Access& out) override
+    {
+        const bool adjust = issued_ >= phase2Start_;
+        ++issued_;
+        const std::uint64_t step = phase_ % 8;
+        ++phase_;
+
+        if (!adjust) {
+            // layerforward: scan w, read input, accumulate into hidden.
+            if (step < 6) {
+                wCursor_ = (wCursor_ + kLine4) % cfg(w_.weights_).numElems();
+                emit(out, w_.weights_, wCursor_, false, 6);
+            } else if (step == 6) {
+                inCursor_ = (inCursor_ + kLine4) % cfg(w_.input_).numElems();
+                emit(out, w_.input_, inCursor_, false, 4);
+            } else {
+                emit(out, w_.hidden_,
+                     rng_.nextBounded(cfg(w_.hidden_).numElems()), true, 2);
+            }
+        } else {
+            // adjust_weights: read oldw, write w and oldw.
+            if (step < 3) {
+                owCursor_ =
+                    (owCursor_ + kLine4) % cfg(w_.oldWeights_).numElems();
+                emit(out, w_.oldWeights_, owCursor_, step == 2, 4);
+            } else if (step < 7) {
+                wCursor_ = (wCursor_ + kLine4) % cfg(w_.weights_).numElems();
+                emit(out, w_.weights_, wCursor_, true, 4);
+            } else {
+                emit(out, w_.hidden_,
+                     rng_.nextBounded(cfg(w_.hidden_).numElems()), false,
+                     2);
+            }
+        }
+    }
+
+  private:
+    const BackpropWorkload& w_;
+    std::uint64_t phase2Start_;
+    std::uint64_t issued_ = 0;
+    std::uint64_t phase_ = 0;
+    std::uint64_t wCursor_ = 0;
+    std::uint64_t owCursor_ = 0;
+    std::uint64_t inCursor_ = 0;
+};
+
+std::unique_ptr<AccessGenerator>
+BackpropWorkload::makeGenerator(CoreId core) const
+{
+    return std::make_unique<BackpropGenerator>(*this, core);
+}
+
+// ---------------------------------------------------------------- hotspot
+
+void
+HotspotWorkload::doPrepare()
+{
+    // Three R x C float grids.
+    const std::uint64_t grid_bytes = p_.footprintBytes / 3;
+    cols_ = 4096;
+    rows_ = std::max<std::uint64_t>(p_.numCores * 4,
+                                    grid_bytes / (cols_ * 4));
+    temp_ = addDense("temp", StreamType::Affine, rows_ * cols_ * 4, 4,
+                     false);
+    power_ = addDense("power", StreamType::Affine, rows_ * cols_ * 4, 4,
+                      true);
+    result_ = addDense("result", StreamType::Affine, rows_ * cols_ * 4, 4,
+                       false);
+}
+
+class HotspotGenerator : public BoundedGenerator
+{
+  public:
+    HotspotGenerator(const HotspotWorkload& w, CoreId core)
+        : BoundedGenerator(w, core), w_(w)
+    {
+        const std::uint64_t band = w_.rows_ / w.params().numCores;
+        rowBegin_ = band * core;
+        rowEnd_ = core + 1 == w.params().numCores ? w_.rows_
+                                                  : rowBegin_ + band;
+        row_ = rowBegin_;
+    }
+
+    void
+    produce(Access& out) override
+    {
+        // Per line of cells: temp[r], temp[r-1], temp[r+1], power, result.
+        const std::uint64_t step = phase_ % 5;
+        ++phase_;
+        const std::uint64_t idx = row_ * w_.cols_ + col_;
+        switch (step) {
+          case 0:
+            emit(out, w_.temp_, idx, false, 4);
+            return;
+          case 1: {
+            const std::uint64_t up = row_ == 0 ? row_ : row_ - 1;
+            emit(out, w_.temp_, up * w_.cols_ + col_, false, 4);
+            return;
+          }
+          case 2: {
+            const std::uint64_t down =
+                row_ + 1 >= w_.rows_ ? row_ : row_ + 1;
+            emit(out, w_.temp_, down * w_.cols_ + col_, false, 4);
+            return;
+          }
+          case 3:
+            emit(out, w_.power_, idx, false, 6);
+            return;
+          default:
+            emit(out, w_.result_, idx, true, 4);
+            col_ += kLine4;
+            if (col_ >= w_.cols_) {
+                col_ = 0;
+                ++row_;
+                if (row_ >= rowEnd_) {
+                    row_ = rowBegin_;
+                }
+            }
+            return;
+        }
+    }
+
+  private:
+    const HotspotWorkload& w_;
+    std::uint64_t rowBegin_ = 0;
+    std::uint64_t rowEnd_ = 0;
+    std::uint64_t row_ = 0;
+    std::uint64_t col_ = 0;
+    std::uint64_t phase_ = 0;
+};
+
+std::unique_ptr<AccessGenerator>
+HotspotWorkload::makeGenerator(CoreId core) const
+{
+    return std::make_unique<HotspotGenerator>(*this, core);
+}
+
+// ----------------------------------------------------------------- lavaMD
+
+void
+LavaMdWorkload::doPrepare()
+{
+    // positions (16 B) + charges (4 B) + forces (16 B) per particle.
+    const std::uint64_t per_particle = 16 + 4 + 16;
+    const std::uint64_t particles =
+        p_.footprintBytes * 95 / 100 / per_particle;
+    numBoxes_ = std::max<std::uint64_t>(p_.numCores,
+                                        particles / kParticlesPerBox);
+    boxesPerDim_ = static_cast<std::uint64_t>(std::cbrt(
+        static_cast<double>(numBoxes_)));
+    boxesPerDim_ = std::max<std::uint64_t>(4, boxesPerDim_);
+    numBoxes_ = boxesPerDim_ * boxesPerDim_ * boxesPerDim_;
+
+    const std::uint64_t n = numBoxes_ * kParticlesPerBox;
+    positions_ = addDense("positions", StreamType::Indirect, n * 16, 16,
+                          true);
+    charges_ = addDense("charges", StreamType::Indirect, n * 4, 4, true);
+    forces_ = addDense("forces", StreamType::Indirect, n * 16, 16, false);
+    neighborList_ = addDense("neighbor_list", StreamType::Affine,
+                             numBoxes_ * kNeighbors * 4, 4, true);
+}
+
+class LavaMdGenerator : public BoundedGenerator
+{
+  public:
+    LavaMdGenerator(const LavaMdWorkload& w, CoreId core)
+        : BoundedGenerator(w, core), w_(w)
+    {
+        box_ = core % w_.numBoxes_;
+    }
+
+    void
+    produce(Access& out) override
+    {
+        // For each of the 27 neighbor boxes, stream its particles.
+        const std::uint64_t d = w_.boxesPerDim_;
+        const std::uint64_t bx = box_ % d;
+        const std::uint64_t by = (box_ / d) % d;
+        const std::uint64_t bz = box_ / (d * d);
+        const std::uint32_t n = neighbor_;
+        const std::uint64_t nx = (bx + (n % 3) + d - 1) % d;
+        const std::uint64_t ny = (by + ((n / 3) % 3) + d - 1) % d;
+        const std::uint64_t nz = (bz + (n / 9) + d - 1) % d;
+        const std::uint64_t nbox = (nz * d + ny) * d + nx;
+        const std::uint64_t pbase =
+            nbox * LavaMdWorkload::kParticlesPerBox;
+
+        const std::uint64_t step = phase_ % 4;
+        ++phase_;
+        switch (step) {
+          case 0:
+            emit(out, w_.neighborList_,
+                 box_ * LavaMdWorkload::kNeighbors + n, false, 2);
+            return;
+          case 1:
+            emit(out, w_.positions_, pbase + particle_, false, 10);
+            return;
+          case 2:
+            emit(out, w_.charges_, pbase + particle_, false, 6);
+            return;
+          default:
+            emit(out, w_.forces_,
+                 box_ * LavaMdWorkload::kParticlesPerBox
+                     + (particle_ % LavaMdWorkload::kParticlesPerBox),
+                 true, 8);
+            particle_ += 4; // one 64 B line of positions
+            if (particle_ >= LavaMdWorkload::kParticlesPerBox) {
+                particle_ = 0;
+                ++neighbor_;
+                if (neighbor_ >= LavaMdWorkload::kNeighbors) {
+                    neighbor_ = 0;
+                    box_ = (box_ + w_.params().numCores) % w_.numBoxes_;
+                }
+            }
+            return;
+        }
+    }
+
+  private:
+    const LavaMdWorkload& w_;
+    std::uint64_t box_ = 0;
+    std::uint32_t neighbor_ = 0;
+    std::uint64_t particle_ = 0;
+    std::uint64_t phase_ = 0;
+};
+
+std::unique_ptr<AccessGenerator>
+LavaMdWorkload::makeGenerator(CoreId core) const
+{
+    return std::make_unique<LavaMdGenerator>(*this, core);
+}
+
+// -------------------------------------------------------------------- lud
+
+void
+LudWorkload::doPrepare()
+{
+    n_ = 1024;
+    while ((n_ * 2) * (n_ * 2) * 4 <= p_.footprintBytes) {
+        n_ *= 2;
+    }
+    matrix_ = addDense("matrix", StreamType::Affine, n_ * n_ * 4, 4,
+                       false);
+    // The blocked implementation keeps a shadow copy of the diagonal
+    // block that every core re-reads during the perimeter/internal steps.
+    diag_ = addDense("diag_block", StreamType::Affine, 64_KiB, 4, false);
+}
+
+class LudGenerator : public BoundedGenerator
+{
+  public:
+    LudGenerator(const LudWorkload& w, CoreId core)
+        : BoundedGenerator(w, core), w_(w)
+    {
+        k_ = (core * 17) % (w_.n_ / 2);
+    }
+
+    void
+    produce(Access& out) override
+    {
+        // Blocked LU step k: read row k, read column k (strided, poor
+        // locality), update trailing block -- the working set shifts with
+        // k, exercising reconfiguration.
+        const std::uint64_t step = phase_ % 5;
+        ++phase_;
+        const std::uint64_t n = w_.n_;
+        switch (step) {
+          case 4: // shadow diagonal block re-read
+            emit(out, w_.diag_,
+                 (i_ * 16 + j_) % cfg(w_.diag_).numElems(), false, 4);
+            return;
+          case 0: // perimeter row (sequential)
+            i_ = (i_ + kLine4) % (n - k_);
+            emit(out, w_.matrix_, k_ * n + k_ + i_, false, 6);
+            return;
+          case 1: // perimeter column (strided: one element per row)
+            j_ = (j_ + 1) % (n - k_);
+            emit(out, w_.matrix_, (k_ + j_) * n + k_, false, 6);
+            return;
+          case 2: // trailing submatrix read
+            emit(out, w_.matrix_,
+                 (k_ + 1 + j_) * n + k_ + 1 + i_, false, 8);
+            return;
+          default: // trailing submatrix write
+            emit(out, w_.matrix_,
+                 (k_ + 1 + j_) * n + k_ + 1 + i_, true, 4);
+            if (++stepsAtK_ >= 4096) {
+                stepsAtK_ = 0;
+                k_ = (k_ + 16) % (n / 2);
+            }
+            return;
+        }
+    }
+
+  private:
+    const LudWorkload& w_;
+    std::uint64_t k_ = 0;
+    std::uint64_t i_ = 0;
+    std::uint64_t j_ = 0;
+    std::uint64_t phase_ = 0;
+    std::uint64_t stepsAtK_ = 0;
+};
+
+std::unique_ptr<AccessGenerator>
+LudWorkload::makeGenerator(CoreId core) const
+{
+    return std::make_unique<LudGenerator>(*this, core);
+}
+
+// -------------------------------------------------------------pathfinder
+
+void
+PathfinderWorkload::doPrepare()
+{
+    cols_ = 1ULL << 20; // wide rows: each core owns a column chunk
+    rows_ = std::max<std::uint64_t>(
+        8, p_.footprintBytes * 90 / 100 / (cols_ * 4));
+    wall_ = addDense("wall", StreamType::Affine, rows_ * cols_ * 4, 4,
+                     true);
+    src_ = addDense("src_row", StreamType::Affine, cols_ * 4, 4, false);
+    dst_ = addDense("dst_row", StreamType::Affine, cols_ * 4, 4, false);
+}
+
+class PathfinderGenerator : public BoundedGenerator
+{
+  public:
+    PathfinderGenerator(const PathfinderWorkload& w, CoreId core)
+        : BoundedGenerator(w, core), w_(w)
+    {
+        const std::uint64_t chunk = w_.cols_ / w.params().numCores;
+        colBegin_ = chunk * core;
+        colEnd_ = core + 1 == w.params().numCores ? w_.cols_
+                                                  : colBegin_ + chunk;
+        col_ = colBegin_;
+    }
+
+    void
+    produce(Access& out) override
+    {
+        // DP wavefront: read wall[row][col], src[col-1..col+1], write dst.
+        const std::uint64_t step = phase_ % 4;
+        ++phase_;
+        switch (step) {
+          case 0:
+            emit(out, w_.wall_, row_ * w_.cols_ + col_, false, 4);
+            return;
+          case 1:
+            emit(out, w_.src_, col_ == 0 ? 0 : col_ - 1, false, 2);
+            return;
+          case 2:
+            emit(out, w_.src_,
+                 std::min(col_ + kLine4, w_.cols_ - 1), false, 2);
+            return;
+          default:
+            emit(out, w_.dst_, col_, true, 2);
+            col_ += kLine4;
+            if (col_ >= colEnd_) {
+                col_ = colBegin_;
+                row_ = (row_ + 1) % w_.rows_;
+            }
+            return;
+        }
+    }
+
+  private:
+    const PathfinderWorkload& w_;
+    std::uint64_t colBegin_ = 0;
+    std::uint64_t colEnd_ = 0;
+    std::uint64_t col_ = 0;
+    std::uint64_t row_ = 0;
+    std::uint64_t phase_ = 0;
+};
+
+std::unique_ptr<AccessGenerator>
+PathfinderWorkload::makeGenerator(CoreId core) const
+{
+    return std::make_unique<PathfinderGenerator>(*this, core);
+}
+
+} // namespace ndpext

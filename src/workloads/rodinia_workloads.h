@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Rodinia-derived workloads (Section VI): backprop, hotspot, lavaMD, lud,
+ * pathfinder. Each reproduces the original kernel's stream structure:
+ * backprop's two phases flip the weight matrix from read-heavy
+ * (replication-friendly) to write-heavy; hotspot/pathfinder have stencil
+ * halo sharing; lavaMD gathers neighbor boxes; lud's working set shifts
+ * along the diagonal.
+ */
+
+#ifndef NDPEXT_WORKLOADS_RODINIA_WORKLOADS_H
+#define NDPEXT_WORKLOADS_RODINIA_WORKLOADS_H
+
+#include "workloads/workload.h"
+
+namespace ndpext {
+
+class BackpropWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "backprop"; }
+    std::unique_ptr<AccessGenerator> makeGenerator(CoreId core) const
+        override;
+
+  protected:
+    void doPrepare() override;
+
+  private:
+    friend class BackpropGenerator;
+    StreamId input_ = 0;
+    StreamId weights_ = 0; ///< read in layerforward, written in adjust
+    StreamId oldWeights_ = 0;
+    StreamId hidden_ = 0;
+};
+
+class HotspotWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "hotspot"; }
+    std::unique_ptr<AccessGenerator> makeGenerator(CoreId core) const
+        override;
+
+  protected:
+    void doPrepare() override;
+
+  private:
+    friend class HotspotGenerator;
+    StreamId temp_ = 0;
+    StreamId power_ = 0;
+    StreamId result_ = 0;
+    std::uint64_t rows_ = 0;
+    std::uint64_t cols_ = 0;
+};
+
+class LavaMdWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "lavaMD"; }
+    std::unique_ptr<AccessGenerator> makeGenerator(CoreId core) const
+        override;
+
+    static constexpr std::uint32_t kParticlesPerBox = 64;
+    static constexpr std::uint32_t kNeighbors = 27;
+
+  protected:
+    void doPrepare() override;
+
+  private:
+    friend class LavaMdGenerator;
+    StreamId positions_ = 0;
+    StreamId charges_ = 0;
+    StreamId forces_ = 0;
+    StreamId neighborList_ = 0;
+    std::uint64_t boxesPerDim_ = 0;
+    std::uint64_t numBoxes_ = 0;
+};
+
+class LudWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "lud"; }
+    std::unique_ptr<AccessGenerator> makeGenerator(CoreId core) const
+        override;
+
+  protected:
+    void doPrepare() override;
+
+  private:
+    friend class LudGenerator;
+    StreamId matrix_ = 0;
+    StreamId diag_ = 0;
+    std::uint64_t n_ = 0;
+};
+
+class PathfinderWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "pathfinder"; }
+    std::unique_ptr<AccessGenerator> makeGenerator(CoreId core) const
+        override;
+
+  protected:
+    void doPrepare() override;
+
+  private:
+    friend class PathfinderGenerator;
+    StreamId wall_ = 0;
+    StreamId src_ = 0;
+    StreamId dst_ = 0;
+    std::uint64_t rows_ = 0;
+    std::uint64_t cols_ = 0;
+};
+
+} // namespace ndpext
+
+#endif // NDPEXT_WORKLOADS_RODINIA_WORKLOADS_H

@@ -1,0 +1,169 @@
+#include "workloads/trace_workload.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ndpext {
+
+namespace {
+
+/** Generator replaying one core's recorded accesses. */
+class TraceGenerator : public AccessGenerator
+{
+  public:
+    TraceGenerator(const TraceWorkload& w, CoreId core)
+        : workload_(w), core_(core)
+    {
+    }
+
+    bool
+    next(Access& out) override
+    {
+        const auto& trace = workload_.coreTrace(core_);
+        if (cursor_ >= trace.size()) {
+            return false;
+        }
+        const auto& t = trace[cursor_++];
+        const StreamConfig& cfg = workload_.streamConfigs()[t.sid];
+        out.sid = t.sid;
+        out.elem = t.elem;
+        out.addr = cfg.addrOf(t.elem);
+        out.size = std::min<std::uint32_t>(cfg.elemSize, kCachelineBytes);
+        out.isWrite = t.isWrite;
+        out.computeCycles = t.computeCycles;
+        return true;
+    }
+
+  private:
+    const TraceWorkload& workload_;
+    CoreId core_;
+    std::size_t cursor_ = 0;
+};
+
+} // namespace
+
+void
+TraceWorkload::doPrepare()
+{
+    // Streams and accesses were installed by parse(); nothing to build.
+    NDP_ASSERT(!configs_.empty(), "trace defined no streams");
+}
+
+std::unique_ptr<AccessGenerator>
+TraceWorkload::makeGenerator(CoreId core) const
+{
+    NDP_ASSERT(core < perCore_.size(), "core ", core, " out of range");
+    return std::make_unique<TraceGenerator>(*this, core);
+}
+
+std::unique_ptr<TraceWorkload>
+TraceWorkload::parse(std::istream& in, std::uint32_t num_cores)
+{
+    NDP_ASSERT(num_cores > 0);
+    auto w = std::unique_ptr<TraceWorkload>(new TraceWorkload());
+    w->perCore_.resize(num_cores);
+
+    std::uint64_t footprint = 0;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos) {
+            line.resize(hash);
+        }
+        std::istringstream ss(line);
+        std::string kind;
+        if (!(ss >> kind)) {
+            continue; // blank line
+        }
+        if (kind == "stream") {
+            std::string name;
+            std::string type_str;
+            std::string base_str;
+            std::uint64_t size = 0;
+            std::uint32_t elem_size = 0;
+            std::string rw;
+            if (!(ss >> name >> type_str >> base_str >> size >> elem_size
+                  >> rw)) {
+                NDP_FATAL("trace line ", line_no, ": malformed stream");
+            }
+            StreamType type;
+            if (type_str == "affine") {
+                type = StreamType::Affine;
+            } else if (type_str == "indirect") {
+                type = StreamType::Indirect;
+            } else {
+                NDP_FATAL("trace line ", line_no, ": bad stream type '",
+                          type_str, "'");
+            }
+            const Addr base =
+                static_cast<Addr>(std::stoull(base_str, nullptr, 0));
+            if (rw != "ro" && rw != "rw") {
+                NDP_FATAL("trace line ", line_no, ": expected ro|rw");
+            }
+            StreamConfig cfg =
+                StreamConfig::dense(name, type, base, size, elem_size);
+            cfg.readOnly = rw == "ro";
+            cfg.sid = static_cast<StreamId>(w->configs_.size());
+            w->configs_.push_back(std::move(cfg));
+            footprint += size;
+        } else if (kind == "a") {
+            std::uint32_t core = 0;
+            std::uint32_t sid = 0;
+            ElemId elem = 0;
+            std::string rw;
+            std::uint32_t compute = 2;
+            if (!(ss >> core >> sid >> elem >> rw)) {
+                NDP_FATAL("trace line ", line_no, ": malformed access");
+            }
+            ss >> compute; // optional
+            if (core >= num_cores) {
+                NDP_FATAL("trace line ", line_no, ": core ", core,
+                          " >= ", num_cores);
+            }
+            if (sid >= w->configs_.size()) {
+                NDP_FATAL("trace line ", line_no, ": unknown sid ", sid);
+            }
+            if (elem >= w->configs_[sid].numElems()) {
+                NDP_FATAL("trace line ", line_no, ": elem ", elem,
+                          " out of range for stream ",
+                          w->configs_[sid].name);
+            }
+            if (rw != "r" && rw != "w") {
+                NDP_FATAL("trace line ", line_no, ": expected r|w");
+            }
+            w->perCore_[core].push_back(TraceAccess{
+                static_cast<StreamId>(sid), elem, rw == "w",
+                std::max<std::uint32_t>(1, compute)});
+        } else {
+            NDP_FATAL("trace line ", line_no, ": unknown record '", kind,
+                      "'");
+        }
+    }
+
+    std::size_t max_accesses = 1;
+    for (const auto& core : w->perCore_) {
+        max_accesses = std::max(max_accesses, core.size());
+    }
+    WorkloadParams params;
+    params.numCores = num_cores;
+    params.footprintBytes = std::max<std::uint64_t>(1, footprint);
+    params.accessesPerCore = max_accesses;
+    w->prepare(params);
+    return w;
+}
+
+std::unique_ptr<TraceWorkload>
+TraceWorkload::parseFile(const std::string& path, std::uint32_t num_cores)
+{
+    std::ifstream in(path);
+    if (!in) {
+        NDP_FATAL("cannot open trace file: ", path);
+    }
+    return parse(in, num_cores);
+}
+
+} // namespace ndpext

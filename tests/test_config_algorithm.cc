@@ -1,0 +1,370 @@
+/** Tests for Algorithm 1 (sizing + placement + replication co-opt). */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "runtime/config_algorithm.h"
+
+namespace ndpext {
+namespace {
+
+constexpr std::uint32_t kUnits = 8;
+constexpr std::uint32_t kRowsPerUnit = 32;
+constexpr std::uint32_t kRowBytes = 2048;
+
+struct Fixture
+{
+    MeshTopology topo{2, 1, 2, 2};
+    NocModel noc{topo, NocParams{}};
+
+    ConfigParams
+    params() const
+    {
+        ConfigParams p;
+        p.numUnits = kUnits;
+        p.rowsPerUnit = kRowsPerUnit;
+        p.rowBytes = kRowBytes;
+        p.dramLatency = 40;
+        return p;
+    }
+};
+
+/** A miss curve where capacity up to `useful` steadily removes misses. */
+MissCurve
+linearCurve(std::uint64_t useful, double misses)
+{
+    std::vector<std::uint64_t> caps;
+    std::vector<double> m;
+    for (std::uint64_t c = 2048; c <= useful * 2; c *= 2) {
+        caps.push_back(c);
+        const double frac = std::min(
+            1.0, static_cast<double>(c) / static_cast<double>(useful));
+        m.push_back(misses * (1.0 - frac));
+    }
+    MissCurve curve(caps, std::move(m));
+    curve.setZeroMisses(misses);
+    return curve;
+}
+
+StreamDemand
+demand(StreamId sid, std::vector<UnitId> units, std::uint64_t accesses,
+       std::uint64_t footprint, bool read_only)
+{
+    StreamDemand d;
+    d.sid = sid;
+    d.accUnits = std::move(units);
+    d.accCounts.assign(d.accUnits.size(),
+                       accesses / std::max<std::size_t>(
+                           1, d.accUnits.size()));
+    d.footprintBytes = footprint;
+    d.readOnly = read_only;
+    d.granuleBytes = 8;
+    d.curve = linearCurve(footprint, static_cast<double>(accesses));
+    return d;
+}
+
+std::uint64_t
+totalRowsOnUnit(const std::vector<std::pair<StreamId, StreamAlloc>>& out,
+                UnitId u)
+{
+    std::uint64_t rows = 0;
+    for (const auto& [sid, alloc] : out) {
+        (void)sid;
+        rows += alloc.shareRows[u];
+    }
+    return rows;
+}
+
+TEST(ConfigAlgorithm, RespectsPerUnitCapacity)
+{
+    Fixture f;
+    ConfigAlgorithm algo(f.params(), f.noc);
+    std::vector<StreamDemand> demands;
+    for (StreamId s = 0; s < 6; ++s) {
+        std::vector<UnitId> units(kUnits);
+        std::iota(units.begin(), units.end(), 0);
+        demands.push_back(demand(s, units, 10000, 256_KiB, true));
+    }
+    const auto out = algo.run(demands);
+    for (UnitId u = 0; u < kUnits; ++u) {
+        EXPECT_LE(totalRowsOnUnit(out, u), kRowsPerUnit);
+    }
+}
+
+TEST(ConfigAlgorithm, ReadWriteStreamsKeepOneGroup)
+{
+    Fixture f;
+    ConfigAlgorithm algo(f.params(), f.noc);
+    std::vector<StreamDemand> demands;
+    demands.push_back(demand(0, {0, 1, 4, 5}, 10000, 64_KiB, false));
+    const auto out = algo.run(demands);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].second.numGroups, 1u);
+}
+
+TEST(ConfigAlgorithm, ReadOnlyStreamsReplicateWhenSpaceIsAmple)
+{
+    Fixture f;
+    ConfigAlgorithm algo(f.params(), f.noc);
+    std::vector<StreamDemand> demands;
+    // Small hot read-only stream accessed from both stacks.
+    demands.push_back(demand(0, {0, 7}, 10000, 16_KiB, true));
+    const auto out = algo.run(demands);
+    ASSERT_EQ(out.size(), 1u);
+    // With abundant space, both accessing units keep their own replica.
+    EXPECT_EQ(out[0].second.numGroups, 2u);
+    EXPECT_GT(out[0].second.shareRows[0], 0u);
+    EXPECT_GT(out[0].second.shareRows[7], 0u);
+}
+
+TEST(ConfigAlgorithm, AllocationLandsOnAccessingUnits)
+{
+    Fixture f;
+    ConfigAlgorithm algo(f.params(), f.noc);
+    std::vector<StreamDemand> demands;
+    demands.push_back(demand(0, {2, 3}, 10000, 16_KiB, true));
+    const auto out = algo.run(demands);
+    ASSERT_EQ(out.size(), 1u);
+    const auto& alloc = out[0].second;
+    EXPECT_GT(alloc.shareRows[2], 0u);
+    EXPECT_GT(alloc.shareRows[3], 0u);
+    EXPECT_EQ(alloc.shareRows[6], 0u); // non-accessing, no pressure
+}
+
+TEST(ConfigAlgorithm, HotterStreamsGetMoreSpace)
+{
+    Fixture f;
+    ConfigAlgorithm algo(f.params(), f.noc);
+    std::vector<StreamDemand> demands;
+    demands.push_back(demand(0, {0}, 100000, 512_KiB, false));
+    demands.push_back(demand(1, {0}, 100, 512_KiB, false));
+    const auto out = algo.run(demands);
+    ASSERT_EQ(out.size(), 2u);
+    std::uint64_t hot = 0;
+    std::uint64_t cold = 0;
+    for (const auto& [sid, alloc] : out) {
+        const std::uint64_t rows = alloc.totalRows();
+        if (sid == 0) {
+            hot = rows;
+        } else {
+            cold = rows;
+        }
+    }
+    EXPECT_GT(hot, cold);
+}
+
+TEST(ConfigAlgorithm, CapacityPressureConsolidatesReplication)
+{
+    Fixture f;
+    ConfigAlgorithm algo(f.params(), f.noc);
+    std::vector<StreamDemand> demands;
+    // A read-only stream accessed by everyone whose footprint is far
+    // beyond what full replication could hold: the degree must end well
+    // below one group per accessing unit, within capacity.
+    std::vector<UnitId> all(kUnits);
+    std::iota(all.begin(), all.end(), 0);
+    const std::uint64_t total_bytes =
+        std::uint64_t{kUnits} * kRowsPerUnit * kRowBytes;
+    demands.push_back(demand(0, all, 100000, total_bytes * 2, true));
+    const auto out = algo.run(demands);
+    ASSERT_EQ(out.size(), 1u);
+    const auto& alloc = out[0].second;
+    for (UnitId u = 0; u < kUnits; ++u) {
+        EXPECT_LE(alloc.shareRows[u], kRowsPerUnit);
+    }
+    EXPECT_LT(alloc.numGroups, kUnits);
+}
+
+TEST(ConfigAlgorithm, SingleAccessorSpillsToNearbyUnits)
+{
+    Fixture f;
+    ConfigAlgorithm algo(f.params(), f.noc);
+    std::vector<StreamDemand> demands;
+    // Unit 0 is the only accessor and wants far more than its local
+    // rows: allocation must extend to neighboring units.
+    const std::uint64_t unit_bytes =
+        std::uint64_t{kRowsPerUnit} * kRowBytes;
+    demands.push_back(demand(0, {0}, 100000, unit_bytes * 4, false));
+    const auto out = algo.run(demands);
+    ASSERT_EQ(out.size(), 1u);
+    const auto& alloc = out[0].second;
+    EXPECT_EQ(alloc.shareRows[0], kRowsPerUnit); // local space maxed
+    std::uint64_t remote = 0;
+    for (UnitId u = 1; u < kUnits; ++u) {
+        remote += alloc.shareRows[u];
+    }
+    EXPECT_GT(remote, 0u) << "allocation should spill off-unit";
+    EXPECT_GT(algo.lastExtends(), 0u);
+}
+
+TEST(ConfigAlgorithm, HotSmallStreamReplicatesThenYieldsUnderPressure)
+{
+    Fixture f;
+    ConfigAlgorithm algo(f.params(), f.noc);
+    std::vector<StreamDemand> demands;
+    std::vector<UnitId> all(kUnits);
+    std::iota(all.begin(), all.end(), 0);
+    // Hot tiny read-only stream: replicates widely.
+    demands.push_back(demand(0, all, 1000000, 8_KiB, true));
+    // Big hot read-write stream: consumes the rest of the machine.
+    const std::uint64_t total_bytes =
+        std::uint64_t{kUnits} * kRowsPerUnit * kRowBytes;
+    demands.push_back(demand(1, all, 900000, total_bytes, false));
+    const auto out = algo.run(demands);
+    ASSERT_EQ(out.size(), 2u);
+    const auto& hot = out[0].first == 0 ? out[0].second : out[1].second;
+    EXPECT_GT(hot.numGroups, 1u) << "hot small stream should replicate";
+    for (UnitId u = 0; u < kUnits; ++u) {
+        EXPECT_LE(totalRowsOnUnit(out, u), kRowsPerUnit);
+    }
+}
+
+TEST(ConfigAlgorithm, AffineCapRespected)
+{
+    Fixture f;
+    ConfigParams p = f.params();
+    p.affineCapBytesPerUnit = 4 * kRowBytes; // 4 rows per unit
+    ConfigAlgorithm algo(p, f.noc);
+    std::vector<StreamDemand> demands;
+    auto d = demand(0, {0}, 100000, 1_MiB, true);
+    d.affine = true;
+    demands.push_back(d);
+    const auto out = algo.run(demands);
+    ASSERT_EQ(out.size(), 1u);
+    for (UnitId u = 0; u < kUnits; ++u) {
+        EXPECT_LE(out[0].second.shareRows[u], 4u) << "unit " << u;
+    }
+}
+
+TEST(ConfigAlgorithm, RowBasesDoNotOverlap)
+{
+    Fixture f;
+    ConfigAlgorithm algo(f.params(), f.noc);
+    std::vector<StreamDemand> demands;
+    std::vector<UnitId> all(kUnits);
+    std::iota(all.begin(), all.end(), 0);
+    for (StreamId s = 0; s < 4; ++s) {
+        demands.push_back(demand(s, all, 10000, 128_KiB, s % 2 == 0));
+    }
+    const auto out = algo.run(demands);
+    for (UnitId u = 0; u < kUnits; ++u) {
+        // Collect [base, base+rows) intervals; they must be disjoint.
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> ivs;
+        for (const auto& [sid, alloc] : out) {
+            (void)sid;
+            if (alloc.shareRows[u] > 0) {
+                ivs.emplace_back(alloc.rowBase[u],
+                                 alloc.rowBase[u] + alloc.shareRows[u]);
+            }
+        }
+        std::sort(ivs.begin(), ivs.end());
+        for (std::size_t i = 1; i < ivs.size(); ++i) {
+            EXPECT_LE(ivs[i - 1].second, ivs[i].first);
+        }
+        if (!ivs.empty()) {
+            EXPECT_LE(ivs.back().second, kRowsPerUnit);
+        }
+    }
+}
+
+TEST(ConfigAlgorithm, EmptyDemandsYieldEmptyConfig)
+{
+    Fixture f;
+    ConfigAlgorithm algo(f.params(), f.noc);
+    const auto out = algo.run({});
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(ConfigAlgorithm, GroupIdsAreDense)
+{
+    Fixture f;
+    ConfigAlgorithm algo(f.params(), f.noc);
+    std::vector<StreamDemand> demands;
+    demands.push_back(demand(0, {0, 3, 5}, 10000, 16_KiB, true));
+    const auto out = algo.run(demands);
+    ASSERT_EQ(out.size(), 1u);
+    const auto& alloc = out[0].second;
+    for (UnitId u = 0; u < kUnits; ++u) {
+        if (alloc.shareRows[u] > 0) {
+            EXPECT_LT(alloc.groupOf[u], alloc.numGroups);
+        }
+    }
+}
+
+TEST(ConfigAlgorithm, GroupCapacityStaysNearFootprint)
+{
+    // Regression: with clustered replica groups, each iteration must
+    // grow every copy by ONE segment (not one per accessor), or a
+    // single-group stream ends up holding accessors x footprint bytes.
+    Fixture f;
+    ConfigAlgorithm algo(f.params(), f.noc);
+    std::vector<StreamDemand> demands;
+    std::vector<UnitId> all(kUnits);
+    std::iota(all.begin(), all.end(), 0);
+    // Small read-only stream: capacity beyond its footprint is waste.
+    const std::uint64_t fp = 32_KiB;
+    demands.push_back(demand(0, all, 1000000, fp, true));
+    const auto out = algo.run(demands);
+    ASSERT_EQ(out.size(), 1u);
+    const auto& alloc = out[0].second;
+    // Every replica group's capacity is bounded by the footprint plus
+    // one row of rounding slack.
+    for (std::uint16_t g = 0; g < alloc.numGroups; ++g) {
+        const std::uint64_t bytes =
+            alloc.rowsOfGroup(g) * kRowBytes;
+        EXPECT_LE(bytes, fp + kRowBytes * (kRowsPerUnit / 8 + 1))
+            << "group " << g << " over-allocated";
+    }
+}
+
+TEST(ConfigAlgorithm, ReplicationAblationForcesSingleGroup)
+{
+    Fixture f;
+    ConfigParams p = f.params();
+    p.allowReplication = false;
+    ConfigAlgorithm algo(p, f.noc);
+    std::vector<StreamDemand> demands;
+    // A hot tiny read-only stream that would otherwise replicate widely.
+    demands.push_back(demand(0, {0, 1, 4, 5, 6, 7}, 1000000, 8_KiB, true));
+    const auto out = algo.run(demands);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].second.numGroups, 1u);
+}
+
+/** Property sweep: capacity invariants hold across stream counts. */
+class ConfigScaleTest : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(ConfigScaleTest, CapacityInvariant)
+{
+    Fixture f;
+    ConfigAlgorithm algo(f.params(), f.noc);
+    std::vector<StreamDemand> demands;
+    Rng rng(GetParam());
+    for (StreamId s = 0; s < GetParam(); ++s) {
+        std::vector<UnitId> units;
+        for (UnitId u = 0; u < kUnits; ++u) {
+            if (rng.nextBool(0.5)) {
+                units.push_back(u);
+            }
+        }
+        if (units.empty()) {
+            units.push_back(static_cast<UnitId>(s % kUnits));
+        }
+        demands.push_back(demand(s, units, 1000 + 100 * s,
+                                 (64u + s * 32) * 1024, s % 3 != 0));
+    }
+    const auto out = algo.run(demands);
+    for (UnitId u = 0; u < kUnits; ++u) {
+        EXPECT_LE(totalRowsOnUnit(out, u), kRowsPerUnit) << "unit " << u;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(StreamCounts, ConfigScaleTest,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u));
+
+} // namespace
+} // namespace ndpext

@@ -1,0 +1,204 @@
+/** Tests for Edmonds-Karp max-flow and the sampler assignment. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "runtime/max_flow.h"
+#include "runtime/sampler_assign.h"
+
+namespace ndpext {
+namespace {
+
+TEST(MaxFlow, SimpleChain)
+{
+    MaxFlow f(3);
+    f.addEdge(0, 1, 5);
+    f.addEdge(1, 2, 3);
+    EXPECT_EQ(f.solve(0, 2), 3);
+}
+
+TEST(MaxFlow, ParallelPaths)
+{
+    MaxFlow f(4);
+    f.addEdge(0, 1, 2);
+    f.addEdge(0, 2, 2);
+    f.addEdge(1, 3, 2);
+    f.addEdge(2, 3, 2);
+    EXPECT_EQ(f.solve(0, 3), 4);
+}
+
+TEST(MaxFlow, ClassicCrossEdge)
+{
+    // The textbook example where augmenting must use the residual edge.
+    MaxFlow f(4);
+    f.addEdge(0, 1, 1);
+    f.addEdge(0, 2, 1);
+    const auto cross = f.addEdge(1, 2, 1);
+    f.addEdge(1, 3, 1);
+    f.addEdge(2, 3, 1);
+    EXPECT_EQ(f.solve(0, 3), 2);
+    (void)cross;
+}
+
+TEST(MaxFlow, FlowOnReportsPerEdge)
+{
+    MaxFlow f(3);
+    const auto e1 = f.addEdge(0, 1, 5);
+    const auto e2 = f.addEdge(1, 2, 3);
+    f.solve(0, 2);
+    EXPECT_EQ(f.flowOn(e1), 3);
+    EXPECT_EQ(f.flowOn(e2), 3);
+}
+
+TEST(MaxFlow, DisconnectedIsZero)
+{
+    MaxFlow f(4);
+    f.addEdge(0, 1, 5);
+    f.addEdge(2, 3, 5);
+    EXPECT_EQ(f.solve(0, 3), 0);
+}
+
+/**
+ * Property: on random bipartite graphs, max-flow matching size equals a
+ * greedy-augmenting (Hungarian-style) reference matcher.
+ */
+class BipartiteMatchTest : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    static bool
+    tryKuhn(std::uint32_t u,
+            const std::vector<std::vector<std::uint32_t>>& adj,
+            std::vector<std::int32_t>& match_right,
+            std::vector<bool>& used)
+    {
+        for (const auto v : adj[u]) {
+            if (used[v]) {
+                continue;
+            }
+            used[v] = true;
+            if (match_right[v] < 0
+                || tryKuhn(static_cast<std::uint32_t>(match_right[v]), adj,
+                           match_right, used)) {
+                match_right[v] = static_cast<std::int32_t>(u);
+                return true;
+            }
+        }
+        return false;
+    }
+};
+
+TEST_P(BipartiteMatchTest, MatchesReferenceMatching)
+{
+    Rng rng(GetParam());
+    const std::uint32_t left = 8;
+    const std::uint32_t right = 10;
+    std::vector<std::vector<std::uint32_t>> adj(left);
+    for (std::uint32_t u = 0; u < left; ++u) {
+        for (std::uint32_t v = 0; v < right; ++v) {
+            if (rng.nextBool(0.3)) {
+                adj[u].push_back(v);
+            }
+        }
+    }
+
+    // Reference: Kuhn's algorithm.
+    std::vector<std::int32_t> match_right(right, -1);
+    std::uint32_t ref = 0;
+    for (std::uint32_t u = 0; u < left; ++u) {
+        std::vector<bool> used(right, false);
+        ref += tryKuhn(u, adj, match_right, used) ? 1 : 0;
+    }
+
+    // Max-flow formulation (capacity 1 everywhere).
+    MaxFlow f(left + right + 2);
+    const std::uint32_t s = left + right;
+    const std::uint32_t t = s + 1;
+    for (std::uint32_t u = 0; u < left; ++u) {
+        f.addEdge(s, u, 1);
+        for (const auto v : adj[u]) {
+            f.addEdge(u, left + v, 1);
+        }
+    }
+    for (std::uint32_t v = 0; v < right; ++v) {
+        f.addEdge(left + v, t, 1);
+    }
+    EXPECT_EQ(f.solve(s, t), static_cast<std::int64_t>(ref));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BipartiteMatchTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u,
+                                           9u, 10u));
+
+TEST(SamplerAssigner, CoversAllWhenCapacitySuffices)
+{
+    // 3 units x 4 samplers, 6 streams, everyone accesses everything.
+    std::vector<std::vector<bool>> accessed(
+        3, std::vector<bool>(16, false));
+    std::vector<StreamId> streams;
+    for (StreamId s = 0; s < 6; ++s) {
+        streams.push_back(s);
+        for (auto& unit : accessed) {
+            unit[s] = true;
+        }
+    }
+    const auto a = SamplerAssigner(4).assign(accessed, streams);
+    EXPECT_EQ(a.covered, 6u);
+    EXPECT_TRUE(a.uncovered.empty());
+    // No unit exceeds its sampler budget; every stream appears once.
+    std::vector<int> count(6, 0);
+    for (const auto& unit : a.perUnit) {
+        EXPECT_LE(unit.size(), 4u);
+        for (const auto sid : unit) {
+            ++count[sid];
+        }
+    }
+    for (const int c : count) {
+        EXPECT_EQ(c, 1);
+    }
+}
+
+TEST(SamplerAssigner, OnlyAccessingUnitsSample)
+{
+    std::vector<std::vector<bool>> accessed(
+        2, std::vector<bool>(8, false));
+    accessed[0][3] = true; // only unit 0 touches stream 3
+    const auto a = SamplerAssigner(4).assign(accessed, {3});
+    EXPECT_EQ(a.covered, 1u);
+    ASSERT_EQ(a.perUnit[0].size(), 1u);
+    EXPECT_EQ(a.perUnit[0][0], 3u);
+    EXPECT_TRUE(a.perUnit[1].empty());
+}
+
+TEST(SamplerAssigner, ReportsUncoveredWhenOversubscribed)
+{
+    // 1 unit x 2 samplers but 5 streams all on that unit.
+    std::vector<std::vector<bool>> accessed(
+        1, std::vector<bool>(8, false));
+    std::vector<StreamId> streams;
+    for (StreamId s = 0; s < 5; ++s) {
+        accessed[0][s] = true;
+        streams.push_back(s);
+    }
+    const auto a = SamplerAssigner(2).assign(accessed, streams);
+    EXPECT_EQ(a.covered, 2u);
+    EXPECT_EQ(a.uncovered.size(), 3u);
+}
+
+TEST(SamplerAssigner, SharedStreamsSpreadAcrossUnits)
+{
+    // 2 units x 1 sampler, 2 streams accessed by both: max-flow must give
+    // one stream to each unit (greedy could double-book one unit).
+    std::vector<std::vector<bool>> accessed(
+        2, std::vector<bool>(8, false));
+    accessed[0][0] = accessed[0][1] = true;
+    accessed[1][0] = accessed[1][1] = true;
+    const auto a = SamplerAssigner(1).assign(accessed, {0, 1});
+    EXPECT_EQ(a.covered, 2u);
+    EXPECT_EQ(a.perUnit[0].size(), 1u);
+    EXPECT_EQ(a.perUnit[1].size(), 1u);
+}
+
+} // namespace
+} // namespace ndpext

@@ -1,0 +1,187 @@
+/** Tests for the simulation substrate: stats, events, resources. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "sim/breakdown.h"
+#include "sim/event_queue.h"
+#include "sim/resource.h"
+#include "sim/stats.h"
+
+namespace ndpext {
+namespace {
+
+TEST(StatGroup, AddSetGet)
+{
+    StatGroup s;
+    s.add("a.x", 2.0);
+    s.add("a.x", 3.0);
+    s.set("a.y", 7.0);
+    EXPECT_DOUBLE_EQ(s.get("a.x"), 5.0);
+    EXPECT_DOUBLE_EQ(s.get("a.y"), 7.0);
+    EXPECT_DOUBLE_EQ(s.get("missing"), 0.0);
+    EXPECT_TRUE(s.has("a.x"));
+    EXPECT_FALSE(s.has("missing"));
+}
+
+TEST(StatGroup, MergeWithPrefix)
+{
+    StatGroup a;
+    a.add("x", 1.0);
+    StatGroup b;
+    b.merge(a, "unit0");
+    EXPECT_DOUBLE_EQ(b.get("unit0.x"), 1.0);
+}
+
+TEST(StatGroup, SumPrefix)
+{
+    StatGroup s;
+    s.add("dram.reads", 5.0);
+    s.add("dram.writes", 3.0);
+    s.add("noc.hops", 11.0);
+    EXPECT_DOUBLE_EQ(s.sumPrefix("dram."), 8.0);
+    EXPECT_DOUBLE_EQ(s.sumPrefix("noc."), 11.0);
+    EXPECT_DOUBLE_EQ(s.sumPrefix("zzz"), 0.0);
+}
+
+TEST(StatGroup, DumpOrdered)
+{
+    StatGroup s;
+    s.add("b", 2.0);
+    s.add("a", 1.0);
+    std::ostringstream oss;
+    s.dump(oss);
+    EXPECT_EQ(oss.str(), "a 1\nb 2\n");
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    q.schedule(30, [&](Cycles) { fired.push_back(3); });
+    q.schedule(10, [&](Cycles) { fired.push_back(1); });
+    q.schedule(20, [&](Cycles) { fired.push_back(2); });
+    q.runAll();
+    EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    q.schedule(5, [&](Cycles) { fired.push_back(1); });
+    q.schedule(5, [&](Cycles) { fired.push_back(2); });
+    q.runAll();
+    EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, RunUntilStopsEarly)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(10, [&](Cycles) { ++count; });
+    q.schedule(100, [&](Cycles) { ++count; });
+    q.runUntil(50);
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(q.now(), 50u);
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.nextTick(), 100u);
+}
+
+TEST(EventQueue, CallbackCanReschedule)
+{
+    EventQueue q;
+    int count = 0;
+    std::function<void(Cycles)> cb = [&](Cycles now) {
+        ++count;
+        if (count < 3) {
+            q.schedule(now + 10, cb);
+        }
+    };
+    q.schedule(0, cb);
+    q.runAll();
+    EXPECT_EQ(count, 3);
+    EXPECT_EQ(q.now(), 20u);
+}
+
+TEST(BandwidthResource, NoContentionStartsImmediately)
+{
+    BandwidthResource r(16.0);
+    EXPECT_EQ(r.reserve(64, 100), 100u);
+    EXPECT_EQ(r.serviceCycles(64), 4u);
+}
+
+TEST(BandwidthResource, BackToBackQueues)
+{
+    BandwidthResource r(16.0);
+    EXPECT_EQ(r.reserve(64, 0), 0u);  // busy until 4
+    EXPECT_EQ(r.reserve(64, 0), 4u);  // queued
+    EXPECT_EQ(r.reserve(64, 100), 100u); // idle again
+    EXPECT_EQ(r.reservations(), 3u);
+    EXPECT_EQ(r.totalQueueCycles(), 4u);
+}
+
+TEST(BandwidthResource, FractionalBandwidthRoundsUp)
+{
+    BandwidthResource r(0.5); // half a byte per cycle
+    EXPECT_EQ(r.serviceCycles(3), 6u);
+    EXPECT_EQ(r.serviceCycles(1), 2u);
+}
+
+TEST(BandwidthResource, OutOfOrderReservationFillsGaps)
+{
+    // A reservation far in the future must not delay an earlier request:
+    // the gap-filling interval model is what keeps end-to-end analytic
+    // evaluation from fabricating phantom queueing.
+    BandwidthResource r(16.0);
+    EXPECT_EQ(r.reserve(64, 10000), 10000u);
+    EXPECT_EQ(r.reserve(64, 0), 0u); // earlier arrival, free gap
+    EXPECT_EQ(r.reserve(64, 9998), 9998u + 6u)
+        << "overlap with the future interval queues behind it";
+}
+
+TEST(BandwidthResource, GapTooSmallSkipsToNextSlot)
+{
+    BandwidthResource r(16.0); // 64 B = 4 cycles
+    r.reserveFor(4, 0);   // [0,4)
+    r.reserveFor(4, 6);   // [6,10)
+    // A 4-cycle job arriving at 3 cannot fit into [4,6); lands at 10.
+    EXPECT_EQ(r.reserveFor(4, 3), 10u);
+    // A 2-cycle job arriving at 3 fits the [4,6) gap.
+    EXPECT_EQ(r.reserveFor(2, 3), 4u);
+}
+
+TEST(BandwidthResource, ReserveForZeroTakesOneCycle)
+{
+    BandwidthResource r(1.0);
+    EXPECT_EQ(r.reserveFor(0, 5), 5u);
+    EXPECT_EQ(r.reserveFor(0, 5), 6u);
+}
+
+TEST(BandwidthResource, NextFreeTracksLatestInterval)
+{
+    BandwidthResource r(16.0);
+    r.reserve(64, 100);
+    r.reserve(64, 10);
+    EXPECT_EQ(r.nextFree(), 104u);
+}
+
+TEST(LatencyBreakdown, TotalsAndAverages)
+{
+    LatencyBreakdown bd;
+    bd.metadata = 10;
+    bd.icnIntra = 20;
+    bd.icnInter = 30;
+    bd.dramCache = 40;
+    bd.extMem = 50;
+    bd.requests = 10;
+    EXPECT_EQ(bd.total(), 150u);
+    EXPECT_EQ(bd.icn(), 50u);
+    EXPECT_DOUBLE_EQ(bd.avg(bd.extMem), 5.0);
+}
+
+} // namespace
+} // namespace ndpext

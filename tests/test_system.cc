@@ -1,0 +1,226 @@
+/** Integration tests: full systems running real workloads (small scale). */
+
+#include <gtest/gtest.h>
+
+#include "system/host_system.h"
+#include "system/ndp_system.h"
+#include "workloads/workload.h"
+
+namespace ndpext {
+namespace {
+
+SystemConfig
+tinyConfig()
+{
+    SystemConfig cfg = SystemConfig::scaledDefault();
+    cfg.stacksX = 2;
+    cfg.stacksY = 1;
+    cfg.unitsX = 2;
+    cfg.unitsY = 2; // 8 units
+    cfg.unitCacheBytes = 256_KiB;
+    cfg.runtime.epochCycles = 200'000;
+    cfg.finalize();
+    return cfg;
+}
+
+WorkloadParams
+tinyParams()
+{
+    WorkloadParams p;
+    p.numCores = 8;
+    p.footprintBytes = 16_MiB;
+    p.accessesPerCore = 4000;
+    p.seed = 7;
+    return p;
+}
+
+TEST(SystemConfig, PresetsAreConsistent)
+{
+    const auto scaled = SystemConfig::scaledDefault();
+    EXPECT_EQ(scaled.numUnits(), 64u);
+    const auto paper = SystemConfig::paperScale();
+    EXPECT_EQ(paper.numUnits(), 128u);
+    EXPECT_EQ(paper.unitCacheBytes, 256_MiB);
+    EXPECT_EQ(paper.cache.affineCapBytesPerUnit, 16_MiB);
+    EXPECT_EQ(paper.runtime.epochCycles, 50'000'000u);
+}
+
+TEST(SystemConfig, PolicyNamesRoundTrip)
+{
+    for (const auto kind :
+         {PolicyKind::NdpExt, PolicyKind::NdpExtStatic, PolicyKind::Jigsaw,
+          PolicyKind::Whirlpool, PolicyKind::Nexus,
+          PolicyKind::StaticInterleave}) {
+        EXPECT_EQ(policyFromName(policyName(kind)), kind);
+    }
+}
+
+TEST(NdpSystem, RunsPageRankToCompletion)
+{
+    auto w = makeWorkload("pr");
+    w->prepare(tinyParams());
+    NdpSystem sys(tinyConfig(), PolicyKind::NdpExt);
+    const auto res = sys.run(*w);
+    EXPECT_GT(res.cycles, 0u);
+    EXPECT_EQ(res.accesses, 8u * 4000u);
+    EXPECT_GT(res.bd.requests, 0u);
+    EXPECT_GT(res.energy.totalNj(), 0.0);
+    EXPECT_GE(res.missRate, 0.0);
+    EXPECT_LE(res.missRate, 1.0);
+}
+
+TEST(NdpSystem, DeterministicAcrossRuns)
+{
+    auto w = makeWorkload("bfs");
+    w->prepare(tinyParams());
+    NdpSystem s1(tinyConfig(), PolicyKind::NdpExt);
+    NdpSystem s2(tinyConfig(), PolicyKind::NdpExt);
+    const auto r1 = s1.run(*w);
+    const auto r2 = s2.run(*w);
+    EXPECT_EQ(r1.cycles, r2.cycles);
+    EXPECT_EQ(r1.bd.requests, r2.bd.requests);
+    EXPECT_DOUBLE_EQ(r1.missRate, r2.missRate);
+}
+
+class PolicyRunTest : public ::testing::TestWithParam<PolicyKind>
+{
+};
+
+TEST_P(PolicyRunTest, CompletesAndAccountsLatency)
+{
+    auto w = makeWorkload("recsys");
+    w->prepare(tinyParams());
+    NdpSystem sys(tinyConfig(), GetParam());
+    const auto res = sys.run(*w);
+    EXPECT_GT(res.cycles, 0u);
+    EXPECT_EQ(res.accesses, 8u * 4000u);
+    // Latency breakdown buckets only accumulate for L1 misses.
+    EXPECT_GT(res.bd.requests, 0u);
+    EXPECT_GT(res.bd.total(), 0u);
+    if (isCachelinePolicy(GetParam())) {
+        EXPECT_LE(res.metadataHitRate, 1.0);
+    } else {
+        // Stream policies pay no per-line metadata DRAM accesses.
+        EXPECT_DOUBLE_EQ(res.metadataHitRate, 1.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyRunTest,
+    ::testing::Values(PolicyKind::NdpExt, PolicyKind::NdpExtStatic,
+                      PolicyKind::Jigsaw, PolicyKind::Whirlpool,
+                      PolicyKind::Nexus, PolicyKind::StaticInterleave),
+    [](const ::testing::TestParamInfo<PolicyKind>& info) {
+        std::string n = policyName(info.param);
+        for (auto& c : n) {
+            if (c == '-') {
+                c = '_';
+            }
+        }
+        return n;
+    });
+
+TEST(NdpSystem, NdpExtBeatsStaticInterleaveOnPageRank)
+{
+    auto w = makeWorkload("pr");
+    WorkloadParams p = tinyParams();
+    p.accessesPerCore = 8000;
+    w->prepare(p);
+    NdpSystem a(tinyConfig(), PolicyKind::NdpExt);
+    NdpSystem b(tinyConfig(), PolicyKind::StaticInterleave);
+    const auto ra = a.run(*w);
+    const auto rb = b.run(*w);
+    EXPECT_LT(ra.cycles, rb.cycles)
+        << "NDPExt should outperform static cacheline interleaving";
+}
+
+TEST(NdpSystem, HmcVariantRuns)
+{
+    auto w = makeWorkload("hotspot");
+    w->prepare(tinyParams());
+    SystemConfig cfg = tinyConfig();
+    cfg.memType = NdpMemType::Hmc2;
+    cfg.finalize();
+    NdpSystem sys(cfg, PolicyKind::NdpExt);
+    const auto res = sys.run(*w);
+    EXPECT_GT(res.cycles, 0u);
+}
+
+TEST(HostSystem, RunsAndIsSlowerThanNdp)
+{
+    auto w = makeWorkload("pr");
+    WorkloadParams p = tinyParams();
+    p.numCores = 64; // host core count
+    w->prepare(p);
+    HostParams hp;
+    HostSystem host(hp);
+    const auto rh = host.run(*w);
+    EXPECT_GT(rh.cycles, 0u);
+    EXPECT_EQ(rh.accesses, 64u * 4000u);
+    EXPECT_EQ(rh.policy, "host");
+}
+
+TEST(NdpSystem, WriteHeavyWorkloadTriggersExceptions)
+{
+    auto w = makeWorkload("backprop");
+    w->prepare(tinyParams());
+    NdpSystem sys(tinyConfig(), PolicyKind::NdpExt);
+    const auto res = sys.run(*w);
+    // backprop writes the (initially read-only) weight matrix in phase 2.
+    EXPECT_GE(res.writeExceptions, 1u);
+}
+
+TEST(NdpSystem, AccountingInvariantsHold)
+{
+    auto w = makeWorkload("recsys");
+    w->prepare(tinyParams());
+    NdpSystem sys(tinyConfig(), PolicyKind::NdpExt);
+    const auto res = sys.run(*w);
+    // Request accounting: every L1 miss is a memory-system request.
+    EXPECT_EQ(res.bd.requests, res.accesses - res.l1Hits);
+    // Hit/miss/uncached/bypass partition the requests.
+    const double parts = res.stats.get("cache.hits")
+        + res.stats.get("cache.misses") + res.stats.get("cache.uncached")
+        + res.stats.get("cache.bypasses");
+    EXPECT_DOUBLE_EQ(parts, static_cast<double>(res.bd.requests));
+    // Energy components are all non-negative and total is positive.
+    EXPECT_GE(res.energy.staticNj, 0.0);
+    EXPECT_GE(res.energy.ndpDramNj, 0.0);
+    EXPECT_GE(res.energy.extDramNj, 0.0);
+    EXPECT_GE(res.energy.cxlLinkNj, 0.0);
+    EXPECT_GE(res.energy.icnNj, 0.0);
+    EXPECT_GT(res.energy.totalNj(), 0.0);
+    // Completion time covers the per-core maximum.
+    for (CoreId c = 0; c < 8; ++c) {
+        EXPECT_LE(res.stats.get("core" + std::to_string(c) + ".cycles"),
+                  static_cast<double>(res.cycles));
+    }
+}
+
+TEST(NdpSystem, MshrAblationSlowsThingsDown)
+{
+    auto w = makeWorkload("pr");
+    w->prepare(tinyParams());
+    SystemConfig cfg = tinyConfig();
+    cfg.core.mshrs = 1; // strict stall-on-miss
+    NdpSystem strict(cfg, PolicyKind::NdpExt);
+    NdpSystem mlp(tinyConfig(), PolicyKind::NdpExt);
+    const auto r1 = strict.run(*w);
+    const auto r8 = mlp.run(*w);
+    EXPECT_GT(r1.cycles, r8.cycles)
+        << "memory-level parallelism should hide latency";
+}
+
+TEST(NdpSystem, ReconfigurationHappens)
+{
+    auto w = makeWorkload("pr");
+    WorkloadParams p = tinyParams();
+    p.accessesPerCore = 8000;
+    w->prepare(p);
+    NdpSystem sys(tinyConfig(), PolicyKind::NdpExt);
+    const auto res = sys.run(*w);
+    EXPECT_GE(res.reconfigurations, 1u);
+}
+
+} // namespace
+} // namespace ndpext

@@ -1,0 +1,153 @@
+/** Tests for the hash-addressed TagStore. */
+
+#include <gtest/gtest.h>
+
+#include "ndp/tag_store.h"
+
+namespace ndpext {
+namespace {
+
+TEST(TagStore, DirectMappedMissThenHit)
+{
+    TagStore ts(16, 1);
+    const auto r1 = ts.accessFill(3, 100, false);
+    EXPECT_FALSE(r1.hit);
+    EXPECT_FALSE(r1.evicted);
+    const auto r2 = ts.accessFill(3, 100, false);
+    EXPECT_TRUE(r2.hit);
+}
+
+TEST(TagStore, DirectMappedConflictEvicts)
+{
+    TagStore ts(16, 1);
+    ts.accessFill(3, 100, false);
+    const auto r = ts.accessFill(3, 200, false);
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(r.evicted);
+    EXPECT_EQ(r.evictedKey, 100u);
+    EXPECT_FALSE(ts.probe(3, 100));
+    EXPECT_TRUE(ts.probe(3, 200));
+}
+
+TEST(TagStore, DirtyEviction)
+{
+    TagStore ts(16, 1);
+    ts.accessFill(3, 100, true);
+    const auto r = ts.accessFill(3, 200, false);
+    EXPECT_TRUE(r.evictedDirty);
+}
+
+TEST(TagStore, WriteOnHitSetsDirty)
+{
+    TagStore ts(16, 1);
+    ts.accessFill(3, 100, false);
+    ts.accessFill(3, 100, true);
+    const auto r = ts.accessFill(3, 200, false);
+    EXPECT_TRUE(r.evictedDirty);
+}
+
+TEST(TagStore, TwoWayKeepsBoth)
+{
+    TagStore ts(16, 2); // 8 sets x 2 ways
+    ts.accessFill(0, 100, false);
+    ts.accessFill(8, 200, false); // same set (slot % 8)
+    EXPECT_TRUE(ts.probe(0, 100));
+    EXPECT_TRUE(ts.probe(8, 200));
+}
+
+TEST(TagStore, TwoWayLruEviction)
+{
+    TagStore ts(16, 2);
+    ts.accessFill(0, 100, false);
+    ts.accessFill(8, 200, false);
+    ts.accessFill(0, 100, false); // touch 100; 200 is LRU
+    const auto r = ts.accessFill(0, 300, false);
+    EXPECT_TRUE(r.evicted);
+    EXPECT_EQ(r.evictedKey, 200u);
+}
+
+TEST(TagStore, ZeroSlotsUnusable)
+{
+    TagStore ts(0, 1);
+    EXPECT_FALSE(ts.usable());
+    EXPECT_FALSE(ts.probe(0, 1));
+}
+
+TEST(TagStore, Occupancy)
+{
+    TagStore ts(16, 1);
+    EXPECT_EQ(ts.occupancy(), 0u);
+    ts.accessFill(1, 10, false);
+    ts.accessFill(2, 20, false);
+    EXPECT_EQ(ts.occupancy(), 2u);
+    ts.accessFill(1, 30, false); // replace, not grow
+    EXPECT_EQ(ts.occupancy(), 2u);
+}
+
+TEST(TagStore, CopyRangeCarriesTagsAndDirty)
+{
+    TagStore src(16, 1);
+    src.accessFill(4, 40, true);
+    src.accessFill(5, 50, false);
+    TagStore dst(16, 1);
+    dst.copyRange(src, 4, 10, 2);
+    EXPECT_TRUE(dst.probe(10, 40));
+    EXPECT_TRUE(dst.probe(11, 50));
+    const auto r = dst.accessFill(10, 99, false);
+    EXPECT_TRUE(r.evictedDirty); // dirty bit travelled
+}
+
+TEST(TagStore, CopyRangeSkipsOutOfBounds)
+{
+    TagStore src(4, 1);
+    src.accessFill(3, 30, false);
+    TagStore dst(4, 1);
+    dst.copyRange(src, 3, 2, 10); // runs off both ends harmlessly
+    EXPECT_TRUE(dst.probe(2, 30));
+}
+
+TEST(TagStore, MruWayPredictsLastTouch)
+{
+    TagStore ts(16, 4); // 4 sets x 4 ways
+    ts.accessFill(0, 100, false); // way 0
+    ts.accessFill(4, 200, false); // same set, way 1
+    EXPECT_EQ(ts.mruWay(0), 1u);
+    const auto r = ts.accessFill(0, 100, false); // hit in way 0
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(r.way, 0u);
+    EXPECT_EQ(r.predictedWay, 1u); // predictor guessed the MRU way
+    EXPECT_EQ(ts.mruWay(0), 0u);   // now way 0 is MRU
+}
+
+TEST(TagStore, DirectMappedAlwaysPredictsWayZero)
+{
+    TagStore ts(16, 1);
+    ts.accessFill(3, 100, false);
+    const auto r = ts.accessFill(3, 100, false);
+    EXPECT_EQ(r.way, 0u);
+    EXPECT_EQ(r.predictedWay, 0u);
+}
+
+/** Property: higher associativity never loses a working set that fits. */
+class TagStoreAssocTest : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(TagStoreAssocTest, WorkingSetWithinWaysStays)
+{
+    const std::uint32_t ways = GetParam();
+    TagStore ts(64 * ways, ways); // 64 sets
+    // `ways` keys mapping to the same set.
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        ts.accessFill(w * 64, 1000 + w, false);
+    }
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        EXPECT_TRUE(ts.probe(w * 64, 1000 + w));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, TagStoreAssocTest,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u, 64u));
+
+} // namespace
+} // namespace ndpext

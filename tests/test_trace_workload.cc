@@ -1,0 +1,137 @@
+/** Tests for the trace-file workload front end. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "system/ndp_system.h"
+#include "workloads/trace_workload.h"
+
+namespace ndpext {
+namespace {
+
+const char* kSmallTrace = R"(# a tiny two-stream trace
+stream edges affine 0x100000 4096 4 ro
+stream ranks indirect 0x200000 8192 8 rw
+
+a 0 0 0 r 2
+a 0 0 1 r
+a 1 1 7 w 3
+a 0 1 3 r
+a 1 0 100 r
+)";
+
+TEST(TraceWorkload, ParsesStreamsAndAccesses)
+{
+    std::istringstream in(kSmallTrace);
+    auto w = TraceWorkload::parse(in, 2);
+    EXPECT_TRUE(w->prepared());
+    ASSERT_EQ(w->streamConfigs().size(), 2u);
+    EXPECT_EQ(w->streamConfigs()[0].name, "edges");
+    EXPECT_EQ(w->streamConfigs()[0].type, StreamType::Affine);
+    EXPECT_TRUE(w->streamConfigs()[0].readOnly);
+    EXPECT_EQ(w->streamConfigs()[1].elemSize, 8u);
+    EXPECT_FALSE(w->streamConfigs()[1].readOnly);
+    EXPECT_EQ(w->accessCount(0), 3u);
+    EXPECT_EQ(w->accessCount(1), 2u);
+}
+
+TEST(TraceWorkload, GeneratorReplaysInOrder)
+{
+    std::istringstream in(kSmallTrace);
+    auto w = TraceWorkload::parse(in, 2);
+    auto gen = w->makeGenerator(0);
+    Access a;
+    ASSERT_TRUE(gen->next(a));
+    EXPECT_EQ(a.sid, 0u);
+    EXPECT_EQ(a.elem, 0u);
+    EXPECT_EQ(a.addr, 0x100000u);
+    EXPECT_FALSE(a.isWrite);
+    EXPECT_EQ(a.computeCycles, 2u);
+    ASSERT_TRUE(gen->next(a));
+    EXPECT_EQ(a.elem, 1u);
+    EXPECT_EQ(a.addr, 0x100004u);
+    ASSERT_TRUE(gen->next(a));
+    EXPECT_EQ(a.sid, 1u);
+    EXPECT_EQ(a.elem, 3u);
+    EXPECT_FALSE(gen->next(a));
+}
+
+TEST(TraceWorkload, WritesAndComputeParsed)
+{
+    std::istringstream in(kSmallTrace);
+    auto w = TraceWorkload::parse(in, 2);
+    auto gen = w->makeGenerator(1);
+    Access a;
+    ASSERT_TRUE(gen->next(a));
+    EXPECT_TRUE(a.isWrite);
+    EXPECT_EQ(a.computeCycles, 3u);
+}
+
+TEST(TraceWorkload, RegistersIntoStreamTable)
+{
+    std::istringstream in(kSmallTrace);
+    auto w = TraceWorkload::parse(in, 2);
+    StreamTable table;
+    w->registerStreams(table);
+    EXPECT_EQ(table.numStreams(), 2u);
+    EXPECT_EQ(table.findByAddr(0x100010), 0u);
+}
+
+TEST(TraceWorkload, RunsThroughTheFullSystem)
+{
+    // Build a trace with enough accesses to exercise the cache, sized
+    // for a tiny 8-unit machine.
+    std::ostringstream trace;
+    trace << "stream data indirect 0x100000 65536 8 ro\n";
+    for (int core = 0; core < 8; ++core) {
+        for (int i = 0; i < 300; ++i) {
+            trace << "a " << core << " 0 " << ((core * 131 + i * 7) % 8192)
+                  << " r\n";
+        }
+    }
+    std::istringstream in(trace.str());
+    auto w = TraceWorkload::parse(in, 8);
+
+    SystemConfig cfg = SystemConfig::scaledDefault();
+    cfg.stacksX = 2;
+    cfg.stacksY = 1;
+    cfg.unitsX = 2;
+    cfg.unitsY = 2;
+    cfg.unitCacheBytes = 256_KiB;
+    cfg.finalize();
+    NdpSystem sys(cfg, PolicyKind::NdpExt);
+    const auto res = sys.run(*w);
+    EXPECT_EQ(res.accesses, 8u * 300u);
+    EXPECT_GT(res.cycles, 0u);
+}
+
+TEST(TraceWorkload, MalformedInputIsFatal)
+{
+    {
+        std::istringstream in("bogus line\n");
+        EXPECT_DEATH(TraceWorkload::parse(in, 1), "unknown record");
+    }
+    {
+        std::istringstream in("stream s affine 0x0 64 8\n"); // missing rw
+        EXPECT_DEATH(TraceWorkload::parse(in, 1), "malformed stream");
+    }
+    {
+        std::istringstream in(
+            "stream s affine 0x1000 64 8 ro\na 0 5 0 r\n");
+        EXPECT_DEATH(TraceWorkload::parse(in, 1), "unknown sid");
+    }
+    {
+        std::istringstream in(
+            "stream s affine 0x1000 64 8 ro\na 9 0 0 r\n");
+        EXPECT_DEATH(TraceWorkload::parse(in, 1), "core 9");
+    }
+    {
+        std::istringstream in(
+            "stream s affine 0x1000 64 8 ro\na 0 0 999 r\n");
+        EXPECT_DEATH(TraceWorkload::parse(in, 1), "out of range");
+    }
+}
+
+} // namespace
+} // namespace ndpext

@@ -1,0 +1,213 @@
+/**
+ * ndpext_sim — command-line simulation driver.
+ *
+ * Run any built-in workload (or a trace file) on any cache-management
+ * policy without writing C++:
+ *
+ *   ndpext_sim --workload=pr --policy=ndpext
+ *   ndpext_sim --workload=recsys --policy=nexus --mem=hmc --accesses=50000
+ *   ndpext_sim --trace=my.trace --policy=ndpext --stacks=2x2 --units=2x4
+ *   ndpext_sim --workload=bfs --policy=host
+ *   ndpext_sim --list
+ *
+ * Options:
+ *   --workload=NAME      built-in workload (see --list)
+ *   --trace=FILE         trace file instead of a built-in workload
+ *   --policy=NAME        ndpext | ndpext-static | jigsaw | whirlpool |
+ *                        nexus | static-interleave | host
+ *   --mem=hbm|hmc        NDP memory technology
+ *   --stacks=XxY         inter-stack mesh (default 4x2)
+ *   --units=XxY          intra-stack mesh (default 2x4)
+ *   --cache-kb=N         DRAM cache per unit in kB (default 1024)
+ *   --footprint-mb=N     workload footprint (default 96)
+ *   --accesses=N         accesses per core (default 20000)
+ *   --epoch=N            reconfiguration interval in cycles
+ *   --seed=N             workload seed (default 42)
+ *   --dump-stats         print every simulator counter
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/logging.h"
+#include "system/host_system.h"
+#include "system/ndp_system.h"
+#include "workloads/trace_workload.h"
+#include "workloads/workload.h"
+
+using namespace ndpext;
+
+namespace {
+
+struct Options
+{
+    std::string workload = "pr";
+    std::string trace;
+    std::string policy = "ndpext";
+    NdpMemType mem = NdpMemType::Hbm3;
+    std::uint32_t stacksX = 4;
+    std::uint32_t stacksY = 2;
+    std::uint32_t unitsX = 2;
+    std::uint32_t unitsY = 4;
+    std::uint64_t cacheKb = 1024;
+    std::uint64_t footprintMb = 96;
+    std::uint64_t accesses = 20000;
+    std::uint64_t epoch = 0;
+    std::uint64_t seed = 42;
+    bool dumpStats = false;
+};
+
+bool
+parseGrid(const std::string& value, std::uint32_t& x, std::uint32_t& y)
+{
+    const auto pos = value.find('x');
+    if (pos == std::string::npos) {
+        return false;
+    }
+    x = static_cast<std::uint32_t>(std::stoul(value.substr(0, pos)));
+    y = static_cast<std::uint32_t>(std::stoul(value.substr(pos + 1)));
+    return x > 0 && y > 0;
+}
+
+Options
+parseArgs(int argc, char** argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char* prefix) -> std::string {
+            return arg.substr(std::string(prefix).size());
+        };
+        if (arg == "--list") {
+            std::printf("workloads:");
+            for (const auto& name : allWorkloadNames()) {
+                std::printf(" %s", name.c_str());
+            }
+            std::printf("\npolicies: ndpext ndpext-static jigsaw "
+                        "whirlpool nexus static-interleave host\n");
+            std::exit(0);
+        } else if (arg.rfind("--workload=", 0) == 0) {
+            opt.workload = value("--workload=");
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            opt.trace = value("--trace=");
+        } else if (arg.rfind("--policy=", 0) == 0) {
+            opt.policy = value("--policy=");
+        } else if (arg.rfind("--mem=", 0) == 0) {
+            const std::string m = value("--mem=");
+            if (m == "hbm") {
+                opt.mem = NdpMemType::Hbm3;
+            } else if (m == "hmc") {
+                opt.mem = NdpMemType::Hmc2;
+            } else {
+                NDP_FATAL("bad --mem: ", m);
+            }
+        } else if (arg.rfind("--stacks=", 0) == 0) {
+            if (!parseGrid(value("--stacks="), opt.stacksX, opt.stacksY)) {
+                NDP_FATAL("bad --stacks (expected XxY)");
+            }
+        } else if (arg.rfind("--units=", 0) == 0) {
+            if (!parseGrid(value("--units="), opt.unitsX, opt.unitsY)) {
+                NDP_FATAL("bad --units (expected XxY)");
+            }
+        } else if (arg.rfind("--cache-kb=", 0) == 0) {
+            opt.cacheKb = std::stoull(value("--cache-kb="));
+        } else if (arg.rfind("--footprint-mb=", 0) == 0) {
+            opt.footprintMb = std::stoull(value("--footprint-mb="));
+        } else if (arg.rfind("--accesses=", 0) == 0) {
+            opt.accesses = std::stoull(value("--accesses="));
+        } else if (arg.rfind("--epoch=", 0) == 0) {
+            opt.epoch = std::stoull(value("--epoch="));
+        } else if (arg.rfind("--seed=", 0) == 0) {
+            opt.seed = std::stoull(value("--seed="));
+        } else if (arg == "--dump-stats") {
+            opt.dumpStats = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("see the header of tools/ndpext_sim.cc for "
+                        "usage; --list prints workloads/policies\n");
+            std::exit(0);
+        } else {
+            NDP_FATAL("unknown argument: ", arg, " (try --help)");
+        }
+    }
+    return opt;
+}
+
+void
+printResult(const RunResult& r, bool dump_stats)
+{
+    std::printf("workload        %s\n", r.workload.c_str());
+    std::printf("policy          %s\n", r.policy.c_str());
+    std::printf("cycles          %llu\n",
+                static_cast<unsigned long long>(r.cycles));
+    std::printf("accesses        %llu\n",
+                static_cast<unsigned long long>(r.accesses));
+    std::printf("l1 hit rate     %.3f\n",
+                r.accesses == 0
+                    ? 0.0
+                    : static_cast<double>(r.l1Hits)
+                        / static_cast<double>(r.accesses));
+    std::printf("cache miss rate %.3f\n", r.missRate);
+    std::printf("avg mem latency %.1f cycles\n", r.avgMemLatency());
+    std::printf("avg icn latency %.1f cycles\n", r.avgIcnCycles());
+    std::printf("reconfigs       %llu\n",
+                static_cast<unsigned long long>(r.reconfigurations));
+    std::printf("energy          %.3f mJ\n", r.energy.totalNj() * 1e-6);
+    if (dump_stats) {
+        std::printf("--- all counters ---\n");
+        r.stats.dump(std::cout);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const Options opt = parseArgs(argc, argv);
+
+    SystemConfig cfg = SystemConfig::scaledDefault();
+    cfg.stacksX = opt.stacksX;
+    cfg.stacksY = opt.stacksY;
+    cfg.unitsX = opt.unitsX;
+    cfg.unitsY = opt.unitsY;
+    cfg.memType = opt.mem;
+    cfg.unitCacheBytes = opt.cacheKb * 1024;
+    if (opt.epoch != 0) {
+        cfg.runtime.epochCycles = opt.epoch;
+    }
+    cfg.finalize();
+
+    std::unique_ptr<Workload> workload;
+    if (!opt.trace.empty()) {
+        workload = TraceWorkload::parseFile(opt.trace, cfg.numUnits());
+    } else {
+        workload = makeWorkload(opt.workload);
+        WorkloadParams params;
+        params.numCores = cfg.numUnits();
+        params.footprintBytes = opt.footprintMb * 1_MiB;
+        params.accessesPerCore = opt.accesses;
+        params.seed = opt.seed;
+        workload->prepare(params);
+    }
+
+    RunResult result;
+    if (opt.policy == "host") {
+        HostParams hp;
+        hp.numCores = cfg.numUnits();
+        hp.meshX = 8;
+        hp.meshY = (hp.numCores + 7) / 8;
+        hp.numCores = hp.meshX * hp.meshY;
+        if (hp.numCores != cfg.numUnits()) {
+            NDP_FATAL("--policy=host needs a core count divisible by 8");
+        }
+        HostSystem host(hp);
+        result = host.run(*workload);
+    } else {
+        NdpSystem system(cfg, policyFromName(opt.policy));
+        result = system.run(*workload);
+    }
+    printResult(result, opt.dumpStats);
+    return 0;
+}
