@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_maxflow.dir/bench_fig04_maxflow.cc.o"
+  "CMakeFiles/bench_fig04_maxflow.dir/bench_fig04_maxflow.cc.o.d"
+  "bench_fig04_maxflow"
+  "bench_fig04_maxflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_maxflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

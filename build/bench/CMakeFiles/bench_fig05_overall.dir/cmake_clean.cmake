@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_overall.dir/bench_fig05_overall.cc.o"
+  "CMakeFiles/bench_fig05_overall.dir/bench_fig05_overall.cc.o.d"
+  "bench_fig05_overall"
+  "bench_fig05_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_placement.dir/bench_fig07_placement.cc.o"
+  "CMakeFiles/bench_fig07_placement.dir/bench_fig07_placement.cc.o.d"
+  "bench_fig07_placement"
+  "bench_fig07_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

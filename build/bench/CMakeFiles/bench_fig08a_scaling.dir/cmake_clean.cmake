@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08a_scaling.dir/bench_fig08a_scaling.cc.o"
+  "CMakeFiles/bench_fig08a_scaling.dir/bench_fig08a_scaling.cc.o.d"
+  "bench_fig08a_scaling"
+  "bench_fig08a_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08a_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

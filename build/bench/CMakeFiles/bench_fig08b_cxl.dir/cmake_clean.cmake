@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08b_cxl.dir/bench_fig08b_cxl.cc.o"
+  "CMakeFiles/bench_fig08b_cxl.dir/bench_fig08b_cxl.cc.o.d"
+  "bench_fig08b_cxl"
+  "bench_fig08b_cxl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08b_cxl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

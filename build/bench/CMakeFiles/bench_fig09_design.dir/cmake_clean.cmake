@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_design.dir/bench_fig09_design.cc.o"
+  "CMakeFiles/bench_fig09_design.dir/bench_fig09_design.cc.o.d"
+  "bench_fig09_design"
+  "bench_fig09_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

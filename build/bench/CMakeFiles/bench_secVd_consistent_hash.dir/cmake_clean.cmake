@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_secVd_consistent_hash.dir/bench_secVd_consistent_hash.cc.o"
+  "CMakeFiles/bench_secVd_consistent_hash.dir/bench_secVd_consistent_hash.cc.o.d"
+  "bench_secVd_consistent_hash"
+  "bench_secVd_consistent_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_secVd_consistent_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

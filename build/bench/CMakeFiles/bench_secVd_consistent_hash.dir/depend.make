@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_secVd_consistent_hash.
+# This may be replaced when dependencies are built.

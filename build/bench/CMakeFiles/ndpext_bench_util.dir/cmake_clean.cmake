@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpext_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/ndpext_bench_util.dir/bench_util.cc.o.d"
+  "libndpext_bench_util.a"
+  "libndpext_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpext_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

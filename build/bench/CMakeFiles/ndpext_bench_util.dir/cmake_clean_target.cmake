@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libndpext_bench_util.a"
+)

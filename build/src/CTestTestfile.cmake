@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("mem")
+subdirs("noc")
+subdirs("cxl")
+subdirs("cache")
+subdirs("cpu")
+subdirs("stream")
+subdirs("ndp")
+subdirs("sampler")
+subdirs("runtime")
+subdirs("baselines")
+subdirs("workloads")
+subdirs("system")

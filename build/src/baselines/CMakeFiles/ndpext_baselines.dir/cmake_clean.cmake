@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpext_baselines.dir/host_llc.cc.o"
+  "CMakeFiles/ndpext_baselines.dir/host_llc.cc.o.d"
+  "CMakeFiles/ndpext_baselines.dir/nuca_policies.cc.o"
+  "CMakeFiles/ndpext_baselines.dir/nuca_policies.cc.o.d"
+  "libndpext_baselines.a"
+  "libndpext_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpext_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpext_cache.dir/set_assoc_cache.cc.o"
+  "CMakeFiles/ndpext_cache.dir/set_assoc_cache.cc.o.d"
+  "libndpext_cache.a"
+  "libndpext_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpext_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

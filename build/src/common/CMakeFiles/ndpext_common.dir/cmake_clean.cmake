@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpext_common.dir/histogram.cc.o"
+  "CMakeFiles/ndpext_common.dir/histogram.cc.o.d"
+  "CMakeFiles/ndpext_common.dir/logging.cc.o"
+  "CMakeFiles/ndpext_common.dir/logging.cc.o.d"
+  "CMakeFiles/ndpext_common.dir/rng.cc.o"
+  "CMakeFiles/ndpext_common.dir/rng.cc.o.d"
+  "libndpext_common.a"
+  "libndpext_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpext_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

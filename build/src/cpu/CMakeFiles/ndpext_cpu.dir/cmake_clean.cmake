@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpext_cpu.dir/core.cc.o"
+  "CMakeFiles/ndpext_cpu.dir/core.cc.o.d"
+  "libndpext_cpu.a"
+  "libndpext_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpext_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

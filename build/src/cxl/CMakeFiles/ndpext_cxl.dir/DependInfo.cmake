@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cxl/extended_memory.cc" "src/cxl/CMakeFiles/ndpext_cxl.dir/extended_memory.cc.o" "gcc" "src/cxl/CMakeFiles/ndpext_cxl.dir/extended_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/ndpext_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ndpext_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ndpext_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpext_cxl.dir/extended_memory.cc.o"
+  "CMakeFiles/ndpext_cxl.dir/extended_memory.cc.o.d"
+  "libndpext_cxl.a"
+  "libndpext_cxl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpext_cxl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ndpext_cxl.
+# This may be replaced when dependencies are built.

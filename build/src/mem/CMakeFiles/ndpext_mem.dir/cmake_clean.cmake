@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpext_mem.dir/dram.cc.o"
+  "CMakeFiles/ndpext_mem.dir/dram.cc.o.d"
+  "libndpext_mem.a"
+  "libndpext_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpext_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpext_ndp.dir/remap_table.cc.o"
+  "CMakeFiles/ndpext_ndp.dir/remap_table.cc.o.d"
+  "CMakeFiles/ndpext_ndp.dir/slb.cc.o"
+  "CMakeFiles/ndpext_ndp.dir/slb.cc.o.d"
+  "CMakeFiles/ndpext_ndp.dir/stream_cache.cc.o"
+  "CMakeFiles/ndpext_ndp.dir/stream_cache.cc.o.d"
+  "libndpext_ndp.a"
+  "libndpext_ndp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpext_ndp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpext_noc.dir/mesh.cc.o"
+  "CMakeFiles/ndpext_noc.dir/mesh.cc.o.d"
+  "CMakeFiles/ndpext_noc.dir/noc_model.cc.o"
+  "CMakeFiles/ndpext_noc.dir/noc_model.cc.o.d"
+  "libndpext_noc.a"
+  "libndpext_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpext_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpext_runtime.dir/config_algorithm.cc.o"
+  "CMakeFiles/ndpext_runtime.dir/config_algorithm.cc.o.d"
+  "CMakeFiles/ndpext_runtime.dir/max_flow.cc.o"
+  "CMakeFiles/ndpext_runtime.dir/max_flow.cc.o.d"
+  "CMakeFiles/ndpext_runtime.dir/ndp_runtime.cc.o"
+  "CMakeFiles/ndpext_runtime.dir/ndp_runtime.cc.o.d"
+  "CMakeFiles/ndpext_runtime.dir/sampler_assign.cc.o"
+  "CMakeFiles/ndpext_runtime.dir/sampler_assign.cc.o.d"
+  "CMakeFiles/ndpext_runtime.dir/static_config.cc.o"
+  "CMakeFiles/ndpext_runtime.dir/static_config.cc.o.d"
+  "libndpext_runtime.a"
+  "libndpext_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpext_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sampler/miss_curve.cc" "src/sampler/CMakeFiles/ndpext_sampler.dir/miss_curve.cc.o" "gcc" "src/sampler/CMakeFiles/ndpext_sampler.dir/miss_curve.cc.o.d"
+  "/root/repo/src/sampler/sampler.cc" "src/sampler/CMakeFiles/ndpext_sampler.dir/sampler.cc.o" "gcc" "src/sampler/CMakeFiles/ndpext_sampler.dir/sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ndpext_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/ndpext_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ndpext_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

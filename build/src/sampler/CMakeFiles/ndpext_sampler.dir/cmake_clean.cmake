@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpext_sampler.dir/miss_curve.cc.o"
+  "CMakeFiles/ndpext_sampler.dir/miss_curve.cc.o.d"
+  "CMakeFiles/ndpext_sampler.dir/sampler.cc.o"
+  "CMakeFiles/ndpext_sampler.dir/sampler.cc.o.d"
+  "libndpext_sampler.a"
+  "libndpext_sampler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpext_sampler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

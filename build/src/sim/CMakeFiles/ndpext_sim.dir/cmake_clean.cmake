@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpext_sim.dir/event_queue.cc.o"
+  "CMakeFiles/ndpext_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/ndpext_sim.dir/stats.cc.o"
+  "CMakeFiles/ndpext_sim.dir/stats.cc.o.d"
+  "libndpext_sim.a"
+  "libndpext_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpext_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

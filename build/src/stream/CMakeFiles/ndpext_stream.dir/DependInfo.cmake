@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/stream_config.cc" "src/stream/CMakeFiles/ndpext_stream.dir/stream_config.cc.o" "gcc" "src/stream/CMakeFiles/ndpext_stream.dir/stream_config.cc.o.d"
+  "/root/repo/src/stream/stream_inference.cc" "src/stream/CMakeFiles/ndpext_stream.dir/stream_inference.cc.o" "gcc" "src/stream/CMakeFiles/ndpext_stream.dir/stream_inference.cc.o.d"
+  "/root/repo/src/stream/stream_table.cc" "src/stream/CMakeFiles/ndpext_stream.dir/stream_table.cc.o" "gcc" "src/stream/CMakeFiles/ndpext_stream.dir/stream_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ndpext_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ndpext_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpext_stream.dir/stream_config.cc.o"
+  "CMakeFiles/ndpext_stream.dir/stream_config.cc.o.d"
+  "CMakeFiles/ndpext_stream.dir/stream_inference.cc.o"
+  "CMakeFiles/ndpext_stream.dir/stream_inference.cc.o.d"
+  "CMakeFiles/ndpext_stream.dir/stream_table.cc.o"
+  "CMakeFiles/ndpext_stream.dir/stream_table.cc.o.d"
+  "libndpext_stream.a"
+  "libndpext_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpext_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpext_system.dir/host_system.cc.o"
+  "CMakeFiles/ndpext_system.dir/host_system.cc.o.d"
+  "CMakeFiles/ndpext_system.dir/ndp_system.cc.o"
+  "CMakeFiles/ndpext_system.dir/ndp_system.cc.o.d"
+  "CMakeFiles/ndpext_system.dir/system_config.cc.o"
+  "CMakeFiles/ndpext_system.dir/system_config.cc.o.d"
+  "libndpext_system.a"
+  "libndpext_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpext_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/gap_workloads.cc" "src/workloads/CMakeFiles/ndpext_workloads.dir/gap_workloads.cc.o" "gcc" "src/workloads/CMakeFiles/ndpext_workloads.dir/gap_workloads.cc.o.d"
+  "/root/repo/src/workloads/graph.cc" "src/workloads/CMakeFiles/ndpext_workloads.dir/graph.cc.o" "gcc" "src/workloads/CMakeFiles/ndpext_workloads.dir/graph.cc.o.d"
+  "/root/repo/src/workloads/rodinia_workloads.cc" "src/workloads/CMakeFiles/ndpext_workloads.dir/rodinia_workloads.cc.o" "gcc" "src/workloads/CMakeFiles/ndpext_workloads.dir/rodinia_workloads.cc.o.d"
+  "/root/repo/src/workloads/tensor_workloads.cc" "src/workloads/CMakeFiles/ndpext_workloads.dir/tensor_workloads.cc.o" "gcc" "src/workloads/CMakeFiles/ndpext_workloads.dir/tensor_workloads.cc.o.d"
+  "/root/repo/src/workloads/trace_workload.cc" "src/workloads/CMakeFiles/ndpext_workloads.dir/trace_workload.cc.o" "gcc" "src/workloads/CMakeFiles/ndpext_workloads.dir/trace_workload.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/ndpext_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/ndpext_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/ndpext_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/ndpext_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ndpext_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ndpext_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ndpext_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpext_workloads.dir/gap_workloads.cc.o"
+  "CMakeFiles/ndpext_workloads.dir/gap_workloads.cc.o.d"
+  "CMakeFiles/ndpext_workloads.dir/graph.cc.o"
+  "CMakeFiles/ndpext_workloads.dir/graph.cc.o.d"
+  "CMakeFiles/ndpext_workloads.dir/rodinia_workloads.cc.o"
+  "CMakeFiles/ndpext_workloads.dir/rodinia_workloads.cc.o.d"
+  "CMakeFiles/ndpext_workloads.dir/tensor_workloads.cc.o"
+  "CMakeFiles/ndpext_workloads.dir/tensor_workloads.cc.o.d"
+  "CMakeFiles/ndpext_workloads.dir/trace_workload.cc.o"
+  "CMakeFiles/ndpext_workloads.dir/trace_workload.cc.o.d"
+  "CMakeFiles/ndpext_workloads.dir/workload.cc.o"
+  "CMakeFiles/ndpext_workloads.dir/workload.cc.o.d"
+  "libndpext_workloads.a"
+  "libndpext_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpext_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

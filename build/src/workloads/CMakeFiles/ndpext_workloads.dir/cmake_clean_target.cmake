@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libndpext_workloads.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/test_common.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/test_common.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/system/CMakeFiles/ndpext_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ndpext_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ndpext_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndp/CMakeFiles/ndpext_ndp.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ndpext_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cxl/CMakeFiles/ndpext_cxl.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ndpext_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampler/CMakeFiles/ndpext_sampler.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ndpext_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ndpext_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ndpext_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/ndpext_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ndpext_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ndpext_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

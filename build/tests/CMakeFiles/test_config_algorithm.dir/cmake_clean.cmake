@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_algorithm.dir/test_config_algorithm.cc.o"
+  "CMakeFiles/test_config_algorithm.dir/test_config_algorithm.cc.o.d"
+  "test_config_algorithm"
+  "test_config_algorithm.pdb"
+  "test_config_algorithm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_algorithm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

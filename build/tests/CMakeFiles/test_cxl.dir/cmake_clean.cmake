@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cxl.dir/test_cxl.cc.o"
+  "CMakeFiles/test_cxl.dir/test_cxl.cc.o.d"
+  "test_cxl"
+  "test_cxl.pdb"
+  "test_cxl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cxl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

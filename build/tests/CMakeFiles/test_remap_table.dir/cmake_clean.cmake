@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_remap_table.dir/test_remap_table.cc.o"
+  "CMakeFiles/test_remap_table.dir/test_remap_table.cc.o.d"
+  "test_remap_table"
+  "test_remap_table.pdb"
+  "test_remap_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_remap_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

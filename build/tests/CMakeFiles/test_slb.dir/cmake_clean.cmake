@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slb.dir/test_slb.cc.o"
+  "CMakeFiles/test_slb.dir/test_slb.cc.o.d"
+  "test_slb"
+  "test_slb.pdb"
+  "test_slb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stream_cache.dir/test_stream_cache.cc.o"
+  "CMakeFiles/test_stream_cache.dir/test_stream_cache.cc.o.d"
+  "test_stream_cache"
+  "test_stream_cache.pdb"
+  "test_stream_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stream_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

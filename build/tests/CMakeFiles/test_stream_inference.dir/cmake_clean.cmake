@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stream_inference.dir/test_stream_inference.cc.o"
+  "CMakeFiles/test_stream_inference.dir/test_stream_inference.cc.o.d"
+  "test_stream_inference"
+  "test_stream_inference.pdb"
+  "test_stream_inference[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stream_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tag_store.dir/test_tag_store.cc.o"
+  "CMakeFiles/test_tag_store.dir/test_tag_store.cc.o.d"
+  "test_tag_store"
+  "test_tag_store.pdb"
+  "test_tag_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tag_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_workload.dir/test_trace_workload.cc.o"
+  "CMakeFiles/test_trace_workload.dir/test_trace_workload.cc.o.d"
+  "test_trace_workload"
+  "test_trace_workload.pdb"
+  "test_trace_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

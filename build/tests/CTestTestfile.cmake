@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_noc[1]_include.cmake")
+include("/root/repo/build/tests/test_cxl[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_stream[1]_include.cmake")
+include("/root/repo/build/tests/test_tag_store[1]_include.cmake")
+include("/root/repo/build/tests/test_remap_table[1]_include.cmake")
+include("/root/repo/build/tests/test_slb[1]_include.cmake")
+include("/root/repo/build/tests/test_sampler[1]_include.cmake")
+include("/root/repo/build/tests/test_maxflow[1]_include.cmake")
+include("/root/repo/build/tests/test_config_algorithm[1]_include.cmake")
+include("/root/repo/build/tests/test_stream_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_stream_inference[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_system[1]_include.cmake")

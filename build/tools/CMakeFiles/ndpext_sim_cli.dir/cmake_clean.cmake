@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpext_sim_cli.dir/ndpext_sim.cc.o"
+  "CMakeFiles/ndpext_sim_cli.dir/ndpext_sim.cc.o.d"
+  "ndpext_sim"
+  "ndpext_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpext_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
