@@ -1,5 +1,7 @@
 #include "cxl/extended_memory.h"
 
+#include <algorithm>
+
 namespace ndpext {
 
 ExtendedMemory::ExtendedMemory(const CxlParams& cxl,
@@ -14,9 +16,33 @@ ExtendedMemory::access(Addr addr, std::uint32_t bytes, bool is_write,
                        Cycles now)
 {
     // Request flit over the link (64 B header+address class payload).
-    const Cycles req_start = link_.reserve(64, now);
-    const Cycles at_device =
-        req_start + cxl_.linkLatencyCycles + link_.serviceCycles(64);
+    // A transient link error loses the transaction; the endpoint retries
+    // after capped exponential backoff. Every attempt occupies link
+    // bandwidth and spends transfer energy.
+    Cycles t = now;
+    Cycles at_device = 0;
+    std::uint32_t attempt = 0;
+    for (;;) {
+        const Cycles req_start = link_.reserve(64, t);
+        at_device =
+            req_start + cxl_.linkLatencyCycles + link_.serviceCycles(64);
+        linkEnergyNj_ += 64.0 * 8.0 * cxl_.pjPerBit * 1e-3;
+        if (fault_ == nullptr || !fault_->linkError()) {
+            break;
+        }
+        if (attempt >= fault_->params().maxLinkRetries) {
+            // Out of retries: the link layer recovers via FEC/replay at
+            // a cost already paid above; count and proceed.
+            ++retriesExhausted_;
+            break;
+        }
+        ++attempt;
+        ++linkRetries_;
+        const Cycles backoff = std::min<Cycles>(
+            fault_->params().retryBackoffCycles << (attempt - 1),
+            fault_->params().retryBackoffCapCycles);
+        t = at_device + backoff;
+    }
 
     const DramResult dr = dram_.access(addr, bytes, is_write, at_device);
 
@@ -27,8 +53,14 @@ ExtendedMemory::access(Addr addr, std::uint32_t bytes, bool is_write,
 
     ++accesses_;
     linkEnergyNj_ +=
-        static_cast<double>(bytes + 64) * 8.0 * cxl_.pjPerBit * 1e-3;
-    return CxlResult{done};
+        static_cast<double>(bytes) * 8.0 * cxl_.pjPerBit * 1e-3;
+
+    CxlResult res{done, false};
+    if (!is_write && fault_ != nullptr && fault_->poisonRead(addr)) {
+        res.poisoned = true;
+        ++poisonedReads_;
+    }
+    return res;
 }
 
 void
@@ -40,6 +72,12 @@ ExtendedMemory::report(StatGroup& stats, const std::string& prefix) const
               static_cast<double>(link_.totalQueueCycles()));
     stats.add(prefix + ".linkReservations",
               static_cast<double>(link_.reservations()));
+    stats.add(prefix + ".degraded.linkRetries",
+              static_cast<double>(linkRetries_));
+    stats.add(prefix + ".degraded.retriesExhausted",
+              static_cast<double>(retriesExhausted_));
+    stats.add(prefix + ".degraded.poisonedReads",
+              static_cast<double>(poisonedReads_));
     dram_.report(stats, prefix + ".dram");
 }
 
@@ -50,6 +88,9 @@ ExtendedMemory::reset()
     link_.reset();
     accesses_ = 0;
     linkEnergyNj_ = 0.0;
+    linkRetries_ = 0;
+    retriesExhausted_ = 0;
+    poisonedReads_ = 0;
 }
 
 } // namespace ndpext

@@ -5,6 +5,12 @@
  * Table II: 16-lane link, 200 ns link latency (excluding DRAM access),
  * 11.4 pJ/bit; backing DDR5-4800 with 4 channels x 2 ranks x 16 banks.
  * Fig. 8(b) sweeps the link latency (50/70/200 ns cases).
+ *
+ * Fault model (when a FaultInjector is attached): transient link errors
+ * force the endpoint to retry the request with capped exponential
+ * backoff -- every attempt re-occupies link bandwidth and pays the link
+ * latency again. Media poison is sticky per cacheline; a poisoned read
+ * completes but is flagged so the caller can escalate to the runtime.
  */
 
 #ifndef NDPEXT_CXL_EXTENDED_MEMORY_H
@@ -14,6 +20,7 @@
 #include <string>
 
 #include "common/types.h"
+#include "fault/fault_injector.h"
 #include "mem/dram.h"
 #include "sim/resource.h"
 #include "sim/stats.h"
@@ -34,6 +41,8 @@ struct CxlParams
 struct CxlResult
 {
     Cycles done = 0;
+    /** Read returned a poisoned line: data unusable, escalate. */
+    bool poisoned = false;
 };
 
 /**
@@ -47,6 +56,9 @@ class ExtendedMemory
     ExtendedMemory(const CxlParams& cxl, const DramTimingParams& dram,
                    std::uint64_t core_freq_mhz);
 
+    /** Attach (or detach with nullptr) the fault injector. */
+    void setFaultInjector(FaultInjector* fault) { fault_ = fault; }
+
     /** Access `bytes` at `addr`, arriving at the CXL port at `now`. */
     CxlResult access(Addr addr, std::uint32_t bytes, bool is_write,
                      Cycles now);
@@ -58,6 +70,13 @@ class ExtendedMemory
     double linkEnergyNj() const { return linkEnergyNj_; }
     double dramEnergyNj() const { return dram_.dynamicEnergyNj(); }
 
+    /** Transient-link-error retries performed (degraded mode). */
+    std::uint64_t linkRetries() const { return linkRetries_; }
+    /** Accesses whose retry budget ran out (link-level FEC recovery). */
+    std::uint64_t retriesExhausted() const { return retriesExhausted_; }
+    /** Reads that returned poison. */
+    std::uint64_t poisonedReads() const { return poisonedReads_; }
+
     void report(StatGroup& stats, const std::string& prefix) const;
     void reset();
 
@@ -65,9 +84,13 @@ class ExtendedMemory
     CxlParams cxl_;
     DramDevice dram_;
     BandwidthResource link_;
+    FaultInjector* fault_ = nullptr;
 
     std::uint64_t accesses_ = 0;
     double linkEnergyNj_ = 0.0;
+    std::uint64_t linkRetries_ = 0;
+    std::uint64_t retriesExhausted_ = 0;
+    std::uint64_t poisonedReads_ = 0;
 };
 
 } // namespace ndpext

@@ -26,6 +26,7 @@ StreamCacheController::StreamCacheController(
         units_.push_back(
             std::make_unique<UnitState>(unit_dram, core_freq_mhz, params_));
     }
+    unitFailed_.assign(n, false);
 }
 
 std::uint32_t
@@ -129,11 +130,42 @@ DramResult
 StreamCacheController::dramAt(const CacheLocation& loc, std::uint32_t bytes,
                               bool is_write, Cycles t)
 {
+    NDP_ASSERT(!unitFailed(loc.unit),
+               "DRAM access on failed unit ", loc.unit);
     DramDevice& dram = units_[loc.unit]->dram;
     const std::uint32_t banks = dram.params().banks;
     const std::uint32_t bank = loc.deviceRow % banks;
     const std::uint64_t row = loc.deviceRow / banks;
     return dram.accessRow(bank, row, bytes, is_write, t);
+}
+
+Cycles
+StreamCacheController::extAccess(Addr addr, std::uint32_t bytes,
+                                 bool is_write, Cycles at)
+{
+    const CxlResult er = ext_.access(addr, bytes, is_write, at);
+    Cycles done = er.done;
+    if (er.poisoned) {
+        // Poisoned read: the host exception handler repairs the line
+        // (re-materialises it from the source copy) and the access
+        // completes with the repaired data after the penalty.
+        ++poisonEscalations_;
+        done += fault_ != nullptr ? fault_->params().poisonPenaltyCycles
+                                  : Cycles(0);
+    }
+    return done;
+}
+
+bool
+StreamCacheController::eccFaultOnHit(bool hit)
+{
+    if (!hit || fault_ == nullptr || !fault_->dramBitFault()) {
+        return false;
+    }
+    // ECC detected an uncorrectable bit fault in the cached copy: the
+    // data is unusable and must be re-fetched from extended memory.
+    ++dramFaults_;
+    return true;
 }
 
 Cycles
@@ -148,9 +180,9 @@ StreamCacheController::bypassToExt(UnitId unit, Addr addr,
         - static_cast<Cycles>(to.intraHops) * noc_.params().intraHopCycles;
     Cycles at = to.done;
 
-    const CxlResult er = ext_.access(addr, bytes, is_write, at);
-    bd_.extMem += er.done - at;
-    at = er.done;
+    const Cycles ext_done = extAccess(addr, bytes, is_write, at);
+    bd_.extMem += ext_done - at;
+    at = ext_done;
 
     const NocResult back = noc_.transferFromCxl(unit, bytes, at);
     bd_.icnIntra +=
@@ -175,9 +207,9 @@ StreamCacheController::fetchFill(UnitId unit, const StreamConfig& cfg,
         - static_cast<Cycles>(to.intraHops) * noc_.params().intraHopCycles;
     Cycles at = to.done;
 
-    const CxlResult er = ext_.access(addr, bytes, false, at);
-    bd_.extMem += er.done - at;
-    at = er.done;
+    const Cycles ext_done = extAccess(addr, bytes, false, at);
+    bd_.extMem += ext_done - at;
+    at = ext_done;
 
     const NocResult back = noc_.transferFromCxl(unit, bytes, at);
     bd_.icnIntra +=
@@ -339,6 +371,16 @@ StreamCacheController::accessCached(UnitId u, const StreamConfig& cfg,
     }
 
     const CacheLocation loc = remap_.locate(cfg.sid, granule, u);
+    if (unitFailed(loc.unit)) {
+        // The serving unit's cache slice is gone: degrade to an
+        // extended-memory access instead of wedging. The runtime's
+        // emergency reconfiguration will re-place the stream.
+        ++failedRedirects_;
+        ++uncached_;
+        bumpStreamCounter(streamMisses_, cfg.sid);
+        return MemResult{bypassToExt(u, acc.addr, kCachelineBytes,
+                                     acc.isWrite, t)};
+    }
     const bool remote = loc.unit != u;
 
     if (remote) {
@@ -363,7 +405,7 @@ StreamCacheController::accessCached(UnitId u, const StreamConfig& cfg,
         // Baseline path: the metadata lookup already resolved the tag;
         // a hit needs one DRAM data access, a miss fetches the line.
         const auto res = ts.accessFill(loc.unitSlot, granule, acc.isWrite);
-        if (res.hit) {
+        if (res.hit && !eccFaultOnHit(true)) {
             ++hits_;
             bumpStreamCounter(streamHits_, cfg.sid);
             const DramResult dr =
@@ -373,7 +415,7 @@ StreamCacheController::accessCached(UnitId u, const StreamConfig& cfg,
         } else {
             ++misses_;
             bumpStreamCounter(streamMisses_, cfg.sid);
-            if (res.evictedDirty) {
+            if (!res.hit && res.evictedDirty) {
                 writebackVictim(loc.unit, cfg, res.evictedKey, t);
             }
             t = fetchFill(loc.unit, cfg, granule, loc, t);
@@ -385,7 +427,7 @@ StreamCacheController::accessCached(UnitId u, const StreamConfig& cfg,
         sramEnergyNj_ += params_.ataPjPerLookup * 1e-3;
 
         const auto res = ts.accessFill(loc.unitSlot, granule, acc.isWrite);
-        if (res.hit) {
+        if (res.hit && !eccFaultOnHit(true)) {
             ++hits_;
             bumpStreamCounter(streamHits_, cfg.sid);
             const DramResult dr =
@@ -395,7 +437,7 @@ StreamCacheController::accessCached(UnitId u, const StreamConfig& cfg,
         } else {
             ++misses_;
             bumpStreamCounter(streamMisses_, cfg.sid);
-            if (res.evictedDirty) {
+            if (!res.hit && res.evictedDirty) {
                 writebackVictim(loc.unit, cfg, res.evictedKey, t);
             }
             t = fetchFill(loc.unit, cfg, granule, loc, t);
@@ -429,13 +471,13 @@ StreamCacheController::accessCached(UnitId u, const StreamConfig& cfg,
                 t = retry.done;
             }
         }
-        if (res.hit) {
+        if (res.hit && !eccFaultOnHit(true)) {
             ++hits_;
             bumpStreamCounter(streamHits_, cfg.sid);
         } else {
             ++misses_;
             bumpStreamCounter(streamMisses_, cfg.sid);
-            if (res.evictedDirty) {
+            if (!res.hit && res.evictedDirty) {
                 writebackVictim(loc.unit, cfg, res.evictedKey, t);
             }
             t = fetchFill(loc.unit, cfg, granule, loc, t);
@@ -484,6 +526,14 @@ StreamCacheController::writeback(CoreId core, Addr line_addr, Cycles now)
         ? line_addr / kCachelineBytes
         : granuleIdOf(cfg, cfg.elemIdOf(line_addr));
     const CacheLocation loc = remap_.locate(sid, granule, u);
+    if (unitFailed(loc.unit)) {
+        // Serving unit is dead: write through to extended memory.
+        ++failedRedirects_;
+        const NocResult to =
+            noc_.transferToCxl(u, kCachelineBytes, now);
+        ext_.access(line_addr, kCachelineBytes, true, to.done);
+        return;
+    }
     if (loc.unit != u) {
         noc_.transfer(u, loc.unit, kCachelineBytes, now);
     }
@@ -526,6 +576,46 @@ StreamCacheController::collapseReplication(StreamId sid)
         }
         units_[u]->slb.invalidate(sid);
     }
+}
+
+void
+StreamCacheController::onUnitFailed(UnitId unit)
+{
+    NDP_ASSERT(unit < units_.size(), "unit=", unit);
+    if (unitFailed_[unit]) {
+        return;
+    }
+
+    // Replication groups spanning the failed unit lose a replica: the
+    // same Section IV-B exception path that handles a first write also
+    // collapses them to one global group. Do this before marking the
+    // unit failed so the collapse can still count its rows.
+    for (std::uint32_t s = 0; s < streams_.numStreams(); ++s) {
+        const StreamId sid = static_cast<StreamId>(s);
+        const StreamAlloc* alloc = remap_.alloc(sid);
+        if (alloc == nullptr || alloc->numGroups <= 1) {
+            continue;
+        }
+        if (unit < alloc->shareRows.size()
+            && alloc->shareRows[unit] > 0) {
+            collapseReplication(sid);
+        }
+    }
+
+    unitFailed_[unit] = true;
+
+    // The unit's cache slice, tag stores and sampler state are gone.
+    // Accesses hashing there redirect to extended memory until the
+    // runtime installs a fresh configuration around the unit.
+    for (const auto& [sid, store] : units_[unit]->stores) {
+        const StreamAlloc* alloc = remap_.alloc(sid);
+        if (alloc != nullptr && unit < alloc->shareRows.size()) {
+            invalidatedRows_ += alloc->shareRows[unit];
+        }
+    }
+    units_[unit]->stores.clear();
+    units_[unit]->slb.invalidateAll();
+    units_[unit]->samplers.newEpoch();
 }
 
 void
@@ -690,6 +780,12 @@ StreamCacheController::report(StatGroup& stats,
     stats.add(prefix + ".survivedRows", static_cast<double>(survivedRows_));
     stats.add(prefix + ".slbMisses",
               static_cast<double>(slbMissTotal()));
+    stats.add(prefix + ".degraded.failedUnitRedirects",
+              static_cast<double>(failedRedirects_));
+    stats.add(prefix + ".degraded.dramFaultRefetches",
+              static_cast<double>(dramFaults_));
+    stats.add(prefix + ".degraded.poisonEscalations",
+              static_cast<double>(poisonEscalations_));
     stats.add(prefix + ".dramCacheEnergyNj", dramCacheEnergyNj());
     stats.add(prefix + ".sramEnergyNj", sramEnergyNj_);
 }

@@ -17,6 +17,16 @@
  *      dirty victims are written back without stalling the requester.
  *   6. The first write to a read-only stream raises the host exception
  *      that collapses its replication groups (Section IV-B).
+ *
+ * Degraded mode (FaultInjector attached): a failed NDP unit loses its
+ * DRAM-cache slice, tag stores and samplers -- an immediate capacity
+ * loss. Accesses that resolve to a failed unit miss straight to extended
+ * memory instead of wedging, replication groups containing the failed
+ * unit collapse via the Section IV-B exception path, and the runtime is
+ * expected to re-place around the unit out-of-epoch. ECC-detected DRAM
+ * bit faults in cached data force a re-fetch from extended memory;
+ * poisoned extended-memory reads escalate to the host (penalty cycles)
+ * and are counted per occurrence.
  */
 
 #ifndef NDPEXT_NDP_STREAM_CACHE_H
@@ -159,6 +169,24 @@ class StreamCacheController : public MemoryBackend
     /** Collapse a stream's replication to one group (write exception). */
     void collapseReplication(StreamId sid);
 
+    /** Attach (or detach with nullptr) the fault injector. */
+    void setFaultInjector(FaultInjector* fault) { fault_ = fault; }
+
+    /**
+     * A whole NDP unit failed: its cached contents and capacity are gone.
+     * Tag stores are dropped, sampler state cleared, and replication
+     * groups spanning the unit collapse. Until the runtime installs a
+     * fresh configuration, accesses resolving to the unit redirect to
+     * extended memory.
+     */
+    void onUnitFailed(UnitId unit);
+
+    /** Has `unit` been marked failed? */
+    bool unitFailed(UnitId unit) const
+    {
+        return unit < unitFailed_.size() && unitFailed_[unit];
+    }
+
     // --- statistics ---
     const LatencyBreakdown& breakdown() const { return bd_; }
     std::uint64_t cacheHits() const { return hits_; }
@@ -175,6 +203,13 @@ class StreamCacheController : public MemoryBackend
     /** Rows invalidated / preserved across all reconfigurations. */
     std::uint64_t invalidatedRows() const { return invalidatedRows_; }
     std::uint64_t survivedRows() const { return survivedRows_; }
+    /** Accesses redirected to extended memory because their cache
+     *  location sat on a failed unit. */
+    std::uint64_t failedUnitRedirects() const { return failedRedirects_; }
+    /** ECC-detected DRAM bit faults that forced a re-fetch. */
+    std::uint64_t dramFaultRefetches() const { return dramFaults_; }
+    /** Poisoned extended-memory reads escalated to the host. */
+    std::uint64_t poisonEscalations() const { return poisonEscalations_; }
     /** Per-stream hit/miss counts (0 for never-accessed sids). */
     std::uint64_t streamHits(StreamId sid) const;
     std::uint64_t streamMisses(StreamId sid) const;
@@ -222,6 +257,13 @@ class StreamCacheController : public MemoryBackend
     Cycles bypassToExt(UnitId unit, Addr addr, std::uint32_t bytes,
                        bool is_write, Cycles t);
 
+    /** Extended-memory access with poison escalation accounting. */
+    Cycles extAccess(Addr addr, std::uint32_t bytes, bool is_write,
+                     Cycles at);
+
+    /** Did this cache hit's data suffer an ECC-detected bit fault? */
+    bool eccFaultOnHit(bool hit);
+
     /** CXL fetch + DRAM install of a granule at `loc`. */
     Cycles fetchFill(UnitId unit, const StreamConfig& cfg,
                      std::uint64_t granule, const CacheLocation& loc,
@@ -259,6 +301,9 @@ class StreamCacheController : public MemoryBackend
     std::uint32_t rowsPerUnit_;
     StreamRemapTable remap_;
     std::vector<std::unique_ptr<UnitState>> units_;
+    FaultInjector* fault_ = nullptr;
+    /** Per-unit failed flag (degraded mode). */
+    std::vector<bool> unitFailed_;
 
     LatencyBreakdown bd_;
     std::uint64_t hits_ = 0;
@@ -271,6 +316,9 @@ class StreamCacheController : public MemoryBackend
     std::uint64_t invalidatedRows_ = 0;
     std::uint64_t survivedRows_ = 0;
     std::uint64_t writebacks_ = 0;
+    std::uint64_t failedRedirects_ = 0;
+    std::uint64_t dramFaults_ = 0;
+    std::uint64_t poisonEscalations_ = 0;
     double sramEnergyNj_ = 0.0;
     /** Per-stream hit/miss counters (index = sid). */
     std::vector<std::uint64_t> streamHits_;

@@ -413,6 +413,29 @@ ConfigAlgorithm::run(std::vector<StreamDemand> demands)
     affineBytesUsed_.assign(params_.numUnits, 0);
     iterations_ = extends_ = merges_ = 0;
 
+    // Failed units contribute neither capacity nor (trustworthy) demand:
+    // their sampler state died with them (Section V degraded mode).
+    for (UnitId u = 0;
+         u < params_.numUnits && u < failedUnits_.size(); ++u) {
+        if (failedUnits_[u]) {
+            freeRows_[u] = 0;
+        }
+    }
+    for (auto& d : demands) {
+        std::vector<UnitId> live_units;
+        std::vector<std::uint64_t> live_counts;
+        for (std::size_t i = 0; i < d.accUnits.size(); ++i) {
+            const UnitId u = d.accUnits[i];
+            if (u < failedUnits_.size() && failedUnits_[u]) {
+                continue;
+            }
+            live_units.push_back(u);
+            live_counts.push_back(d.accCounts[i]);
+        }
+        d.accUnits = std::move(live_units);
+        d.accCounts = std::move(live_counts);
+    }
+
     for (auto& d : demands) {
         NDP_ASSERT(d.accUnits.size() == d.accCounts.size());
         if (d.accUnits.empty() || d.footprintBytes == 0) {

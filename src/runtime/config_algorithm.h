@@ -79,6 +79,16 @@ class ConfigAlgorithm
     std::vector<std::pair<StreamId, StreamAlloc>>
     run(std::vector<StreamDemand> demands);
 
+    /**
+     * Mark units as failed: they are excluded from the capacity pool
+     * (freeRows forced to 0) and from every demand's accessor set on
+     * subsequent run() calls.
+     */
+    void setFailedUnits(std::vector<bool> failed)
+    {
+        failedUnits_ = std::move(failed);
+    }
+
     /** Iterations executed by the last run (for reports/tests). */
     std::uint64_t lastIterations() const { return iterations_; }
     std::uint64_t lastExtends() const { return extends_; }
@@ -163,6 +173,8 @@ class ConfigAlgorithm
 
     std::vector<SState> states_;
     std::vector<std::uint32_t> freeRows_;
+    /** Per-unit failed flag (empty = all healthy). */
+    std::vector<bool> failedUnits_;
     std::vector<std::uint64_t> affineBytesUsed_;
     std::uint64_t iterations_ = 0;
     std::uint64_t extends_ = 0;

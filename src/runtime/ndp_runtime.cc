@@ -117,6 +117,12 @@ NdpRuntime::assignSamplers(bool first_epoch)
             }
         }
     }
+    // Failed units have no working samplers: give them nothing to cover.
+    for (UnitId u = 0; u < num_units; ++u) {
+        if (unitFailed(u)) {
+            accessed[u].assign(num_streams, false);
+        }
+    }
 
     // Cover pending (previously uncovered) streams first, then the rest.
     std::vector<StreamId> order;
@@ -167,6 +173,9 @@ NdpRuntime::gatherDemands()
         std::uint64_t total = 0;
         const MissCurveSampler* sampler = nullptr;
         for (UnitId u = 0; u < num_units; ++u) {
+            if (unitFailed(u)) {
+                continue; // sampler state died with the unit
+            }
             const SamplerBank& bank = cache_.samplerBank(u);
             const std::uint64_t count = bank.accessCount(cfg.sid);
             if (count > 0) {
@@ -267,6 +276,87 @@ NdpRuntime::start()
 }
 
 void
+NdpRuntime::stripFailedUnits(
+    std::vector<std::pair<StreamId, StreamAlloc>>& config) const
+{
+    if (failedUnitCount_ == 0) {
+        return;
+    }
+    for (auto& [sid, alloc] : config) {
+        (void)sid;
+        for (UnitId u = 0;
+             u < alloc.shareRows.size() && u < unitFailed_.size(); ++u) {
+            if (unitFailed_[u]) {
+                alloc.shareRows[u] = 0;
+            }
+        }
+    }
+    // Streams whose every share sat on failed units lose their space
+    // entirely; applyConfiguration treats absent streams as deallocated.
+    config.erase(std::remove_if(config.begin(), config.end(),
+                                [](const auto& e) {
+                                    return e.second.empty();
+                                }),
+                 config.end());
+}
+
+void
+NdpRuntime::emergencyReconfigure()
+{
+    const auto demands = gatherDemands();
+    if (demands.empty()) {
+        return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    auto config = configurator_->configure(demands);
+    lastConfigMicros_ = microsSince(t0);
+    stripFailedUnits(config);
+    // No stability guard here: running degraded costs more than any row
+    // invalidation this reconfiguration can cause.
+    cache_.applyConfiguration(config);
+    ++reconfigs_;
+    ++emergencyReconfigs_;
+}
+
+void
+NdpRuntime::onUnitFailure(UnitId unit)
+{
+    onUnitFailures({unit});
+}
+
+void
+NdpRuntime::onUnitFailures(const std::vector<UnitId>& units)
+{
+    if (unitFailed_.size() < cache_.numUnits()) {
+        unitFailed_.resize(cache_.numUnits(), false);
+    }
+    bool any_new = false;
+    for (const UnitId unit : units) {
+        NDP_ASSERT(unit < unitFailed_.size(), "unit=", unit);
+        if (unitFailed_[unit]) {
+            continue;
+        }
+        unitFailed_[unit] = true;
+        ++failedUnitCount_;
+        any_new = true;
+        // Degrade the hardware first so redirects are live immediately.
+        cache_.onUnitFailed(unit);
+    }
+    if (!any_new) {
+        return;
+    }
+    configurator_->setUnitHealth(unitFailed_);
+
+    // Simultaneous failures (e.g., a whole stack dying at once) are
+    // re-placed with a single reconfiguration, not one per unit.
+    if (configurator_->reconfigures()) {
+        emergencyReconfigure();
+    }
+    // One-shot (static) policies cannot re-place: they stay degraded,
+    // redirecting every access that hashes to the dead unit.
+}
+
+void
 NdpRuntime::onEpochEnd(Cycles now)
 {
     const bool adapt = configurator_->reconfigures()
@@ -282,6 +372,7 @@ NdpRuntime::onEpochEnd(Cycles now)
             const auto t0 = std::chrono::steady_clock::now();
             auto config = configurator_->configure(demands);
             lastConfigMicros_ = microsSince(t0);
+            stripFailedUnits(config);
             // Skip reconfigurations that barely move the allocation:
             // applying them would invalidate cached rows for no benefit
             // (stability guard; DESIGN.md 4.1).
@@ -322,6 +413,10 @@ NdpRuntime::report(StatGroup& stats, const std::string& prefix) const
 {
     stats.add(prefix + ".reconfigurations",
               static_cast<double>(reconfigs_));
+    stats.add(prefix + ".degraded.emergencyReconfigs",
+              static_cast<double>(emergencyReconfigs_));
+    stats.add(prefix + ".degraded.failedUnits",
+              static_cast<double>(failedUnitCount_));
     stats.add(prefix + ".streamsCovered", static_cast<double>(covered_));
     stats.set(prefix + ".lastAssignMicros", lastAssignMicros_);
     stats.set(prefix + ".lastConfigMicros", lastConfigMicros_);

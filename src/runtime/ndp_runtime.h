@@ -45,6 +45,17 @@ class Configurator
     /** False for one-shot (static) policies. */
     virtual bool reconfigures() const { return true; }
 
+    /**
+     * Unit-health update (degraded mode): `failed[u]` marks unit u dead.
+     * Health-aware configurators exclude those units from capacity and
+     * demand; the default ignores it (the runtime strips failed-unit
+     * shares from the emitted configuration regardless).
+     */
+    virtual void setUnitHealth(const std::vector<bool>& failed)
+    {
+        (void)failed;
+    }
+
     virtual std::string name() const = 0;
 };
 
@@ -61,6 +72,11 @@ class NdpExtConfigurator : public Configurator
     configure(const std::vector<StreamDemand>& demands) override
     {
         return algo_.run(demands);
+    }
+
+    void setUnitHealth(const std::vector<bool>& failed) override
+    {
+        algo_.setFailedUnits(failed);
     }
 
     std::string name() const override { return "ndpext"; }
@@ -131,8 +147,39 @@ class NdpRuntime
     /** Called at each epoch boundary. */
     void onEpochEnd(Cycles now);
 
+    /**
+     * A whole NDP unit (memory side) failed. Updates the health bitmap,
+     * degrades the cache (redirects, replica collapse), informs the
+     * configurator, and -- for reconfiguring policies -- immediately
+     * runs an *out-of-epoch* emergency reconfiguration that re-places
+     * every stream around the dead unit. Static policies stay degraded
+     * (their accesses to the dead slice redirect to extended memory
+     * forever -- the headline gap in bench_fault_degradation).
+     */
+    void onUnitFailure(UnitId unit);
+
+    /**
+     * Batch variant: units that fail at the same cycle (e.g., a whole
+     * stack dying) degrade together and trigger a *single* emergency
+     * reconfiguration instead of one per unit.
+     */
+    void onUnitFailures(const std::vector<UnitId>& units);
+
+    /** Per-unit health bitmap (true = failed). */
+    const std::vector<bool>& unitHealth() const { return unitFailed_; }
+    bool unitFailed(UnitId unit) const
+    {
+        return unit < unitFailed_.size() && unitFailed_[unit];
+    }
+
     const RuntimeParams& params() const { return params_; }
     std::uint64_t reconfigurations() const { return reconfigs_; }
+    /** Out-of-epoch reconfigurations triggered by unit failures. */
+    std::uint64_t emergencyReconfigurations() const
+    {
+        return emergencyReconfigs_;
+    }
+    std::uint64_t failedUnits() const { return failedUnitCount_; }
     /** Epoch configs skipped because they barely changed anything. */
     std::uint64_t skippedReconfigurations() const
     {
@@ -153,6 +200,20 @@ class NdpRuntime
     /** Run max-flow assignment and install it in the sampler banks. */
     void assignSamplers(bool first_epoch);
 
+    /**
+     * Out-of-epoch reconfiguration after a unit failure. Applies
+     * unconditionally (no stability guard): running degraded costs more
+     * than any row invalidation the reconfiguration could cause.
+     */
+    void emergencyReconfigure();
+
+    /**
+     * Drop failed-unit shares from a configuration emitted by a
+     * health-unaware configurator (e.g., the adapted NUCA baselines).
+     */
+    void stripFailedUnits(
+        std::vector<std::pair<StreamId, StreamAlloc>>& config) const;
+
     RuntimeParams params_;
     StreamCacheController& cache_;
     std::unique_ptr<Configurator> configurator_;
@@ -163,7 +224,12 @@ class NdpRuntime
     /** Streams the last assignment could not cover (rotated in next). */
     std::vector<StreamId> pendingUncovered_;
 
+    /** Health bitmap: unitFailed_[u] is true once unit u died. */
+    std::vector<bool> unitFailed_;
+
     std::uint64_t reconfigs_ = 0;
+    std::uint64_t emergencyReconfigs_ = 0;
+    std::uint64_t failedUnitCount_ = 0;
     std::uint64_t skippedReconfigs_ = 0;
     std::uint64_t covered_ = 0;
     double lastAssignMicros_ = 0.0;

@@ -86,6 +86,17 @@ NdpSystem::run(const Workload& workload)
     NdpRuntime runtime(cfg_.runtime, cache,
                        makeConfigurator(policy_, cfg_, cache, noc));
 
+    std::unique_ptr<FaultInjector> fault;
+    if (cfg_.faults.anyFaults()) {
+        for (const UnitFailure& f : cfg_.faults.unitFailures) {
+            NDP_ASSERT(f.unit < cfg_.numUnits(),
+                       "scheduled failure of nonexistent unit ", f.unit);
+        }
+        fault = std::make_unique<FaultInjector>(cfg_.faults);
+        ext.setFaultInjector(fault.get());
+        cache.setFaultInjector(fault.get());
+    }
+
     const std::uint32_t n = cfg_.numUnits();
     std::vector<InOrderCore> cores;
     cores.reserve(n);
@@ -107,10 +118,21 @@ NdpSystem::run(const Workload& workload)
         ready.emplace(cores[c].now(), c);
     }
     Cycles next_epoch = cfg_.runtime.epochCycles;
+    Cycles next_failure =
+        fault != nullptr ? fault->nextFailureAt() : FaultInjector::kNoFailure;
     Cycles finish = 0;
     while (!ready.empty()) {
         const auto [when, c] = ready.top();
         ready.pop();
+        if (when >= next_failure) {
+            // Fire scheduled unit failures before the core advances past
+            // them; the runtime reconfigures out-of-epoch immediately
+            // (once per batch of simultaneous failures).
+            runtime.onUnitFailures(fault->popFailuresUpTo(when));
+            next_failure = fault->nextFailureAt();
+            ready.emplace(when, c);
+            continue;
+        }
         if (when >= next_epoch) {
             runtime.onEpochEnd(next_epoch);
             next_epoch += cfg_.runtime.epochCycles;
@@ -137,6 +159,19 @@ NdpSystem::run(const Workload& workload)
     res.survivedRows = cache.survivedRows();
     res.reconfigurations = runtime.reconfigurations();
     res.slbMisses = cache.slbMissTotal();
+    res.degraded.linkRetries = ext.linkRetries();
+    res.degraded.retriesExhausted = ext.retriesExhausted();
+    res.degraded.poisonedReads = ext.poisonedReads();
+    res.degraded.poisonEscalations = cache.poisonEscalations();
+    res.degraded.failedUnitRedirects = cache.failedUnitRedirects();
+    res.degraded.dramFaultRefetches = cache.dramFaultRefetches();
+    res.degraded.failedUnits = runtime.failedUnits();
+    res.degraded.emergencyReconfigs = runtime.emergencyReconfigurations();
+    if (fault != nullptr
+        && fault->firstFailureAt() != FaultInjector::kNoFailure
+        && finish > fault->firstFailureAt()) {
+        res.degraded.cyclesDegraded = finish - fault->firstFailureAt();
+    }
     for (const auto& core : cores) {
         res.accesses += core.accesses();
         res.l1Hits += core.l1Hits();
@@ -158,6 +193,11 @@ NdpSystem::run(const Workload& workload)
     noc.report(res.stats, "noc");
     ext.report(res.stats, "ext");
     runtime.report(res.stats, "runtime");
+    if (fault != nullptr) {
+        fault->report(res.stats, "fault");
+        res.stats.set("degraded.cycles",
+                      static_cast<double>(res.degraded.cyclesDegraded));
+    }
     res.stats.set("cycles", static_cast<double>(finish));
     return res;
 }

@@ -37,6 +37,30 @@ struct EnergyBreakdown
     }
 };
 
+/** Degraded-mode counters (all zero on a fault-free run). */
+struct DegradedStats
+{
+    std::uint64_t linkRetries = 0;
+    std::uint64_t retriesExhausted = 0;
+    std::uint64_t poisonedReads = 0;
+    std::uint64_t poisonEscalations = 0;
+    std::uint64_t failedUnitRedirects = 0;
+    std::uint64_t dramFaultRefetches = 0;
+    std::uint64_t failedUnits = 0;
+    std::uint64_t emergencyReconfigs = 0;
+    /** Cycles between the first fired unit failure and completion. */
+    Cycles cyclesDegraded = 0;
+
+    bool
+    any() const
+    {
+        return linkRetries != 0 || retriesExhausted != 0
+            || poisonedReads != 0 || poisonEscalations != 0
+            || failedUnitRedirects != 0 || dramFaultRefetches != 0
+            || failedUnits != 0 || emergencyReconfigs != 0;
+    }
+};
+
 struct RunResult
 {
     std::string workload;
@@ -57,6 +81,7 @@ struct RunResult
     std::uint64_t survivedRows = 0;
     std::uint64_t reconfigurations = 0;
     std::uint64_t slbMisses = 0;
+    DegradedStats degraded;
 
     /** Average interconnect latency per request in cycles (Fig. 7 bars). */
     double

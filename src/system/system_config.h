@@ -19,6 +19,7 @@
 
 #include "cpu/core.h"
 #include "cxl/extended_memory.h"
+#include "fault/fault_injector.h"
 #include "mem/dram.h"
 #include "ndp/stream_cache.h"
 #include "noc/noc_model.h"
@@ -72,6 +73,12 @@ struct SystemConfig
 
     /** Ablation switch for Algorithm 1's replication (bench_ablation). */
     bool allowReplication = true;
+
+    /**
+     * Fault-injection configuration (bench_fault_degradation, --fault).
+     * Empty (the default) runs fault-free with zero simulation overhead.
+     */
+    FaultParams faults;
 
     /** Static power: NDP unit (core + logic + SRAM) and ext memory. */
     double staticWattsPerUnit = 0.05;

@@ -1,5 +1,6 @@
 #include "workloads/trace_workload.h"
 
+#include <exception>
 #include <fstream>
 #include <sstream>
 
@@ -59,15 +60,26 @@ TraceWorkload::makeGenerator(CoreId core) const
 }
 
 std::unique_ptr<TraceWorkload>
-TraceWorkload::parse(std::istream& in, std::uint32_t num_cores)
+TraceWorkload::parse(std::istream& in, std::uint32_t num_cores,
+                     const std::string& source, std::string* error)
 {
     NDP_ASSERT(num_cores > 0);
+    NDP_ASSERT(error != nullptr);
+    error->clear();
     auto w = std::unique_ptr<TraceWorkload>(new TraceWorkload());
     w->perCore_.resize(num_cores);
 
     std::uint64_t footprint = 0;
     std::string line;
     std::size_t line_no = 0;
+    // Diagnostics carry the source name and line so a user can fix the
+    // offending line of a multi-thousand-line trace directly.
+    auto fail = [&](const std::string& what) {
+        std::ostringstream os;
+        os << source << ":" << line_no << ": " << what;
+        *error = os.str();
+        return std::unique_ptr<TraceWorkload>();
+    };
     while (std::getline(in, line)) {
         ++line_no;
         const auto hash = line.find('#');
@@ -88,7 +100,9 @@ TraceWorkload::parse(std::istream& in, std::uint32_t num_cores)
             std::string rw;
             if (!(ss >> name >> type_str >> base_str >> size >> elem_size
                   >> rw)) {
-                NDP_FATAL("trace line ", line_no, ": malformed stream");
+                return fail("malformed stream record (expected: stream "
+                            "<name> <affine|indirect> <base-hex> <size> "
+                            "<elemSize> <ro|rw>)");
             }
             StreamType type;
             if (type_str == "affine") {
@@ -96,13 +110,27 @@ TraceWorkload::parse(std::istream& in, std::uint32_t num_cores)
             } else if (type_str == "indirect") {
                 type = StreamType::Indirect;
             } else {
-                NDP_FATAL("trace line ", line_no, ": bad stream type '",
-                          type_str, "'");
+                return fail("bad stream type '" + type_str
+                            + "' (expected affine|indirect)");
             }
-            const Addr base =
-                static_cast<Addr>(std::stoull(base_str, nullptr, 0));
+            Addr base = 0;
+            try {
+                std::size_t used = 0;
+                base = static_cast<Addr>(
+                    std::stoull(base_str, &used, 0));
+                if (used != base_str.size()) {
+                    return fail("bad stream base '" + base_str + "'");
+                }
+            } catch (const std::exception&) {
+                return fail("bad stream base '" + base_str + "'");
+            }
             if (rw != "ro" && rw != "rw") {
-                NDP_FATAL("trace line ", line_no, ": expected ro|rw");
+                return fail("expected ro|rw, got '" + rw + "'");
+            }
+            if (size == 0 || elem_size == 0 || size < elem_size) {
+                return fail("bad stream geometry (size=" +
+                            std::to_string(size) + " elemSize="
+                            + std::to_string(elem_size) + ")");
             }
             StreamConfig cfg =
                 StreamConfig::dense(name, type, base, size, elem_size);
@@ -117,31 +145,36 @@ TraceWorkload::parse(std::istream& in, std::uint32_t num_cores)
             std::string rw;
             std::uint32_t compute = 2;
             if (!(ss >> core >> sid >> elem >> rw)) {
-                NDP_FATAL("trace line ", line_no, ": malformed access");
+                return fail("malformed access record (expected: a <core> "
+                            "<sid> <elem> <r|w> [computeCycles])");
             }
             ss >> compute; // optional
             if (core >= num_cores) {
-                NDP_FATAL("trace line ", line_no, ": core ", core,
-                          " >= ", num_cores);
+                return fail("core " + std::to_string(core)
+                            + " >= " + std::to_string(num_cores));
             }
             if (sid >= w->configs_.size()) {
-                NDP_FATAL("trace line ", line_no, ": unknown sid ", sid);
+                return fail("unknown sid " + std::to_string(sid));
             }
             if (elem >= w->configs_[sid].numElems()) {
-                NDP_FATAL("trace line ", line_no, ": elem ", elem,
-                          " out of range for stream ",
-                          w->configs_[sid].name);
+                return fail("elem " + std::to_string(elem)
+                            + " out of range for stream "
+                            + w->configs_[sid].name);
             }
             if (rw != "r" && rw != "w") {
-                NDP_FATAL("trace line ", line_no, ": expected r|w");
+                return fail("expected r|w, got '" + rw + "'");
             }
             w->perCore_[core].push_back(TraceAccess{
                 static_cast<StreamId>(sid), elem, rw == "w",
                 std::max<std::uint32_t>(1, compute)});
         } else {
-            NDP_FATAL("trace line ", line_no, ": unknown record '", kind,
-                      "'");
+            return fail("unknown record '" + kind
+                        + "' (expected 'stream' or 'a')");
         }
+    }
+    if (w->configs_.empty()) {
+        line_no = 0;
+        return fail("trace defined no streams");
     }
 
     std::size_t max_accesses = 1;
@@ -157,13 +190,38 @@ TraceWorkload::parse(std::istream& in, std::uint32_t num_cores)
 }
 
 std::unique_ptr<TraceWorkload>
-TraceWorkload::parseFile(const std::string& path, std::uint32_t num_cores)
+TraceWorkload::parse(std::istream& in, std::uint32_t num_cores)
 {
+    std::string error;
+    auto w = parse(in, num_cores, "<trace>", &error);
+    if (w == nullptr) {
+        NDP_FATAL("trace ", error);
+    }
+    return w;
+}
+
+std::unique_ptr<TraceWorkload>
+TraceWorkload::parseFile(const std::string& path, std::uint32_t num_cores,
+                         std::string* error)
+{
+    NDP_ASSERT(error != nullptr);
     std::ifstream in(path);
     if (!in) {
-        NDP_FATAL("cannot open trace file: ", path);
+        *error = "cannot open trace file: " + path;
+        return nullptr;
     }
-    return parse(in, num_cores);
+    return parse(in, num_cores, path, error);
+}
+
+std::unique_ptr<TraceWorkload>
+TraceWorkload::parseFile(const std::string& path, std::uint32_t num_cores)
+{
+    std::string error;
+    auto w = parseFile(path, num_cores, &error);
+    if (w == nullptr) {
+        NDP_FATAL("trace ", error);
+    }
+    return w;
 }
 
 } // namespace ndpext

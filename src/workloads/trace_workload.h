@@ -38,9 +38,27 @@ class TraceWorkload : public Workload
     static std::unique_ptr<TraceWorkload> parse(std::istream& in,
                                                 std::uint32_t num_cores);
 
-    /** Parse a trace file from disk. */
+    /**
+     * Recoverable variant: on malformed input, returns nullptr and sets
+     * *error to "<source>:<line>: <reason>" instead of aborting.
+     * `source` names the input in diagnostics (file name, "<stdin>", ...).
+     */
+    static std::unique_ptr<TraceWorkload> parse(std::istream& in,
+                                                std::uint32_t num_cores,
+                                                const std::string& source,
+                                                std::string* error);
+
+    /** Parse a trace file from disk; fatal() on malformed input. */
     static std::unique_ptr<TraceWorkload>
     parseFile(const std::string& path, std::uint32_t num_cores);
+
+    /**
+     * Recoverable variant: returns nullptr and sets *error (with file
+     * name and line number) on unreadable or malformed input.
+     */
+    static std::unique_ptr<TraceWorkload>
+    parseFile(const std::string& path, std::uint32_t num_cores,
+              std::string* error);
 
     std::string name() const override { return "trace"; }
     std::unique_ptr<AccessGenerator> makeGenerator(CoreId core) const

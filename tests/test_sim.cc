@@ -107,6 +107,17 @@ TEST(EventQueue, CallbackCanReschedule)
     EXPECT_EQ(q.now(), 20u);
 }
 
+TEST(EventQueueDeathTest, SchedulingInThePastIsAHardError)
+{
+    // A past-dated event would silently reorder time; the queue must
+    // reject it loudly rather than fire it out of order.
+    EventQueue q;
+    q.schedule(10, [](Cycles) {});
+    q.runAll();
+    EXPECT_EQ(q.now(), 10u);
+    EXPECT_DEATH(q.schedule(5, [](Cycles) {}), "scheduling in the past");
+}
+
 TEST(BandwidthResource, NoContentionStartsImmediately)
 {
     BandwidthResource r(16.0);

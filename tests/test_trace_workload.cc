@@ -133,5 +133,50 @@ TEST(TraceWorkload, MalformedInputIsFatal)
     }
 }
 
+TEST(TraceWorkload, RecoverableParseReportsSourceAndLine)
+{
+    std::istringstream in("stream s affine 0x1000 64 8 ro\n"
+                          "a 0 0 0 r\n"
+                          "bogus 1 2 3\n");
+    std::string error;
+    auto w = TraceWorkload::parse(in, 1, "inline.trace", &error);
+    EXPECT_EQ(w, nullptr);
+    EXPECT_NE(error.find("inline.trace:3: "), std::string::npos) << error;
+    EXPECT_NE(error.find("unknown record 'bogus'"), std::string::npos)
+        << error;
+}
+
+TEST(TraceWorkload, ParseFileDiagnosesCorruptFixture)
+{
+    const std::string path =
+        std::string(NDPEXT_EXAMPLES_DIR) + "/data/corrupt.trace";
+    std::string error;
+    auto w = TraceWorkload::parseFile(path, 1, &error);
+    EXPECT_EQ(w, nullptr);
+    // The defect sits on line 5 of the fixture; the diagnostic must name
+    // the file and that line so users can fix their own traces.
+    EXPECT_NE(error.find("corrupt.trace:5: "), std::string::npos) << error;
+    EXPECT_NE(error.find("unknown record"), std::string::npos) << error;
+}
+
+TEST(TraceWorkload, ParseFileLoadsSampleFixture)
+{
+    const std::string path =
+        std::string(NDPEXT_EXAMPLES_DIR) + "/data/sample.trace";
+    std::string error;
+    auto w = TraceWorkload::parseFile(path, 4, &error);
+    ASSERT_NE(w, nullptr) << error;
+    EXPECT_TRUE(error.empty());
+    EXPECT_EQ(w->streamConfigs().size(), 2u);
+}
+
+TEST(TraceWorkload, ParseFileMissingFileIsRecoverable)
+{
+    std::string error;
+    auto w = TraceWorkload::parseFile("/nonexistent/nope.trace", 1, &error);
+    EXPECT_EQ(w, nullptr);
+    EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
+}
+
 } // namespace
 } // namespace ndpext

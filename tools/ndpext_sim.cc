@@ -8,6 +8,7 @@
  *   ndpext_sim --workload=recsys --policy=nexus --mem=hmc --accesses=50000
  *   ndpext_sim --trace=my.trace --policy=ndpext --stacks=2x2 --units=2x4
  *   ndpext_sim --workload=bfs --policy=host
+ *   ndpext_sim --workload=pr --fault=unit:12@5M --fault-seed=7
  *   ndpext_sim --list
  *
  * Options:
@@ -18,18 +19,31 @@
  *   --mem=hbm|hmc        NDP memory technology
  *   --stacks=XxY         inter-stack mesh (default 4x2)
  *   --units=XxY          intra-stack mesh (default 2x4)
- *   --cache-kb=N         DRAM cache per unit in kB (default 1024)
+ *   --cache-kb=N         DRAM cache per unit in kB (default 1024, > 0)
  *   --footprint-mb=N     workload footprint (default 96)
  *   --accesses=N         accesses per core (default 20000)
  *   --epoch=N            reconfiguration interval in cycles
  *   --seed=N             workload seed (default 42)
+ *   --fault=SPEC         inject faults (repeatable). SPECs:
+ *                          unit:<id>@<cycle>    kill NDP unit at cycle
+ *                          stack:<id>@<cycle>   kill a whole stack
+ *                          cxl-transient:p=<p>  link-error probability
+ *                          cxl-poison:p=<p>     media-poison probability
+ *                          dram-bit:p=<p>       cache bit-fault probability
+ *                        cycles take K/M/G suffixes (5M = 5,000,000)
+ *   --fault-seed=N       fault-injection RNG seed (default 1)
  *   --dump-stats         print every simulator counter
+ *
+ * Malformed options print a usage message and exit with status 2.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/logging.h"
 #include "system/host_system.h"
@@ -40,6 +54,50 @@
 using namespace ndpext;
 
 namespace {
+
+constexpr const char* kUsage =
+    "usage: ndpext_sim [options]\n"
+    "  --workload=NAME | --trace=FILE   input (default: --workload=pr)\n"
+    "  --policy=NAME       ndpext | ndpext-static | jigsaw | whirlpool |\n"
+    "                      nexus | static-interleave | host\n"
+    "  --mem=hbm|hmc       NDP memory technology\n"
+    "  --stacks=XxY        inter-stack mesh, X,Y > 0 (default 4x2)\n"
+    "  --units=XxY         intra-stack mesh, X,Y > 0 (default 2x4)\n"
+    "  --cache-kb=N        DRAM cache per unit in kB, N > 0\n"
+    "  --footprint-mb=N    workload footprint in MB\n"
+    "  --accesses=N        accesses per core\n"
+    "  --epoch=N           reconfiguration interval in cycles\n"
+    "  --seed=N            workload seed\n"
+    "  --fault=SPEC        unit:<id>@<cycle> | stack:<id>@<cycle> |\n"
+    "                      cxl-transient:p=<p> | cxl-poison:p=<p> |\n"
+    "                      dram-bit:p=<p>   (repeatable)\n"
+    "  --fault-seed=N      fault-injection RNG seed\n"
+    "  --dump-stats        print every simulator counter\n"
+    "  --list              print workloads and policies\n";
+
+/** Print a diagnostic plus usage and exit with status 2 (bad input). */
+[[noreturn]] void
+usageError(const std::string& message)
+{
+    std::fprintf(stderr, "ndpext_sim: %s\n%s", message.c_str(), kUsage);
+    std::exit(2);
+}
+
+/** Strict unsigned parse: whole string, base 10, no sign/garbage. */
+bool
+parseU64(const std::string& text, std::uint64_t& out)
+{
+    if (text.empty()
+        || text.find_first_not_of("0123456789") != std::string::npos) {
+        return false;
+    }
+    try {
+        out = std::stoull(text);
+    } catch (const std::exception&) {
+        return false; // out of range
+    }
+    return true;
+}
 
 struct Options
 {
@@ -56,6 +114,9 @@ struct Options
     std::uint64_t accesses = 20000;
     std::uint64_t epoch = 0;
     std::uint64_t seed = 42;
+    /** Raw --fault specs; parsed once the geometry is known. */
+    std::vector<std::string> faultSpecs;
+    std::uint64_t faultSeed = 1;
     bool dumpStats = false;
 };
 
@@ -66,9 +127,18 @@ parseGrid(const std::string& value, std::uint32_t& x, std::uint32_t& y)
     if (pos == std::string::npos) {
         return false;
     }
-    x = static_cast<std::uint32_t>(std::stoul(value.substr(0, pos)));
-    y = static_cast<std::uint32_t>(std::stoul(value.substr(pos + 1)));
-    return x > 0 && y > 0;
+    std::uint64_t xv = 0;
+    std::uint64_t yv = 0;
+    if (!parseU64(value.substr(0, pos), xv)
+        || !parseU64(value.substr(pos + 1), yv)) {
+        return false;
+    }
+    if (xv == 0 || yv == 0 || xv > 1024 || yv > 1024) {
+        return false;
+    }
+    x = static_cast<std::uint32_t>(xv);
+    y = static_cast<std::uint32_t>(yv);
+    return true;
 }
 
 Options
@@ -79,6 +149,15 @@ parseArgs(int argc, char** argv)
         const std::string arg = argv[i];
         auto value = [&](const char* prefix) -> std::string {
             return arg.substr(std::string(prefix).size());
+        };
+        auto number = [&](const char* prefix) -> std::uint64_t {
+            std::uint64_t out = 0;
+            if (!parseU64(value(prefix), out)) {
+                usageError("bad " + std::string(prefix, strlen(prefix) - 1)
+                           + ": '" + value(prefix)
+                           + "' (expected a non-negative integer)");
+            }
+            return out;
         };
         if (arg == "--list") {
             std::printf("workloads:");
@@ -101,34 +180,60 @@ parseArgs(int argc, char** argv)
             } else if (m == "hmc") {
                 opt.mem = NdpMemType::Hmc2;
             } else {
-                NDP_FATAL("bad --mem: ", m);
+                usageError("bad --mem: '" + m + "' (expected hbm|hmc)");
             }
         } else if (arg.rfind("--stacks=", 0) == 0) {
             if (!parseGrid(value("--stacks="), opt.stacksX, opt.stacksY)) {
-                NDP_FATAL("bad --stacks (expected XxY)");
+                usageError("bad --stacks: '" + value("--stacks=")
+                           + "' (expected XxY with X,Y in 1..1024)");
             }
         } else if (arg.rfind("--units=", 0) == 0) {
             if (!parseGrid(value("--units="), opt.unitsX, opt.unitsY)) {
-                NDP_FATAL("bad --units (expected XxY)");
+                usageError("bad --units: '" + value("--units=")
+                           + "' (expected XxY with X,Y in 1..1024)");
             }
         } else if (arg.rfind("--cache-kb=", 0) == 0) {
-            opt.cacheKb = std::stoull(value("--cache-kb="));
+            opt.cacheKb = number("--cache-kb=");
+            if (opt.cacheKb == 0) {
+                usageError("bad --cache-kb: 0 (the DRAM cache needs at "
+                           "least one row per unit)");
+            }
         } else if (arg.rfind("--footprint-mb=", 0) == 0) {
-            opt.footprintMb = std::stoull(value("--footprint-mb="));
+            opt.footprintMb = number("--footprint-mb=");
+            if (opt.footprintMb == 0) {
+                usageError("bad --footprint-mb: 0");
+            }
         } else if (arg.rfind("--accesses=", 0) == 0) {
-            opt.accesses = std::stoull(value("--accesses="));
+            opt.accesses = number("--accesses=");
         } else if (arg.rfind("--epoch=", 0) == 0) {
-            opt.epoch = std::stoull(value("--epoch="));
+            opt.epoch = number("--epoch=");
         } else if (arg.rfind("--seed=", 0) == 0) {
-            opt.seed = std::stoull(value("--seed="));
+            opt.seed = number("--seed=");
+        } else if (arg.rfind("--fault=", 0) == 0) {
+            opt.faultSpecs.push_back(value("--fault="));
+        } else if (arg.rfind("--fault-seed=", 0) == 0) {
+            opt.faultSeed = number("--fault-seed=");
         } else if (arg == "--dump-stats") {
             opt.dumpStats = true;
         } else if (arg == "--help" || arg == "-h") {
-            std::printf("see the header of tools/ndpext_sim.cc for "
-                        "usage; --list prints workloads/policies\n");
+            std::printf("%s", kUsage);
             std::exit(0);
         } else {
-            NDP_FATAL("unknown argument: ", arg, " (try --help)");
+            usageError("unknown argument: '" + arg + "'");
+        }
+    }
+    if (opt.policy != "host") {
+        // Validate the policy name up front so a typo is a usage error,
+        // not a mid-run abort.
+        const char* known[] = {"ndpext",    "ndpext-static",
+                               "jigsaw",    "whirlpool",
+                               "nexus",     "static-interleave"};
+        bool ok = false;
+        for (const char* name : known) {
+            ok = ok || opt.policy == name;
+        }
+        if (!ok) {
+            usageError("unknown --policy: '" + opt.policy + "'");
         }
     }
     return opt;
@@ -154,6 +259,28 @@ printResult(const RunResult& r, bool dump_stats)
     std::printf("reconfigs       %llu\n",
                 static_cast<unsigned long long>(r.reconfigurations));
     std::printf("energy          %.3f mJ\n", r.energy.totalNj() * 1e-6);
+    if (r.degraded.any()) {
+        const auto& d = r.degraded;
+        std::printf("--- degraded mode ---\n");
+        std::printf("failed units        %llu\n",
+                    static_cast<unsigned long long>(d.failedUnits));
+        std::printf("emergency reconfigs %llu\n",
+                    static_cast<unsigned long long>(d.emergencyReconfigs));
+        std::printf("redirected accesses %llu\n",
+                    static_cast<unsigned long long>(d.failedUnitRedirects));
+        std::printf("link retries        %llu\n",
+                    static_cast<unsigned long long>(d.linkRetries));
+        std::printf("retries exhausted   %llu\n",
+                    static_cast<unsigned long long>(d.retriesExhausted));
+        std::printf("poisoned reads      %llu\n",
+                    static_cast<unsigned long long>(d.poisonedReads));
+        std::printf("poison escalations  %llu\n",
+                    static_cast<unsigned long long>(d.poisonEscalations));
+        std::printf("dram bit refetches  %llu\n",
+                    static_cast<unsigned long long>(d.dramFaultRefetches));
+        std::printf("cycles degraded     %llu\n",
+                    static_cast<unsigned long long>(d.cyclesDegraded));
+    }
     if (dump_stats) {
         std::printf("--- all counters ---\n");
         r.stats.dump(std::cout);
@@ -177,12 +304,43 @@ main(int argc, char** argv)
     if (opt.epoch != 0) {
         cfg.runtime.epochCycles = opt.epoch;
     }
+
+    cfg.faults.seed = opt.faultSeed;
+    for (const std::string& spec : opt.faultSpecs) {
+        std::string error;
+        if (!parseFaultSpec(spec, cfg.unitsX * cfg.unitsY, cfg.faults,
+                            &error)) {
+            usageError("bad --fault: " + error);
+        }
+    }
+    for (const UnitFailure& f : cfg.faults.unitFailures) {
+        if (f.unit >= cfg.numUnits()) {
+            usageError("bad --fault: unit " + std::to_string(f.unit)
+                       + " >= " + std::to_string(cfg.numUnits())
+                       + " units");
+        }
+    }
+    if (opt.policy == "host" && cfg.faults.anyFaults()) {
+        usageError("--fault is not supported with --policy=host");
+    }
+
     cfg.finalize();
 
     std::unique_ptr<Workload> workload;
     if (!opt.trace.empty()) {
-        workload = TraceWorkload::parseFile(opt.trace, cfg.numUnits());
+        std::string error;
+        workload =
+            TraceWorkload::parseFile(opt.trace, cfg.numUnits(), &error);
+        if (workload == nullptr) {
+            usageError(error);
+        }
     } else {
+        const auto names = allWorkloadNames();
+        if (std::find(names.begin(), names.end(), opt.workload)
+            == names.end()) {
+            usageError("unknown --workload: '" + opt.workload
+                       + "' (--list prints the available workloads)");
+        }
         workload = makeWorkload(opt.workload);
         WorkloadParams params;
         params.numCores = cfg.numUnits();
@@ -200,7 +358,7 @@ main(int argc, char** argv)
         hp.meshY = (hp.numCores + 7) / 8;
         hp.numCores = hp.meshX * hp.meshY;
         if (hp.numCores != cfg.numUnits()) {
-            NDP_FATAL("--policy=host needs a core count divisible by 8");
+            usageError("--policy=host needs a core count divisible by 8");
         }
         HostSystem host(hp);
         result = host.run(*workload);
