@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 
@@ -29,6 +30,13 @@ BenchArgs::parse(int argc, char** argv)
             }
         } else if (arg.rfind("--exp=", 0) == 0) {
             args.exp = arg.substr(6);
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            const long v = std::strtol(arg.c_str() + 10, nullptr, 10);
+            if (v < 1 || v > 1024) {
+                NDP_FATAL("--threads must be in [1, 1024], got ",
+                          arg.substr(10));
+            }
+            args.threads = static_cast<std::uint32_t>(v);
         } else if (arg.rfind("--workloads=", 0) == 0) {
             std::stringstream ss(arg.substr(12));
             std::string item;
@@ -37,7 +45,8 @@ BenchArgs::parse(int argc, char** argv)
             }
         } else {
             NDP_FATAL("unknown argument: ", arg,
-                      " (expected --quick, --mem=, --exp=, --workloads=)");
+                      " (expected --quick, --mem=, --exp=, --threads=,"
+                      " --workloads=)");
         }
     }
     return args;
@@ -48,6 +57,7 @@ benchConfig(const BenchArgs& args)
 {
     SystemConfig cfg = SystemConfig::scaledDefault();
     cfg.memType = args.memType;
+    cfg.numThreads = args.threads;
     cfg.finalize();
     return cfg;
 }

@@ -33,6 +33,11 @@ struct BenchArgs
     NdpMemType memType = NdpMemType::Hbm3;
     /** Sub-experiment selector (--exp=...). */
     std::string exp;
+    /**
+     * Simulation threads (--threads=N). Results are identical for any
+     * value; this only changes wall-clock time.
+     */
+    std::uint32_t threads = 1;
     /** Workload filter (--workloads=pr,bfs,...). Empty = bench default. */
     std::vector<std::string> workloads;
 

@@ -76,7 +76,8 @@ runWith(const SystemConfig& cfg, const Workload& workload,
     std::vector<InOrderCore> cores;
     std::vector<std::unique_ptr<AccessGenerator>> gens;
     for (CoreId c = 0; c < cfg.numUnits(); ++c) {
-        cores.emplace_back(c, cfg.core, cache);
+        cores.emplace_back(c, cfg.core);
+        cores.back().memPort().bind(cache.port("cpu_side"));
         gens.push_back(workload.makeGenerator(c));
     }
     runtime.start();

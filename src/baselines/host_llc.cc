@@ -8,7 +8,8 @@
 namespace ndpext {
 
 HostLlcController::HostLlcController(const HostParams& params)
-    : params_(params), dram_(params.dram, params.coreFreqMhz)
+    : MemObject("host_llc"), params_(params),
+      dram_(params.dram, params.coreFreqMhz)
 {
     NDP_ASSERT(params.numCores == params.meshX * params.meshY,
                "host mesh must match core count");
@@ -17,6 +18,33 @@ HostLlcController::HostLlcController(const HostParams& params)
         banks_.push_back(SetAssocCache::fromCapacity(
             params.llcBankBytes, kCachelineBytes, params.llcWays));
     }
+}
+
+void
+HostLlcController::handleRequest(Packet& pkt)
+{
+    if (pkt.op == MemOp::Writeback) {
+        writeback(pkt.src, pkt.addr, pkt.ready);
+        return;
+    }
+    Access acc;
+    acc.addr = pkt.addr;
+    acc.size = pkt.bytes;
+    acc.isWrite = pkt.isWrite();
+    acc.sid = pkt.sid;
+    acc.elem = pkt.elem;
+    const LatencyBreakdown before = bd_;
+    const MemResult res = access(pkt.src, acc, pkt.ready);
+    // Attribute this request's bucket deltas to the packet.
+    LatencyBreakdown delta = bd_;
+    delta.metadata -= before.metadata;
+    delta.icnIntra -= before.icnIntra;
+    delta.icnInter -= before.icnInter;
+    delta.dramCache -= before.dramCache;
+    delta.extMem -= before.extMem;
+    delta.requests -= before.requests;
+    pkt.bd.merge(delta);
+    pkt.ready = res.done;
 }
 
 std::uint32_t

@@ -20,6 +20,7 @@
 #include "cpu/core.h"
 #include "mem/dram.h"
 #include "sim/breakdown.h"
+#include "sim/port.h"
 #include "sim/stats.h"
 
 namespace ndpext {
@@ -40,13 +41,19 @@ struct HostParams
     double hopPjPerBit = 0.4;
 };
 
-class HostLlcController : public MemoryBackend
+class HostLlcController : public MemObject
 {
   public:
     explicit HostLlcController(const HostParams& params);
 
-    MemResult access(CoreId core, const Access& access, Cycles now) override;
-    void writeback(CoreId core, Addr line_addr, Cycles now) override;
+    HostLlcController(const HostLlcController&) = delete;
+    HostLlcController& operator=(const HostLlcController&) = delete;
+
+    /** Port entry ("cpu_side"): dispatches reads/writes and writebacks. */
+    void handleRequest(Packet& pkt);
+
+    MemResult access(CoreId core, const Access& access, Cycles now);
+    void writeback(CoreId core, Addr line_addr, Cycles now);
 
     const LatencyBreakdown& breakdown() const { return bd_; }
     std::uint64_t llcHits() const { return hits_; }
@@ -62,8 +69,33 @@ class HostLlcController : public MemoryBackend
 
     void report(StatGroup& stats, const std::string& prefix) const;
 
+  protected:
+    MemPort* getPort(const std::string& port_name) override
+    {
+        return port_name == "cpu_side" ? &cpuSide_ : nullptr;
+    }
+
   private:
+    /** Response port adapter forwarding into handleRequest(). */
+    class CpuSidePort : public MemPort
+    {
+      public:
+        explicit CpuSidePort(HostLlcController& owner)
+            : MemPort("host_llc.cpu_side"), owner_(owner)
+        {
+        }
+        void recvAtomic(Packet& pkt) override
+        {
+            owner_.handleRequest(pkt);
+        }
+
+      private:
+        HostLlcController& owner_;
+    };
+
     std::uint32_t hopsBetween(std::uint32_t a, std::uint32_t b) const;
+
+    CpuSidePort cpuSide_{*this};
 
     HostParams params_;
     std::vector<SetAssocCache> banks_;

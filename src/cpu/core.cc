@@ -3,12 +3,13 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "sim/packet.h"
 
 namespace ndpext {
 
-InOrderCore::InOrderCore(CoreId id, const CoreParams& params,
-                         MemoryBackend& backend)
-    : id_(id), params_(params), backend_(backend),
+InOrderCore::InOrderCore(CoreId id, const CoreParams& params)
+    : MemObject("core" + std::to_string(id)), id_(id), params_(params),
+      memPort_("core" + std::to_string(id) + ".mem"),
       l1d_(SetAssocCache::fromCapacity(params.l1dCapacityBytes,
                                        params.lineBytes, params.l1dWays)),
       mshrFree_(std::max<std::uint32_t>(1, params.mshrs), 0)
@@ -42,14 +43,17 @@ InOrderCore::step(AccessGenerator& gen)
     const Cycles issue = std::max(now_, *slot);
     memStallCycles_ += issue - now_;
 
-    const MemResult res = backend_.access(id_, acc, issue);
-    NDP_ASSERT(res.done >= issue);
-    *slot = res.done;
+    Packet pkt = Packet::request(acc, id_, issue);
+    memPort_.sendAtomic(pkt);
+    NDP_ASSERT(pkt.ready >= issue);
+    *slot = pkt.ready;
     now_ = issue + params_.l1HitCycles; // issue occupancy, then overlap
 
     const auto ev = l1d_.insert(line, acc.isWrite);
     if (ev.valid && ev.dirty) {
-        backend_.writeback(id_, ev.key * params_.lineBytes, issue);
+        Packet wb =
+            Packet::writeback(ev.key * params_.lineBytes, id_, issue);
+        memPort_.sendAtomic(wb);
     }
     return true;
 }

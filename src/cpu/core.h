@@ -22,6 +22,7 @@
 #include "cache/set_assoc_cache.h"
 #include "common/types.h"
 #include "cpu/access_generator.h"
+#include "sim/port.h"
 #include "sim/stats.h"
 
 namespace ndpext {
@@ -47,34 +48,21 @@ struct MemResult
     Cycles done = 0;
 };
 
-/** The memory system as seen by one core. */
-class MemoryBackend
+class InOrderCore : public MemObject
 {
   public:
-    virtual ~MemoryBackend() = default;
-
-    /** Service an L1 miss issued by `core` at time `now`. */
-    virtual MemResult access(CoreId core, const Access& access,
-                             Cycles now) = 0;
-
-    /** Non-blocking dirty-line writeback. Default: ignored. */
-    virtual void
-    writeback(CoreId core, Addr line_addr, Cycles now)
-    {
-        (void)core;
-        (void)line_addr;
-        (void)now;
-    }
-};
-
-class InOrderCore
-{
-  public:
-    InOrderCore(CoreId id, const CoreParams& params, MemoryBackend& backend);
+    InOrderCore(CoreId id, const CoreParams& params);
 
     InOrderCore(const InOrderCore&) = delete;
     InOrderCore& operator=(const InOrderCore&) = delete;
     InOrderCore(InOrderCore&&) = default;
+
+    /**
+     * The core's memory-side request port ("mem"): L1 misses and dirty
+     * writebacks are sent through it as Packets. Must be bound to the
+     * memory system's cpu_side port before the first step().
+     */
+    RequestPort& memPort() { return memPort_; }
 
     /**
      * Execute the next access from `gen`.
@@ -99,10 +87,17 @@ class InOrderCore
 
     void report(StatGroup& stats, const std::string& prefix) const;
 
+  protected:
+    MemPort* getPort(const std::string& port_name) override
+    {
+        (void)port_name; // the core has only the request side
+        return nullptr;
+    }
+
   private:
     CoreId id_;
     CoreParams params_;
-    MemoryBackend& backend_;
+    RequestPort memPort_;
     SetAssocCache l1d_;
 
     Cycles now_ = 0;

@@ -7,8 +7,19 @@ namespace ndpext {
 ExtendedMemory::ExtendedMemory(const CxlParams& cxl,
                                const DramTimingParams& dram,
                                std::uint64_t core_freq_mhz)
-    : cxl_(cxl), dram_(dram, core_freq_mhz), link_(cxl.linkBytesPerCycle)
+    : MemObject("ext"), cxl_(cxl), dram_(dram, core_freq_mhz),
+      link_(cxl.linkBytesPerCycle)
 {
+}
+
+void
+ExtendedMemory::recvAtomic(Packet& pkt)
+{
+    const CxlResult res =
+        access(pkt.addr, pkt.bytes, pkt.isWrite(), pkt.ready);
+    pkt.bd.extMem += res.done - pkt.ready;
+    pkt.ready = res.done;
+    pkt.poisoned = res.poisoned;
 }
 
 CxlResult

@@ -22,6 +22,7 @@
 #include "common/types.h"
 #include "fault/fault_injector.h"
 #include "mem/dram.h"
+#include "sim/port.h"
 #include "sim/resource.h"
 #include "sim/stats.h"
 
@@ -50,14 +51,24 @@ struct CxlResult
  * every access pays one round trip: request over the link, DDR5 access,
  * response over the link.
  */
-class ExtendedMemory
+class ExtendedMemory : public MemObject
 {
   public:
     ExtendedMemory(const CxlParams& cxl, const DramTimingParams& dram,
                    std::uint64_t core_freq_mhz);
 
+    ExtendedMemory(const ExtendedMemory&) = delete;
+    ExtendedMemory& operator=(const ExtendedMemory&) = delete;
+
     /** Attach (or detach with nullptr) the fault injector. */
     void setFaultInjector(FaultInjector* fault) { fault_ = fault; }
+
+    /**
+     * Port protocol (response port "in"): service pkt at the CXL attach
+     * point, advancing pkt.ready, charging the extMem bucket, and setting
+     * pkt.poisoned on a poisoned read.
+     */
+    void recvAtomic(Packet& pkt);
 
     /** Access `bytes` at `addr`, arriving at the CXL port at `now`. */
     CxlResult access(Addr addr, std::uint32_t bytes, bool is_write,
@@ -80,7 +91,28 @@ class ExtendedMemory
     void report(StatGroup& stats, const std::string& prefix) const;
     void reset();
 
+  protected:
+    MemPort* getPort(const std::string& port_name) override
+    {
+        return port_name == "in" ? &in_ : nullptr;
+    }
+
   private:
+    /** Response port adapter forwarding into recvAtomic(). */
+    class InPort : public MemPort
+    {
+      public:
+        explicit InPort(ExtendedMemory& owner)
+            : MemPort("ext.in"), owner_(owner)
+        {
+        }
+        void recvAtomic(Packet& pkt) override { owner_.recvAtomic(pkt); }
+
+      private:
+        ExtendedMemory& owner_;
+    };
+
+    InPort in_{*this};
     CxlParams cxl_;
     DramDevice dram_;
     BandwidthResource link_;

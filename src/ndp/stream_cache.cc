@@ -12,10 +12,12 @@ StreamCacheController::StreamCacheController(
     const StreamCacheParams& params, StreamTable& streams, NocModel& noc,
     ExtendedMemory& ext, const DramTimingParams& unit_dram,
     std::uint64_t unit_cache_bytes, std::uint64_t core_freq_mhz)
-    : params_(params), streams_(streams), noc_(noc), ext_(ext),
+    : MemObject("stream_cache"), params_(params), streams_(streams),
+      noc_(noc), ext_(ext),
       rowBytes_(static_cast<std::uint32_t>(unit_dram.rowBytes)),
       rowsPerUnit_(
           static_cast<std::uint32_t>(unit_cache_bytes / unit_dram.rowBytes)),
+      unitDramParams_(unit_dram), coreFreqMhz_(core_freq_mhz),
       remap_(noc.topology().numUnits(), rowsPerUnit_, rowBytes_,
              params.remapMode)
 {
@@ -27,6 +29,48 @@ StreamCacheController::StreamCacheController(
             std::make_unique<UnitState>(unit_dram, core_freq_mhz, params_));
     }
     unitFailed_.assign(n, false);
+    shardOfUnit_.assign(n, 0);
+
+    // Single default context covering every unit, wired to the
+    // constructor's NoC/ext models (exact legacy behavior).
+    auto ctx = std::make_unique<ShardCtx>();
+    ctx->nocPort.bind(noc_.port("in"));
+    ctx->extPort.bind(ext_.port("in"));
+    ctxs_.push_back(std::move(ctx));
+}
+
+void
+StreamCacheController::enableSharding(
+    const std::vector<ShardResources>& resources)
+{
+    const MeshTopology& topo = noc_.topology();
+    NDP_ASSERT(resources.size() == topo.numStacks(),
+               "need one ShardResources per stack: ", resources.size(),
+               " != ", topo.numStacks());
+    sharded_ = true;
+    for (UnitId u = 0; u < units_.size(); ++u) {
+        shardOfUnit_[u] = topo.stackOf(u);
+    }
+    ctxs_.clear();
+    for (std::size_t s = 0; s < resources.size(); ++s) {
+        const ShardResources& res = resources[s];
+        NDP_ASSERT(res.noc != nullptr && res.ext != nullptr,
+                   "shard ", s, " missing NoC/ext models");
+        auto ctx = std::make_unique<ShardCtx>();
+        ctx->id = static_cast<std::uint32_t>(s);
+        ctx->nocPort.bind(res.noc->port("in"));
+        ctx->extPort.bind(res.ext->port("in"));
+        ctx->fault = res.fault;
+        ctxs_.push_back(std::move(ctx));
+    }
+}
+
+void
+StreamCacheController::setFaultInjector(FaultInjector* fault)
+{
+    for (auto& ctx : ctxs_) {
+        ctx->fault = fault;
+    }
 }
 
 std::uint32_t
@@ -45,14 +89,14 @@ StreamCacheController::granuleOf(const StreamConfig& cfg) const
 }
 
 std::uint64_t
-StreamCacheController::granuleForAccess(const StreamConfig& cfg,
-                                        const Access& acc) const
+StreamCacheController::granuleForPacket(const StreamConfig& cfg,
+                                        const Packet& pkt) const
 {
     if (params_.cachelineMode) {
         // Baselines track physical 64 B lines.
-        return acc.addr / kCachelineBytes;
+        return pkt.addr / kCachelineBytes;
     }
-    return granuleIdOf(cfg, acc.elem);
+    return granuleIdOf(cfg, pkt.elem);
 }
 
 std::uint64_t
@@ -108,11 +152,33 @@ StreamCacheController::unitDram(UnitId unit) const
 }
 
 TagStore&
-StreamCacheController::storeFor(UnitId unit, StreamId sid)
+StreamCacheController::storeFor(ShardCtx& ctx, UnitId unit, StreamId sid)
 {
-    auto& stores = units_[unit]->stores;
-    auto it = stores.find(sid);
-    if (it != stores.end()) {
+    if (!sharded_ || shardOfUnit_[unit] == ctx.id) {
+        auto& stores = units_[unit]->stores;
+        auto it = stores.find(sid);
+        if (it != stores.end()) {
+            return it->second;
+        }
+        const StreamConfig& cfg = streams_.stream(sid);
+        const std::uint32_t ways = params_.cachelineMode
+            ? 1
+            : (cfg.type == StreamType::Affine ? params_.affineWays
+                                              : params_.indirectWays);
+        const std::uint64_t slots = remap_.unitSlots(sid, unit);
+        auto [ins, ok] = stores.emplace(sid, TagStore(slots, ways));
+        NDP_ASSERT(ok);
+        return ins->second;
+    }
+
+    // Cross-shard serving unit: consult a shard-private proxy built from
+    // the shared (read-only between barriers) remap geometry. The proxy
+    // approximates the remote slice's tag state with this shard's own
+    // access history -- deterministic for any thread count.
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(unit) << 16) | sid;
+    auto it = ctx.remoteStores.find(key);
+    if (it != ctx.remoteStores.end()) {
         return it->second;
     }
     const StreamConfig& cfg = streams_.stream(sid);
@@ -121,130 +187,145 @@ StreamCacheController::storeFor(UnitId unit, StreamId sid)
         : (cfg.type == StreamType::Affine ? params_.affineWays
                                           : params_.indirectWays);
     const std::uint64_t slots = remap_.unitSlots(sid, unit);
-    auto [ins, ok] = stores.emplace(sid, TagStore(slots, ways));
-    NDP_ASSERT(ok);
-    return ins->second;
+    return ctx.remoteStores.emplace(key, TagStore(slots, ways))
+        .first->second;
+}
+
+DramDevice&
+StreamCacheController::dramFor(ShardCtx& ctx, UnitId unit)
+{
+    if (!sharded_ || shardOfUnit_[unit] == ctx.id) {
+        return units_[unit]->dram;
+    }
+    auto it = ctx.remoteDrams.find(unit);
+    if (it == ctx.remoteDrams.end()) {
+        it = ctx.remoteDrams
+                 .emplace(unit, std::make_unique<DramDevice>(
+                                    unitDramParams_, coreFreqMhz_))
+                 .first;
+    }
+    return *it->second;
 }
 
 DramResult
-StreamCacheController::dramAt(const CacheLocation& loc, std::uint32_t bytes,
-                              bool is_write, Cycles t)
+StreamCacheController::dramAt(ShardCtx& ctx, const CacheLocation& loc,
+                              std::uint32_t bytes, bool is_write, Cycles t)
 {
     NDP_ASSERT(!unitFailed(loc.unit),
                "DRAM access on failed unit ", loc.unit);
-    DramDevice& dram = units_[loc.unit]->dram;
+    DramDevice& dram = dramFor(ctx, loc.unit);
     const std::uint32_t banks = dram.params().banks;
     const std::uint32_t bank = loc.deviceRow % banks;
     const std::uint64_t row = loc.deviceRow / banks;
     return dram.accessRow(bank, row, bytes, is_write, t);
 }
 
-Cycles
-StreamCacheController::extAccess(Addr addr, std::uint32_t bytes,
-                                 bool is_write, Cycles at)
+void
+StreamCacheController::nocLeg(ShardCtx& ctx, Packet& pkt, UnitId src,
+                              UnitId dst, std::uint32_t bytes)
 {
-    const CxlResult er = ext_.access(addr, bytes, is_write, at);
-    Cycles done = er.done;
-    if (er.poisoned) {
+    pkt.hopSrc = src;
+    pkt.hopDst = dst;
+    pkt.bytes = bytes;
+    ctx.nocPort.sendAtomic(pkt);
+}
+
+void
+StreamCacheController::extLeg(ShardCtx& ctx, Packet& pkt, Addr addr,
+                              std::uint32_t bytes, bool is_write)
+{
+    const Addr addr0 = pkt.addr;
+    const std::uint32_t bytes0 = pkt.bytes;
+    const MemOp op0 = pkt.op;
+    pkt.addr = addr;
+    pkt.bytes = bytes;
+    pkt.op = is_write ? MemOp::Write : MemOp::Read;
+    ctx.extPort.sendAtomic(pkt);
+    if (pkt.poisoned) {
         // Poisoned read: the host exception handler repairs the line
         // (re-materialises it from the source copy) and the access
         // completes with the repaired data after the penalty.
-        ++poisonEscalations_;
-        done += fault_ != nullptr ? fault_->params().poisonPenaltyCycles
-                                  : Cycles(0);
+        ++ctx.poisonEscalations;
+        const Cycles penalty = ctx.fault != nullptr
+            ? ctx.fault->params().poisonPenaltyCycles
+            : Cycles(0);
+        pkt.ready += penalty;
+        pkt.bd.extMem += penalty;
+        pkt.poisoned = false;
     }
-    return done;
+    pkt.addr = addr0;
+    pkt.bytes = bytes0;
+    pkt.op = op0;
 }
 
 bool
-StreamCacheController::eccFaultOnHit(bool hit)
+StreamCacheController::eccFaultOnHit(ShardCtx& ctx, bool hit)
 {
-    if (!hit || fault_ == nullptr || !fault_->dramBitFault()) {
+    if (!hit || ctx.fault == nullptr || !ctx.fault->dramBitFault()) {
         return false;
     }
     // ECC detected an uncorrectable bit fault in the cached copy: the
     // data is unusable and must be re-fetched from extended memory.
-    ++dramFaults_;
+    ++ctx.dramFaults;
     return true;
 }
 
-Cycles
-StreamCacheController::bypassToExt(UnitId unit, Addr addr,
-                                   std::uint32_t bytes, bool is_write,
-                                   Cycles t)
+void
+StreamCacheController::bypassToExt(ShardCtx& ctx, UnitId unit, Packet& pkt,
+                                   Addr addr, std::uint32_t bytes,
+                                   bool is_write)
 {
-    const NocResult to = noc_.transferToCxl(unit, params_.reqBytes, t);
-    bd_.icnIntra +=
-        static_cast<Cycles>(to.intraHops) * noc_.params().intraHopCycles;
-    bd_.icnInter += (to.done - t)
-        - static_cast<Cycles>(to.intraHops) * noc_.params().intraHopCycles;
-    Cycles at = to.done;
-
-    const Cycles ext_done = extAccess(addr, bytes, is_write, at);
-    bd_.extMem += ext_done - at;
-    at = ext_done;
-
-    const NocResult back = noc_.transferFromCxl(unit, bytes, at);
-    bd_.icnIntra +=
-        static_cast<Cycles>(back.intraHops) * noc_.params().intraHopCycles;
-    bd_.icnInter += (back.done - at)
-        - static_cast<Cycles>(back.intraHops) * noc_.params().intraHopCycles;
-    return back.done;
+    nocLeg(ctx, pkt, unit, Packet::kCxlEndpoint, params_.reqBytes);
+    extLeg(ctx, pkt, addr, bytes, is_write);
+    nocLeg(ctx, pkt, Packet::kCxlEndpoint, unit, bytes);
 }
 
-Cycles
-StreamCacheController::fetchFill(UnitId unit, const StreamConfig& cfg,
+void
+StreamCacheController::fetchFill(ShardCtx& ctx, Packet& pkt, UnitId unit,
+                                 const StreamConfig& cfg,
                                  std::uint64_t granule,
-                                 const CacheLocation& loc, Cycles t)
+                                 const CacheLocation& loc)
 {
     const std::uint32_t bytes = granuleFetchBytes(cfg);
     const Addr addr = granuleAddr(cfg, granule);
 
-    const NocResult to = noc_.transferToCxl(unit, params_.reqBytes, t);
-    bd_.icnIntra +=
-        static_cast<Cycles>(to.intraHops) * noc_.params().intraHopCycles;
-    bd_.icnInter += (to.done - t)
-        - static_cast<Cycles>(to.intraHops) * noc_.params().intraHopCycles;
-    Cycles at = to.done;
-
-    const Cycles ext_done = extAccess(addr, bytes, false, at);
-    bd_.extMem += ext_done - at;
-    at = ext_done;
-
-    const NocResult back = noc_.transferFromCxl(unit, bytes, at);
-    bd_.icnIntra +=
-        static_cast<Cycles>(back.intraHops) * noc_.params().intraHopCycles;
-    bd_.icnInter += (back.done - at)
-        - static_cast<Cycles>(back.intraHops) * noc_.params().intraHopCycles;
-    at = back.done;
+    nocLeg(ctx, pkt, unit, Packet::kCxlEndpoint, params_.reqBytes);
+    extLeg(ctx, pkt, addr, bytes, false);
+    nocLeg(ctx, pkt, Packet::kCxlEndpoint, unit, bytes);
 
     // Install into the local DRAM row(s); critical word forwarded in
     // parallel, so the requester sees the fill completion time.
-    const DramResult dr = dramAt(loc, bytes, true, at);
-    bd_.dramCache += dr.done - at;
-    return dr.done;
+    const DramResult dr = dramAt(ctx, loc, bytes, true, pkt.ready);
+    pkt.bd.dramCache += dr.done - pkt.ready;
+    pkt.ready = dr.done;
 }
 
 void
-StreamCacheController::writebackVictim(UnitId unit, const StreamConfig& cfg,
+StreamCacheController::writebackVictim(ShardCtx& ctx, UnitId unit,
+                                       const StreamConfig& cfg,
                                        std::uint64_t victim_granule,
                                        Cycles t)
 {
-    // Off the critical path: reserve bandwidth, do not stall the requester.
+    // Off the critical path: reserve bandwidth, do not stall the
+    // requester. The scratch packet's latency breakdown is discarded.
     const std::uint32_t bytes = granuleFetchBytes(cfg);
-    const NocResult to = noc_.transferToCxl(unit, bytes, t);
-    ext_.access(granuleAddr(cfg, victim_granule), bytes, true, to.done);
-    ++writebacks_;
+    Packet wb = Packet::writeback(granuleAddr(cfg, victim_granule),
+                                  kNoUnit, t);
+    nocLeg(ctx, wb, unit, Packet::kCxlEndpoint, bytes);
+    extLeg(ctx, wb, wb.addr, bytes, true);
+    ++ctx.writebacks;
 }
 
-Cycles
-StreamCacheController::metadataLookup(UnitId unit, Addr addr, Cycles t)
+void
+StreamCacheController::metadataLookup(ShardCtx& ctx, UnitId unit,
+                                      Packet& pkt)
 {
     SetAssocCache& meta = *units_[unit]->metaCache;
-    const std::uint64_t key = addr / params_.metadataGranuleBytes;
+    const std::uint64_t key = pkt.addr / params_.metadataGranuleBytes;
     if (meta.access(key, false)) {
-        bd_.metadata += params_.metadataHitCycles;
-        return t + params_.metadataHitCycles;
+        pkt.bd.metadata += params_.metadataHitCycles;
+        pkt.ready += params_.metadataHitCycles;
+        return;
     }
     meta.insert(key, false);
 
@@ -252,82 +333,93 @@ StreamCacheController::metadataLookup(UnitId unit, Addr addr, Cycles t)
     // (often remote) DRAM access on the critical path (Section III-B).
     const UnitId home =
         static_cast<UnitId>(mix64(key) % units_.size());
-    Cycles at = t;
     if (home != unit) {
-        const NocResult nr = noc_.transfer(unit, home, 32, at);
-        bd_.icnIntra += static_cast<Cycles>(nr.intraHops)
-            * noc_.params().intraHopCycles;
-        bd_.icnInter += (nr.done - at)
-            - static_cast<Cycles>(nr.intraHops)
-                * noc_.params().intraHopCycles;
-        at = nr.done;
+        nocLeg(ctx, pkt, unit, home, 32);
     }
-    const DramResult dr =
-        units_[home]->dram.access(key * 4, kCachelineBytes, false, at);
-    bd_.metadata += dr.done - at;
-    at = dr.done;
+    const DramResult dr = dramFor(ctx, home).access(
+        key * 4, kCachelineBytes, false, pkt.ready);
+    pkt.bd.metadata += dr.done - pkt.ready;
+    pkt.ready = dr.done;
     if (home != unit) {
-        const Cycles before = at;
-        const NocResult nr = noc_.transfer(home, unit, 32, at);
-        bd_.icnIntra += static_cast<Cycles>(nr.intraHops)
-            * noc_.params().intraHopCycles;
-        bd_.icnInter += (nr.done - before)
-            - static_cast<Cycles>(nr.intraHops)
-                * noc_.params().intraHopCycles;
-        at = nr.done;
+        nocLeg(ctx, pkt, home, unit, 32);
     }
-    return at;
+}
+
+bool
+StreamCacheController::raiseWriteException(ShardCtx& ctx, StreamId sid)
+{
+    if (!sharded_) {
+        // Inline: flip the stream to writable and collapse replicas now.
+        streams_.markWritten(sid);
+        collapseReplication(sid);
+        ++ctx.writeExceptions;
+        return true;
+    }
+    // Deferred: the global side effects land at the next barrier. Each
+    // shard raises (and charges) the exception at most once per stream.
+    if (sid < ctx.writtenSeen.size() && ctx.writtenSeen[sid]) {
+        return false;
+    }
+    if (ctx.writtenSeen.size() <= sid) {
+        ctx.writtenSeen.resize(sid + 1, false);
+    }
+    ctx.writtenSeen[sid] = true;
+    ctx.pendingWritten.push_back(sid);
+    ++ctx.writeExceptions;
+    return true;
+}
+
+void
+StreamCacheController::applyDeferredWriteExceptions()
+{
+    if (!sharded_) {
+        return;
+    }
+    std::vector<StreamId> sids;
+    for (auto& ctx : ctxs_) {
+        sids.insert(sids.end(), ctx->pendingWritten.begin(),
+                    ctx->pendingWritten.end());
+        ctx->pendingWritten.clear();
+    }
+    if (sids.empty()) {
+        return;
+    }
+    std::sort(sids.begin(), sids.end());
+    sids.erase(std::unique(sids.begin(), sids.end()), sids.end());
+    for (const StreamId sid : sids) {
+        if (streams_.stream(sid).readOnly) {
+            streams_.markWritten(sid);
+            collapseReplication(sid);
+        }
+    }
+}
+
+void
+StreamCacheController::handleRequest(Packet& pkt)
+{
+    ShardCtx& ctx = ctxFor(pkt.src); // one core per NDP unit
+    if (pkt.op == MemOp::Writeback) {
+        handleWriteback(ctx, pkt);
+        return;
+    }
+    handleAccess(ctx, pkt);
+    pkt.bd.requests += 1;
+    ctx.bd.merge(pkt.bd);
 }
 
 MemResult
 StreamCacheController::access(CoreId core, const Access& acc, Cycles now)
 {
-    const UnitId u = core; // one core per NDP unit
-    NDP_ASSERT(u < units_.size(), "core=", core);
-    ++bd_.requests;
-    Cycles t = now;
+    Packet pkt = Packet::request(acc, core, now);
+    handleRequest(pkt);
+    return MemResult{pkt.ready};
+}
 
-    if (params_.cachelineMode) {
-        // Baselines: per-access metadata lookup instead of the SLB.
-        t = metadataLookup(u, acc.addr, t);
-    } else if (acc.sid == kNoStream) {
-        // SLB TCAM search finds no stream: bypass (rare, Section IV-C).
-        t += params_.slbHitCycles;
-        bd_.metadata += params_.slbHitCycles;
-        sramEnergyNj_ += params_.slbPjPerLookup * 1e-3;
-        ++bypasses_;
-        return MemResult{bypassToExt(u, acc.addr, kCachelineBytes,
-                                     acc.isWrite, t)};
-    } else {
-        const Cycles slb_lat = units_[u]->slb.lookup(acc.sid);
-        t += slb_lat;
-        bd_.metadata += slb_lat;
-        sramEnergyNj_ += params_.slbPjPerLookup * 1e-3;
-    }
-
-    if (acc.sid == kNoStream) {
-        ++bypasses_;
-        return MemResult{bypassToExt(u, acc.addr, kCachelineBytes,
-                                     acc.isWrite, t)};
-    }
-
-    StreamConfig& cfg = streams_.stream(acc.sid);
-    NDP_ASSERT(cfg.contains(acc.addr), "access outside stream ", cfg.name);
-
-    // Write to a read-only stream: host exception, collapse replicas.
-    if (acc.isWrite && cfg.readOnly) {
-        streams_.markWritten(acc.sid);
-        collapseReplication(acc.sid);
-        ++writeExceptions_;
-        t += params_.writeExceptionCycles;
-        bd_.metadata += params_.writeExceptionCycles;
-    }
-
-    // Sampling hardware observes the (granule-level) access.
-    const std::uint64_t granule = granuleForAccess(cfg, acc);
-    units_[u]->samplers.observe(acc.sid, granule);
-
-    return accessCached(u, cfg, acc, t);
+void
+StreamCacheController::writeback(CoreId core, Addr line_addr, Cycles now)
+{
+    Packet pkt = Packet::writeback(line_addr, core, now);
+    handleRequest(pkt);
 }
 
 namespace {
@@ -343,31 +435,90 @@ bumpStreamCounter(std::vector<std::uint64_t>& v, StreamId sid)
 
 } // namespace
 
+void
+StreamCacheController::handleAccess(ShardCtx& ctx, Packet& pkt)
+{
+    const UnitId u = pkt.src;
+    NDP_ASSERT(u < units_.size(), "core=", pkt.src);
+
+    if (params_.cachelineMode) {
+        // Baselines: per-access metadata lookup instead of the SLB.
+        metadataLookup(ctx, u, pkt);
+    } else if (pkt.sid == kNoStream) {
+        // SLB TCAM search finds no stream: bypass (rare, Section IV-C).
+        pkt.ready += params_.slbHitCycles;
+        pkt.bd.metadata += params_.slbHitCycles;
+        ctx.sramEnergyNj += params_.slbPjPerLookup * 1e-3;
+        ++ctx.bypasses;
+        bypassToExt(ctx, u, pkt, pkt.addr, kCachelineBytes,
+                    pkt.isWrite());
+        return;
+    } else {
+        const Cycles slb_lat = units_[u]->slb.lookup(pkt.sid);
+        pkt.ready += slb_lat;
+        pkt.bd.metadata += slb_lat;
+        ctx.sramEnergyNj += params_.slbPjPerLookup * 1e-3;
+    }
+
+    if (pkt.sid == kNoStream) {
+        ++ctx.bypasses;
+        bypassToExt(ctx, u, pkt, pkt.addr, kCachelineBytes,
+                    pkt.isWrite());
+        return;
+    }
+
+    const StreamConfig& cfg = streams_.stream(pkt.sid);
+    NDP_ASSERT(cfg.contains(pkt.addr), "access outside stream ", cfg.name);
+
+    // Write to a read-only stream: host exception, collapse replicas.
+    if (pkt.isWrite() && cfg.readOnly
+        && raiseWriteException(ctx, pkt.sid)) {
+        pkt.ready += params_.writeExceptionCycles;
+        pkt.bd.metadata += params_.writeExceptionCycles;
+    }
+
+    // Sampling hardware observes the (granule-level) access.
+    const std::uint64_t granule = granuleForPacket(cfg, pkt);
+    units_[u]->samplers.observe(pkt.sid, granule);
+
+    accessCached(ctx, u, cfg, pkt);
+}
+
 std::uint64_t
 StreamCacheController::streamHits(StreamId sid) const
 {
-    return sid < streamHits_.size() ? streamHits_[sid] : 0;
+    std::uint64_t total = 0;
+    for (const auto& ctx : ctxs_) {
+        total += sid < ctx->streamHits.size() ? ctx->streamHits[sid] : 0;
+    }
+    return total;
 }
 
 std::uint64_t
 StreamCacheController::streamMisses(StreamId sid) const
 {
-    return sid < streamMisses_.size() ? streamMisses_[sid] : 0;
+    std::uint64_t total = 0;
+    for (const auto& ctx : ctxs_) {
+        total +=
+            sid < ctx->streamMisses.size() ? ctx->streamMisses[sid] : 0;
+    }
+    return total;
 }
 
-MemResult
-StreamCacheController::accessCached(UnitId u, const StreamConfig& cfg,
-                                    const Access& acc, Cycles t)
+void
+StreamCacheController::accessCached(ShardCtx& ctx, UnitId u,
+                                    const StreamConfig& cfg, Packet& pkt)
 {
-    const std::uint64_t granule = granuleForAccess(cfg, acc);
+    const std::uint64_t granule = granuleForPacket(cfg, pkt);
 
     if (remap_.groupSlots(cfg.sid, u) == 0) {
         // No cache space allocated (e.g., affine space restriction or
         // pre-first-epoch): stream directly from extended memory.
-        ++uncached_;
-        bumpStreamCounter(streamMisses_, cfg.sid);
-        return MemResult{bypassToExt(u, acc.addr, kCachelineBytes,
-                                     acc.isWrite, t)};
+        ++ctx.uncached;
+        bumpStreamCounter(ctx.streamMisses, cfg.sid);
+        bypassToExt(ctx, u, pkt, pkt.addr, kCachelineBytes,
+                    pkt.isWrite());
+        return;
     }
 
     const CacheLocation loc = remap_.locate(cfg.sid, granule, u);
@@ -375,72 +526,71 @@ StreamCacheController::accessCached(UnitId u, const StreamConfig& cfg,
         // The serving unit's cache slice is gone: degrade to an
         // extended-memory access instead of wedging. The runtime's
         // emergency reconfiguration will re-place the stream.
-        ++failedRedirects_;
-        ++uncached_;
-        bumpStreamCounter(streamMisses_, cfg.sid);
-        return MemResult{bypassToExt(u, acc.addr, kCachelineBytes,
-                                     acc.isWrite, t)};
+        ++ctx.failedRedirects;
+        ++ctx.uncached;
+        bumpStreamCounter(ctx.streamMisses, cfg.sid);
+        bypassToExt(ctx, u, pkt, pkt.addr, kCachelineBytes,
+                    pkt.isWrite());
+        return;
     }
     const bool remote = loc.unit != u;
 
     if (remote) {
-        const NocResult nr = noc_.transfer(u, loc.unit, params_.reqBytes, t);
-        bd_.icnIntra += static_cast<Cycles>(nr.intraHops)
-            * noc_.params().intraHopCycles;
-        bd_.icnInter += (nr.done - t)
-            - static_cast<Cycles>(nr.intraHops)
-                * noc_.params().intraHopCycles;
-        t = nr.done;
+        nocLeg(ctx, pkt, u, loc.unit, params_.reqBytes);
     }
-    t += params_.unitHandlerCycles;
+    pkt.ready += params_.unitHandlerCycles;
 
-    TagStore& ts = storeFor(loc.unit, cfg.sid);
+    TagStore& ts = storeFor(ctx, loc.unit, cfg.sid);
     if (!ts.usable()) {
-        ++uncached_;
-        return MemResult{bypassToExt(u, acc.addr, kCachelineBytes,
-                                     acc.isWrite, t)};
+        ++ctx.uncached;
+        bypassToExt(ctx, u, pkt, pkt.addr, kCachelineBytes,
+                    pkt.isWrite());
+        return;
     }
 
+    const bool is_write = pkt.isWrite();
     if (params_.cachelineMode) {
         // Baseline path: the metadata lookup already resolved the tag;
         // a hit needs one DRAM data access, a miss fetches the line.
-        const auto res = ts.accessFill(loc.unitSlot, granule, acc.isWrite);
-        if (res.hit && !eccFaultOnHit(true)) {
-            ++hits_;
-            bumpStreamCounter(streamHits_, cfg.sid);
+        const auto res = ts.accessFill(loc.unitSlot, granule, is_write);
+        if (res.hit && !eccFaultOnHit(ctx, true)) {
+            ++ctx.hits;
+            bumpStreamCounter(ctx.streamHits, cfg.sid);
             const DramResult dr =
-                dramAt(loc, kCachelineBytes, acc.isWrite, t);
-            bd_.dramCache += dr.done - t;
-            t = dr.done;
+                dramAt(ctx, loc, kCachelineBytes, is_write, pkt.ready);
+            pkt.bd.dramCache += dr.done - pkt.ready;
+            pkt.ready = dr.done;
         } else {
-            ++misses_;
-            bumpStreamCounter(streamMisses_, cfg.sid);
+            ++ctx.misses;
+            bumpStreamCounter(ctx.streamMisses, cfg.sid);
             if (!res.hit && res.evictedDirty) {
-                writebackVictim(loc.unit, cfg, res.evictedKey, t);
+                writebackVictim(ctx, loc.unit, cfg, res.evictedKey,
+                                pkt.ready);
             }
-            t = fetchFill(loc.unit, cfg, granule, loc, t);
+            fetchFill(ctx, pkt, loc.unit, cfg, granule, loc);
         }
     } else if (cfg.type == StreamType::Affine) {
         // SRAM tag array first; DRAM touched only as needed.
-        t += params_.ataCycles;
-        bd_.metadata += params_.ataCycles;
-        sramEnergyNj_ += params_.ataPjPerLookup * 1e-3;
+        pkt.ready += params_.ataCycles;
+        pkt.bd.metadata += params_.ataCycles;
+        ctx.sramEnergyNj += params_.ataPjPerLookup * 1e-3;
 
-        const auto res = ts.accessFill(loc.unitSlot, granule, acc.isWrite);
-        if (res.hit && !eccFaultOnHit(true)) {
-            ++hits_;
-            bumpStreamCounter(streamHits_, cfg.sid);
+        const auto res = ts.accessFill(loc.unitSlot, granule, is_write);
+        if (res.hit && !eccFaultOnHit(ctx, true)) {
+            ++ctx.hits;
+            bumpStreamCounter(ctx.streamHits, cfg.sid);
             const DramResult dr =
-                dramAt(loc, kCachelineBytes, acc.isWrite, t);
-            bd_.dramCache += dr.done - t;
-            t = dr.done;
+                dramAt(ctx, loc, kCachelineBytes, is_write, pkt.ready);
+            pkt.bd.dramCache += dr.done - pkt.ready;
+            pkt.ready = dr.done;
         } else {
-            ++misses_;
-            bumpStreamCounter(streamMisses_, cfg.sid);
+            ++ctx.misses;
+            bumpStreamCounter(ctx.streamMisses, cfg.sid);
             if (!res.hit && res.evictedDirty) {
-                writebackVictim(loc.unit, cfg, res.evictedKey, t);
+                writebackVictim(ctx, loc.unit, cfg, res.evictedKey,
+                                pkt.ready);
             }
-            t = fetchFill(loc.unit, cfg, granule, loc, t);
+            fetchFill(ctx, pkt, loc.unit, cfg, granule, loc);
         }
     } else {
         // Indirect: tag-with-data. Direct-mapped (default): one DRAM
@@ -454,72 +604,63 @@ StreamCacheController::accessCached(UnitId u, const StreamConfig& cfg,
             : 1;
         const std::uint32_t probe_bytes = std::min<std::uint32_t>(
             (granuleOf(cfg) + 8) * set_factor, rowBytes_);
-        const DramResult dr = dramAt(loc, probe_bytes, acc.isWrite, t);
-        bd_.dramCache += dr.done - t;
-        t = dr.done;
+        const DramResult dr =
+            dramAt(ctx, loc, probe_bytes, is_write, pkt.ready);
+        pkt.bd.dramCache += dr.done - pkt.ready;
+        pkt.ready = dr.done;
 
-        const auto res = ts.accessFill(loc.unitSlot, granule, acc.isWrite);
+        const auto res = ts.accessFill(loc.unitSlot, granule, is_write);
         if (params_.indirectWays > 1 && params_.indirectWayPrediction) {
-            ++wayPredictions_;
+            ++ctx.wayPredictions;
             if (res.hit && res.way != res.predictedWay) {
-                ++wayMispredictions_;
+                ++ctx.wayMispredictions;
                 const DramResult retry = dramAt(
-                    loc,
+                    ctx, loc,
                     std::min<std::uint32_t>(granuleOf(cfg) + 8, rowBytes_),
-                    acc.isWrite, t);
-                bd_.dramCache += retry.done - t;
-                t = retry.done;
+                    is_write, pkt.ready);
+                pkt.bd.dramCache += retry.done - pkt.ready;
+                pkt.ready = retry.done;
             }
         }
-        if (res.hit && !eccFaultOnHit(true)) {
-            ++hits_;
-            bumpStreamCounter(streamHits_, cfg.sid);
+        if (res.hit && !eccFaultOnHit(ctx, true)) {
+            ++ctx.hits;
+            bumpStreamCounter(ctx.streamHits, cfg.sid);
         } else {
-            ++misses_;
-            bumpStreamCounter(streamMisses_, cfg.sid);
+            ++ctx.misses;
+            bumpStreamCounter(ctx.streamMisses, cfg.sid);
             if (!res.hit && res.evictedDirty) {
-                writebackVictim(loc.unit, cfg, res.evictedKey, t);
+                writebackVictim(ctx, loc.unit, cfg, res.evictedKey,
+                                pkt.ready);
             }
-            t = fetchFill(loc.unit, cfg, granule, loc, t);
+            fetchFill(ctx, pkt, loc.unit, cfg, granule, loc);
         }
     }
 
     if (remote) {
-        const Cycles before = t;
-        const NocResult nr =
-            noc_.transfer(loc.unit, u, params_.rspBytes, t);
-        bd_.icnIntra += static_cast<Cycles>(nr.intraHops)
-            * noc_.params().intraHopCycles;
-        bd_.icnInter += (nr.done - before)
-            - static_cast<Cycles>(nr.intraHops)
-                * noc_.params().intraHopCycles;
-        t = nr.done;
+        nocLeg(ctx, pkt, loc.unit, u, params_.rspBytes);
     }
-    return MemResult{t};
 }
 
 void
-StreamCacheController::writeback(CoreId core, Addr line_addr, Cycles now)
+StreamCacheController::handleWriteback(ShardCtx& ctx, Packet& pkt)
 {
-    const UnitId u = core;
+    const UnitId u = pkt.src;
+    const Addr line_addr = pkt.addr;
+    const Cycles now = pkt.ready;
     const StreamId sid = streams_.findByAddr(line_addr);
     if (sid == kNoStream) {
         // Non-stream dirty line: write straight to extended memory.
-        const NocResult to =
-            noc_.transferToCxl(u, kCachelineBytes, now);
-        ext_.access(line_addr, kCachelineBytes, true, to.done);
+        nocLeg(ctx, pkt, u, Packet::kCxlEndpoint, kCachelineBytes);
+        extLeg(ctx, pkt, line_addr, kCachelineBytes, true);
         return;
     }
-    StreamConfig& cfg = streams_.stream(sid);
+    const StreamConfig& cfg = streams_.stream(sid);
     if (cfg.readOnly) {
-        streams_.markWritten(sid);
-        collapseReplication(sid);
-        ++writeExceptions_;
+        raiseWriteException(ctx, sid);
     }
     if (remap_.groupSlots(sid, u) == 0) {
-        const NocResult to =
-            noc_.transferToCxl(u, kCachelineBytes, now);
-        ext_.access(line_addr, kCachelineBytes, true, to.done);
+        nocLeg(ctx, pkt, u, Packet::kCxlEndpoint, kCachelineBytes);
+        extLeg(ctx, pkt, line_addr, kCachelineBytes, true);
         return;
     }
     const std::uint64_t granule = params_.cachelineMode
@@ -528,24 +669,31 @@ StreamCacheController::writeback(CoreId core, Addr line_addr, Cycles now)
     const CacheLocation loc = remap_.locate(sid, granule, u);
     if (unitFailed(loc.unit)) {
         // Serving unit is dead: write through to extended memory.
-        ++failedRedirects_;
-        const NocResult to =
-            noc_.transferToCxl(u, kCachelineBytes, now);
-        ext_.access(line_addr, kCachelineBytes, true, to.done);
+        ++ctx.failedRedirects;
+        nocLeg(ctx, pkt, u, Packet::kCxlEndpoint, kCachelineBytes);
+        extLeg(ctx, pkt, line_addr, kCachelineBytes, true);
         return;
     }
     if (loc.unit != u) {
-        noc_.transfer(u, loc.unit, kCachelineBytes, now);
+        nocLeg(ctx, pkt, u, loc.unit, kCachelineBytes);
+        pkt.ready = now; // fire-and-forget: requester is not stalled
     }
-    TagStore& ts = storeFor(loc.unit, sid);
+    TagStore& ts = storeFor(ctx, loc.unit, sid);
     if (ts.usable() && ts.probe(loc.unitSlot, granule)) {
         ts.accessFill(loc.unitSlot, granule, true); // mark dirty
-        dramAt(loc, kCachelineBytes, true, now);
+        dramAt(ctx, loc, kCachelineBytes, true, now);
     } else {
         // Not cached: write through to extended memory.
-        const NocResult to =
-            noc_.transferToCxl(loc.unit, kCachelineBytes, now);
-        ext_.access(line_addr, kCachelineBytes, true, to.done);
+        nocLeg(ctx, pkt, loc.unit, Packet::kCxlEndpoint, kCachelineBytes);
+        extLeg(ctx, pkt, line_addr, kCachelineBytes, true);
+    }
+}
+
+void
+StreamCacheController::clearRemoteStores()
+{
+    for (auto& ctx : ctxs_) {
+        ctx->remoteStores.clear();
     }
 }
 
@@ -576,6 +724,7 @@ StreamCacheController::collapseReplication(StreamId sid)
         }
         units_[u]->slb.invalidate(sid);
     }
+    clearRemoteStores();
 }
 
 void
@@ -616,6 +765,7 @@ StreamCacheController::onUnitFailed(UnitId unit)
     units_[unit]->stores.clear();
     units_[unit]->slb.invalidateAll();
     units_[unit]->samplers.newEpoch();
+    clearRemoteStores();
 }
 
 void
@@ -705,6 +855,107 @@ StreamCacheController::applyConfiguration(
     for (auto& unit : units_) {
         unit->slb.invalidateAll();
     }
+    clearRemoteStores();
+}
+
+LatencyBreakdown
+StreamCacheController::breakdown() const
+{
+    LatencyBreakdown bd;
+    for (const auto& ctx : ctxs_) {
+        bd.merge(ctx->bd);
+    }
+    return bd;
+}
+
+std::uint64_t
+StreamCacheController::cacheHits() const
+{
+    std::uint64_t total = 0;
+    for (const auto& ctx : ctxs_) {
+        total += ctx->hits;
+    }
+    return total;
+}
+
+std::uint64_t
+StreamCacheController::cacheMisses() const
+{
+    std::uint64_t total = 0;
+    for (const auto& ctx : ctxs_) {
+        total += ctx->misses;
+    }
+    return total;
+}
+
+std::uint64_t
+StreamCacheController::uncachedStreamAccesses() const
+{
+    std::uint64_t total = 0;
+    for (const auto& ctx : ctxs_) {
+        total += ctx->uncached;
+    }
+    return total;
+}
+
+std::uint64_t
+StreamCacheController::bypasses() const
+{
+    std::uint64_t total = 0;
+    for (const auto& ctx : ctxs_) {
+        total += ctx->bypasses;
+    }
+    return total;
+}
+
+std::uint64_t
+StreamCacheController::writeExceptions() const
+{
+    std::uint64_t total = 0;
+    for (const auto& ctx : ctxs_) {
+        total += ctx->writeExceptions;
+    }
+    return total;
+}
+
+std::uint64_t
+StreamCacheController::failedUnitRedirects() const
+{
+    std::uint64_t total = 0;
+    for (const auto& ctx : ctxs_) {
+        total += ctx->failedRedirects;
+    }
+    return total;
+}
+
+std::uint64_t
+StreamCacheController::dramFaultRefetches() const
+{
+    std::uint64_t total = 0;
+    for (const auto& ctx : ctxs_) {
+        total += ctx->dramFaults;
+    }
+    return total;
+}
+
+std::uint64_t
+StreamCacheController::poisonEscalations() const
+{
+    std::uint64_t total = 0;
+    for (const auto& ctx : ctxs_) {
+        total += ctx->poisonEscalations;
+    }
+    return total;
+}
+
+double
+StreamCacheController::sramEnergyNj() const
+{
+    double total = 0.0;
+    for (const auto& ctx : ctxs_) {
+        total += ctx->sramEnergyNj;
+    }
+    return total;
 }
 
 std::uint64_t
@@ -720,21 +971,30 @@ StreamCacheController::slbMissTotal() const
 double
 StreamCacheController::missRate() const
 {
-    const double denom = static_cast<double>(hits_ + misses_ + uncached_);
+    const std::uint64_t hits = cacheHits();
+    const std::uint64_t misses = cacheMisses();
+    const std::uint64_t uncached = uncachedStreamAccesses();
+    const double denom = static_cast<double>(hits + misses + uncached);
     return denom == 0.0
         ? 0.0
-        : static_cast<double>(misses_ + uncached_) / denom;
+        : static_cast<double>(misses + uncached) / denom;
 }
 
 double
 StreamCacheController::wayPredictionRate() const
 {
-    if (wayPredictions_ == 0) {
+    std::uint64_t predictions = 0;
+    std::uint64_t mispredictions = 0;
+    for (const auto& ctx : ctxs_) {
+        predictions += ctx->wayPredictions;
+        mispredictions += ctx->wayMispredictions;
+    }
+    if (predictions == 0) {
         return 1.0;
     }
     return 1.0
-        - static_cast<double>(wayMispredictions_)
-            / static_cast<double>(wayPredictions_);
+        - static_cast<double>(mispredictions)
+            / static_cast<double>(predictions);
 }
 
 double
@@ -760,6 +1020,14 @@ StreamCacheController::dramCacheEnergyNj() const
     for (const auto& unit : units_) {
         total += unit->dram.dynamicEnergyNj();
     }
+    // Proxy devices model remote-unit traffic from other shards; their
+    // energy belongs to the DRAM-cache bucket too.
+    for (const auto& ctx : ctxs_) {
+        for (const auto& [unit, dram] : ctx->remoteDrams) {
+            (void)unit;
+            total += dram->dynamicEnergyNj();
+        }
+    }
     return total;
 }
 
@@ -767,27 +1035,32 @@ void
 StreamCacheController::report(StatGroup& stats,
                               const std::string& prefix) const
 {
-    bd_.report(stats, prefix + ".lat");
-    stats.add(prefix + ".hits", static_cast<double>(hits_));
-    stats.add(prefix + ".misses", static_cast<double>(misses_));
-    stats.add(prefix + ".uncached", static_cast<double>(uncached_));
-    stats.add(prefix + ".bypasses", static_cast<double>(bypasses_));
+    breakdown().report(stats, prefix + ".lat");
+    stats.add(prefix + ".hits", static_cast<double>(cacheHits()));
+    stats.add(prefix + ".misses", static_cast<double>(cacheMisses()));
+    stats.add(prefix + ".uncached",
+              static_cast<double>(uncachedStreamAccesses()));
+    stats.add(prefix + ".bypasses", static_cast<double>(bypasses()));
     stats.add(prefix + ".writeExceptions",
-              static_cast<double>(writeExceptions_));
-    stats.add(prefix + ".writebacks", static_cast<double>(writebacks_));
+              static_cast<double>(writeExceptions()));
+    std::uint64_t writebacks = 0;
+    for (const auto& ctx : ctxs_) {
+        writebacks += ctx->writebacks;
+    }
+    stats.add(prefix + ".writebacks", static_cast<double>(writebacks));
     stats.add(prefix + ".invalidatedRows",
               static_cast<double>(invalidatedRows_));
     stats.add(prefix + ".survivedRows", static_cast<double>(survivedRows_));
     stats.add(prefix + ".slbMisses",
               static_cast<double>(slbMissTotal()));
     stats.add(prefix + ".degraded.failedUnitRedirects",
-              static_cast<double>(failedRedirects_));
+              static_cast<double>(failedUnitRedirects()));
     stats.add(prefix + ".degraded.dramFaultRefetches",
-              static_cast<double>(dramFaults_));
+              static_cast<double>(dramFaultRefetches()));
     stats.add(prefix + ".degraded.poisonEscalations",
-              static_cast<double>(poisonEscalations_));
+              static_cast<double>(poisonEscalations()));
     stats.add(prefix + ".dramCacheEnergyNj", dramCacheEnergyNj());
-    stats.add(prefix + ".sramEnergyNj", sramEnergyNj_);
+    stats.add(prefix + ".sramEnergyNj", sramEnergyNj());
 }
 
 } // namespace ndpext

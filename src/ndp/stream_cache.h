@@ -18,6 +18,25 @@
  *   6. The first write to a read-only stream raises the host exception
  *      that collapses its replication groups (Section IV-B).
  *
+ * Port/packet architecture: the controller is a MemObject whose
+ * "cpu_side" response port receives core Packets; internally the packet
+ * is threaded through per-shard request ports into the NocModel
+ * ("noc_side") and ExtendedMemory ("ext_side"), each leg advancing
+ * pkt.ready and charging the matching LatencyBreakdown bucket.
+ *
+ * Sharded execution (enableSharding): units are partitioned by stack
+ * into shards that run in parallel between epoch barriers. A shard owns
+ * its units' SLBs, samplers, tag stores, DRAM banks and counters
+ * outright; for traffic that *serves* on another shard's unit, the
+ * shard uses private proxy TagStore/DramDevice instances derived from
+ * the shared (read-only between barriers) remap geometry, and its own
+ * NoC/CXL models with a fair share of the global bandwidth. Cross-
+ * cutting side effects -- the write-to-read-only exception's
+ * markWritten + replica collapse -- are deferred to the next barrier
+ * (applyDeferredWriteExceptions) and applied in sorted-stream order, so
+ * results are a pure function of the shard decomposition, never of the
+ * thread count. See DESIGN.md section 5.
+ *
  * Degraded mode (FaultInjector attached): a failed NDP unit loses its
  * DRAM-cache slice, tag stores and samplers -- an immediate capacity
  * loss. Accesses that resolve to a failed unit miss straight to extended
@@ -49,6 +68,8 @@
 #include "noc/noc_model.h"
 #include "sampler/sampler.h"
 #include "sim/breakdown.h"
+#include "sim/packet.h"
+#include "sim/port.h"
 #include "stream/stream_table.h"
 
 namespace ndpext {
@@ -115,10 +136,10 @@ struct StreamCacheParams
 
 /**
  * The distributed stream cache across all NDP units. Owns per-unit local
- * DRAM devices, SLBs, tag stores and sampler banks; uses shared NoC and
- * extended-memory models.
+ * DRAM devices, SLBs, tag stores and sampler banks; reaches the NoC and
+ * extended-memory models through request ports.
  */
-class StreamCacheController : public MemoryBackend
+class StreamCacheController : public MemObject
 {
   public:
     /**
@@ -135,9 +156,41 @@ class StreamCacheController : public MemoryBackend
     StreamCacheController(const StreamCacheController&) = delete;
     StreamCacheController& operator=(const StreamCacheController&) = delete;
 
-    // MemoryBackend
-    MemResult access(CoreId core, const Access& access, Cycles now) override;
-    void writeback(CoreId core, Addr line_addr, Cycles now) override;
+    /** One shard's private backing resources (see enableSharding). */
+    struct ShardResources
+    {
+        NocModel* noc = nullptr;
+        ExtendedMemory* ext = nullptr;
+        /** Optional per-shard fault injector (derived seed). */
+        FaultInjector* fault = nullptr;
+    };
+
+    /**
+     * Switch to sharded execution: one shard per stack, each using
+     * `resources[s]` for its NoC/CXL traffic and deferring write-to-
+     * read-only side effects to applyDeferredWriteExceptions(). Must be
+     * called before the first access; `resources.size()` must equal the
+     * topology's stack count.
+     */
+    void enableSharding(const std::vector<ShardResources>& resources);
+
+    /** True once enableSharding() has been called. */
+    bool sharded() const { return sharded_; }
+
+    /**
+     * Barrier-side: apply the markWritten + replica-collapse side effects
+     * of write exceptions raised during the last parallel interval, in
+     * sorted stream order (thread-count independent). No-op when not
+     * sharded (side effects were applied inline).
+     */
+    void applyDeferredWriteExceptions();
+
+    /** Port entry ("cpu_side"): dispatches accesses and writebacks. */
+    void handleRequest(Packet& pkt);
+
+    /** Convenience wrappers building a Packet (tests, host-style use). */
+    MemResult access(CoreId core, const Access& access, Cycles now);
+    void writeback(CoreId core, Addr line_addr, Cycles now);
 
     /** Granule (caching unit) of a stream in bytes. */
     std::uint32_t granuleOf(const StreamConfig& cfg) const;
@@ -162,6 +215,7 @@ class StreamCacheController : public MemoryBackend
      * Install a new epoch configuration: per-stream allocations from the
      * configuration algorithm. Rebuilds tag stores, carrying surviving
      * rows under consistent hashing, and accounts invalidation traffic.
+     * Barrier-side only in sharded mode.
      */
     void applyConfiguration(
         const std::vector<std::pair<StreamId, StreamAlloc>>& allocs);
@@ -170,14 +224,14 @@ class StreamCacheController : public MemoryBackend
     void collapseReplication(StreamId sid);
 
     /** Attach (or detach with nullptr) the fault injector. */
-    void setFaultInjector(FaultInjector* fault) { fault_ = fault; }
+    void setFaultInjector(FaultInjector* fault);
 
     /**
      * A whole NDP unit failed: its cached contents and capacity are gone.
      * Tag stores are dropped, sampler state cleared, and replication
      * groups spanning the unit collapse. Until the runtime installs a
      * fresh configuration, accesses resolving to the unit redirect to
-     * extended memory.
+     * extended memory. Barrier-side only in sharded mode.
      */
     void onUnitFailed(UnitId unit);
 
@@ -187,13 +241,13 @@ class StreamCacheController : public MemoryBackend
         return unit < unitFailed_.size() && unitFailed_[unit];
     }
 
-    // --- statistics ---
-    const LatencyBreakdown& breakdown() const { return bd_; }
-    std::uint64_t cacheHits() const { return hits_; }
-    std::uint64_t cacheMisses() const { return misses_; }
-    std::uint64_t uncachedStreamAccesses() const { return uncached_; }
-    std::uint64_t bypasses() const { return bypasses_; }
-    std::uint64_t writeExceptions() const { return writeExceptions_; }
+    // --- statistics (aggregated across shards) ---
+    LatencyBreakdown breakdown() const;
+    std::uint64_t cacheHits() const;
+    std::uint64_t cacheMisses() const;
+    std::uint64_t uncachedStreamAccesses() const;
+    std::uint64_t bypasses() const;
+    std::uint64_t writeExceptions() const;
     /** Way-prediction accuracy (1.0 when prediction is off/unused). */
     double wayPredictionRate() const;
     std::uint64_t slbMissTotal() const;
@@ -205,21 +259,44 @@ class StreamCacheController : public MemoryBackend
     std::uint64_t survivedRows() const { return survivedRows_; }
     /** Accesses redirected to extended memory because their cache
      *  location sat on a failed unit. */
-    std::uint64_t failedUnitRedirects() const { return failedRedirects_; }
+    std::uint64_t failedUnitRedirects() const;
     /** ECC-detected DRAM bit faults that forced a re-fetch. */
-    std::uint64_t dramFaultRefetches() const { return dramFaults_; }
+    std::uint64_t dramFaultRefetches() const;
     /** Poisoned extended-memory reads escalated to the host. */
-    std::uint64_t poisonEscalations() const { return poisonEscalations_; }
+    std::uint64_t poisonEscalations() const;
     /** Per-stream hit/miss counts (0 for never-accessed sids). */
     std::uint64_t streamHits(StreamId sid) const;
     std::uint64_t streamMisses(StreamId sid) const;
     double dramCacheEnergyNj() const;
-    double sramEnergyNj() const { return sramEnergyNj_; }
+    double sramEnergyNj() const;
     const DramDevice& unitDram(UnitId unit) const;
 
     void report(StatGroup& stats, const std::string& prefix) const;
 
+  protected:
+    MemPort* getPort(const std::string& port_name) override
+    {
+        return port_name == "cpu_side" ? &cpuSide_ : nullptr;
+    }
+
   private:
+    /** Response port adapter forwarding into handleRequest(). */
+    class CpuSidePort : public MemPort
+    {
+      public:
+        explicit CpuSidePort(StreamCacheController& owner)
+            : MemPort("stream_cache.cpu_side"), owner_(owner)
+        {
+        }
+        void recvAtomic(Packet& pkt) override
+        {
+            owner_.handleRequest(pkt);
+        }
+
+      private:
+        StreamCacheController& owner_;
+    };
+
     struct UnitState
     {
         DramDevice dram;
@@ -249,46 +326,125 @@ class StreamCacheController : public MemoryBackend
         }
     };
 
+    /**
+     * Per-shard execution context: request ports into the shard's NoC
+     * and extended-memory models, the shard's fault injector, all hot
+     * counters, deferred write-exception state, and proxy tag/DRAM
+     * models for units served on other shards. In non-sharded mode a
+     * single context (bound to the constructor's NoC/ext) covers all
+     * units and the proxies are never used.
+     */
+    struct ShardCtx
+    {
+        std::uint32_t id = 0;
+        RequestPort nocPort{"stream_cache.noc_side"};
+        RequestPort extPort{"stream_cache.ext_side"};
+        FaultInjector* fault = nullptr;
+
+        LatencyBreakdown bd;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t uncached = 0;
+        std::uint64_t bypasses = 0;
+        std::uint64_t writeExceptions = 0;
+        std::uint64_t wayPredictions = 0;
+        std::uint64_t wayMispredictions = 0;
+        std::uint64_t writebacks = 0;
+        std::uint64_t failedRedirects = 0;
+        std::uint64_t dramFaults = 0;
+        std::uint64_t poisonEscalations = 0;
+        double sramEnergyNj = 0.0;
+        /** Per-stream hit/miss counters (index = sid). */
+        std::vector<std::uint64_t> streamHits;
+        std::vector<std::uint64_t> streamMisses;
+
+        /** Streams whose first write was observed this interval. */
+        std::vector<StreamId> pendingWritten;
+        /** Guard: at most one exception per stream per shard. */
+        std::vector<bool> writtenSeen;
+
+        /** Proxy tag stores for cross-shard serving units,
+         *  keyed (unit << 16) | sid. */
+        std::unordered_map<std::uint64_t, TagStore> remoteStores;
+        /** Proxy DRAM bank timing for cross-shard serving units. */
+        std::unordered_map<UnitId, std::unique_ptr<DramDevice>>
+            remoteDrams;
+    };
+
+    ShardCtx&
+    ctxFor(UnitId unit)
+    {
+        return *ctxs_[sharded_ ? shardOfUnit_[unit] : 0];
+    }
+
+    /** The full L1-miss service path (old access()). */
+    void handleAccess(ShardCtx& ctx, Packet& pkt);
+    void handleWriteback(ShardCtx& ctx, Packet& pkt);
+
     /** Access path for stream data resident (or installable) in cache. */
-    MemResult accessCached(UnitId src, const StreamConfig& cfg,
-                           const Access& acc, Cycles t);
+    void accessCached(ShardCtx& ctx, UnitId src, const StreamConfig& cfg,
+                      Packet& pkt);
 
-    /** Direct extended-memory access (non-stream or uncached stream). */
-    Cycles bypassToExt(UnitId unit, Addr addr, std::uint32_t bytes,
-                       bool is_write, Cycles t);
+    /** One NoC leg: src -> dst (Packet::kCxlEndpoint = portal). */
+    void nocLeg(ShardCtx& ctx, Packet& pkt, UnitId src, UnitId dst,
+                std::uint32_t bytes);
 
-    /** Extended-memory access with poison escalation accounting. */
-    Cycles extAccess(Addr addr, std::uint32_t bytes, bool is_write,
-                     Cycles at);
+    /**
+     * One extended-memory leg at the packet's current time, including
+     * poison escalation; the packet's addr/bytes/op are preserved.
+     */
+    void extLeg(ShardCtx& ctx, Packet& pkt, Addr addr,
+                std::uint32_t bytes, bool is_write);
+
+    /** Direct extended-memory round trip (non-stream or uncached). */
+    void bypassToExt(ShardCtx& ctx, UnitId unit, Packet& pkt, Addr addr,
+                     std::uint32_t bytes, bool is_write);
 
     /** Did this cache hit's data suffer an ECC-detected bit fault? */
-    bool eccFaultOnHit(bool hit);
+    bool eccFaultOnHit(ShardCtx& ctx, bool hit);
 
     /** CXL fetch + DRAM install of a granule at `loc`. */
-    Cycles fetchFill(UnitId unit, const StreamConfig& cfg,
-                     std::uint64_t granule, const CacheLocation& loc,
-                     Cycles t);
+    void fetchFill(ShardCtx& ctx, Packet& pkt, UnitId unit,
+                   const StreamConfig& cfg, std::uint64_t granule,
+                   const CacheLocation& loc);
 
     /** Non-blocking dirty-victim writeback to extended memory. */
-    void writebackVictim(UnitId unit, const StreamConfig& cfg,
+    void writebackVictim(ShardCtx& ctx, UnitId unit,
+                         const StreamConfig& cfg,
                          std::uint64_t victim_granule, Cycles t);
 
     /**
      * Baseline metadata lookup at the requesting unit: metadata cache
-     * probe, on miss a (possibly remote) DRAM tag access. Returns the
-     * time the metadata is known.
+     * probe, on miss a (possibly remote) DRAM tag access.
      */
-    Cycles metadataLookup(UnitId unit, Addr addr, Cycles t);
+    void metadataLookup(ShardCtx& ctx, UnitId unit, Packet& pkt);
 
     /** Granule id of an access (mode-dependent). */
-    std::uint64_t granuleForAccess(const StreamConfig& cfg,
-                                   const Access& acc) const;
+    std::uint64_t granuleForPacket(const StreamConfig& cfg,
+                                   const Packet& pkt) const;
 
     /** DRAM access at a resolved cache location. */
-    DramResult dramAt(const CacheLocation& loc, std::uint32_t bytes,
-                      bool is_write, Cycles t);
+    DramResult dramAt(ShardCtx& ctx, const CacheLocation& loc,
+                      std::uint32_t bytes, bool is_write, Cycles t);
 
-    TagStore& storeFor(UnitId unit, StreamId sid);
+    /**
+     * The tag store consulted by `ctx` for (unit, sid): the real store
+     * for same-shard units, a shard-private proxy otherwise.
+     */
+    TagStore& storeFor(ShardCtx& ctx, UnitId unit, StreamId sid);
+
+    /** Likewise for the unit's DRAM device. */
+    DramDevice& dramFor(ShardCtx& ctx, UnitId unit);
+
+    /**
+     * Record a write-to-read-only exception. Inline in non-sharded mode;
+     * deferred to the barrier otherwise. Returns true if this call
+     * raised (and should be charged) the exception.
+     */
+    bool raiseWriteException(ShardCtx& ctx, StreamId sid);
+
+    /** Drop all cross-shard tag-store proxies (geometry changed). */
+    void clearRemoteStores();
 
     Addr granuleAddr(const StreamConfig& cfg, std::uint64_t granule) const;
     std::uint32_t granuleFetchBytes(const StreamConfig& cfg) const;
@@ -297,32 +453,24 @@ class StreamCacheController : public MemoryBackend
     StreamTable& streams_;
     NocModel& noc_;
     ExtendedMemory& ext_;
+    CpuSidePort cpuSide_{*this};
     std::uint32_t rowBytes_;
     std::uint32_t rowsPerUnit_;
+    DramTimingParams unitDramParams_;
+    std::uint64_t coreFreqMhz_;
     StreamRemapTable remap_;
     std::vector<std::unique_ptr<UnitState>> units_;
-    FaultInjector* fault_ = nullptr;
     /** Per-unit failed flag (degraded mode). */
     std::vector<bool> unitFailed_;
 
-    LatencyBreakdown bd_;
-    std::uint64_t hits_ = 0;
-    std::uint64_t misses_ = 0;
-    std::uint64_t uncached_ = 0;
-    std::uint64_t bypasses_ = 0;
-    std::uint64_t writeExceptions_ = 0;
-    std::uint64_t wayPredictions_ = 0;
-    std::uint64_t wayMispredictions_ = 0;
+    bool sharded_ = false;
+    /** unit -> owning shard (stack) index; all 0 when not sharded. */
+    std::vector<std::uint32_t> shardOfUnit_;
+    std::vector<std::unique_ptr<ShardCtx>> ctxs_;
+
+    /** Barrier-side row accounting (reconfigurations, collapses). */
     std::uint64_t invalidatedRows_ = 0;
     std::uint64_t survivedRows_ = 0;
-    std::uint64_t writebacks_ = 0;
-    std::uint64_t failedRedirects_ = 0;
-    std::uint64_t dramFaults_ = 0;
-    std::uint64_t poisonEscalations_ = 0;
-    double sramEnergyNj_ = 0.0;
-    /** Per-stream hit/miss counters (index = sid). */
-    std::vector<std::uint64_t> streamHits_;
-    std::vector<std::uint64_t> streamMisses_;
 };
 
 } // namespace ndpext

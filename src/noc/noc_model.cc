@@ -19,11 +19,29 @@ enum Direction
 } // namespace
 
 NocModel::NocModel(const MeshTopology& topo, const NocParams& params)
-    : topo_(topo), params_(params),
+    : MemObject("noc"), topo_(topo), params_(params),
       links_(topo.numStacks(),
              std::vector<BandwidthResource>(
                  4, BandwidthResource(params.interLinkBytesPerCycle)))
 {
+}
+
+void
+NocModel::recvAtomic(Packet& pkt)
+{
+    NocResult res;
+    if (pkt.hopDst == Packet::kCxlEndpoint) {
+        res = transferToCxl(pkt.hopSrc, pkt.bytes, pkt.ready);
+    } else if (pkt.hopSrc == Packet::kCxlEndpoint) {
+        res = transferFromCxl(pkt.hopDst, pkt.bytes, pkt.ready);
+    } else {
+        res = transfer(pkt.hopSrc, pkt.hopDst, pkt.bytes, pkt.ready);
+    }
+    const Cycles intra =
+        static_cast<Cycles>(res.intraHops) * params_.intraHopCycles;
+    pkt.bd.icnIntra += intra;
+    pkt.bd.icnInter += (res.done - pkt.ready) - intra;
+    pkt.ready = res.done;
 }
 
 Cycles

@@ -21,6 +21,7 @@
 
 #include "common/types.h"
 #include "noc/mesh.h"
+#include "sim/port.h"
 #include "sim/resource.h"
 #include "sim/stats.h"
 
@@ -49,10 +50,21 @@ struct NocResult
     std::uint32_t interHops = 0;
 };
 
-class NocModel
+class NocModel : public MemObject
 {
   public:
     NocModel(const MeshTopology& topo, const NocParams& params);
+
+    NocModel(const NocModel&) = delete;
+    NocModel& operator=(const NocModel&) = delete;
+
+    /**
+     * Port protocol: move pkt.bytes along the leg pkt.hopSrc -> pkt.hopDst
+     * (Packet::kCxlEndpoint addresses the CXL portal), advancing pkt.ready
+     * and charging the elapsed cycles to the packet's icnIntra/icnInter
+     * buckets. Exposed as response port "in".
+     */
+    void recvAtomic(Packet& pkt);
 
     /**
      * Move `bytes` from unit `src` to unit `dst` starting at `now`;
@@ -85,7 +97,29 @@ class NocModel
     void report(StatGroup& stats, const std::string& prefix) const;
     void reset();
 
+  protected:
+    MemPort* getPort(const std::string& port_name) override
+    {
+        return port_name == "in" ? &in_ : nullptr;
+    }
+
   private:
+    /** Response port adapter forwarding into recvAtomic(). */
+    class InPort : public MemPort
+    {
+      public:
+        explicit InPort(NocModel& owner)
+            : MemPort("noc.in"), owner_(owner)
+        {
+        }
+        void recvAtomic(Packet& pkt) override { owner_.recvAtomic(pkt); }
+
+      private:
+        NocModel& owner_;
+    };
+
+    InPort in_{*this};
+
     /** Reserve the egress link of `stack` toward direction `dir`. */
     Cycles reserveHop(StackId stack, int dir, std::uint32_t bytes,
                       Cycles at);

@@ -39,6 +39,18 @@ struct LatencyBreakdown
 
     Cycles icn() const { return icnIntra + icnInter; }
 
+    /** Accumulate another breakdown (e.g., a completed packet's). */
+    void
+    merge(const LatencyBreakdown& other)
+    {
+        metadata += other.metadata;
+        icnIntra += other.icnIntra;
+        icnInter += other.icnInter;
+        dramCache += other.dramCache;
+        extMem += other.extMem;
+        requests += other.requests;
+    }
+
     double
     avg(Cycles bucket) const
     {

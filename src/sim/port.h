@@ -1,0 +1,102 @@
+/**
+ * @file
+ * gem5-style port plumbing (atomic mode only).
+ *
+ * A MemPort is the response side: a component implements recvAtomic() to
+ * service a packet, advancing its time and latency breakdown. A
+ * RequestPort is the request side: it binds to exactly one MemPort and
+ * forwards packets to it. MemObject is the common base for components
+ * that expose named response ports, so systems wire the machine by name
+ * ("cpu_side", "in") instead of passing concrete references around.
+ *
+ * Binding is done once at construction time by the system (NdpSystem /
+ * HostSystem / test rigs); sending through an unbound port is a
+ * programming error and panics.
+ */
+
+#ifndef NDPEXT_SIM_PORT_H
+#define NDPEXT_SIM_PORT_H
+
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+#include "sim/packet.h"
+
+namespace ndpext {
+
+/** Response side of a connection: services packets atomically. */
+class MemPort
+{
+  public:
+    explicit MemPort(std::string name) : name_(std::move(name)) {}
+    virtual ~MemPort() = default;
+
+    /** Service `pkt` now; advances pkt.ready and charges pkt.bd. */
+    virtual void recvAtomic(Packet& pkt) = 0;
+
+    const std::string& name() const { return name_; }
+
+  private:
+    std::string name_;
+};
+
+/** Request side: forwards packets to the bound response port. */
+class RequestPort
+{
+  public:
+    explicit RequestPort(std::string name) : name_(std::move(name)) {}
+
+    void
+    bind(MemPort& peer)
+    {
+        peer_ = &peer;
+    }
+
+    bool bound() const { return peer_ != nullptr; }
+    MemPort* peer() const { return peer_; }
+
+    void
+    sendAtomic(Packet& pkt)
+    {
+        NDP_ASSERT(peer_ != nullptr, "send through unbound port ", name_);
+        peer_->recvAtomic(pkt);
+    }
+
+    const std::string& name() const { return name_; }
+
+  private:
+    std::string name_;
+    MemPort* peer_ = nullptr;
+};
+
+/** A component that exposes named response ports. */
+class MemObject
+{
+  public:
+    explicit MemObject(std::string name) : name_(std::move(name)) {}
+    virtual ~MemObject() = default;
+
+    const std::string& objName() const { return name_; }
+
+    /** Look up a response port; panics on unknown names. */
+    MemPort&
+    port(const std::string& port_name)
+    {
+        MemPort* p = getPort(port_name);
+        NDP_ASSERT(p != nullptr, "object ", name_, " has no port '",
+                   port_name, "'");
+        return *p;
+    }
+
+  protected:
+    /** Resolve a port name to a member port; nullptr if unknown. */
+    virtual MemPort* getPort(const std::string& port_name) = 0;
+
+  private:
+    std::string name_;
+};
+
+} // namespace ndpext
+
+#endif // NDPEXT_SIM_PORT_H

@@ -1,5 +1,7 @@
 #include "sim/stats.h"
 
+#include <cstdio>
+
 namespace ndpext {
 
 void
@@ -35,15 +37,32 @@ StatGroup::merge(const StatGroup& other, const std::string& prefix)
     }
 }
 
+void
+StatGroup::absorb(const StatGroup& other)
+{
+    for (const auto& [name, value] : other.stats_) {
+        stats_[name] += value;
+    }
+}
+
 double
 StatGroup::sumPrefix(const std::string& prefix) const
 {
+    // Segment-aware: after the prefix, only an exact match or a '.'
+    // continuation counts ("unit1" must not cover "unit1x.reads").
+    // A trailing '.' (or an empty prefix) means the caller already
+    // delimited the segment, so plain prefix matching applies.
+    const bool delimited = prefix.empty() || prefix.back() == '.';
     double total = 0.0;
     for (auto it = stats_.lower_bound(prefix); it != stats_.end(); ++it) {
-        if (it->first.compare(0, prefix.size(), prefix) != 0) {
+        const std::string& name = it->first;
+        if (name.compare(0, prefix.size(), prefix) != 0) {
             break;
         }
-        total += it->second;
+        if (delimited || name.size() == prefix.size()
+            || name[prefix.size()] == '.') {
+            total += it->second;
+        }
     }
     return total;
 }
@@ -54,6 +73,32 @@ StatGroup::dump(std::ostream& os) const
     for (const auto& [name, value] : stats_) {
         os << name << " " << value << "\n";
     }
+}
+
+void
+StatGroup::dumpJson(std::ostream& os) const
+{
+    os << "{";
+    bool first = true;
+    for (const auto& [name, value] : stats_) {
+        if (!first) {
+            os << ",";
+        }
+        first = false;
+        // Stat names are ASCII identifiers with dots; escape defensively.
+        os << "\n  \"";
+        for (const char c : name) {
+            if (c == '"' || c == '\\') {
+                os << '\\';
+            }
+            os << c;
+        }
+        os << "\": ";
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", value);
+        os << buf;
+    }
+    os << (first ? "}" : "\n}");
 }
 
 } // namespace ndpext

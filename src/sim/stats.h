@@ -37,11 +37,22 @@ class StatGroup
     /** Merge another group in, prefixing its names with `prefix.`. */
     void merge(const StatGroup& other, const std::string& prefix);
 
-    /** Sum of all stats whose name starts with the given prefix. */
+    /** Merge another group in under the same names (shard reduction). */
+    void absorb(const StatGroup& other);
+
+    /**
+     * Sum of all stats under the given hierarchical prefix. The prefix
+     * matches whole dot-separated segments: "unit1" covers "unit1" and
+     * "unit1.dram.reads" but not "unit1x.dram.reads". A prefix ending in
+     * '.' (or empty) keeps plain string-prefix semantics.
+     */
     double sumPrefix(const std::string& prefix) const;
 
     /** Dump "name value" lines in name order. */
     void dump(std::ostream& os) const;
+
+    /** Dump the group as one flat JSON object, keys in name order. */
+    void dumpJson(std::ostream& os) const;
 
     void clear() { stats_.clear(); }
 

@@ -1,13 +1,16 @@
 #include "system/ndp_system.h"
 
 #include <algorithm>
+#include <memory>
 #include <queue>
 #include <utility>
 #include <vector>
 
 #include "baselines/nuca_policies.h"
 #include "common/logging.h"
+#include "common/rng.h"
 #include "runtime/static_config.h"
+#include "sim/sharded_executor.h"
 
 namespace ndpext {
 
@@ -53,6 +56,25 @@ makeConfigurator(PolicyKind policy, const SystemConfig& cfg,
     NDP_PANIC("bad policy kind");
 }
 
+/**
+ * One shard of the simulated machine: the cores of one stack plus
+ * private NoC/CXL models carrying that stack's share of the global
+ * bandwidth, and (in faulty runs) a private fault injector for the
+ * Bernoulli fault classes. Shards share no mutable state between epoch
+ * barriers, so they run on any number of threads with identical results.
+ */
+struct Shard
+{
+    std::unique_ptr<NocModel> noc;
+    std::unique_ptr<ExtendedMemory> ext;
+    std::unique_ptr<FaultInjector> fault;
+    using HeapItem = std::pair<Cycles, CoreId>;
+    std::priority_queue<HeapItem, std::vector<HeapItem>,
+                        std::greater<HeapItem>>
+        ready;
+    Cycles finish = 0;
+};
+
 } // namespace
 
 NdpSystem::NdpSystem(const SystemConfig& config, PolicyKind policy)
@@ -77,6 +99,9 @@ NdpSystem::run(const Workload& workload)
     workload.registerStreams(table);
 
     MeshTopology topo(cfg_.stacksX, cfg_.stacksY, cfg_.unitsX, cfg_.unitsY);
+    // The prototype NoC/ext models define the topology and the remap
+    // table's distance calculations; shard-private clones below carry the
+    // actual traffic.
     NocModel noc(topo, cfg_.noc);
     ExtendedMemory ext(cfg_.cxl, DramTimingParams::ddr5Extended(),
                        cfg_.coreFreqMhz);
@@ -86,6 +111,9 @@ NdpSystem::run(const Workload& workload)
     NdpRuntime runtime(cfg_.runtime, cache,
                        makeConfigurator(policy_, cfg_, cache, noc));
 
+    // Master injector: owns the scheduled-failure timeline (fired at
+    // barriers). Each shard gets a private injector with a derived seed
+    // for the per-access Bernoulli classes.
     std::unique_ptr<FaultInjector> fault;
     if (cfg_.faults.anyFaults()) {
         for (const UnitFailure& f : cfg_.faults.unitFailures) {
@@ -93,9 +121,34 @@ NdpSystem::run(const Workload& workload)
                        "scheduled failure of nonexistent unit ", f.unit);
         }
         fault = std::make_unique<FaultInjector>(cfg_.faults);
-        ext.setFaultInjector(fault.get());
-        cache.setFaultInjector(fault.get());
     }
+
+    // --- shards: one per stack, fair share of the global bandwidth ---
+    const std::uint32_t numShards = topo.numStacks();
+    NocParams shardNoc = cfg_.noc;
+    shardNoc.interLinkBytesPerCycle /= numShards;
+    CxlParams shardCxl = cfg_.cxl;
+    shardCxl.linkBytesPerCycle /= numShards;
+    DramTimingParams shardExtDram = DramTimingParams::ddr5Extended();
+    shardExtDram.busBytesPerCycle /= numShards;
+
+    std::vector<Shard> shards(numShards);
+    std::vector<StreamCacheController::ShardResources> resources(numShards);
+    for (std::uint32_t s = 0; s < numShards; ++s) {
+        shards[s].noc = std::make_unique<NocModel>(topo, shardNoc);
+        shards[s].ext = std::make_unique<ExtendedMemory>(
+            shardCxl, shardExtDram, cfg_.coreFreqMhz);
+        if (fault != nullptr) {
+            FaultParams fp = cfg_.faults;
+            fp.unitFailures.clear(); // the master owns the schedule
+            fp.seed = mix64(cfg_.faults.seed + s + 1);
+            shards[s].fault = std::make_unique<FaultInjector>(fp);
+            shards[s].ext->setFaultInjector(shards[s].fault.get());
+        }
+        resources[s] = {shards[s].noc.get(), shards[s].ext.get(),
+                        shards[s].fault.get()};
+    }
+    cache.enableSharding(resources);
 
     const std::uint32_t n = cfg_.numUnits();
     std::vector<InOrderCore> cores;
@@ -103,50 +156,65 @@ NdpSystem::run(const Workload& workload)
     std::vector<std::unique_ptr<AccessGenerator>> gens;
     gens.reserve(n);
     for (CoreId c = 0; c < n; ++c) {
-        cores.emplace_back(c, cfg_.core, cache);
+        cores.emplace_back(c, cfg_.core);
+        cores.back().memPort().bind(cache.port("cpu_side"));
         gens.push_back(workload.makeGenerator(c));
+    }
+    for (CoreId c = 0; c < n; ++c) {
+        shards[topo.stackOf(c)].ready.emplace(cores[c].now(), c);
     }
 
     runtime.start();
 
-    // --- event loop: advance the globally-earliest core; fire epochs ---
-    using HeapItem = std::pair<Cycles, CoreId>;
-    std::priority_queue<HeapItem, std::vector<HeapItem>,
-                        std::greater<HeapItem>>
-        ready;
-    for (CoreId c = 0; c < n; ++c) {
-        ready.emplace(cores[c].now(), c);
-    }
+    // --- barrier loop: shards advance in parallel to the next global
+    // event (epoch boundary or scheduled failure); the runtime acts at
+    // the barrier, then the interval repeats. The decomposition is fixed
+    // per stack, so any --threads value produces identical results.
+    const std::uint32_t threads = std::min<std::uint32_t>(
+        std::max<std::uint32_t>(cfg_.numThreads, 1), numShards);
+    ShardedExecutor exec(threads);
+
     Cycles next_epoch = cfg_.runtime.epochCycles;
     Cycles next_failure =
         fault != nullptr ? fault->nextFailureAt() : FaultInjector::kNoFailure;
-    Cycles finish = 0;
-    while (!ready.empty()) {
-        const auto [when, c] = ready.top();
-        ready.pop();
-        if (when >= next_failure) {
-            // Fire scheduled unit failures before the core advances past
-            // them; the runtime reconfigures out-of-epoch immediately
-            // (once per batch of simultaneous failures).
-            runtime.onUnitFailures(fault->popFailuresUpTo(when));
-            next_failure = fault->nextFailureAt();
-            ready.emplace(when, c);
-            continue;
+    for (;;) {
+        const Cycles sync = std::min(next_epoch, next_failure);
+        exec.forEachShard(numShards, [&](std::uint32_t s) {
+            Shard& sh = shards[s];
+            while (!sh.ready.empty() && sh.ready.top().first < sync) {
+                const CoreId c = sh.ready.top().second;
+                sh.ready.pop();
+                if (cores[c].step(*gens[c])) {
+                    sh.ready.emplace(cores[c].now(), c);
+                } else {
+                    sh.finish = std::max(sh.finish, cores[c].now());
+                }
+            }
+        });
+        cache.applyDeferredWriteExceptions();
+
+        bool active = false;
+        for (const Shard& sh : shards) {
+            active = active || !sh.ready.empty();
         }
-        if (when >= next_epoch) {
+        if (!active) {
+            break;
+        }
+        if (next_failure <= next_epoch) {
+            // Failures fire before a coinciding epoch boundary.
+            runtime.onUnitFailures(fault->popFailuresUpTo(next_failure));
+            next_failure = fault->nextFailureAt();
+        } else {
             runtime.onEpochEnd(next_epoch);
             next_epoch += cfg_.runtime.epochCycles;
-            ready.emplace(when, c);
-            continue;
-        }
-        if (cores[c].step(*gens[c])) {
-            ready.emplace(cores[c].now(), c);
-        } else {
-            finish = std::max(finish, cores[c].now());
         }
     }
+    Cycles finish = 0;
+    for (const Shard& sh : shards) {
+        finish = std::max(finish, sh.finish);
+    }
 
-    // --- collect results ---
+    // --- collect results (sums over shard-private models) ---
     RunResult res;
     res.workload = workload.name();
     res.policy = policyName(policy_);
@@ -159,9 +227,11 @@ NdpSystem::run(const Workload& workload)
     res.survivedRows = cache.survivedRows();
     res.reconfigurations = runtime.reconfigurations();
     res.slbMisses = cache.slbMissTotal();
-    res.degraded.linkRetries = ext.linkRetries();
-    res.degraded.retriesExhausted = ext.retriesExhausted();
-    res.degraded.poisonedReads = ext.poisonedReads();
+    for (const Shard& sh : shards) {
+        res.degraded.linkRetries += sh.ext->linkRetries();
+        res.degraded.retriesExhausted += sh.ext->retriesExhausted();
+        res.degraded.poisonedReads += sh.ext->poisonedReads();
+    }
     res.degraded.poisonEscalations = cache.poisonEscalations();
     res.degraded.failedUnitRedirects = cache.failedUnitRedirects();
     res.degraded.dramFaultRefetches = cache.dramFaultRefetches();
@@ -184,17 +254,25 @@ NdpSystem::run(const Workload& workload)
                            + cfg_.staticWattsExt)
         * seconds * 1e9;
     res.energy.ndpDramNj = cache.dramCacheEnergyNj();
-    res.energy.extDramNj = ext.dramEnergyNj();
-    res.energy.cxlLinkNj = ext.linkEnergyNj();
-    res.energy.icnNj = noc.energyNj();
     res.energy.sramNj = cache.sramEnergyNj();
+    for (const Shard& sh : shards) {
+        res.energy.extDramNj += sh.ext->dramEnergyNj();
+        res.energy.cxlLinkNj += sh.ext->linkEnergyNj();
+        res.energy.icnNj += sh.noc->energyNj();
+    }
 
     cache.report(res.stats, "cache");
-    noc.report(res.stats, "noc");
-    ext.report(res.stats, "ext");
+    for (const Shard& sh : shards) {
+        // report() uses add(), so shard instances accumulate.
+        sh.noc->report(res.stats, "noc");
+        sh.ext->report(res.stats, "ext");
+    }
     runtime.report(res.stats, "runtime");
     if (fault != nullptr) {
         fault->report(res.stats, "fault");
+        for (const Shard& sh : shards) {
+            sh.fault->report(res.stats, "fault");
+        }
         res.stats.set("degraded.cycles",
                       static_cast<double>(res.degraded.cyclesDegraded));
     }

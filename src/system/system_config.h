@@ -84,6 +84,14 @@ struct SystemConfig
     double staticWattsPerUnit = 0.05;
     double staticWattsExt = 2.0;
 
+    /**
+     * Simulation threads for the sharded epoch-parallel executor. The
+     * shard decomposition is always one shard per stack, independent of
+     * the thread count, so results are bit-identical for any value; this
+     * only controls how many shards run concurrently between barriers.
+     */
+    std::uint32_t numThreads = 1;
+
     std::uint32_t
     numUnits() const
     {

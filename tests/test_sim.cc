@@ -46,6 +46,70 @@ TEST(StatGroup, SumPrefix)
     EXPECT_DOUBLE_EQ(s.sumPrefix("zzz"), 0.0);
 }
 
+TEST(StatGroup, SumPrefixMatchesWholeSegmentsOnly)
+{
+    // "unit1" must not swallow "unit1x.*": prefixes match whole
+    // dot-separated segments, not raw characters.
+    StatGroup s;
+    s.add("unit1", 1.0);
+    s.add("unit1.dram.reads", 2.0);
+    s.add("unit1.dram.writes", 4.0);
+    s.add("unit1x.dram.reads", 100.0);
+    s.add("unit10.dram.reads", 200.0);
+    EXPECT_DOUBLE_EQ(s.sumPrefix("unit1"), 7.0);
+    EXPECT_DOUBLE_EQ(s.sumPrefix("unit1x"), 100.0);
+    EXPECT_DOUBLE_EQ(s.sumPrefix("unit1.dram"), 6.0);
+    // Trailing dot keeps plain string-prefix semantics (no exact-name
+    // match, no segment check).
+    EXPECT_DOUBLE_EQ(s.sumPrefix("unit1."), 6.0);
+    // Empty prefix sums everything.
+    EXPECT_DOUBLE_EQ(s.sumPrefix(""), 307.0);
+}
+
+TEST(StatGroup, MergePrefixCollisionAccumulates)
+{
+    // Merging under a prefix that collides with an existing name adds
+    // into it rather than overwriting.
+    StatGroup a;
+    a.add("x", 1.0);
+    StatGroup b;
+    b.add("unit1.x", 10.0);
+    b.merge(a, "unit1");
+    EXPECT_DOUBLE_EQ(b.get("unit1.x"), 11.0);
+}
+
+TEST(StatGroup, AbsorbIsSameNameReduction)
+{
+    StatGroup shard0;
+    shard0.add("noc.hops", 5.0);
+    shard0.add("noc.flits", 2.0);
+    StatGroup shard1;
+    shard1.add("noc.hops", 7.0);
+    shard1.add("ext.reads", 3.0);
+    shard0.absorb(shard1);
+    EXPECT_DOUBLE_EQ(shard0.get("noc.hops"), 12.0);
+    EXPECT_DOUBLE_EQ(shard0.get("noc.flits"), 2.0);
+    EXPECT_DOUBLE_EQ(shard0.get("ext.reads"), 3.0);
+}
+
+TEST(StatGroup, DumpJsonOrderedAndRoundTrippable)
+{
+    StatGroup s;
+    s.add("b.y", 2.5);
+    s.add("a.x", 1.0);
+    std::ostringstream oss;
+    s.dumpJson(oss);
+    EXPECT_EQ(oss.str(), "{\n  \"a.x\": 1,\n  \"b.y\": 2.5\n}");
+}
+
+TEST(StatGroup, DumpJsonEmptyGroup)
+{
+    StatGroup s;
+    std::ostringstream oss;
+    s.dumpJson(oss);
+    EXPECT_EQ(oss.str(), "{}");
+}
+
 TEST(StatGroup, DumpOrdered)
 {
     StatGroup s;
@@ -89,6 +153,48 @@ TEST(EventQueue, RunUntilStopsEarly)
     EXPECT_EQ(q.now(), 50u);
     EXPECT_EQ(q.size(), 1u);
     EXPECT_EQ(q.nextTick(), 100u);
+}
+
+TEST(EventQueue, RunUntilKeepsSameTickFifoOrder)
+{
+    // Draining up to a boundary must preserve FIFO order among
+    // same-tick events, including ones scheduled from callbacks.
+    EventQueue q;
+    std::vector<int> fired;
+    q.schedule(10, [&](Cycles now) {
+        fired.push_back(1);
+        q.schedule(now, [&](Cycles) { fired.push_back(3); });
+    });
+    q.schedule(10, [&](Cycles) { fired.push_back(2); });
+    q.runUntil(10);
+    EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextTickAfterPartialDrain)
+{
+    EventQueue q;
+    q.schedule(10, [](Cycles) {});
+    q.schedule(20, [](Cycles) {});
+    q.schedule(30, [](Cycles) {});
+    EXPECT_EQ(q.nextTick(), 10u);
+    q.runUntil(15);
+    EXPECT_EQ(q.nextTick(), 20u);
+    EXPECT_EQ(q.size(), 2u);
+    q.runUntil(20);
+    EXPECT_EQ(q.nextTick(), 30u);
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.now(), 20u);
+}
+
+TEST(EventQueue, RunUntilBoundaryIsInclusive)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(10, [&](Cycles) { ++count; });
+    q.runUntil(10);
+    EXPECT_EQ(count, 1) << "events at exactly `until` must fire";
+    EXPECT_EQ(q.now(), 10u);
 }
 
 TEST(EventQueue, CallbackCanReschedule)

@@ -32,6 +32,11 @@
  *                          dram-bit:p=<p>       cache bit-fault probability
  *                        cycles take K/M/G suffixes (5M = 5,000,000)
  *   --fault-seed=N       fault-injection RNG seed (default 1)
+ *   --threads=N          simulation threads (default 1). Results are
+ *                        bit-identical for any value: the machine is
+ *                        always decomposed into one shard per stack and
+ *                        N only controls parallel shard execution.
+ *   --stats-json=FILE    write headline metrics + every counter as JSON
  *   --dump-stats         print every simulator counter
  *
  * Malformed options print a usage message and exit with status 2.
@@ -41,6 +46,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -72,6 +78,8 @@ constexpr const char* kUsage =
     "                      cxl-transient:p=<p> | cxl-poison:p=<p> |\n"
     "                      dram-bit:p=<p>   (repeatable)\n"
     "  --fault-seed=N      fault-injection RNG seed\n"
+    "  --threads=N         simulation threads (same results for any N)\n"
+    "  --stats-json=FILE   write metrics + all counters as JSON\n"
     "  --dump-stats        print every simulator counter\n"
     "  --list              print workloads and policies\n";
 
@@ -117,6 +125,8 @@ struct Options
     /** Raw --fault specs; parsed once the geometry is known. */
     std::vector<std::string> faultSpecs;
     std::uint64_t faultSeed = 1;
+    std::uint64_t threads = 1;
+    std::string statsJson;
     bool dumpStats = false;
 };
 
@@ -213,6 +223,17 @@ parseArgs(int argc, char** argv)
             opt.faultSpecs.push_back(value("--fault="));
         } else if (arg.rfind("--fault-seed=", 0) == 0) {
             opt.faultSeed = number("--fault-seed=");
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            opt.threads = number("--threads=");
+            if (opt.threads == 0 || opt.threads > 1024) {
+                usageError("bad --threads: '" + value("--threads=")
+                           + "' (expected 1..1024)");
+            }
+        } else if (arg.rfind("--stats-json=", 0) == 0) {
+            opt.statsJson = value("--stats-json=");
+            if (opt.statsJson.empty()) {
+                usageError("bad --stats-json: empty file name");
+            }
         } else if (arg == "--dump-stats") {
             opt.dumpStats = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -287,6 +308,49 @@ printResult(const RunResult& r, bool dump_stats)
     }
 }
 
+/**
+ * Write headline metrics plus the full counter set as one JSON object:
+ * scalars first, then every StatGroup counter under "stats".
+ */
+bool
+writeStatsJson(const RunResult& r, const std::string& path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        return false;
+    }
+    out << "{\n";
+    out << "  \"workload\": \"" << r.workload << "\",\n";
+    out << "  \"policy\": \"" << r.policy << "\",\n";
+    out << "  \"cycles\": " << r.cycles << ",\n";
+    out << "  \"accesses\": " << r.accesses << ",\n";
+    out << "  \"l1Hits\": " << r.l1Hits << ",\n";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", r.missRate);
+    out << "  \"missRate\": " << buf << ",\n";
+    std::snprintf(buf, sizeof(buf), "%.17g", r.avgMemLatency());
+    out << "  \"avgMemLatencyCycles\": " << buf << ",\n";
+    std::snprintf(buf, sizeof(buf), "%.17g", r.energy.totalNj());
+    out << "  \"energyNj\": " << buf << ",\n";
+    out << "  \"reconfigurations\": " << r.reconfigurations << ",\n";
+    out << "  \"writeExceptions\": " << r.writeExceptions << ",\n";
+    out << "  \"degraded\": {\n";
+    out << "    \"failedUnits\": " << r.degraded.failedUnits << ",\n";
+    out << "    \"linkRetries\": " << r.degraded.linkRetries << ",\n";
+    out << "    \"poisonEscalations\": " << r.degraded.poisonEscalations
+        << ",\n";
+    out << "    \"failedUnitRedirects\": "
+        << r.degraded.failedUnitRedirects << ",\n";
+    out << "    \"dramFaultRefetches\": " << r.degraded.dramFaultRefetches
+        << ",\n";
+    out << "    \"cyclesDegraded\": " << r.degraded.cyclesDegraded
+        << "\n  },\n";
+    out << "  \"stats\": ";
+    r.stats.dumpJson(out);
+    out << "\n}\n";
+    return static_cast<bool>(out);
+}
+
 } // namespace
 
 int
@@ -301,6 +365,7 @@ main(int argc, char** argv)
     cfg.unitsY = opt.unitsY;
     cfg.memType = opt.mem;
     cfg.unitCacheBytes = opt.cacheKb * 1024;
+    cfg.numThreads = static_cast<std::uint32_t>(opt.threads);
     if (opt.epoch != 0) {
         cfg.runtime.epochCycles = opt.epoch;
     }
@@ -367,5 +432,11 @@ main(int argc, char** argv)
         result = system.run(*workload);
     }
     printResult(result, opt.dumpStats);
+    if (!opt.statsJson.empty()
+        && !writeStatsJson(result, opt.statsJson)) {
+        std::fprintf(stderr, "ndpext_sim: cannot write --stats-json file '%s'\n",
+                     opt.statsJson.c_str());
+        return 1;
+    }
     return 0;
 }
