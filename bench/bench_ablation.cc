@@ -73,5 +73,5 @@ main(int argc, char** argv)
     table.print();
     std::printf("\nvalues < 1 mean the ablated design is slower than "
                 "full NDPExt.\n");
-    return 0;
+    return bench::finishStats(args);
 }

@@ -155,5 +155,5 @@ main(int argc, char** argv)
     } else {
         unitFailureStudy(args);
     }
-    return 0;
+    return bench::finishStats(args);
 }

@@ -43,6 +43,11 @@ main(int argc, char** argv)
                 100.0 * (1.0 - ndp.missRate));
     std::printf("  icn share       %5.1f %%  (paper: ~32%%)\n\n",
                 100.0 * static_cast<double>(ndp.bd.icn()) / ndp_total);
+    bench::recordStat("ndp.hitRate", 1.0 - ndp.missRate);
+    bench::recordStat("ndp.icnShare",
+                      static_cast<double>(ndp.bd.icn()) / ndp_total);
+    bench::recordStat("ndp.metadataShare",
+                      static_cast<double>(ndp.bd.metadata) / ndp_total);
 
     // --- Conventional NUCA host ---
     const RunResult host = bench::runHost(pr);
@@ -59,5 +64,8 @@ main(int argc, char** argv)
                 100.0 * (1.0 - host.missRate));
     std::printf("  icn share       %5.1f %%  (paper: ~13%%)\n",
                 100.0 * static_cast<double>(host.bd.icn()) / host_total);
-    return 0;
+    bench::recordStat("host.hitRate", 1.0 - host.missRate);
+    bench::recordStat("host.icnShare",
+                      static_cast<double>(host.bd.icn()) / host_total);
+    return bench::finishStats(args);
 }

@@ -7,6 +7,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "common/rng.h"
 #include "runtime/sampler_assign.h"
 #include "stream/stream_table.h"
@@ -70,4 +75,41 @@ BENCHMARK(BM_SamplerAssignment)
     ->Arg(512)
     ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+/**
+ * Custom main instead of BENCHMARK_MAIN(): translate the repo-wide
+ * --stats-json=FILE flag into google-benchmark's JSON reporter flags and
+ * swallow --quick (the microbenchmark is already smoke-fast), so this
+ * binary takes the same flags as every other bench.
+ */
+int
+main(int argc, char** argv)
+{
+    std::vector<std::string> translated;
+    translated.reserve(static_cast<std::size_t>(argc) + 1);
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--stats-json=", 0) == 0) {
+            std::string out = "--benchmark_out=";
+            out += arg.substr(13);
+            translated.push_back(std::move(out));
+            translated.emplace_back("--benchmark_out_format=json");
+        } else if (arg == "--quick") {
+            // accepted for flag uniformity; each case runs in microseconds
+        } else {
+            translated.push_back(arg);
+        }
+    }
+    std::vector<char*> cargv;
+    cargv.reserve(translated.size());
+    for (auto& arg : translated) {
+        cargv.push_back(arg.data());
+    }
+    int cargc = static_cast<int>(cargv.size());
+    benchmark::Initialize(&cargc, cargv.data());
+    if (benchmark::ReportUnrecognizedArguments(cargc, cargv.data())) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

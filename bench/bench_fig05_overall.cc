@@ -80,5 +80,5 @@ main(int argc, char** argv)
                 "paper's 128 (the host keeps its 64),\n"
                 "so host-relative bars under-credit NDP by ~2x; the "
                 "scheme-vs-scheme columns are unaffected.\n");
-    return 0;
+    return bench::finishStats(args);
 }

@@ -50,11 +50,14 @@ main(int argc, char** argv)
         std::printf("%s:\n", name.c_str());
         printBreakdown("nexus", nexus.energy, nexus.energy.totalNj());
         printBreakdown("ndpext", ndpext.energy, nexus.energy.totalNj());
-        ratios.push_back(ndpext.energy.totalNj()
-                         / nexus.energy.totalNj());
+        const double ratio =
+            ndpext.energy.totalNj() / nexus.energy.totalNj();
+        ratios.push_back(ratio);
+        bench::recordStat(name + ".energyRatio", ratio);
     }
     std::printf("\ngeomean NDPExt/Nexus energy: %.3f "
                 "(paper: ~0.60, i.e. 40.3%% savings)\n",
                 bench::geomean(ratios));
-    return 0;
+    bench::recordStat("geomean.energyRatio", bench::geomean(ratios));
+    return bench::finishStats(args);
 }

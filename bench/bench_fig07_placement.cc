@@ -41,5 +41,5 @@ main(int argc, char** argv)
                 "Nexus; miss rates comparable,\nlower for spatial "
                 "workloads (hotspot, pathfinder), slightly higher where "
                 "replication\ntrades capacity (mv).\n");
-    return 0;
+    return bench::finishStats(args);
 }

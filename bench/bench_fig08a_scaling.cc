@@ -68,5 +68,5 @@ main(int argc, char** argv)
                 "(1.41x..1.65x at 64c, 1.75x at 256c),\nshrinks on small "
                 "systems (1.09x at 32c), and stays >1 on a single unit "
                 "(1.16x).\n");
-    return 0;
+    return bench::finishStats(args);
 }

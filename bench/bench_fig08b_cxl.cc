@@ -45,5 +45,5 @@ main(int argc, char** argv)
     table.print();
     std::printf("\npaper shape: speedup increases with link latency "
                 "(1.33x at 50 ns -> 1.50x at 200 ns).\n");
-    return 0;
+    return bench::finishStats(args);
 }

@@ -177,5 +177,5 @@ main(int argc, char** argv)
               "(paper: 50M cycles sufficient; 2x longer costs ~26%)",
               args, v, 2);
     }
-    return 0;
+    return bench::finishStats(args);
 }

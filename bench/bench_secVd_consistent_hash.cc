@@ -59,5 +59,5 @@ main(int argc, char** argv)
     std::printf("\navg traffic saved: %.1f%% (paper: 9.4%%), "
                 "geomean speedup: %.3fx (paper: 1.037x)\n",
                 100.0 * avg_save, bench::geomean(speedups));
-    return 0;
+    return bench::finishStats(args);
 }

@@ -67,7 +67,13 @@ main(int argc, char** argv)
 {
     const auto args = bench::BenchArgs::parse(argc, argv);
     std::printf("Table II: system configurations\n\n");
-    printConfig("scaled simulation default", bench::benchConfig(args));
+    const SystemConfig scaled = bench::benchConfig(args);
+    printConfig("scaled simulation default", scaled);
     printConfig("paper scale (Table II)", SystemConfig::paperScale());
-    return 0;
+    bench::recordStat("scaled.numUnits", scaled.numUnits());
+    bench::recordStat("scaled.unitCacheBytes",
+                      static_cast<double>(scaled.unitCacheBytes));
+    bench::recordStat("scaled.epochCycles",
+                      static_cast<double>(scaled.runtime.epochCycles));
+    return bench::finishStats(args);
 }

@@ -4,9 +4,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 
 #include "common/logging.h"
+#include "telemetry/json_out.h"
 
 namespace ndpext {
 namespace bench {
@@ -43,10 +45,12 @@ BenchArgs::parse(int argc, char** argv)
             while (std::getline(ss, item, ',')) {
                 args.workloads.push_back(item);
             }
+        } else if (arg.rfind("--stats-json=", 0) == 0) {
+            args.statsJson = arg.substr(13);
         } else {
             NDP_FATAL("unknown argument: ", arg,
                       " (expected --quick, --mem=, --exp=, --threads=,"
-                      " --workloads=)");
+                      " --workloads=, --stats-json=)");
         }
     }
     return args;
@@ -152,6 +156,53 @@ geomean(const std::vector<double>& values)
     return std::exp(log_sum / static_cast<double>(values.size()));
 }
 
+namespace {
+
+/** Insertion-ordered process-wide results for --stats-json. */
+std::vector<std::pair<std::string, double>>&
+statRecords()
+{
+    static std::vector<std::pair<std::string, double>> records;
+    return records;
+}
+
+} // namespace
+
+void
+recordStat(const std::string& name, double value)
+{
+    for (auto& [existing, v] : statRecords()) {
+        if (existing == name) {
+            v = value; // last write wins (e.g. a rerun sub-experiment)
+            return;
+        }
+    }
+    statRecords().emplace_back(name, value);
+}
+
+int
+finishStats(const BenchArgs& args)
+{
+    if (args.statsJson.empty()) {
+        return 0;
+    }
+    std::ofstream out(args.statsJson);
+    if (!out) {
+        std::fprintf(stderr, "cannot write --stats-json file '%s'\n",
+                     args.statsJson.c_str());
+        return 1;
+    }
+    out << "{\n  \"stats\": {";
+    bool first = true;
+    for (const auto& [name, value] : statRecords()) {
+        out << (first ? "\n    " : ",\n    ") << jsonout::str(name) << ": "
+            << jsonout::num(value);
+        first = false;
+    }
+    out << "\n  }\n}\n";
+    return out.good() ? 0 : 1;
+}
+
 Table::Table(std::vector<std::string> columns)
     : columns_(std::move(columns))
 {
@@ -160,6 +211,12 @@ Table::Table(std::vector<std::string> columns)
 void
 Table::addRow(const std::string& label, const std::vector<double>& values)
 {
+    for (std::size_t i = 0; i < values.size() && i < columns_.size(); ++i) {
+        std::string name = label;
+        name += '.';
+        name += columns_[i];
+        recordStat(name, values[i]);
+    }
     rows_.emplace_back(label, values);
 }
 

@@ -40,6 +40,8 @@ struct BenchArgs
     std::uint32_t threads = 1;
     /** Workload filter (--workloads=pr,bfs,...). Empty = bench default. */
     std::vector<std::string> workloads;
+    /** Write recorded results as JSON (--stats-json=FILE). Empty = off. */
+    std::string statsJson;
 
     static BenchArgs parse(int argc, char** argv);
 };
@@ -67,6 +69,20 @@ const std::vector<std::string>& analysisWorkloads();
 
 /** Geometric mean helper. */
 double geomean(const std::vector<double>& values);
+
+/**
+ * Record one named result for --stats-json. Table::addRow records its
+ * cells automatically ("<row label>.<column>"); benches that print
+ * free-form text call this for their headline numbers.
+ */
+void recordStat(const std::string& name, double value);
+
+/**
+ * Write every recorded stat as one JSON object to args.statsJson (no-op
+ * when the flag was not given) and return the process exit code, so
+ * mains end with `return bench::finishStats(args);`.
+ */
+int finishStats(const BenchArgs& args);
 
 /** Print a header row followed by aligned numeric rows. */
 class Table

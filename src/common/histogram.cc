@@ -1,6 +1,7 @@
 #include "common/histogram.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "common/logging.h"
@@ -16,6 +17,9 @@ Histogram::Histogram(double max_value, std::size_t buckets)
 void
 Histogram::add(double v)
 {
+    if (std::isnan(v)) {
+        return; // NaN samples would poison min/max/sum and bucket lookup
+    }
     if (count_ == 0) {
         min_ = max_ = v;
     } else {
@@ -44,8 +48,12 @@ Histogram::mean() const
 double
 Histogram::percentile(double q) const
 {
-    if (count_ == 0) {
+    if (count_ == 0 || std::isnan(q)) {
         return 0.0;
+    }
+    q = std::clamp(q, 0.0, 1.0);
+    if (q <= 0.0) {
+        return min_;
     }
     const double target = q * static_cast<double>(count_);
     double seen = 0.0;
@@ -53,7 +61,11 @@ Histogram::percentile(double q) const
     for (std::size_t i = 0; i < bins_.size(); ++i) {
         seen += static_cast<double>(bins_[i]);
         if (seen >= target) {
-            return (static_cast<double>(i) + 0.5) * width;
+            // The bucket midpoint can overshoot the observed range when
+            // buckets are coarse (one wide bucket, few samples); the true
+            // quantile always lies within [min, max].
+            return std::clamp((static_cast<double>(i) + 0.5) * width, min_,
+                              max_);
         }
     }
     return max_;

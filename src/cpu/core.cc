@@ -4,6 +4,8 @@
 
 #include "common/logging.h"
 #include "sim/packet.h"
+#include "telemetry/metric_registry.h"
+#include "telemetry/telemetry.h"
 
 namespace ndpext {
 
@@ -46,6 +48,18 @@ InOrderCore::step(AccessGenerator& gen)
     Packet pkt = Packet::request(acc, id_, issue);
     memPort_.sendAtomic(pkt);
     NDP_ASSERT(pkt.ready >= issue);
+    if (telSink_ != nullptr && telSink_->tick()) {
+        PacketSample s;
+        s.core = id_;
+        s.sid = pkt.sid;
+        s.start = issue;
+        s.metadata = pkt.bd.metadata;
+        s.icnIntra = pkt.bd.icnIntra;
+        s.icnInter = pkt.bd.icnInter;
+        s.dramCache = pkt.bd.dramCache;
+        s.extMem = pkt.bd.extMem;
+        telSink_->record(s);
+    }
     *slot = pkt.ready;
     now_ = issue + params_.l1HitCycles; // issue occupancy, then overlap
 
@@ -56,6 +70,21 @@ InOrderCore::step(AccessGenerator& gen)
         memPort_.sendAtomic(wb);
     }
     return true;
+}
+
+void
+InOrderCore::registerMetrics(MetricRegistry& registry)
+{
+    // Shared names: the registry sums every core's reader, so the series
+    // is the machine-wide total without 64x per-core key bloat.
+    registry.registerCounter("cores.accesses",
+                             [this] { return double(accesses_); });
+    registry.registerCounter("cores.l1Hits",
+                             [this] { return double(l1Hits_); });
+    registry.registerCounter("cores.computeCycles",
+                             [this] { return double(computeCycles_); });
+    registry.registerCounter("cores.memStallCycles",
+                             [this] { return double(memStallCycles_); });
 }
 
 void

@@ -27,6 +27,8 @@
 
 namespace ndpext {
 
+struct PacketSampleBuffer; // telemetry/telemetry.h
+
 struct CoreParams
 {
     Cycles l1HitCycles = 2;
@@ -87,6 +89,17 @@ class InOrderCore : public MemObject
 
     void report(StatGroup& stats, const std::string& prefix) const;
 
+    /**
+     * Attach a telemetry packet-sample sink (null detaches). The buffer
+     * must be shard-private to this core; the core records every Nth
+     * completed L1 miss (N = buffer's `every`). Observer-only: sampling
+     * never alters timing.
+     */
+    void setTelemetrySink(PacketSampleBuffer* sink) { telSink_ = sink; }
+
+    /** Registers aggregate series under "cores.*" (sums across cores). */
+    void registerMetrics(MetricRegistry& registry) override;
+
   protected:
     MemPort* getPort(const std::string& port_name) override
     {
@@ -107,6 +120,8 @@ class InOrderCore : public MemObject
     std::uint64_t l1Hits_ = 0;
     Cycles computeCycles_ = 0;
     Cycles memStallCycles_ = 0;
+    /** Telemetry sink (null = sampling off; the default). */
+    PacketSampleBuffer* telSink_ = nullptr;
 };
 
 } // namespace ndpext

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/metric_registry.h"
+
 namespace ndpext {
 
 ExtendedMemory::ExtendedMemory(const CxlParams& cxl,
@@ -38,6 +40,7 @@ ExtendedMemory::access(Addr addr, std::uint32_t bytes, bool is_write,
         at_device =
             req_start + cxl_.linkLatencyCycles + link_.serviceCycles(64);
         linkEnergyNj_ += 64.0 * 8.0 * cxl_.pjPerBit * 1e-3;
+        linkBytes_ += 64;
         if (fault_ == nullptr || !fault_->linkError()) {
             break;
         }
@@ -65,6 +68,7 @@ ExtendedMemory::access(Addr addr, std::uint32_t bytes, bool is_write,
     ++accesses_;
     linkEnergyNj_ +=
         static_cast<double>(bytes) * 8.0 * cxl_.pjPerBit * 1e-3;
+    linkBytes_ += bytes;
 
     CxlResult res{done, false};
     if (!is_write && fault_ != nullptr && fault_->poisonRead(addr)) {
@@ -79,6 +83,7 @@ ExtendedMemory::report(StatGroup& stats, const std::string& prefix) const
 {
     stats.add(prefix + ".accesses", static_cast<double>(accesses_));
     stats.add(prefix + ".linkEnergyNj", linkEnergyNj_);
+    stats.add(prefix + ".linkBytes", static_cast<double>(linkBytes_));
     stats.add(prefix + ".linkQueueCycles",
               static_cast<double>(link_.totalQueueCycles()));
     stats.add(prefix + ".linkReservations",
@@ -93,12 +98,33 @@ ExtendedMemory::report(StatGroup& stats, const std::string& prefix) const
 }
 
 void
+ExtendedMemory::registerMetrics(MetricRegistry& registry)
+{
+    registry.registerCounter("ext.accesses",
+                             [this] { return double(accesses_); });
+    registry.registerCounter("ext.linkBytes",
+                             [this] { return double(linkBytes_); });
+    registry.registerCounter("ext.linkEnergyNj",
+                             [this] { return linkEnergyNj_; });
+    registry.registerCounter("ext.linkQueueCycles", [this] {
+        return double(link_.totalQueueCycles());
+    });
+    registry.registerCounter("ext.degraded.linkRetries",
+                             [this] { return double(linkRetries_); });
+    registry.registerCounter("ext.degraded.retriesExhausted",
+                             [this] { return double(retriesExhausted_); });
+    registry.registerCounter("ext.degraded.poisonedReads",
+                             [this] { return double(poisonedReads_); });
+}
+
+void
 ExtendedMemory::reset()
 {
     dram_.reset();
     link_.reset();
     accesses_ = 0;
     linkEnergyNj_ = 0.0;
+    linkBytes_ = 0;
     linkRetries_ = 0;
     retriesExhausted_ = 0;
     poisonedReads_ = 0;

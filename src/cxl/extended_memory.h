@@ -80,6 +80,8 @@ class ExtendedMemory : public MemObject
     std::uint64_t accesses() const { return accesses_; }
     double linkEnergyNj() const { return linkEnergyNj_; }
     double dramEnergyNj() const { return dram_.dynamicEnergyNj(); }
+    /** Payload bytes moved over the CXL link (bandwidth telemetry). */
+    std::uint64_t linkBytes() const { return linkBytes_; }
 
     /** Transient-link-error retries performed (degraded mode). */
     std::uint64_t linkRetries() const { return linkRetries_; }
@@ -90,6 +92,9 @@ class ExtendedMemory : public MemObject
 
     void report(StatGroup& stats, const std::string& prefix) const;
     void reset();
+
+    /** Registers "ext.*" series (shard clones sum into one series). */
+    void registerMetrics(MetricRegistry& registry) override;
 
   protected:
     MemPort* getPort(const std::string& port_name) override
@@ -120,6 +125,7 @@ class ExtendedMemory : public MemObject
 
     std::uint64_t accesses_ = 0;
     double linkEnergyNj_ = 0.0;
+    std::uint64_t linkBytes_ = 0;
     std::uint64_t linkRetries_ = 0;
     std::uint64_t retriesExhausted_ = 0;
     std::uint64_t poisonedReads_ = 0;

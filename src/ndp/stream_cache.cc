@@ -5,6 +5,7 @@
 #include "common/bitutils.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "telemetry/metric_registry.h"
 
 namespace ndpext {
 
@@ -539,6 +540,7 @@ StreamCacheController::accessCached(ShardCtx& ctx, UnitId u,
         nocLeg(ctx, pkt, u, loc.unit, params_.reqBytes);
     }
     pkt.ready += params_.unitHandlerCycles;
+    pkt.bd.metadata += params_.unitHandlerCycles;
 
     TagStore& ts = storeFor(ctx, loc.unit, cfg.sid);
     if (!ts.usable()) {
@@ -1061,6 +1063,55 @@ StreamCacheController::report(StatGroup& stats,
               static_cast<double>(poisonEscalations()));
     stats.add(prefix + ".dramCacheEnergyNj", dramCacheEnergyNj());
     stats.add(prefix + ".sramEnergyNj", sramEnergyNj());
+}
+
+void
+StreamCacheController::registerMetrics(MetricRegistry& registry)
+{
+    registry.registerCounter("cache.hits",
+                             [this] { return double(cacheHits()); });
+    registry.registerCounter("cache.misses",
+                             [this] { return double(cacheMisses()); });
+    registry.registerCounter("cache.uncached", [this] {
+        return double(uncachedStreamAccesses());
+    });
+    registry.registerCounter("cache.bypasses",
+                             [this] { return double(bypasses()); });
+    registry.registerCounter("cache.writeExceptions", [this] {
+        return double(writeExceptions());
+    });
+    registry.registerCounter("cache.slbMisses",
+                             [this] { return double(slbMissTotal()); });
+    registry.registerCounter("cache.invalidatedRows",
+                             [this] { return double(invalidatedRows_); });
+    registry.registerCounter("cache.survivedRows",
+                             [this] { return double(survivedRows_); });
+    registry.registerCounter("cache.degraded.failedUnitRedirects", [this] {
+        return double(failedUnitRedirects());
+    });
+    registry.registerCounter("cache.degraded.dramFaultRefetches", [this] {
+        return double(dramFaultRefetches());
+    });
+    registry.registerCounter("cache.degraded.poisonEscalations", [this] {
+        return double(poisonEscalations());
+    });
+    registry.registerCounter("cache.dramCacheEnergyNj",
+                             [this] { return dramCacheEnergyNj(); });
+    registry.registerCounter("cache.sramEnergyNj",
+                             [this] { return sramEnergyNj(); });
+    // Per-stream hit/miss series feed ndpext_report's per-stream hit-rate
+    // table. Streams must be configured before metrics registration.
+    for (const StreamConfig& cfg : streams_.all()) {
+        const StreamId sid = cfg.sid;
+        std::string base = "cache.stream.";
+        base += std::to_string(sid);
+        registry.registerCounter(base + ".hits", [this, sid] {
+            return double(streamHits(sid));
+        });
+        registry.registerCounter(base + ".misses", [this, sid] {
+            return double(streamMisses(sid));
+        });
+    }
 }
 
 } // namespace ndpext

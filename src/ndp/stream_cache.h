@@ -273,6 +273,9 @@ class StreamCacheController : public MemObject
 
     void report(StatGroup& stats, const std::string& prefix) const;
 
+    /** Registers "cache.*" series, including per-stream hits/misses. */
+    void registerMetrics(MetricRegistry& registry) override;
+
   protected:
     MemPort* getPort(const std::string& port_name) override
     {

@@ -1,5 +1,7 @@
 #include "noc/noc_model.h"
 
+#include "telemetry/metric_registry.h"
+
 #include <algorithm>
 
 #include "common/logging.h"
@@ -107,6 +109,8 @@ NocModel::transfer(UnitId src, UnitId dst, std::uint32_t bytes, Cycles now)
             * static_cast<double>(hops.intra)
         + bits * params_.interPjPerBit * 1e-3
             * static_cast<double>(hops.inter);
+    intraHopBytes_ += static_cast<std::uint64_t>(bytes) * hops.intra;
+    interHopBytes_ += static_cast<std::uint64_t>(bytes) * hops.inter;
     ++transfers_;
     totalCycles_ += res.done - now;
     return res;
@@ -137,6 +141,8 @@ NocModel::transferUnitPortal(UnitId unit, StackId portal_stack,
     energyNj_ += bits * params_.intraPjPerBit * 1e-3
             * static_cast<double>(intra)
         + bits * params_.interPjPerBit * 1e-3 * static_cast<double>(inter);
+    intraHopBytes_ += static_cast<std::uint64_t>(bytes) * intra;
+    interHopBytes_ += static_cast<std::uint64_t>(bytes) * inter;
     ++transfers_;
     totalCycles_ += res.done - now;
     return res;
@@ -186,6 +192,34 @@ NocModel::report(StatGroup& stats, const std::string& prefix) const
     }
     stats.add(prefix + ".linkReservations", reservations);
     stats.add(prefix + ".linkQueueCycles", queue_cycles);
+    stats.add(prefix + ".intraHopBytes",
+              static_cast<double>(intraHopBytes_));
+    stats.add(prefix + ".interHopBytes",
+              static_cast<double>(interHopBytes_));
+}
+
+void
+NocModel::registerMetrics(MetricRegistry& registry)
+{
+    registry.registerCounter("noc.transfers",
+                             [this] { return double(transfers_); });
+    registry.registerCounter("noc.totalCycles",
+                             [this] { return double(totalCycles_); });
+    registry.registerCounter("noc.intraHopBytes",
+                             [this] { return double(intraHopBytes_); });
+    registry.registerCounter("noc.interHopBytes",
+                             [this] { return double(interHopBytes_); });
+    registry.registerCounter("noc.energyNj",
+                             [this] { return energyNj_; });
+    registry.registerCounter("noc.linkQueueCycles", [this] {
+        double queue_cycles = 0.0;
+        for (const auto& stack_links : links_) {
+            for (const auto& link : stack_links) {
+                queue_cycles += double(link.totalQueueCycles());
+            }
+        }
+        return queue_cycles;
+    });
 }
 
 void
@@ -199,6 +233,8 @@ NocModel::reset()
     energyNj_ = 0.0;
     transfers_ = 0;
     totalCycles_ = 0;
+    intraHopBytes_ = 0;
+    interHopBytes_ = 0;
 }
 
 } // namespace ndpext

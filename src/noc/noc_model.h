@@ -93,9 +93,15 @@ class NocModel : public MemObject
     std::uint64_t transfers() const { return transfers_; }
     /** Sum over transfers of (arrival - request) cycles. */
     Cycles totalTransferCycles() const { return totalCycles_; }
+    /** Bytes moved, weighted by hops of each link class (bandwidth). */
+    std::uint64_t intraHopBytes() const { return intraHopBytes_; }
+    std::uint64_t interHopBytes() const { return interHopBytes_; }
 
     void report(StatGroup& stats, const std::string& prefix) const;
     void reset();
+
+    /** Registers "noc.*" series (shard clones sum into one series). */
+    void registerMetrics(MetricRegistry& registry) override;
 
   protected:
     MemPort* getPort(const std::string& port_name) override
@@ -140,6 +146,8 @@ class NocModel : public MemObject
     double energyNj_ = 0.0;
     std::uint64_t transfers_ = 0;
     Cycles totalCycles_ = 0;
+    std::uint64_t intraHopBytes_ = 0;
+    std::uint64_t interHopBytes_ = 0;
 };
 
 } // namespace ndpext

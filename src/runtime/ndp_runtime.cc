@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "runtime/static_config.h"
+#include "telemetry/telemetry.h"
 
 namespace ndpext {
 
@@ -144,6 +145,7 @@ NdpRuntime::assignSamplers(bool first_epoch)
     lastAssignMicros_ = microsSince(t0);
     covered_ += assignment.covered;
     pendingUncovered_ = assignment.uncovered;
+    lastAssignment_ = assignment;
 
     for (UnitId u = 0; u < num_units; ++u) {
         std::vector<std::pair<StreamId, std::uint32_t>> slots;
@@ -269,10 +271,57 @@ NdpRuntime::start()
         demands.push_back(std::move(d));
     }
     if (!demands.empty()) {
-        cache_.applyConfiguration(configurator_->configure(demands));
+        auto config = configurator_->configure(demands);
+        cache_.applyConfiguration(config);
         configuredOnce_ = !configurator_->reconfigures();
         ++reconfigs_;
+        recordDecision("initial", 0, demands, config, /*applied=*/true);
     }
+}
+
+void
+NdpRuntime::recordDecision(
+    const char* kind, Cycles now,
+    const std::vector<StreamDemand>& demands,
+    const std::vector<std::pair<StreamId, StreamAlloc>>& config,
+    bool applied)
+{
+    if (telemetry_ == nullptr) {
+        return;
+    }
+    DecisionRecord rec;
+    rec.kind = kind;
+    rec.epoch = epochIndex_;
+    rec.cycles = now;
+    rec.demands.reserve(demands.size());
+    for (const StreamDemand& d : demands) {
+        DecisionRecord::Demand out;
+        out.sid = d.sid;
+        out.footprintBytes = d.footprintBytes;
+        out.granuleBytes = d.granuleBytes;
+        out.readOnly = d.readOnly;
+        out.affine = d.affine;
+        out.accUnits = d.accUnits;
+        out.accCounts = d.accCounts;
+        out.curveCapacities = d.curve.capacities();
+        out.curveMisses = d.curve.misses();
+        rec.demands.push_back(std::move(out));
+    }
+    rec.samplerAssignment = lastAssignment_.perUnit;
+    rec.uncoveredStreams = lastAssignment_.uncovered;
+    rec.iterations = configurator_->lastIterations();
+    rec.extends = configurator_->lastExtends();
+    rec.merges = configurator_->lastMerges();
+    rec.allocs.reserve(config.size());
+    for (const auto& [sid, alloc] : config) {
+        DecisionRecord::Alloc out;
+        out.sid = sid;
+        out.shareRows = alloc.shareRows;
+        out.numGroups = alloc.numGroups;
+        rec.allocs.push_back(std::move(out));
+    }
+    rec.applied = applied;
+    telemetry_->decisions().add(std::move(rec));
 }
 
 void
@@ -316,17 +365,28 @@ NdpRuntime::emergencyReconfigure()
     cache_.applyConfiguration(config);
     ++reconfigs_;
     ++emergencyReconfigs_;
+    recordDecision("emergency", lastNow_, demands, config,
+                   /*applied=*/true);
+    if (telemetry_ != nullptr) {
+        std::string args = "{\"streams\":";
+        args += std::to_string(config.size());
+        args += '}';
+        telemetry_->trace().instant("runtime", "emergencyReconfig",
+                                    TraceWriter::kPidRuntime, 0, lastNow_,
+                                    args);
+    }
 }
 
 void
-NdpRuntime::onUnitFailure(UnitId unit)
+NdpRuntime::onUnitFailure(UnitId unit, Cycles now)
 {
-    onUnitFailures({unit});
+    onUnitFailures({unit}, now);
 }
 
 void
-NdpRuntime::onUnitFailures(const std::vector<UnitId>& units)
+NdpRuntime::onUnitFailures(const std::vector<UnitId>& units, Cycles now)
 {
+    lastNow_ = std::max(lastNow_, now);
     if (unitFailed_.size() < cache_.numUnits()) {
         unitFailed_.resize(cache_.numUnits(), false);
     }
@@ -341,6 +401,14 @@ NdpRuntime::onUnitFailures(const std::vector<UnitId>& units)
         any_new = true;
         // Degrade the hardware first so redirects are live immediately.
         cache_.onUnitFailed(unit);
+        if (telemetry_ != nullptr) {
+            std::string args = "{\"unit\":";
+            args += std::to_string(unit);
+            args += '}';
+            telemetry_->trace().instant("fault", "unitFailure",
+                                        TraceWriter::kPidRuntime, 0,
+                                        lastNow_, args);
+        }
     }
     if (!any_new) {
         return;
@@ -359,6 +427,8 @@ NdpRuntime::onUnitFailures(const std::vector<UnitId>& units)
 void
 NdpRuntime::onEpochEnd(Cycles now)
 {
+    ++epochIndex_;
+    lastNow_ = now;
     const bool adapt = configurator_->reconfigures()
         && (params_.method == RuntimeParams::Method::Full
             || (params_.method == RuntimeParams::Method::Partial
@@ -366,13 +436,18 @@ NdpRuntime::onEpochEnd(Cycles now)
             || (params_.method == RuntimeParams::Method::Static
                 && !configuredOnce_));
 
+    std::vector<StreamDemand> demands;
+    std::vector<std::pair<StreamId, StreamAlloc>> config;
+    bool decided = false;
+    bool applied = false;
     if (adapt) {
-        const auto demands = gatherDemands();
+        demands = gatherDemands();
         if (!demands.empty()) {
             const auto t0 = std::chrono::steady_clock::now();
-            auto config = configurator_->configure(demands);
+            config = configurator_->configure(demands);
             lastConfigMicros_ = microsSince(t0);
             stripFailedUnits(config);
+            decided = true;
             // Skip reconfigurations that barely move the allocation:
             // applying them would invalidate cached rows for no benefit
             // (stability guard; DESIGN.md 4.1).
@@ -394,6 +469,7 @@ NdpRuntime::onEpochEnd(Cycles now)
                 || changed_rows * 10 >= total_rows) {
                 cache_.applyConfiguration(config);
                 ++reconfigs_;
+                applied = true;
             } else {
                 ++skippedReconfigs_;
             }
@@ -406,6 +482,38 @@ NdpRuntime::onEpochEnd(Cycles now)
     for (UnitId u = 0; u < cache_.numUnits(); ++u) {
         cache_.samplerBank(u).newEpoch();
     }
+
+    // Record after assignSamplers so the decision carries the *next*
+    // epoch's sampler coverage alongside this epoch's configuration.
+    if (decided) {
+        recordDecision("epoch", now, demands, config, applied);
+        if (telemetry_ != nullptr) {
+            std::string args = "{\"streams\":";
+            args += std::to_string(config.size());
+            args += '}';
+            telemetry_->trace().instant(
+                "runtime", applied ? "reconfig" : "reconfigSkipped",
+                TraceWriter::kPidRuntime, 0, now, args);
+        }
+    }
+}
+
+void
+NdpRuntime::registerMetrics(MetricRegistry& registry)
+{
+    registry.registerCounter("runtime.reconfigurations",
+                             [this] { return double(reconfigs_); });
+    registry.registerCounter("runtime.skippedReconfigurations", [this] {
+        return double(skippedReconfigs_);
+    });
+    registry.registerCounter("runtime.streamsCovered",
+                             [this] { return double(covered_); });
+    registry.registerCounter("runtime.degraded.emergencyReconfigs", [this] {
+        return double(emergencyReconfigs_);
+    });
+    registry.registerCounter("runtime.degraded.failedUnits", [this] {
+        return double(failedUnitCount_);
+    });
 }
 
 void

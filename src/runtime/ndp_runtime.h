@@ -33,6 +33,8 @@
 
 namespace ndpext {
 
+class Telemetry;
+
 /** Strategy that turns profiled demands into a cache configuration. */
 class Configurator
 {
@@ -44,6 +46,11 @@ class Configurator
 
     /** False for one-shot (static) policies. */
     virtual bool reconfigures() const { return true; }
+
+    /** Work counters of the last configure() (0 for non-NDPExt). */
+    virtual std::uint64_t lastIterations() const { return 0; }
+    virtual std::uint64_t lastExtends() const { return 0; }
+    virtual std::uint64_t lastMerges() const { return 0; }
 
     /**
      * Unit-health update (degraded mode): `failed[u]` marks unit u dead.
@@ -80,6 +87,19 @@ class NdpExtConfigurator : public Configurator
     }
 
     std::string name() const override { return "ndpext"; }
+
+    std::uint64_t lastIterations() const override
+    {
+        return algo_.lastIterations();
+    }
+    std::uint64_t lastExtends() const override
+    {
+        return algo_.lastExtends();
+    }
+    std::uint64_t lastMerges() const override
+    {
+        return algo_.lastMerges();
+    }
 
     ConfigAlgorithm& algorithm() { return algo_; }
 
@@ -155,15 +175,16 @@ class NdpRuntime
      * every stream around the dead unit. Static policies stay degraded
      * (their accesses to the dead slice redirect to extended memory
      * forever -- the headline gap in bench_fault_degradation).
+     * `now` (when known) timestamps the telemetry decision record.
      */
-    void onUnitFailure(UnitId unit);
+    void onUnitFailure(UnitId unit, Cycles now = 0);
 
     /**
      * Batch variant: units that fail at the same cycle (e.g., a whole
      * stack dying) degrade together and trigger a *single* emergency
      * reconfiguration instead of one per unit.
      */
-    void onUnitFailures(const std::vector<UnitId>& units);
+    void onUnitFailures(const std::vector<UnitId>& units, Cycles now = 0);
 
     /** Per-unit health bitmap (true = failed). */
     const std::vector<bool>& unitHealth() const { return unitFailed_; }
@@ -171,6 +192,18 @@ class NdpRuntime
     {
         return unit < unitFailed_.size() && unitFailed_[unit];
     }
+
+    /**
+     * Attach (or detach with nullptr) the telemetry sink. Every
+     * configuration decision -- initial, per-epoch, emergency -- is then
+     * captured in its decision log, and reconfiguration/failure instants
+     * land in its trace. Observer-only: decisions are identical with
+     * telemetry on or off.
+     */
+    void setTelemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
+
+    /** Registers "runtime.*" series into the epoch time-series registry. */
+    void registerMetrics(MetricRegistry& registry);
 
     const RuntimeParams& params() const { return params_; }
     std::uint64_t reconfigurations() const { return reconfigs_; }
@@ -214,6 +247,13 @@ class NdpRuntime
     void stripFailedUnits(
         std::vector<std::pair<StreamId, StreamAlloc>>& config) const;
 
+    /** Capture one configuration decision into the telemetry sink. */
+    void recordDecision(
+        const char* kind, Cycles now,
+        const std::vector<StreamDemand>& demands,
+        const std::vector<std::pair<StreamId, StreamAlloc>>& config,
+        bool applied);
+
     RuntimeParams params_;
     StreamCacheController& cache_;
     std::unique_ptr<Configurator> configurator_;
@@ -223,6 +263,14 @@ class NdpRuntime
     std::map<StreamId, MissCurve> lastRateCurves_;
     /** Streams the last assignment could not cover (rotated in next). */
     std::vector<StreamId> pendingUncovered_;
+
+    Telemetry* telemetry_ = nullptr;
+    /** Epoch counter for decision records (0 = initial config). */
+    std::uint64_t epochIndex_ = 0;
+    /** Last sim time seen (epoch boundary); stamps emergency records. */
+    Cycles lastNow_ = 0;
+    /** Last max-flow sampler assignment (for the decision log). */
+    SamplerAssignment lastAssignment_;
 
     /** Health bitmap: unitFailed_[u] is true once unit u died. */
     std::vector<bool> unitFailed_;

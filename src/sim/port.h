@@ -25,6 +25,8 @@
 
 namespace ndpext {
 
+class MetricRegistry; // telemetry/metric_registry.h
+
 /** Response side of a connection: services packets atomically. */
 class MemPort
 {
@@ -87,6 +89,17 @@ class MemObject
         NDP_ASSERT(p != nullptr, "object ", name_, " has no port '",
                    port_name, "'");
         return *p;
+    }
+
+    /**
+     * Register this object's observable counters/gauges into a telemetry
+     * MetricRegistry (pull-mode; observer-only -- see telemetry.h). The
+     * default registers nothing. Shard-cloned objects registering under
+     * the same names are summed by the registry.
+     */
+    virtual void registerMetrics(MetricRegistry& registry)
+    {
+        (void)registry;
     }
 
   protected:

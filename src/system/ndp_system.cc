@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "runtime/static_config.h"
 #include "sim/sharded_executor.h"
+#include "telemetry/telemetry.h"
 
 namespace ndpext {
 
@@ -73,6 +74,13 @@ struct Shard
                         std::greater<HeapItem>>
         ready;
     Cycles finish = 0;
+    /**
+     * Highest cycle any of this shard's cores reached (shard-private,
+     * updated on the shard's own thread): the telemetry execute /
+     * barrier-wait split at each barrier. Simulated time, so the split
+     * is identical for any --threads value.
+     */
+    Cycles busyUntil = 0;
 };
 
 } // namespace
@@ -164,6 +172,34 @@ NdpSystem::run(const Workload& workload)
         shards[topo.stackOf(c)].ready.emplace(cores[c].now(), c);
     }
 
+    // --- telemetry: register every component's series and hand the
+    // cores their shard-private sample buffers. Registration must finish
+    // before the first sample; shard-clone NoC/CXL models register the
+    // same names and the registry sums them into one series.
+    if (telemetry_ != nullptr) {
+        MetricRegistry& mr = telemetry_->metrics();
+        cache.registerMetrics(mr);
+        for (auto& core : cores) {
+            core.registerMetrics(mr);
+        }
+        for (auto& sh : shards) {
+            sh.noc->registerMetrics(mr);
+            sh.ext->registerMetrics(mr);
+        }
+        runtime.registerMetrics(mr);
+        runtime.setTelemetry(telemetry_);
+        telemetry_->initPacketSampling(n);
+        for (CoreId c = 0; c < n; ++c) {
+            cores[c].setTelemetrySink(telemetry_->packetBuffer(c));
+        }
+        for (std::uint32_t s = 0; s < numShards; ++s) {
+            std::string tname = "shard";
+            tname += std::to_string(s);
+            telemetry_->trace().threadName(TraceWriter::kPidShards, s,
+                                           tname);
+        }
+    }
+
     runtime.start();
 
     // --- barrier loop: shards advance in parallel to the next global
@@ -177,6 +213,9 @@ NdpSystem::run(const Workload& workload)
     Cycles next_epoch = cfg_.runtime.epochCycles;
     Cycles next_failure =
         fault != nullptr ? fault->nextFailureAt() : FaultInjector::kNoFailure;
+    Cycles interval_start = 0;
+    Cycles epoch_start = 0;
+    std::uint64_t epoch_idx = 0;
     for (;;) {
         const Cycles sync = std::min(next_epoch, next_failure);
         exec.forEachShard(numShards, [&](std::uint32_t s) {
@@ -189,6 +228,7 @@ NdpSystem::run(const Workload& workload)
                 } else {
                     sh.finish = std::max(sh.finish, cores[c].now());
                 }
+                sh.busyUntil = std::max(sh.busyUntil, cores[c].now());
             }
         });
         cache.applyDeferredWriteExceptions();
@@ -197,14 +237,51 @@ NdpSystem::run(const Workload& workload)
         for (const Shard& sh : shards) {
             active = active || !sh.ready.empty();
         }
+
+        // Barrier-side telemetry: drain shard-private packet samples in
+        // core-id order and split each shard's interval into execute /
+        // barrier-wait (simulated-time imbalance, thread-count blind).
+        if (telemetry_ != nullptr) {
+            telemetry_->drainPacketSamples();
+            TraceWriter& tw = telemetry_->trace();
+            for (std::uint32_t s = 0; s < numShards; ++s) {
+                const Cycles busy = std::max(
+                    interval_start, std::min(shards[s].busyUntil, sync));
+                if (busy > interval_start) {
+                    tw.completeSpan("shard", "execute",
+                                    TraceWriter::kPidShards, s,
+                                    interval_start, busy - interval_start);
+                }
+                if (active && sync > busy) {
+                    tw.completeSpan("shard", "barrier_wait",
+                                    TraceWriter::kPidShards, s, busy,
+                                    sync - busy);
+                }
+            }
+            interval_start = sync;
+        }
+
         if (!active) {
             break;
         }
         if (next_failure <= next_epoch) {
             // Failures fire before a coinciding epoch boundary.
-            runtime.onUnitFailures(fault->popFailuresUpTo(next_failure));
+            runtime.onUnitFailures(fault->popFailuresUpTo(next_failure),
+                                   next_failure);
             next_failure = fault->nextFailureAt();
         } else {
+            if (telemetry_ != nullptr) {
+                // Snapshot before onEpochEnd clears the sampler counters.
+                telemetry_->sampleEpoch(epoch_idx, next_epoch);
+                std::string args = "{\"epoch\":";
+                args += std::to_string(epoch_idx);
+                args += '}';
+                telemetry_->trace().completeSpan(
+                    "epoch", "epoch", TraceWriter::kPidRuntime, 0,
+                    epoch_start, next_epoch - epoch_start, args);
+                epoch_start = next_epoch;
+                ++epoch_idx;
+            }
             runtime.onEpochEnd(next_epoch);
             next_epoch += cfg_.runtime.epochCycles;
         }
@@ -212,6 +289,18 @@ NdpSystem::run(const Workload& workload)
     Cycles finish = 0;
     for (const Shard& sh : shards) {
         finish = std::max(finish, sh.finish);
+    }
+    // Final partial epoch: one last metric sample + epoch span.
+    if (telemetry_ != nullptr) {
+        telemetry_->sampleEpoch(epoch_idx, finish);
+        if (finish > epoch_start) {
+            std::string args = "{\"epoch\":";
+            args += std::to_string(epoch_idx);
+            args += '}';
+            telemetry_->trace().completeSpan(
+                "epoch", "epoch", TraceWriter::kPidRuntime, 0, epoch_start,
+                finish - epoch_start, args);
+        }
     }
 
     // --- collect results (sums over shard-private models) ---

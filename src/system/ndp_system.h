@@ -20,6 +20,8 @@
 
 namespace ndpext {
 
+class Telemetry;
+
 struct EnergyBreakdown
 {
     double staticNj = 0.0;
@@ -110,12 +112,23 @@ class NdpSystem
      */
     RunResult run(const Workload& workload);
 
+    /**
+     * Attach (or detach with nullptr) a telemetry sink before run().
+     * The system registers every component's metric series, samples them
+     * at epoch barriers, records epoch/shard spans and packet slices in
+     * the trace, and feeds the runtime's decision log. Observer-only:
+     * the RunResult is bit-identical with telemetry attached or not
+     * (DESIGN.md §6). The caller owns the Telemetry and writes it out.
+     */
+    void attachTelemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
+
     const SystemConfig& config() const { return cfg_; }
     PolicyKind policy() const { return policy_; }
 
   private:
     SystemConfig cfg_;
     PolicyKind policy_;
+    Telemetry* telemetry_ = nullptr;
     bool used_ = false;
 };
 

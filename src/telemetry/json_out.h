@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tiny JSON *output* helpers shared by the telemetry writers. Numbers are
+ * printed with %.17g (round-trippable doubles, integers stay integral) and
+ * NaN/Inf -- which JSON cannot represent -- degrade to 0/±1e308 so every
+ * emitted file always parses.
+ */
+
+#ifndef NDPEXT_TELEMETRY_JSON_OUT_H
+#define NDPEXT_TELEMETRY_JSON_OUT_H
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace ndpext {
+namespace jsonout {
+
+inline std::string
+num(double v)
+{
+    if (std::isnan(v)) {
+        return "0";
+    }
+    if (std::isinf(v)) {
+        return v > 0 ? "1e308" : "-1e308";
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+inline std::string
+escape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+inline std::string
+str(const std::string& s)
+{
+    // Built by append, not operator+: the `"lit" + std::string&&` form
+    // trips GCC 12's -Wrestrict false positive under -Werror.
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    out += escape(s);
+    out.push_back('"');
+    return out;
+}
+
+} // namespace jsonout
+} // namespace ndpext
+
+#endif // NDPEXT_TELEMETRY_JSON_OUT_H

@@ -1,0 +1,134 @@
+#include "telemetry/metric_registry.h"
+
+#include "common/logging.h"
+#include "telemetry/json_out.h"
+
+namespace ndpext {
+
+MetricRegistry::MetricRegistry(std::size_t ring_capacity)
+    : capacity_(ring_capacity)
+{
+    NDP_ASSERT(ring_capacity > 0);
+}
+
+void
+MetricRegistry::registerMetric(const std::string& name, MetricKind kind,
+                               std::function<double()> read)
+{
+    NDP_ASSERT(read != nullptr, "metric ", name, " has no reader");
+    NDP_ASSERT(ring_.empty(),
+               "metric ", name, " registered after the first sample()");
+    const auto it = index_.find(name);
+    if (it != index_.end()) {
+        NDP_ASSERT(metrics_[it->second].kind == kind,
+                   "metric ", name, " re-registered with a different kind");
+        metrics_[it->second].sources.push_back(std::move(read));
+        return;
+    }
+    index_.emplace(name, metrics_.size());
+    Metric m;
+    m.name = name;
+    m.kind = kind;
+    m.sources.push_back(std::move(read));
+    metrics_.push_back(std::move(m));
+}
+
+void
+MetricRegistry::registerCounter(const std::string& name,
+                                std::function<double()> read)
+{
+    registerMetric(name, MetricKind::Counter, std::move(read));
+}
+
+void
+MetricRegistry::registerGauge(const std::string& name,
+                              std::function<double()> read)
+{
+    registerMetric(name, MetricKind::Gauge, std::move(read));
+}
+
+void
+MetricRegistry::registerHistogram(const std::string& name,
+                                  const Histogram* hist)
+{
+    NDP_ASSERT(hist != nullptr, "histogram ", name, " is null");
+    hists_.push_back({name, hist});
+}
+
+void
+MetricRegistry::sample(std::uint64_t epoch, Cycles cycles)
+{
+    EpochSample s;
+    s.epoch = epoch;
+    s.cycles = cycles;
+    s.values.reserve(metrics_.size());
+    for (const Metric& m : metrics_) {
+        double v = 0.0;
+        for (const auto& src : m.sources) {
+            v += src();
+        }
+        s.values.push_back(v);
+    }
+    s.hists.reserve(hists_.size());
+    for (const HistEntry& h : hists_) {
+        EpochSample::HistSnapshot snap;
+        snap.count = h.hist->count();
+        snap.mean = h.hist->mean();
+        snap.p50 = h.hist->percentile(0.5);
+        snap.p99 = h.hist->percentile(0.99);
+        snap.max = h.hist->maxValue();
+        s.hists.push_back(snap);
+    }
+    if (ring_.size() == capacity_) {
+        ring_.pop_front();
+        ++dropped_;
+    }
+    ring_.push_back(std::move(s));
+}
+
+double
+MetricRegistry::latest(const std::string& name) const
+{
+    const auto it = index_.find(name);
+    if (it == index_.end() || ring_.empty()) {
+        return 0.0;
+    }
+    return ring_.back().values[it->second];
+}
+
+void
+MetricRegistry::writeJsonl(std::ostream& os) const
+{
+    for (const EpochSample& s : ring_) {
+        os << "{\"epoch\":" << s.epoch << ",\"cycles\":" << s.cycles
+           << ",\"metrics\":{";
+        bool first = true;
+        for (std::size_t i = 0; i < metrics_.size(); ++i) {
+            if (!first) {
+                os << ",";
+            }
+            first = false;
+            os << jsonout::str(metrics_[i].name) << ":"
+               << jsonout::num(s.values[i]);
+        }
+        os << "}";
+        if (!s.hists.empty()) {
+            os << ",\"histograms\":{";
+            for (std::size_t i = 0; i < hists_.size(); ++i) {
+                if (i > 0) {
+                    os << ",";
+                }
+                const auto& h = s.hists[i];
+                os << jsonout::str(hists_[i].name) << ":{\"count\":"
+                   << h.count << ",\"mean\":" << jsonout::num(h.mean)
+                   << ",\"p50\":" << jsonout::num(h.p50)
+                   << ",\"p99\":" << jsonout::num(h.p99)
+                   << ",\"max\":" << jsonout::num(h.max) << "}";
+            }
+            os << "}";
+        }
+        os << "}\n";
+    }
+}
+
+} // namespace ndpext

@@ -1,0 +1,122 @@
+#include "telemetry/telemetry.h"
+
+#include <fstream>
+
+#include "common/logging.h"
+#include "telemetry/json_out.h"
+
+namespace ndpext {
+
+Telemetry::Telemetry(const TelemetryConfig& config)
+    : cfg_(config), metrics_(config.ringCapacity),
+      latencyHist_(config.latencyHistMax, config.latencyHistBuckets)
+{
+    trace_.processName(TraceWriter::kPidRuntime, "runtime");
+    trace_.processName(TraceWriter::kPidShards, "shards");
+    trace_.processName(TraceWriter::kPidPackets, "packets");
+    metrics_.registerHistogram("telemetry.packetLatency", &latencyHist_);
+    metrics_.registerCounter("telemetry.packetSamples", [this] {
+        return static_cast<double>(drained_.size());
+    });
+}
+
+void
+Telemetry::initPacketSampling(std::uint32_t num_cores)
+{
+    NDP_ASSERT(buffers_.empty(), "packet sampling initialized twice");
+    if (cfg_.packetSampleEvery == 0) {
+        return;
+    }
+    buffers_.reserve(num_cores);
+    for (std::uint32_t c = 0; c < num_cores; ++c) {
+        auto buf = std::make_unique<PacketSampleBuffer>();
+        buf->every = cfg_.packetSampleEvery;
+        buffers_.push_back(std::move(buf));
+    }
+    drainedUpTo_.assign(num_cores, 0);
+}
+
+PacketSampleBuffer*
+Telemetry::packetBuffer(CoreId c)
+{
+    return c < buffers_.size() ? buffers_[c].get() : nullptr;
+}
+
+void
+Telemetry::emitPacketTrace(const PacketSample& s)
+{
+    const std::string name = s.sid == kNoStream
+        ? std::string("pkt")
+        : "pkt s" + std::to_string(s.sid);
+    trace_.completeSpan("packet", name, TraceWriter::kPidPackets, s.core,
+                        s.start, s.total(),
+                        "{\"sid\":" + std::to_string(s.sid) + "}");
+    // Stage slices stack under the parent by enclosure: sequential
+    // children in LatencyBreakdown bucket order.
+    Cycles t = s.start;
+    const std::pair<const char*, Cycles> stages[] = {
+        {"metadata", s.metadata}, {"icnIntra", s.icnIntra},
+        {"icnInter", s.icnInter}, {"dramCache", s.dramCache},
+        {"extMem", s.extMem},
+    };
+    for (const auto& [stage, dur] : stages) {
+        if (dur == 0) {
+            continue;
+        }
+        trace_.completeSpan("packet", stage, TraceWriter::kPidPackets,
+                            s.core, t, dur);
+        t += dur;
+    }
+}
+
+void
+Telemetry::drainPacketSamples()
+{
+    for (std::size_t c = 0; c < buffers_.size(); ++c) {
+        const auto& samples = buffers_[c]->samples;
+        for (std::size_t i = drainedUpTo_[c]; i < samples.size(); ++i) {
+            const PacketSample& s = samples[i];
+            latencyHist_.add(static_cast<double>(s.total()));
+            emitPacketTrace(s);
+            drained_.push_back(s);
+        }
+        drainedUpTo_[c] = samples.size();
+    }
+}
+
+void
+Telemetry::sampleEpoch(std::uint64_t epoch, Cycles cycles)
+{
+    metrics_.sample(epoch, cycles);
+}
+
+bool
+Telemetry::writeAll(std::string* error)
+{
+    if (cfg_.outPrefix.empty()) {
+        return true;
+    }
+    const auto writeTo = [&](const std::string& suffix,
+                             const auto& writer) -> bool {
+        const std::string path = cfg_.outPrefix + suffix;
+        std::ofstream out(path);
+        if (out) {
+            writer(out);
+        }
+        if (!out) {
+            if (error != nullptr) {
+                *error = "cannot write telemetry file '" + path + "'";
+            }
+            return false;
+        }
+        return true;
+    };
+    return writeTo(".metrics.jsonl",
+                   [this](std::ostream& os) { metrics_.writeJsonl(os); })
+        && writeTo(".trace.json",
+                   [this](std::ostream& os) { trace_.write(os); })
+        && writeTo(".decisions.jsonl",
+                   [this](std::ostream& os) { decisions_.writeJsonl(os); });
+}
+
+} // namespace ndpext

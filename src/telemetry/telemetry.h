@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Telemetry facade: one object owning the three observability sinks --
+ * the MetricRegistry (epoch time-series), the TraceWriter (Perfetto
+ * trace), and the DecisionLog (runtime-decision replay) -- plus the
+ * per-core packet-sample buffers the cores fill on their shard threads.
+ *
+ * Contract (DESIGN.md §6): telemetry is OBSERVER-ONLY. Attaching it must
+ * never change a RunResult: metrics are pull-mode reads taken at epoch
+ * barriers on the main thread; packet samples are copies of completed
+ * packets into shard-private (per-core) buffers drained at barriers in
+ * core-id order; decisions are recorded on the main thread. Nothing here
+ * feeds back into timing, placement, or RNG state, so test_sharding's
+ * bit-identical guarantee holds with telemetry on or off at any
+ * --threads value.
+ *
+ * Zero-cost when disabled: components hold a null Telemetry pointer by
+ * default and every hook is a single pointer test on a path that already
+ * performs a DRAM access (null-sink fast path). The only per-access hook
+ * is the core's L1-miss sampler; everything else runs at epoch barriers.
+ */
+
+#ifndef NDPEXT_TELEMETRY_TELEMETRY_H
+#define NDPEXT_TELEMETRY_TELEMETRY_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/types.h"
+#include "telemetry/decision_log.h"
+#include "telemetry/metric_registry.h"
+#include "telemetry/trace_writer.h"
+
+namespace ndpext {
+
+struct TelemetryConfig
+{
+    /**
+     * Output path prefix; writeAll() emits <prefix>.metrics.jsonl,
+     * <prefix>.trace.json and <prefix>.decisions.jsonl. Empty = collect
+     * in memory only (tests; determinism cross-checks).
+     */
+    std::string outPrefix;
+    /** Sample every Nth L1 miss per core into the trace (0 = off). */
+    std::uint64_t packetSampleEvery = 64;
+    /** Epoch ring-buffer capacity (oldest epochs drop beyond this). */
+    std::size_t ringCapacity = 4096;
+    /** Packet-latency histogram range in cycles (overflow bin beyond). */
+    double latencyHistMax = 20000.0;
+    std::size_t latencyHistBuckets = 200;
+};
+
+/** One sampled memory request, reconstructed from its LatencyBreakdown. */
+struct PacketSample
+{
+    CoreId core = 0;
+    StreamId sid = 0;
+    /** Issue cycle at the core (span start in the trace). */
+    Cycles start = 0;
+    /** Stage cycles, same buckets as LatencyBreakdown. */
+    Cycles metadata = 0;
+    Cycles icnIntra = 0;
+    Cycles icnInter = 0;
+    Cycles dramCache = 0;
+    Cycles extMem = 0;
+
+    Cycles
+    total() const
+    {
+        return metadata + icnIntra + icnInter + dramCache + extMem;
+    }
+};
+
+/**
+ * Shard-private sample sink handed to one core. The core calls tick()
+ * once per L1 miss and record() when tick() said so; the main thread
+ * drains at barriers (no core runs across a barrier).
+ */
+struct PacketSampleBuffer
+{
+    std::uint64_t every = 0;
+    std::uint64_t seen = 0;
+    std::vector<PacketSample> samples;
+
+    /** True if the current miss should be recorded. */
+    bool
+    tick()
+    {
+        return every != 0 && (seen++ % every) == 0;
+    }
+
+    void record(PacketSample s) { samples.push_back(s); }
+};
+
+class Telemetry
+{
+  public:
+    explicit Telemetry(const TelemetryConfig& config);
+
+    Telemetry(const Telemetry&) = delete;
+    Telemetry& operator=(const Telemetry&) = delete;
+
+    const TelemetryConfig& config() const { return cfg_; }
+
+    MetricRegistry& metrics() { return metrics_; }
+    TraceWriter& trace() { return trace_; }
+    DecisionLog& decisions() { return decisions_; }
+    const MetricRegistry& metrics() const { return metrics_; }
+    const TraceWriter& trace() const { return trace_; }
+    const DecisionLog& decisions() const { return decisions_; }
+
+    /** Create one sample buffer per core (before the run starts). */
+    void initPacketSampling(std::uint32_t num_cores);
+
+    /** The buffer core `c` writes into (null if sampling is off). */
+    PacketSampleBuffer* packetBuffer(CoreId c);
+
+    /**
+     * Barrier-side: move new per-core samples (since the last drain)
+     * into the trace and the epoch latency histogram, in core-id order.
+     */
+    void drainPacketSamples();
+
+    /** Every drained sample, for tests and the final trace flush. */
+    const std::vector<PacketSample>& drainedSamples() const
+    {
+        return drained_;
+    }
+
+    /** Cumulative latency histogram over drained samples. */
+    const Histogram& packetLatencyHist() const { return latencyHist_; }
+
+    /** Snapshot all metrics at an epoch barrier. */
+    void sampleEpoch(std::uint64_t epoch, Cycles cycles);
+
+    /**
+     * Write <prefix>.{metrics.jsonl, trace.json, decisions.jsonl}.
+     * No-op (returns true) when outPrefix is empty; returns false and
+     * fills `error` (if non-null) on the first I/O failure.
+     */
+    bool writeAll(std::string* error = nullptr);
+
+  private:
+    void emitPacketTrace(const PacketSample& s);
+
+    TelemetryConfig cfg_;
+    MetricRegistry metrics_;
+    TraceWriter trace_;
+    DecisionLog decisions_;
+    Histogram latencyHist_;
+    std::vector<std::unique_ptr<PacketSampleBuffer>> buffers_;
+    /** Per-core drain watermark into buffers_[c]->samples. */
+    std::vector<std::size_t> drainedUpTo_;
+    std::vector<PacketSample> drained_;
+};
+
+} // namespace ndpext
+
+#endif // NDPEXT_TELEMETRY_TELEMETRY_H

@@ -1,0 +1,357 @@
+#include "telemetry/tiny_json.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace ndpext {
+namespace json {
+
+const Value*
+Value::get(const std::string& key) const
+{
+    if (type != Type::Object) {
+        return nullptr;
+    }
+    for (const auto& [k, v] : object) {
+        if (k == key) {
+            return v.get();
+        }
+    }
+    return nullptr;
+}
+
+const Value*
+Value::require(const std::string& key, std::string* err) const
+{
+    const Value* v = get(key);
+    if (v == nullptr && err != nullptr && err->empty()) {
+        *err = "missing key '" + key + "'";
+    }
+    return v;
+}
+
+double
+Value::num(const std::string& key, double fallback) const
+{
+    const Value* v = get(key);
+    return v != nullptr && v->isNumber() ? v->number : fallback;
+}
+
+std::string
+Value::str(const std::string& key, const std::string& fallback) const
+{
+    const Value* v = get(key);
+    return v != nullptr && v->isString() ? v->string : fallback;
+}
+
+namespace {
+
+class Parser
+{
+  public:
+    Parser(const std::string& text, std::string* error)
+        : text_(text), error_(error)
+    {
+    }
+
+    ValuePtr
+    run()
+    {
+        ValuePtr v = parseValue();
+        if (v == nullptr) {
+            return nullptr;
+        }
+        skipWs();
+        if (pos_ != text_.size()) {
+            fail("trailing garbage");
+            return nullptr;
+        }
+        return v;
+    }
+
+  private:
+    void
+    fail(const std::string& what)
+    {
+        if (error_ != nullptr && error_->empty()) {
+            std::ostringstream oss;
+            oss << what << " at offset " << pos_;
+            *error_ = oss.str();
+        }
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()
+               && (text_[pos_] == ' ' || text_[pos_] == '\t'
+                   || text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char* word)
+    {
+        const std::size_t n = std::string(word).size();
+        if (text_.compare(pos_, n, word) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    ValuePtr
+    parseValue()
+    {
+        skipWs();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return nullptr;
+        }
+        const char c = text_[pos_];
+        switch (c) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return parseString();
+          case 't':
+          case 'f':
+          case 'n':
+            return parseKeyword();
+          default:
+            return parseNumber();
+        }
+    }
+
+    ValuePtr
+    parseKeyword()
+    {
+        auto v = std::make_shared<Value>();
+        if (literal("true")) {
+            v->type = Type::Bool;
+            v->boolean = true;
+        } else if (literal("false")) {
+            v->type = Type::Bool;
+            v->boolean = false;
+        } else if (literal("null")) {
+            v->type = Type::Null;
+        } else {
+            fail("bad keyword");
+            return nullptr;
+        }
+        return v;
+    }
+
+    ValuePtr
+    parseNumber()
+    {
+        const char* start = text_.c_str() + pos_;
+        char* end = nullptr;
+        const double d = std::strtod(start, &end);
+        if (end == start) {
+            fail("bad number");
+            return nullptr;
+        }
+        pos_ += static_cast<std::size_t>(end - start);
+        auto v = std::make_shared<Value>();
+        v->type = Type::Number;
+        v->number = d;
+        return v;
+    }
+
+    bool
+    parseStringInto(std::string& out)
+    {
+        if (!consume('"')) {
+            fail("expected string");
+            return false;
+        }
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"') {
+                return true;
+            }
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) {
+                break;
+            }
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size()) {
+                    fail("bad \\u escape");
+                    return false;
+                }
+                const std::string hex = text_.substr(pos_, 4);
+                pos_ += 4;
+                const long cp = std::strtol(hex.c_str(), nullptr, 16);
+                // Telemetry strings are ASCII; replace exotic code
+                // points instead of implementing full UTF-16 pairs.
+                out += cp < 0x80 ? static_cast<char>(cp) : '?';
+                break;
+              }
+              default:
+                fail("bad escape");
+                return false;
+            }
+        }
+        fail("unterminated string");
+        return false;
+    }
+
+    ValuePtr
+    parseString()
+    {
+        auto v = std::make_shared<Value>();
+        v->type = Type::String;
+        if (!parseStringInto(v->string)) {
+            return nullptr;
+        }
+        return v;
+    }
+
+    ValuePtr
+    parseArray()
+    {
+        consume('[');
+        auto v = std::make_shared<Value>();
+        v->type = Type::Array;
+        skipWs();
+        if (consume(']')) {
+            return v;
+        }
+        for (;;) {
+            ValuePtr item = parseValue();
+            if (item == nullptr) {
+                return nullptr;
+            }
+            v->array.push_back(std::move(item));
+            if (consume(',')) {
+                continue;
+            }
+            if (consume(']')) {
+                return v;
+            }
+            fail("expected ',' or ']'");
+            return nullptr;
+        }
+    }
+
+    ValuePtr
+    parseObject()
+    {
+        consume('{');
+        auto v = std::make_shared<Value>();
+        v->type = Type::Object;
+        skipWs();
+        if (consume('}')) {
+            return v;
+        }
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!parseStringInto(key)) {
+                return nullptr;
+            }
+            if (!consume(':')) {
+                fail("expected ':'");
+                return nullptr;
+            }
+            ValuePtr item = parseValue();
+            if (item == nullptr) {
+                return nullptr;
+            }
+            v->object.emplace_back(std::move(key), std::move(item));
+            if (consume(',')) {
+                continue;
+            }
+            if (consume('}')) {
+                return v;
+            }
+            fail("expected ',' or '}'");
+            return nullptr;
+        }
+    }
+
+    const std::string& text_;
+    std::string* error_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+ValuePtr
+parse(const std::string& text, std::string* error)
+{
+    return Parser(text, error).run();
+}
+
+bool
+parseLines(const std::string& text, std::vector<ValuePtr>& out,
+           std::string* error)
+{
+    std::istringstream in(text);
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.find_first_not_of(" \t\r") == std::string::npos) {
+            continue;
+        }
+        std::string err;
+        ValuePtr v = parse(line, &err);
+        if (v == nullptr) {
+            if (error != nullptr) {
+                *error = "line " + std::to_string(lineno) + ": " + err;
+            }
+            return false;
+        }
+        out.push_back(std::move(v));
+    }
+    return true;
+}
+
+} // namespace json
+} // namespace ndpext

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser for the telemetry consumers
+ * (tools/ndpext_report, the ctest schema check, tests). Parses the full
+ * JSON grammar into a small value tree; errors carry byte offsets. This
+ * is a reader for files *we* emit -- it favors simplicity over speed and
+ * keeps the repo free of external JSON dependencies.
+ */
+
+#ifndef NDPEXT_TELEMETRY_TINY_JSON_H
+#define NDPEXT_TELEMETRY_TINY_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ndpext {
+namespace json {
+
+class Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+enum class Type : std::uint8_t
+{
+    Null,
+    Bool,
+    Number,
+    String,
+    Array,
+    Object,
+};
+
+class Value
+{
+  public:
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<ValuePtr> array;
+    /** Insertion-ordered object members. */
+    std::vector<std::pair<std::string, ValuePtr>> object;
+
+    bool isNull() const { return type == Type::Null; }
+    bool isBool() const { return type == Type::Bool; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+    bool isArray() const { return type == Type::Array; }
+    bool isObject() const { return type == Type::Object; }
+
+    /** Object member by key; nullptr when absent or not an object. */
+    const Value* get(const std::string& key) const;
+
+    /** Member that must exist; returns nullptr AND sets err otherwise. */
+    const Value* require(const std::string& key, std::string* err) const;
+
+    /** Convenience readers (0/""/false when type mismatches). */
+    double num(const std::string& key, double fallback = 0.0) const;
+    std::string str(const std::string& key,
+                    const std::string& fallback = "") const;
+};
+
+/**
+ * Parse one JSON document. Returns nullptr and fills `error` (with a byte
+ * offset) on malformed input or trailing garbage.
+ */
+ValuePtr parse(const std::string& text, std::string* error = nullptr);
+
+/**
+ * Parse a JSONL file body: one JSON object per non-empty line. Returns
+ * false on the first bad line (error names the 1-based line number).
+ */
+bool parseLines(const std::string& text, std::vector<ValuePtr>& out,
+                std::string* error = nullptr);
+
+} // namespace json
+} // namespace ndpext
+
+#endif // NDPEXT_TELEMETRY_TINY_JSON_H

@@ -1,0 +1,72 @@
+#include "telemetry/trace_writer.h"
+
+#include "telemetry/json_out.h"
+
+namespace ndpext {
+
+void
+TraceWriter::completeSpan(const std::string& cat, const std::string& name,
+                          std::uint32_t pid, std::uint32_t tid, Cycles ts,
+                          Cycles dur, const std::string& args_json)
+{
+    events_.push_back({'X', cat, name, pid, tid, ts, dur, args_json});
+}
+
+void
+TraceWriter::instant(const std::string& cat, const std::string& name,
+                     std::uint32_t pid, std::uint32_t tid, Cycles ts,
+                     const std::string& args_json)
+{
+    events_.push_back({'i', cat, name, pid, tid, ts, 0, args_json});
+}
+
+void
+TraceWriter::counter(const std::string& name, std::uint32_t pid, Cycles ts,
+                     const std::string& args_json)
+{
+    events_.push_back({'C', "metric", name, pid, 0, ts, 0, args_json});
+}
+
+void
+TraceWriter::processName(std::uint32_t pid, const std::string& name)
+{
+    events_.push_back({'M', "__metadata", "process_name", pid, 0, 0, 0,
+                       "{\"name\":" + jsonout::str(name) + "}"});
+}
+
+void
+TraceWriter::threadName(std::uint32_t pid, std::uint32_t tid,
+                        const std::string& name)
+{
+    events_.push_back({'M', "__metadata", "thread_name", pid, tid, 0, 0,
+                       "{\"name\":" + jsonout::str(name) + "}"});
+}
+
+void
+TraceWriter::write(std::ostream& os) const
+{
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        const Event& e = events_[i];
+        os << "{\"ph\":\"" << e.ph << "\",\"cat\":" << jsonout::str(e.cat)
+           << ",\"name\":" << jsonout::str(e.name) << ",\"pid\":" << e.pid
+           << ",\"tid\":" << e.tid << ",\"ts\":" << e.ts;
+        if (e.ph == 'X') {
+            os << ",\"dur\":" << e.dur;
+        }
+        if (e.ph == 'i') {
+            os << ",\"s\":\"g\"";
+        }
+        if (!e.argsJson.empty()) {
+            os << ",\"args\":" << e.argsJson;
+        }
+        os << "}";
+        if (i + 1 != events_.size()) {
+            os << ",";
+        }
+        os << "\n";
+    }
+    os << "]}\n";
+}
+
+} // namespace ndpext

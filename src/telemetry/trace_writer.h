@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Chrome/Perfetto trace-event exporter (the JSON "Trace Event Format").
+ *
+ * The writer buffers events and serializes them as
+ * {"displayTimeUnit":"ms","traceEvents":[...]} -- a file that loads
+ * directly in https://ui.perfetto.dev or chrome://tracing. Timestamps are
+ * simulated core cycles written into the format's microsecond field (1
+ * cycle == 1 "us" of trace time), so track lengths are proportional to
+ * simulated time and the trace is bit-identical for any --threads value.
+ *
+ * Track layout (pid/tid are synthetic):
+ *   pid 1 "runtime"  -- epoch spans, reconfiguration/fault instants
+ *   pid 2 "shards"   -- tid = shard: execute + barrier_wait spans
+ *   pid 3 "packets"  -- tid = core: sampled per-packet stage slices
+ *
+ * Event categories ("cat"): "epoch", "shard", "runtime", "fault",
+ * "packet". The ctest schema check (tools/ndpext_report check) pins the
+ * exact field set.
+ */
+
+#ifndef NDPEXT_TELEMETRY_TRACE_WRITER_H
+#define NDPEXT_TELEMETRY_TRACE_WRITER_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ndpext {
+
+class TraceWriter
+{
+  public:
+    /** Well-known synthetic process ids (see file comment). */
+    static constexpr std::uint32_t kPidRuntime = 1;
+    static constexpr std::uint32_t kPidShards = 2;
+    static constexpr std::uint32_t kPidPackets = 3;
+
+    /** Complete span (ph "X"): [ts, ts+dur) on (pid, tid). */
+    void completeSpan(const std::string& cat, const std::string& name,
+                      std::uint32_t pid, std::uint32_t tid, Cycles ts,
+                      Cycles dur, const std::string& args_json = "");
+
+    /** Instant event (ph "i", scope "g"). */
+    void instant(const std::string& cat, const std::string& name,
+                 std::uint32_t pid, std::uint32_t tid, Cycles ts,
+                 const std::string& args_json = "");
+
+    /** Counter event (ph "C"): args must be {"name":value,...}. */
+    void counter(const std::string& name, std::uint32_t pid, Cycles ts,
+                 const std::string& args_json);
+
+    /** Metadata: names a process/thread track in the viewer. */
+    void processName(std::uint32_t pid, const std::string& name);
+    void threadName(std::uint32_t pid, std::uint32_t tid,
+                    const std::string& name);
+
+    std::size_t numEvents() const { return events_.size(); }
+
+    /** Serialize the whole trace; the stream's state reports errors. */
+    void write(std::ostream& os) const;
+
+  private:
+    struct Event
+    {
+        char ph = 'X';
+        std::string cat;
+        std::string name;
+        std::uint32_t pid = 0;
+        std::uint32_t tid = 0;
+        Cycles ts = 0;
+        Cycles dur = 0;
+        std::string argsJson; ///< pre-rendered {"k":v} or empty
+    };
+
+    std::vector<Event> events_;
+};
+
+} // namespace ndpext
+
+#endif // NDPEXT_TELEMETRY_TRACE_WRITER_H

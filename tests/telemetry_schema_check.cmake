@@ -1,0 +1,49 @@
+# Telemetry schema gate (ctest): a short --telemetry run must produce a
+# per-epoch metrics JSONL, a Perfetto-loadable trace, and a decision log
+# that all pass `ndpext_report check`, and the summary/diff subcommands
+# must run cleanly against them. Invoked with -DSIM=... -DREPORT=...
+# -DOUT_DIR=... (see tests/CMakeLists.txt).
+
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+execute_process(
+    COMMAND ${SIM} --workload=pr --accesses=2000 --epoch=50000
+            --telemetry=${OUT_DIR}/run --telemetry-sample=16
+            --stats-json=${OUT_DIR}/run.stats.json
+    RESULT_VARIABLE sim_rc
+    OUTPUT_QUIET)
+if(NOT sim_rc EQUAL 0)
+    message(FATAL_ERROR "ndpext_sim --telemetry failed (rc=${sim_rc})")
+endif()
+
+foreach(suffix metrics.jsonl trace.json decisions.jsonl)
+    if(NOT EXISTS ${OUT_DIR}/run.${suffix})
+        message(FATAL_ERROR "missing telemetry file run.${suffix}")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${REPORT} check ${OUT_DIR}/run
+    RESULT_VARIABLE check_rc
+    OUTPUT_VARIABLE check_out
+    ERROR_VARIABLE check_err)
+if(NOT check_rc EQUAL 0)
+    message(FATAL_ERROR
+        "ndpext_report check failed: ${check_out}${check_err}")
+endif()
+
+execute_process(
+    COMMAND ${REPORT} summary ${OUT_DIR}/run
+    RESULT_VARIABLE summary_rc
+    OUTPUT_QUIET)
+if(NOT summary_rc EQUAL 0)
+    message(FATAL_ERROR "ndpext_report summary failed")
+endif()
+
+execute_process(
+    COMMAND ${REPORT} diff ${OUT_DIR}/run ${OUT_DIR}/run
+    RESULT_VARIABLE diff_rc
+    OUTPUT_QUIET)
+if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR "ndpext_report diff failed")
+endif()

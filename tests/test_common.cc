@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 #include <vector>
 
@@ -154,6 +155,57 @@ TEST(Histogram, OverflowCounted)
     h.add(500.0);
     EXPECT_EQ(h.count(), 2u);
     EXPECT_DOUBLE_EQ(h.maxValue(), 500.0);
+}
+
+/** Empty histograms summarize to zeros instead of NaN/garbage. */
+TEST(Histogram, EmptyIsZeroSafe)
+{
+    Histogram h(100.0, 10);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.0);
+    const std::string s = h.summary();
+    EXPECT_NE(s.find("n=0"), std::string::npos);
+    EXPECT_EQ(s.find("nan"), std::string::npos);
+}
+
+/** A single wide bucket cannot report quantiles outside [min, max]. */
+TEST(Histogram, SingleBucketClampsToObservedRange)
+{
+    Histogram h(1000.0, 1);
+    h.add(10.0);
+    h.add(12.0);
+    EXPECT_GE(h.percentile(0.5), 10.0);
+    EXPECT_LE(h.percentile(0.5), 12.0);
+    EXPECT_GE(h.percentile(0.99), 10.0);
+    EXPECT_LE(h.percentile(0.99), 12.0);
+}
+
+/** Out-of-range and NaN quantile requests are clamped / zeroed. */
+TEST(Histogram, PercentileArgumentGuards)
+{
+    Histogram h(100.0, 10);
+    for (int i = 0; i < 10; ++i) {
+        h.add(static_cast<double>(i * 10));
+    }
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), h.minValue());
+    EXPECT_DOUBLE_EQ(h.percentile(-1.0), h.minValue());
+    EXPECT_DOUBLE_EQ(h.percentile(2.0), h.percentile(1.0));
+    EXPECT_DOUBLE_EQ(h.percentile(std::nan("")), 0.0);
+}
+
+/** NaN samples are dropped instead of poisoning the moments. */
+TEST(Histogram, NanSamplesIgnored)
+{
+    Histogram h(100.0, 10);
+    h.add(std::nan(""));
+    EXPECT_EQ(h.count(), 0u);
+    h.add(5.0);
+    h.add(std::nan(""));
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(h.maxValue(), 5.0);
 }
 
 /** Property: shuffle preserves multiset. */

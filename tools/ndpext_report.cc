@@ -1,0 +1,642 @@
+/**
+ * ndpext_report — summarize, diff, and validate telemetry output.
+ *
+ * Consumes the three files a `ndpext_sim --telemetry=PREFIX` run emits
+ * (PREFIX.metrics.jsonl, PREFIX.trace.json, PREFIX.decisions.jsonl):
+ *
+ *   ndpext_report summary PREFIX
+ *       Per-epoch overview (accesses, hit rate, link bandwidth), final
+ *       per-stream hit rates, p50/p99 of each sampled latency stage, and
+ *       every runtime decision's stream->unit share assignment.
+ *
+ *   ndpext_report diff PREFIX_A PREFIX_B
+ *       Compare two runs: per-stream hit-rate deltas, stage-latency
+ *       percentile deltas, and the decisions whose allocations differ
+ *       (Algorithm 1 replay diffing without rerunning the simulator).
+ *
+ *   ndpext_report check PREFIX
+ *       Validate the schema of all three files; exit 1 with a message on
+ *       the first violation (the ctest schema gate).
+ *
+ * Exit status: 0 = ok, 1 = bad telemetry content, 2 = usage error.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/tiny_json.h"
+
+using namespace ndpext;
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: ndpext_report <command> <prefix> [<prefix2>]\n"
+    "  summary PREFIX       per-epoch metrics, per-stream hit rates,\n"
+    "                       stage latency percentiles, decisions\n"
+    "  diff PREFIX PREFIX2  compare two telemetry runs\n"
+    "  check PREFIX         validate the telemetry schema (exit 1 on\n"
+    "                       violation)\n";
+
+[[noreturn]] void
+usageError(const std::string& message)
+{
+    std::fprintf(stderr, "ndpext_report: %s\n%s", message.c_str(), kUsage);
+    std::exit(2);
+}
+
+/** Content failure: print and exit 1 (distinct from usage errors). */
+[[noreturn]] void
+fail(const std::string& message)
+{
+    std::fprintf(stderr, "ndpext_report: %s\n", message.c_str());
+    std::exit(1);
+}
+
+bool
+readFile(const std::string& path, std::string& out, std::string* error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error != nullptr) {
+            *error = "cannot read '" + path + "'";
+        }
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+/** One parsed telemetry run. */
+struct Run
+{
+    std::string prefix;
+    std::vector<json::ValuePtr> epochs;    ///< metrics.jsonl lines
+    std::vector<json::ValuePtr> decisions; ///< decisions.jsonl lines
+    json::ValuePtr trace;                  ///< trace.json document
+};
+
+Run
+loadRun(const std::string& prefix)
+{
+    Run run;
+    run.prefix = prefix;
+    std::string text;
+    std::string error;
+    if (!readFile(prefix + ".metrics.jsonl", text, &error)) {
+        fail(error);
+    }
+    if (!json::parseLines(text, run.epochs, &error)) {
+        fail(prefix + ".metrics.jsonl: " + error);
+    }
+    if (!readFile(prefix + ".decisions.jsonl", text, &error)) {
+        fail(error);
+    }
+    if (!json::parseLines(text, run.decisions, &error)) {
+        fail(prefix + ".decisions.jsonl: " + error);
+    }
+    if (!readFile(prefix + ".trace.json", text, &error)) {
+        fail(error);
+    }
+    run.trace = json::parse(text, &error);
+    if (run.trace == nullptr) {
+        fail(prefix + ".trace.json: " + error);
+    }
+    return run;
+}
+
+/** metrics["name"] of one epoch line (0.0 when absent). */
+double
+metric(const json::Value& epoch_line, const std::string& name)
+{
+    const json::Value* metrics = epoch_line.get("metrics");
+    return metrics == nullptr ? 0.0 : metrics->num(name);
+}
+
+/** Final (cumulative) value of a metric: the last epoch line's entry. */
+double
+finalMetric(const Run& run, const std::string& name)
+{
+    return run.epochs.empty() ? 0.0 : metric(*run.epochs.back(), name);
+}
+
+/** Nearest-rank percentile of an unsorted sample set (0 when empty). */
+double
+percentile(std::vector<double> v, double q)
+{
+    if (v.empty()) {
+        return 0.0;
+    }
+    std::sort(v.begin(), v.end());
+    const double pos = q * static_cast<double>(v.size() - 1);
+    const std::size_t idx =
+        static_cast<std::size_t>(std::llround(std::floor(pos + 0.5)));
+    return v[std::min(idx, v.size() - 1)];
+}
+
+/** Per-stage duration samples from the trace's packet slices. */
+std::map<std::string, std::vector<double>>
+stageSamples(const Run& run)
+{
+    std::map<std::string, std::vector<double>> stages;
+    const json::Value* events = run.trace->get("traceEvents");
+    if (events == nullptr) {
+        return stages;
+    }
+    for (const auto& ev : events->array) {
+        if (ev->str("ph") != "X" || ev->str("cat") != "packet") {
+            continue;
+        }
+        const std::string name = ev->str("name");
+        // Parent spans are "pkt"/"pkt s<sid>" (total); children are the
+        // stage names.
+        const std::string key =
+            name.rfind("pkt", 0) == 0 ? std::string("total") : name;
+        stages[key].push_back(ev->num("dur"));
+    }
+    return stages;
+}
+
+/** Final per-stream hits/misses keyed by sid. */
+std::map<std::uint64_t, std::pair<double, double>>
+streamHitMiss(const Run& run)
+{
+    std::map<std::uint64_t, std::pair<double, double>> per_stream;
+    if (run.epochs.empty()) {
+        return per_stream;
+    }
+    const json::Value* metrics = run.epochs.back()->get("metrics");
+    if (metrics == nullptr) {
+        return per_stream;
+    }
+    const std::string prefix = "cache.stream.";
+    for (const auto& [name, value] : metrics->object) {
+        if (name.rfind(prefix, 0) != 0 || !value->isNumber()) {
+            continue;
+        }
+        const std::string rest = name.substr(prefix.size());
+        const auto dot = rest.find('.');
+        if (dot == std::string::npos) {
+            continue;
+        }
+        const std::uint64_t sid = std::strtoull(rest.c_str(), nullptr, 10);
+        const std::string field = rest.substr(dot + 1);
+        if (field == "hits") {
+            per_stream[sid].first = value->number;
+        } else if (field == "misses") {
+            per_stream[sid].second = value->number;
+        }
+    }
+    return per_stream;
+}
+
+/** "sid -> unit:rows unit:rows ..." lines for one decision's allocs. */
+void
+printAssignments(const json::Value& decision)
+{
+    const json::Value* allocs = decision.get("allocs");
+    if (allocs == nullptr) {
+        return;
+    }
+    for (const auto& alloc : allocs->array) {
+        std::printf("    stream %-4llu groups=%-3llu units:",
+                    static_cast<unsigned long long>(alloc->num("sid")),
+                    static_cast<unsigned long long>(alloc->num("numGroups")));
+        const json::Value* shares = alloc->get("shareRows");
+        if (shares != nullptr) {
+            for (std::size_t u = 0; u < shares->array.size(); ++u) {
+                const double rows = shares->array[u]->number;
+                if (rows > 0) {
+                    std::printf(" %zu:%llu", u,
+                                static_cast<unsigned long long>(rows));
+                }
+            }
+        }
+        std::printf("\n");
+    }
+}
+
+/** Canonical "sid:rows,rows,..." signature of a decision's allocation. */
+std::string
+allocSignature(const json::Value& decision)
+{
+    std::string sig;
+    const json::Value* allocs = decision.get("allocs");
+    if (allocs == nullptr) {
+        return sig;
+    }
+    for (const auto& alloc : allocs->array) {
+        sig += std::to_string(
+            static_cast<std::uint64_t>(alloc->num("sid")));
+        sig += ':';
+        const json::Value* shares = alloc->get("shareRows");
+        if (shares != nullptr) {
+            for (const auto& v : shares->array) {
+                sig += std::to_string(
+                    static_cast<std::uint64_t>(v->number));
+                sig += ',';
+            }
+        }
+        sig += ';';
+    }
+    return sig;
+}
+
+void
+cmdSummary(const Run& run)
+{
+    std::printf("telemetry summary: %s\n", run.prefix.c_str());
+
+    // --- per-epoch table ---
+    std::printf("\nepochs (%zu):\n", run.epochs.size());
+    std::printf("  %-6s %-12s %-10s %-8s %-12s %-12s %-12s\n", "epoch",
+                "cycles", "accesses", "hitrate", "noc B/cyc",
+                "ext B/cyc", "pkt p99");
+    double prev_cycles = 0.0;
+    double prev_noc = 0.0;
+    double prev_ext = 0.0;
+    double prev_hits = 0.0;
+    double prev_misses = 0.0;
+    for (const auto& line : run.epochs) {
+        const double cycles = line->num("cycles");
+        const double hits = metric(*line, "cache.hits");
+        const double misses = metric(*line, "cache.misses");
+        const double noc_bytes = metric(*line, "noc.intraHopBytes")
+            + metric(*line, "noc.interHopBytes");
+        const double ext_bytes = metric(*line, "ext.linkBytes");
+        const double dc = std::max(1.0, cycles - prev_cycles);
+        const double dh = hits - prev_hits;
+        const double dm = misses - prev_misses;
+        double p99 = 0.0;
+        const json::Value* hists = line->get("histograms");
+        if (hists != nullptr) {
+            const json::Value* lat = hists->get("telemetry.packetLatency");
+            if (lat != nullptr) {
+                p99 = lat->num("p99");
+            }
+        }
+        std::printf("  %-6llu %-12.0f %-10.0f %-8.3f %-12.2f %-12.2f "
+                    "%-12.0f\n",
+                    static_cast<unsigned long long>(line->num("epoch")),
+                    cycles, dh + dm,
+                    dh + dm == 0.0 ? 0.0 : dh / (dh + dm),
+                    (noc_bytes - prev_noc) / dc,
+                    (ext_bytes - prev_ext) / dc, p99);
+        prev_cycles = cycles;
+        prev_noc = noc_bytes;
+        prev_ext = ext_bytes;
+        prev_hits = hits;
+        prev_misses = misses;
+    }
+
+    // --- per-stream hit rate ---
+    const auto per_stream = streamHitMiss(run);
+    if (!per_stream.empty()) {
+        std::printf("\nper-stream hit rate (final):\n");
+        for (const auto& [sid, hm] : per_stream) {
+            const double total = hm.first + hm.second;
+            std::printf("  stream %-4llu accesses %-10.0f hitrate %.3f\n",
+                        static_cast<unsigned long long>(sid), total,
+                        total == 0.0 ? 0.0 : hm.first / total);
+        }
+    }
+
+    // --- stage latency percentiles from sampled packets ---
+    const auto stages = stageSamples(run);
+    if (!stages.empty()) {
+        std::printf("\nsampled packet latency by stage (cycles):\n");
+        std::printf("  %-10s %-8s %-10s %-10s %-10s\n", "stage", "count",
+                    "p50", "p99", "max");
+        for (const auto& [stage, samples] : stages) {
+            std::printf("  %-10s %-8zu %-10.0f %-10.0f %-10.0f\n",
+                        stage.c_str(), samples.size(),
+                        percentile(samples, 0.5), percentile(samples, 0.99),
+                        samples.empty()
+                            ? 0.0
+                            : *std::max_element(samples.begin(),
+                                                samples.end()));
+        }
+    }
+
+    // --- decisions ---
+    std::printf("\nruntime decisions (%zu):\n", run.decisions.size());
+    for (const auto& d : run.decisions) {
+        std::printf(
+            "  [%s] epoch %llu @ %llu cycles: %zu stream(s), "
+            "iterations=%llu extends=%llu merges=%llu%s\n",
+            d->str("kind").c_str(),
+            static_cast<unsigned long long>(d->num("epoch")),
+            static_cast<unsigned long long>(d->num("cycles")),
+            d->get("allocs") == nullptr ? 0 : d->get("allocs")->array.size(),
+            static_cast<unsigned long long>(d->num("iterations")),
+            static_cast<unsigned long long>(d->num("extends")),
+            static_cast<unsigned long long>(d->num("merges")),
+            d->get("applied") != nullptr && !d->get("applied")->boolean
+                ? " (skipped by stability guard)"
+                : "");
+        printAssignments(*d);
+    }
+}
+
+void
+cmdDiff(const Run& a, const Run& b)
+{
+    std::printf("telemetry diff: %s vs %s\n", a.prefix.c_str(),
+                b.prefix.c_str());
+
+    // --- headline metric deltas ---
+    const char* headline[] = {"cache.hits", "cache.misses",
+                              "noc.interHopBytes", "ext.linkBytes",
+                              "runtime.reconfigurations"};
+    std::printf("\nfinal metrics:\n");
+    std::printf("  %-26s %-14s %-14s %-14s\n", "metric", "a", "b", "delta");
+    for (const char* name : headline) {
+        const double va = finalMetric(a, name);
+        const double vb = finalMetric(b, name);
+        std::printf("  %-26s %-14.0f %-14.0f %-+14.0f\n", name, va, vb,
+                    vb - va);
+    }
+
+    // --- per-stream hit-rate deltas ---
+    const auto sa = streamHitMiss(a);
+    const auto sb = streamHitMiss(b);
+    std::printf("\nper-stream hit rate:\n");
+    std::printf("  %-8s %-10s %-10s %-10s\n", "stream", "a", "b", "delta");
+    for (const auto& [sid, hm] : sa) {
+        const auto it = sb.find(sid);
+        const double ta = hm.first + hm.second;
+        const double ra = ta == 0.0 ? 0.0 : hm.first / ta;
+        double rb = 0.0;
+        if (it != sb.end()) {
+            const double tb = it->second.first + it->second.second;
+            rb = tb == 0.0 ? 0.0 : it->second.first / tb;
+        }
+        std::printf("  %-8llu %-10.3f %-10.3f %-+10.3f\n",
+                    static_cast<unsigned long long>(sid), ra, rb, rb - ra);
+    }
+    for (const auto& [sid, hm] : sb) {
+        if (sa.find(sid) == sa.end()) {
+            const double tb = hm.first + hm.second;
+            std::printf("  %-8llu %-10s %-10.3f (only in b)\n",
+                        static_cast<unsigned long long>(sid), "-",
+                        tb == 0.0 ? 0.0 : hm.first / tb);
+        }
+    }
+
+    // --- stage latency percentile deltas ---
+    const auto stages_a = stageSamples(a);
+    const auto stages_b = stageSamples(b);
+    std::printf("\nsampled stage latency p50/p99 (cycles):\n");
+    std::printf("  %-10s %-16s %-16s\n", "stage", "a (p50/p99)",
+                "b (p50/p99)");
+    std::vector<std::string> names;
+    for (const auto& [k, v] : stages_a) {
+        names.push_back(k);
+    }
+    for (const auto& [k, v] : stages_b) {
+        if (stages_a.find(k) == stages_a.end()) {
+            names.push_back(k);
+        }
+    }
+    for (const auto& name : names) {
+        const auto ia = stages_a.find(name);
+        const auto ib = stages_b.find(name);
+        char la[32] = "-";
+        char lb[32] = "-";
+        if (ia != stages_a.end()) {
+            std::snprintf(la, sizeof(la), "%.0f/%.0f",
+                          percentile(ia->second, 0.5),
+                          percentile(ia->second, 0.99));
+        }
+        if (ib != stages_b.end()) {
+            std::snprintf(lb, sizeof(lb), "%.0f/%.0f",
+                          percentile(ib->second, 0.5),
+                          percentile(ib->second, 0.99));
+        }
+        std::printf("  %-10s %-16s %-16s\n", name.c_str(), la, lb);
+    }
+
+    // --- decision divergence: first epoch whose allocation differs ---
+    std::printf("\ndecisions: %zu in a, %zu in b\n", a.decisions.size(),
+                b.decisions.size());
+    const std::size_t common =
+        std::min(a.decisions.size(), b.decisions.size());
+    std::size_t diverged = 0;
+    for (std::size_t i = 0; i < common; ++i) {
+        if (allocSignature(*a.decisions[i])
+            != allocSignature(*b.decisions[i])) {
+            if (diverged == 0) {
+                std::printf("first divergence at decision %zu:\n", i);
+                std::printf("  a [%s epoch %llu]:\n",
+                            a.decisions[i]->str("kind").c_str(),
+                            static_cast<unsigned long long>(
+                                a.decisions[i]->num("epoch")));
+                printAssignments(*a.decisions[i]);
+                std::printf("  b [%s epoch %llu]:\n",
+                            b.decisions[i]->str("kind").c_str(),
+                            static_cast<unsigned long long>(
+                                b.decisions[i]->num("epoch")));
+                printAssignments(*b.decisions[i]);
+            }
+            ++diverged;
+        }
+    }
+    std::printf("%zu of %zu aligned decisions differ\n", diverged, common);
+}
+
+/** Schema checks (the ctest gate). Every failure names file and line. */
+void
+checkMetricsSchema(const Run& run)
+{
+    const char* file = ".metrics.jsonl";
+    if (run.epochs.empty()) {
+        fail(run.prefix + file + ": no epoch samples");
+    }
+    double prev_epoch = -1.0;
+    for (std::size_t i = 0; i < run.epochs.size(); ++i) {
+        const json::Value& line = *run.epochs[i];
+        const std::string at =
+            run.prefix + file + " line " + std::to_string(i + 1);
+        if (!line.isObject()) {
+            fail(at + ": not an object");
+        }
+        for (const char* key : {"epoch", "cycles"}) {
+            const json::Value* v = line.get(key);
+            if (v == nullptr || !v->isNumber()) {
+                fail(at + ": missing numeric '" + key + "'");
+            }
+        }
+        if (line.num("epoch") <= prev_epoch) {
+            fail(at + ": epoch numbers must increase");
+        }
+        prev_epoch = line.num("epoch");
+        const json::Value* metrics = line.get("metrics");
+        if (metrics == nullptr || !metrics->isObject()) {
+            fail(at + ": missing 'metrics' object");
+        }
+        for (const auto& [name, value] : metrics->object) {
+            if (!value->isNumber()) {
+                fail(at + ": metric '" + name + "' is not a number");
+            }
+        }
+        const json::Value* hists = line.get("histograms");
+        if (hists != nullptr) {
+            for (const auto& [name, h] : hists->object) {
+                for (const char* key :
+                     {"count", "mean", "p50", "p99", "max"}) {
+                    const json::Value* v = h->get(key);
+                    if (v == nullptr || !v->isNumber()) {
+                        fail(at + ": histogram '" + name
+                             + "' missing numeric '" + key + "'");
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+checkDecisionsSchema(const Run& run)
+{
+    const char* file = ".decisions.jsonl";
+    for (std::size_t i = 0; i < run.decisions.size(); ++i) {
+        const json::Value& d = *run.decisions[i];
+        const std::string at =
+            run.prefix + file + " line " + std::to_string(i + 1);
+        const std::string kind = d.str("kind");
+        if (kind != "initial" && kind != "epoch" && kind != "emergency") {
+            fail(at + ": bad kind '" + kind + "'");
+        }
+        for (const char* key :
+             {"epoch", "cycles", "iterations", "extends", "merges"}) {
+            const json::Value* v = d.get(key);
+            if (v == nullptr || !v->isNumber()) {
+                fail(at + ": missing numeric '" + key + "'");
+            }
+        }
+        const json::Value* applied = d.get("applied");
+        if (applied == nullptr || !applied->isBool()) {
+            fail(at + ": missing boolean 'applied'");
+        }
+        for (const char* key :
+             {"demands", "samplerAssignment", "uncovered", "allocs"}) {
+            const json::Value* v = d.get(key);
+            if (v == nullptr || !v->isArray()) {
+                fail(at + ": missing array '" + key + "'");
+            }
+        }
+        for (const auto& demand : d.get("demands")->array) {
+            const json::Value* curve = demand->get("curve");
+            if (curve == nullptr || curve->get("capacities") == nullptr
+                || curve->get("misses") == nullptr) {
+                fail(at + ": demand without a miss curve");
+            }
+            if (curve->get("capacities")->array.size()
+                != curve->get("misses")->array.size()) {
+                fail(at + ": curve capacities/misses length mismatch");
+            }
+        }
+        for (const auto& alloc : d.get("allocs")->array) {
+            if (alloc->get("sid") == nullptr
+                || alloc->get("shareRows") == nullptr
+                || !alloc->get("shareRows")->isArray()) {
+                fail(at + ": alloc without sid/shareRows");
+            }
+        }
+    }
+}
+
+void
+checkTraceSchema(const Run& run)
+{
+    const std::string at = run.prefix + ".trace.json";
+    if (!run.trace->isObject()) {
+        fail(at + ": not an object");
+    }
+    const json::Value* events = run.trace->get("traceEvents");
+    if (events == nullptr || !events->isArray()) {
+        fail(at + ": missing 'traceEvents' array");
+    }
+    if (events->array.empty()) {
+        fail(at + ": empty trace");
+    }
+    for (std::size_t i = 0; i < events->array.size(); ++i) {
+        const json::Value& ev = *events->array[i];
+        const std::string evat = at + " event " + std::to_string(i);
+        const std::string ph = ev.str("ph");
+        if (ph != "X" && ph != "i" && ph != "C" && ph != "M") {
+            fail(evat + ": bad ph '" + ph + "'");
+        }
+        for (const char* key : {"pid", "tid", "ts"}) {
+            const json::Value* v = ev.get(key);
+            if (v == nullptr || !v->isNumber()) {
+                fail(evat + ": missing numeric '" + key + "'");
+            }
+        }
+        if (ev.get("name") == nullptr) {
+            fail(evat + ": missing 'name'");
+        }
+        if (ph == "X" && ev.get("dur") == nullptr) {
+            fail(evat + ": complete span without 'dur'");
+        }
+    }
+}
+
+void
+cmdCheck(const Run& run)
+{
+    checkMetricsSchema(run);
+    checkDecisionsSchema(run);
+    checkTraceSchema(run);
+    std::printf("ok: %zu epoch sample(s), %zu decision(s), %zu trace "
+                "event(s)\n",
+                run.epochs.size(), run.decisions.size(),
+                run.trace->get("traceEvents")->array.size());
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2) {
+        usageError("missing command");
+    }
+    const std::string cmd = argv[1];
+    if (cmd == "--help" || cmd == "-h") {
+        std::printf("%s", kUsage);
+        return 0;
+    }
+    if (cmd == "summary" || cmd == "check") {
+        if (argc != 3) {
+            usageError(cmd + " takes exactly one prefix");
+        }
+        const Run run = loadRun(argv[2]);
+        if (cmd == "summary") {
+            cmdSummary(run);
+        } else {
+            cmdCheck(run);
+        }
+        return 0;
+    }
+    if (cmd == "diff") {
+        if (argc != 4) {
+            usageError("diff takes exactly two prefixes");
+        }
+        const Run a = loadRun(argv[2]);
+        const Run b = loadRun(argv[3]);
+        cmdDiff(a, b);
+        return 0;
+    }
+    usageError("unknown command '" + cmd + "'");
+}

@@ -37,6 +37,12 @@
  *                        always decomposed into one shard per stack and
  *                        N only controls parallel shard execution.
  *   --stats-json=FILE    write headline metrics + every counter as JSON
+ *   --telemetry=PREFIX   write PREFIX.metrics.jsonl (epoch time-series),
+ *                        PREFIX.trace.json (Perfetto trace) and
+ *                        PREFIX.decisions.jsonl (runtime decision log);
+ *                        not supported with --policy=host
+ *   --telemetry-sample=N trace every Nth L1 miss per core (default 64,
+ *                        0 disables packet sampling)
  *   --dump-stats         print every simulator counter
  *
  * Malformed options print a usage message and exit with status 2.
@@ -54,6 +60,7 @@
 #include "common/logging.h"
 #include "system/host_system.h"
 #include "system/ndp_system.h"
+#include "telemetry/telemetry.h"
 #include "workloads/trace_workload.h"
 #include "workloads/workload.h"
 
@@ -80,6 +87,9 @@ constexpr const char* kUsage =
     "  --fault-seed=N      fault-injection RNG seed\n"
     "  --threads=N         simulation threads (same results for any N)\n"
     "  --stats-json=FILE   write metrics + all counters as JSON\n"
+    "  --telemetry=PREFIX  write PREFIX.{metrics.jsonl,trace.json,\n"
+    "                      decisions.jsonl} (not with --policy=host)\n"
+    "  --telemetry-sample=N  trace every Nth L1 miss per core (default 64)\n"
     "  --dump-stats        print every simulator counter\n"
     "  --list              print workloads and policies\n";
 
@@ -127,6 +137,8 @@ struct Options
     std::uint64_t faultSeed = 1;
     std::uint64_t threads = 1;
     std::string statsJson;
+    std::string telemetry;
+    std::uint64_t telemetrySample = 64;
     bool dumpStats = false;
 };
 
@@ -234,6 +246,13 @@ parseArgs(int argc, char** argv)
             if (opt.statsJson.empty()) {
                 usageError("bad --stats-json: empty file name");
             }
+        } else if (arg.rfind("--telemetry=", 0) == 0) {
+            opt.telemetry = value("--telemetry=");
+            if (opt.telemetry.empty()) {
+                usageError("bad --telemetry: empty output prefix");
+            }
+        } else if (arg.rfind("--telemetry-sample=", 0) == 0) {
+            opt.telemetrySample = number("--telemetry-sample=");
         } else if (arg == "--dump-stats") {
             opt.dumpStats = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -388,6 +407,9 @@ main(int argc, char** argv)
     if (opt.policy == "host" && cfg.faults.anyFaults()) {
         usageError("--fault is not supported with --policy=host");
     }
+    if (opt.policy == "host" && !opt.telemetry.empty()) {
+        usageError("--telemetry is not supported with --policy=host");
+    }
 
     cfg.finalize();
 
@@ -429,7 +451,22 @@ main(int argc, char** argv)
         result = host.run(*workload);
     } else {
         NdpSystem system(cfg, policyFromName(opt.policy));
+        std::unique_ptr<Telemetry> telemetry;
+        if (!opt.telemetry.empty()) {
+            TelemetryConfig tcfg;
+            tcfg.outPrefix = opt.telemetry;
+            tcfg.packetSampleEvery = opt.telemetrySample;
+            telemetry = std::make_unique<Telemetry>(tcfg);
+            system.attachTelemetry(telemetry.get());
+        }
         result = system.run(*workload);
+        if (telemetry != nullptr) {
+            std::string error;
+            if (!telemetry->writeAll(&error)) {
+                std::fprintf(stderr, "ndpext_sim: %s\n", error.c_str());
+                return 1;
+            }
+        }
     }
     printResult(result, opt.dumpStats);
     if (!opt.statsJson.empty()
