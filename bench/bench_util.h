@@ -7,6 +7,25 @@
  * Absolute numbers come from this repo's simulator, not the authors'
  * testbed; the reproduction target is the *shape* (ordering, rough
  * factors, crossovers). See EXPERIMENTS.md.
+ *
+ * --stats-json emits one of two schemas, both consumed by
+ * tools/ndpext_bench_compare (and pinned under bench/baselines/):
+ *
+ *   A. StatGroup dump (this file's finishStats(), and ndpext_sim):
+ *        { "stats": { "<metric>": <number>, ... } }
+ *      ndpext_sim additionally places scalars ("cycles", "energyNj",
+ *      ...) and one nested object ("degraded") at the top level; the
+ *      comparer flattens those to dotted names. All values are
+ *      deterministic simulation results: bit-identical for any
+ *      --threads value, so baselines compare exactly.
+ *
+ *   B. google-benchmark --benchmark_out JSON (bench_fig04_maxflow,
+ *      whose main() translates --stats-json into --benchmark_out):
+ *        { "context": {...}, "benchmarks": [ { "name": ...,
+ *          "real_time": ..., "cpu_time": ..., "iterations": ...,
+ *          <user counters> }, ... ] }
+ *      Entries become "<name>.<field>" metrics. Wall-clock fields are
+ *      host-dependent and therefore advisory in comparisons.
  */
 
 #ifndef NDPEXT_BENCH_BENCH_UTIL_H

@@ -14,8 +14,63 @@ InOrderCore::InOrderCore(CoreId id, const CoreParams& params)
       memPort_("core" + std::to_string(id) + ".mem"),
       l1d_(SetAssocCache::fromCapacity(params.l1dCapacityBytes,
                                        params.lineBytes, params.l1dWays)),
-      mshrFree_(std::max<std::uint32_t>(1, params.mshrs), 0)
+      mshr_(std::max<std::uint32_t>(1, params.mshrs))
 {
+}
+
+void
+InOrderCore::attributeStall(Cycles wait, const MshrSlot& blocking)
+{
+    memStallCycles_ += wait;
+
+    const Cycles service = blocking.bd.total();
+    if (service == 0) {
+        // No recorded service breakdown to blame (slot never carried a
+        // packet): pure queueing.
+        stall_.mshrQueue += wait;
+    } else {
+        // Split the window over the blocking packet's buckets with
+        // largest-remainder rounding: integer shares, exact sum, and a
+        // deterministic tie-break (lowest bucket index), so the split is
+        // a pure function of (wait, breakdown).
+        const Cycles part[5] = {blocking.bd.metadata, blocking.bd.icnIntra,
+                                blocking.bd.icnInter, blocking.bd.dramCache,
+                                blocking.bd.extMem};
+        Cycles* const out[5] = {&stall_.metadata, &stall_.icnIntra,
+                                &stall_.icnInter, &stall_.dramCache,
+                                &stall_.extMem};
+        Cycles share[5];
+        Cycles rem[5];
+        Cycles assigned = 0;
+        for (int i = 0; i < 5; ++i) {
+            share[i] = wait * part[i] / service;
+            rem[i] = wait * part[i] % service;
+            assigned += share[i];
+        }
+        for (Cycles left = wait - assigned; left > 0; --left) {
+            int best = 0;
+            for (int i = 1; i < 5; ++i) {
+                if (rem[i] > rem[best]) {
+                    best = i;
+                }
+            }
+            ++share[best];
+            rem[best] = 0;
+        }
+        for (int i = 0; i < 5; ++i) {
+            *out[i] += share[i];
+        }
+    }
+
+    // Per-stream attribution: the wait is the blocking packet's fault.
+    if (blocking.sid == kNoStream) {
+        noStreamStall_ += wait;
+    } else {
+        if (streamStall_.size() <= blocking.sid) {
+            streamStall_.resize(blocking.sid + 1, 0);
+        }
+        streamStall_[blocking.sid] += wait;
+    }
 }
 
 bool
@@ -24,8 +79,18 @@ InOrderCore::step(AccessGenerator& gen)
     Access acc;
     if (!gen.next(acc)) {
         // Drain: the run is only complete once in-flight misses land.
-        for (const Cycles done : mshrFree_) {
-            now_ = std::max(now_, done);
+        // Walk the slots in completion order so each incremental wait is
+        // blamed on the packet that frees at that time.
+        std::vector<MshrSlot> order = mshr_;
+        std::stable_sort(order.begin(), order.end(),
+                         [](const MshrSlot& a, const MshrSlot& b) {
+                             return a.free < b.free;
+                         });
+        for (const MshrSlot& slot : order) {
+            if (slot.free > now_) {
+                attributeStall(slot.free - now_, slot);
+                now_ = slot.free;
+            }
         }
         return false;
     }
@@ -40,10 +105,16 @@ InOrderCore::step(AccessGenerator& gen)
         return true;
     }
 
-    // Miss: grab an MSHR; stall only if all of them are in flight.
-    auto slot = std::min_element(mshrFree_.begin(), mshrFree_.end());
-    const Cycles issue = std::max(now_, *slot);
-    memStallCycles_ += issue - now_;
+    // Miss: grab an MSHR; stall only if all of them are in flight, and
+    // blame the wait on the packet occupying the earliest-freeing slot.
+    auto slot = std::min_element(mshr_.begin(), mshr_.end(),
+                                 [](const MshrSlot& a, const MshrSlot& b) {
+                                     return a.free < b.free;
+                                 });
+    const Cycles issue = std::max(now_, slot->free);
+    if (issue > now_) {
+        attributeStall(issue - now_, *slot);
+    }
 
     Packet pkt = Packet::request(acc, id_, issue);
     memPort_.sendAtomic(pkt);
@@ -60,7 +131,9 @@ InOrderCore::step(AccessGenerator& gen)
         s.extMem = pkt.bd.extMem;
         telSink_->record(s);
     }
-    *slot = pkt.ready;
+    slot->free = pkt.ready;
+    slot->bd = pkt.bd;
+    slot->sid = pkt.sid;
     now_ = issue + params_.l1HitCycles; // issue occupancy, then overlap
 
     const auto ev = l1d_.insert(line, acc.isWrite);
@@ -73,6 +146,30 @@ InOrderCore::step(AccessGenerator& gen)
 }
 
 void
+InOrderCore::registerCpiMetrics(MetricRegistry& registry,
+                                const std::string& prefix)
+{
+    registry.registerCounter(prefix + ".computeCycles",
+                             [this] { return double(computeCycles_); });
+    registry.registerCounter(prefix + ".l1Cycles",
+                             [this] { return double(l1Cycles()); });
+    registry.registerCounter(prefix + ".memStallCycles",
+                             [this] { return double(memStallCycles_); });
+    registry.registerCounter(prefix + ".stall.metadata",
+                             [this] { return double(stall_.metadata); });
+    registry.registerCounter(prefix + ".stall.icnIntra",
+                             [this] { return double(stall_.icnIntra); });
+    registry.registerCounter(prefix + ".stall.icnInter",
+                             [this] { return double(stall_.icnInter); });
+    registry.registerCounter(prefix + ".stall.dramCache",
+                             [this] { return double(stall_.dramCache); });
+    registry.registerCounter(prefix + ".stall.extMem",
+                             [this] { return double(stall_.extMem); });
+    registry.registerCounter(prefix + ".stall.mshrQueue",
+                             [this] { return double(stall_.mshrQueue); });
+}
+
+void
 InOrderCore::registerMetrics(MetricRegistry& registry)
 {
     // Shared names: the registry sums every core's reader, so the series
@@ -81,10 +178,7 @@ InOrderCore::registerMetrics(MetricRegistry& registry)
                              [this] { return double(accesses_); });
     registry.registerCounter("cores.l1Hits",
                              [this] { return double(l1Hits_); });
-    registry.registerCounter("cores.computeCycles",
-                             [this] { return double(computeCycles_); });
-    registry.registerCounter("cores.memStallCycles",
-                             [this] { return double(memStallCycles_); });
+    registerCpiMetrics(registry, "cores");
 }
 
 void
@@ -95,8 +189,10 @@ InOrderCore::report(StatGroup& stats, const std::string& prefix) const
     stats.add(prefix + ".cycles", static_cast<double>(now_));
     stats.add(prefix + ".computeCycles",
               static_cast<double>(computeCycles_));
+    stats.add(prefix + ".l1Cycles", static_cast<double>(l1Cycles()));
     stats.add(prefix + ".memStallCycles",
               static_cast<double>(memStallCycles_));
+    stall_.report(stats, prefix + ".stall");
 }
 
 } // namespace ndpext

@@ -22,12 +22,50 @@
 #include "cache/set_assoc_cache.h"
 #include "common/types.h"
 #include "cpu/access_generator.h"
+#include "sim/breakdown.h"
 #include "sim/port.h"
 #include "sim/stats.h"
 
 namespace ndpext {
 
 struct PacketSampleBuffer; // telemetry/telemetry.h
+
+/**
+ * Top-down split of a core's memory stall cycles (Fig. 2(a) buckets plus
+ * an explicit MSHR-full queueing bucket). Each stall window is attributed
+ * proportionally over the blocking packet's LatencyBreakdown with
+ * deterministic largest-remainder rounding, so the integer buckets sum
+ * EXACTLY to memStallCycles() (pinned by tests/test_topdown.cc).
+ * `mshrQueue` absorbs wait cycles that cannot be blamed on a recorded
+ * service breakdown (e.g. the blocking slot never carried a packet).
+ */
+struct CoreStallBreakdown
+{
+    Cycles metadata = 0;
+    Cycles icnIntra = 0;
+    Cycles icnInter = 0;
+    Cycles dramCache = 0;
+    Cycles extMem = 0;
+    Cycles mshrQueue = 0;
+
+    Cycles
+    total() const
+    {
+        return metadata + icnIntra + icnInter + dramCache + extMem
+            + mshrQueue;
+    }
+
+    void
+    report(StatGroup& stats, const std::string& prefix) const
+    {
+        stats.add(prefix + ".metadata", static_cast<double>(metadata));
+        stats.add(prefix + ".icnIntra", static_cast<double>(icnIntra));
+        stats.add(prefix + ".icnInter", static_cast<double>(icnInter));
+        stats.add(prefix + ".dramCache", static_cast<double>(dramCache));
+        stats.add(prefix + ".extMem", static_cast<double>(extMem));
+        stats.add(prefix + ".mshrQueue", static_cast<double>(mshrQueue));
+    }
+};
 
 struct CoreParams
 {
@@ -69,7 +107,8 @@ class InOrderCore : public MemObject
     /**
      * Execute the next access from `gen`.
      * @return false if the generator is exhausted; the core's clock is
-     *         then advanced past all outstanding misses (drain).
+     *         then advanced past all outstanding misses (drain; the
+     *         drain wait is counted as memory stall like any other).
      */
     bool step(AccessGenerator& gen);
 
@@ -86,8 +125,38 @@ class InOrderCore : public MemObject
     std::uint64_t l1Misses() const { return accesses_ - l1Hits_; }
     Cycles computeCycles() const { return computeCycles_; }
     Cycles memStallCycles() const { return memStallCycles_; }
+    /** L1 issue/hit pipeline cycles (every access pays l1HitCycles). */
+    Cycles l1Cycles() const { return accesses_ * params_.l1HitCycles; }
+
+    /**
+     * Top-down stall attribution. Invariant (pinned by test_topdown):
+     *   stallBreakdown().total() == memStallCycles()
+     *   now() == computeCycles() + l1Cycles() + memStallCycles()
+     */
+    const CoreStallBreakdown& stallBreakdown() const { return stall_; }
+
+    /** Stall cycles attributed to the blocking packet's stream id
+     *  (0 for sids this core never waited on). */
+    Cycles
+    streamStallCycles(StreamId sid) const
+    {
+        return sid < streamStall_.size() ? streamStall_[sid] : 0;
+    }
+    /** Stall cycles blamed on non-stream (kNoStream) packets; together
+     *  with the per-stream counts this sums exactly to
+     *  memStallCycles(). */
+    Cycles noStreamStallCycles() const { return noStreamStall_; }
 
     void report(StatGroup& stats, const std::string& prefix) const;
+
+    /**
+     * Register the CPI-stack series (compute/l1/stall buckets) under an
+     * arbitrary prefix. NdpSystem calls this once with "cores" (machine
+     * total via duplicate-name summing) and once with "stack.<s>" for
+     * the core's stack, giving per-stack stacks for free.
+     */
+    void registerCpiMetrics(MetricRegistry& registry,
+                            const std::string& prefix);
 
     /**
      * Attach a telemetry packet-sample sink (null detaches). The buffer
@@ -108,18 +177,40 @@ class InOrderCore : public MemObject
     }
 
   private:
+    /** One MSHR: completion time plus the occupying packet's identity
+     *  and service breakdown (for stall attribution). */
+    struct MshrSlot
+    {
+        Cycles free = 0;
+        LatencyBreakdown bd;
+        StreamId sid = kNoStream;
+    };
+
+    /**
+     * Account a stall window of `wait` cycles blamed on `blocking`:
+     * bump memStallCycles_, split the window over the blocking packet's
+     * breakdown buckets (largest-remainder rounding; mshrQueue when the
+     * slot has no recorded service), and attribute it to the blocking
+     * packet's stream id.
+     */
+    void attributeStall(Cycles wait, const MshrSlot& blocking);
+
     CoreId id_;
     CoreParams params_;
     RequestPort memPort_;
     SetAssocCache l1d_;
 
     Cycles now_ = 0;
-    /** Completion times of in-flight misses (one per MSHR). */
-    std::vector<Cycles> mshrFree_;
+    /** In-flight misses (one entry per MSHR). */
+    std::vector<MshrSlot> mshr_;
     std::uint64_t accesses_ = 0;
     std::uint64_t l1Hits_ = 0;
     Cycles computeCycles_ = 0;
     Cycles memStallCycles_ = 0;
+    CoreStallBreakdown stall_;
+    /** Stall cycles per blocking stream id (resize-on-demand). */
+    std::vector<Cycles> streamStall_;
+    Cycles noStreamStall_ = 0;
     /** Telemetry sink (null = sampling off; the default). */
     PacketSampleBuffer* telSink_ = nullptr;
 };

@@ -18,16 +18,29 @@ void
 ExtendedMemory::recvAtomic(Packet& pkt)
 {
     const CxlResult res =
-        access(pkt.addr, pkt.bytes, pkt.isWrite(), pkt.ready);
+        access(pkt.addr, pkt.bytes, pkt.isWrite(), pkt.ready, pkt.sid);
     pkt.bd.extMem += res.done - pkt.ready;
     pkt.ready = res.done;
     pkt.poisoned = res.poisoned;
 }
 
+ExtendedMemory::StreamCounters&
+ExtendedMemory::countersFor(StreamId sid)
+{
+    if (sid == kNoStream) {
+        return noStream_;
+    }
+    if (stream_.size() <= sid) {
+        stream_.resize(sid + 1);
+    }
+    return stream_[sid];
+}
+
 CxlResult
 ExtendedMemory::access(Addr addr, std::uint32_t bytes, bool is_write,
-                       Cycles now)
+                       Cycles now, StreamId sid)
 {
+    StreamCounters& sc = countersFor(sid);
     // Request flit over the link (64 B header+address class payload).
     // A transient link error loses the transaction; the endpoint retries
     // after capped exponential backoff. Every attempt occupies link
@@ -41,6 +54,7 @@ ExtendedMemory::access(Addr addr, std::uint32_t bytes, bool is_write,
             req_start + cxl_.linkLatencyCycles + link_.serviceCycles(64);
         linkEnergyNj_ += 64.0 * 8.0 * cxl_.pjPerBit * 1e-3;
         linkBytes_ += 64;
+        sc.linkBytes += 64;
         if (fault_ == nullptr || !fault_->linkError()) {
             break;
         }
@@ -59,6 +73,10 @@ ExtendedMemory::access(Addr addr, std::uint32_t bytes, bool is_write,
     }
 
     const DramResult dr = dram_.access(addr, bytes, is_write, at_device);
+    sc.dramBytes += bytes;
+    if (!dr.rowHit) {
+        ++sc.dramActivations; // DramDevice activates on every non-hit
+    }
 
     // Response payload back over the link.
     const Cycles rsp_start = link_.reserve(bytes, dr.done);
@@ -69,6 +87,7 @@ ExtendedMemory::access(Addr addr, std::uint32_t bytes, bool is_write,
     linkEnergyNj_ +=
         static_cast<double>(bytes) * 8.0 * cxl_.pjPerBit * 1e-3;
     linkBytes_ += bytes;
+    sc.linkBytes += bytes;
 
     CxlResult res{done, false};
     if (!is_write && fault_ != nullptr && fault_->poisonRead(addr)) {
@@ -122,6 +141,8 @@ ExtendedMemory::reset()
 {
     dram_.reset();
     link_.reset();
+    stream_.clear();
+    noStream_ = StreamCounters{};
     accesses_ = 0;
     linkEnergyNj_ = 0.0;
     linkBytes_ = 0;

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/types.h"
 #include "fault/fault_injector.h"
@@ -70,9 +71,12 @@ class ExtendedMemory : public MemObject
      */
     void recvAtomic(Packet& pkt);
 
-    /** Access `bytes` at `addr`, arriving at the CXL port at `now`. */
+    /**
+     * Access `bytes` at `addr`, arriving at the CXL port at `now`. `sid`
+     * owns the access for energy attribution (kNoStream = unattributed).
+     */
     CxlResult access(Addr addr, std::uint32_t bytes, bool is_write,
-                     Cycles now);
+                     Cycles now, StreamId sid = kNoStream);
 
     const CxlParams& params() const { return cxl_; }
     const DramDevice& dram() const { return dram_; }
@@ -82,6 +86,34 @@ class ExtendedMemory : public MemObject
     double dramEnergyNj() const { return dram_.dynamicEnergyNj(); }
     /** Payload bytes moved over the CXL link (bandwidth telemetry). */
     std::uint64_t linkBytes() const { return linkBytes_; }
+
+    /**
+     * Per-stream cost attribution: link bytes (incl. the request flit and
+     * any fault retries), DRAM bytes, and DRAM row activations are counted
+     * per owning stream id, and the energy shares are derived from those
+     * integer counters with the device's energy coefficients. Summed over
+     * every stream plus the kNoStream slot, the integer counters equal the
+     * machine totals exactly; the derived energies match linkEnergyNj() /
+     * dramEnergyNj() up to float association order.
+     */
+    double
+    streamLinkEnergyNj(StreamId sid) const
+    {
+        return linkEnergyFor(counters(sid));
+    }
+    double
+    streamDramEnergyNj(StreamId sid) const
+    {
+        return dramEnergyFor(counters(sid));
+    }
+    double unattributedLinkEnergyNj() const
+    {
+        return linkEnergyFor(noStream_);
+    }
+    double unattributedDramEnergyNj() const
+    {
+        return dramEnergyFor(noStream_);
+    }
 
     /** Transient-link-error retries performed (degraded mode). */
     std::uint64_t linkRetries() const { return linkRetries_; }
@@ -117,11 +149,46 @@ class ExtendedMemory : public MemObject
         ExtendedMemory& owner_;
     };
 
+    /** Integer cost counters of one stream (exact across any sharding). */
+    struct StreamCounters
+    {
+        std::uint64_t linkBytes = 0;
+        std::uint64_t dramBytes = 0;
+        std::uint64_t dramActivations = 0;
+    };
+
+    const StreamCounters&
+    counters(StreamId sid) const
+    {
+        static const StreamCounters kZero{};
+        return sid < stream_.size() ? stream_[sid] : kZero;
+    }
+    StreamCounters& countersFor(StreamId sid);
+
+    double
+    linkEnergyFor(const StreamCounters& c) const
+    {
+        return static_cast<double>(c.linkBytes) * 8.0 * cxl_.pjPerBit
+            * 1e-3;
+    }
+    double
+    dramEnergyFor(const StreamCounters& c) const
+    {
+        return static_cast<double>(c.dramBytes) * 8.0
+            * dram_.params().rdWrPjPerBit * 1e-3
+            + static_cast<double>(c.dramActivations)
+            * dram_.params().actPreNj;
+    }
+
     InPort in_{*this};
     CxlParams cxl_;
     DramDevice dram_;
     BandwidthResource link_;
     FaultInjector* fault_ = nullptr;
+
+    /** Per-stream attribution (resize-on-demand by sid). */
+    std::vector<StreamCounters> stream_;
+    StreamCounters noStream_;
 
     std::uint64_t accesses_ = 0;
     double linkEnergyNj_ = 0.0;

@@ -210,7 +210,8 @@ StreamCacheController::dramFor(ShardCtx& ctx, UnitId unit)
 
 DramResult
 StreamCacheController::dramAt(ShardCtx& ctx, const CacheLocation& loc,
-                              std::uint32_t bytes, bool is_write, Cycles t)
+                              std::uint32_t bytes, bool is_write, Cycles t,
+                              StreamId sid)
 {
     NDP_ASSERT(!unitFailed(loc.unit),
                "DRAM access on failed unit ", loc.unit);
@@ -218,7 +219,13 @@ StreamCacheController::dramAt(ShardCtx& ctx, const CacheLocation& loc,
     const std::uint32_t banks = dram.params().banks;
     const std::uint32_t bank = loc.deviceRow % banks;
     const std::uint64_t row = loc.deviceRow / banks;
-    return dram.accessRow(bank, row, bytes, is_write, t);
+    const DramResult dr = dram.accessRow(bank, row, bytes, is_write, t);
+    StreamCost& cost = ctx.costFor(sid);
+    cost.dramBytes += bytes;
+    if (!dr.rowHit) {
+        ++cost.dramActivations; // DramDevice activates on every non-hit
+    }
+    return dr;
 }
 
 void
@@ -296,7 +303,7 @@ StreamCacheController::fetchFill(ShardCtx& ctx, Packet& pkt, UnitId unit,
 
     // Install into the local DRAM row(s); critical word forwarded in
     // parallel, so the requester sees the fill completion time.
-    const DramResult dr = dramAt(ctx, loc, bytes, true, pkt.ready);
+    const DramResult dr = dramAt(ctx, loc, bytes, true, pkt.ready, cfg.sid);
     pkt.bd.dramCache += dr.done - pkt.ready;
     pkt.ready = dr.done;
 }
@@ -312,6 +319,7 @@ StreamCacheController::writebackVictim(ShardCtx& ctx, UnitId unit,
     const std::uint32_t bytes = granuleFetchBytes(cfg);
     Packet wb = Packet::writeback(granuleAddr(cfg, victim_granule),
                                   kNoUnit, t);
+    wb.sid = cfg.sid; // the victim's stream owns the writeback energy
     nocLeg(ctx, wb, unit, Packet::kCxlEndpoint, bytes);
     extLeg(ctx, wb, wb.addr, bytes, true);
     ++ctx.writebacks;
@@ -339,6 +347,11 @@ StreamCacheController::metadataLookup(ShardCtx& ctx, UnitId unit,
     }
     const DramResult dr = dramFor(ctx, home).access(
         key * 4, kCachelineBytes, false, pkt.ready);
+    StreamCost& cost = ctx.costFor(pkt.sid);
+    cost.dramBytes += kCachelineBytes;
+    if (!dr.rowHit) {
+        ++cost.dramActivations;
+    }
     pkt.bd.metadata += dr.done - pkt.ready;
     pkt.ready = dr.done;
     if (home != unit) {
@@ -406,6 +419,14 @@ StreamCacheController::handleRequest(Packet& pkt)
     handleAccess(ctx, pkt);
     pkt.bd.requests += 1;
     ctx.bd.merge(pkt.bd);
+    if (pkt.sid == kNoStream) {
+        ctx.noStreamBd.merge(pkt.bd);
+    } else {
+        if (ctx.streamBd.size() <= pkt.sid) {
+            ctx.streamBd.resize(pkt.sid + 1);
+        }
+        ctx.streamBd[pkt.sid].merge(pkt.bd);
+    }
 }
 
 MemResult
@@ -450,6 +471,7 @@ StreamCacheController::handleAccess(ShardCtx& ctx, Packet& pkt)
         pkt.ready += params_.slbHitCycles;
         pkt.bd.metadata += params_.slbHitCycles;
         ctx.sramEnergyNj += params_.slbPjPerLookup * 1e-3;
+        ++ctx.noStreamCost.slbLookups;
         ++ctx.bypasses;
         bypassToExt(ctx, u, pkt, pkt.addr, kCachelineBytes,
                     pkt.isWrite());
@@ -459,6 +481,7 @@ StreamCacheController::handleAccess(ShardCtx& ctx, Packet& pkt)
         pkt.ready += slb_lat;
         pkt.bd.metadata += slb_lat;
         ctx.sramEnergyNj += params_.slbPjPerLookup * 1e-3;
+        ++ctx.costFor(pkt.sid).slbLookups;
     }
 
     if (pkt.sid == kNoStream) {
@@ -558,8 +581,8 @@ StreamCacheController::accessCached(ShardCtx& ctx, UnitId u,
         if (res.hit && !eccFaultOnHit(ctx, true)) {
             ++ctx.hits;
             bumpStreamCounter(ctx.streamHits, cfg.sid);
-            const DramResult dr =
-                dramAt(ctx, loc, kCachelineBytes, is_write, pkt.ready);
+            const DramResult dr = dramAt(ctx, loc, kCachelineBytes,
+                                         is_write, pkt.ready, cfg.sid);
             pkt.bd.dramCache += dr.done - pkt.ready;
             pkt.ready = dr.done;
         } else {
@@ -576,13 +599,14 @@ StreamCacheController::accessCached(ShardCtx& ctx, UnitId u,
         pkt.ready += params_.ataCycles;
         pkt.bd.metadata += params_.ataCycles;
         ctx.sramEnergyNj += params_.ataPjPerLookup * 1e-3;
+        ++ctx.costFor(cfg.sid).ataLookups;
 
         const auto res = ts.accessFill(loc.unitSlot, granule, is_write);
         if (res.hit && !eccFaultOnHit(ctx, true)) {
             ++ctx.hits;
             bumpStreamCounter(ctx.streamHits, cfg.sid);
-            const DramResult dr =
-                dramAt(ctx, loc, kCachelineBytes, is_write, pkt.ready);
+            const DramResult dr = dramAt(ctx, loc, kCachelineBytes,
+                                         is_write, pkt.ready, cfg.sid);
             pkt.bd.dramCache += dr.done - pkt.ready;
             pkt.ready = dr.done;
         } else {
@@ -607,7 +631,7 @@ StreamCacheController::accessCached(ShardCtx& ctx, UnitId u,
         const std::uint32_t probe_bytes = std::min<std::uint32_t>(
             (granuleOf(cfg) + 8) * set_factor, rowBytes_);
         const DramResult dr =
-            dramAt(ctx, loc, probe_bytes, is_write, pkt.ready);
+            dramAt(ctx, loc, probe_bytes, is_write, pkt.ready, cfg.sid);
         pkt.bd.dramCache += dr.done - pkt.ready;
         pkt.ready = dr.done;
 
@@ -619,7 +643,7 @@ StreamCacheController::accessCached(ShardCtx& ctx, UnitId u,
                 const DramResult retry = dramAt(
                     ctx, loc,
                     std::min<std::uint32_t>(granuleOf(cfg) + 8, rowBytes_),
-                    is_write, pkt.ready);
+                    is_write, pkt.ready, cfg.sid);
                 pkt.bd.dramCache += retry.done - pkt.ready;
                 pkt.ready = retry.done;
             }
@@ -657,6 +681,7 @@ StreamCacheController::handleWriteback(ShardCtx& ctx, Packet& pkt)
         return;
     }
     const StreamConfig& cfg = streams_.stream(sid);
+    pkt.sid = sid; // the owning stream pays the writeback energy
     if (cfg.readOnly) {
         raiseWriteException(ctx, sid);
     }
@@ -683,7 +708,7 @@ StreamCacheController::handleWriteback(ShardCtx& ctx, Packet& pkt)
     TagStore& ts = storeFor(ctx, loc.unit, sid);
     if (ts.usable() && ts.probe(loc.unitSlot, granule)) {
         ts.accessFill(loc.unitSlot, granule, true); // mark dirty
-        dramAt(ctx, loc, kCachelineBytes, true, now);
+        dramAt(ctx, loc, kCachelineBytes, true, now, sid);
     } else {
         // Not cached: write through to extended memory.
         nocLeg(ctx, pkt, loc.unit, Packet::kCxlEndpoint, kCachelineBytes);
@@ -958,6 +983,93 @@ StreamCacheController::sramEnergyNj() const
         total += ctx->sramEnergyNj;
     }
     return total;
+}
+
+LatencyBreakdown
+StreamCacheController::streamBreakdown(StreamId sid) const
+{
+    LatencyBreakdown bd;
+    for (const auto& ctx : ctxs_) {
+        if (sid < ctx->streamBd.size()) {
+            bd.merge(ctx->streamBd[sid]);
+        }
+    }
+    return bd;
+}
+
+LatencyBreakdown
+StreamCacheController::nonStreamBreakdown() const
+{
+    LatencyBreakdown bd;
+    for (const auto& ctx : ctxs_) {
+        bd.merge(ctx->noStreamBd);
+    }
+    return bd;
+}
+
+double
+StreamCacheController::sramEnergyFor(const StreamCost& c) const
+{
+    return static_cast<double>(c.slbLookups) * params_.slbPjPerLookup
+        * 1e-3
+        + static_cast<double>(c.ataLookups) * params_.ataPjPerLookup
+        * 1e-3;
+}
+
+double
+StreamCacheController::dramCacheEnergyFor(const StreamCost& c) const
+{
+    return static_cast<double>(c.dramBytes) * 8.0
+        * unitDramParams_.rdWrPjPerBit * 1e-3
+        + static_cast<double>(c.dramActivations) * unitDramParams_.actPreNj;
+}
+
+double
+StreamCacheController::streamSramEnergyNj(StreamId sid) const
+{
+    StreamCost sum;
+    for (const auto& ctx : ctxs_) {
+        if (sid < ctx->streamCost.size()) {
+            sum.slbLookups += ctx->streamCost[sid].slbLookups;
+            sum.ataLookups += ctx->streamCost[sid].ataLookups;
+        }
+    }
+    return sramEnergyFor(sum);
+}
+
+double
+StreamCacheController::nonStreamSramEnergyNj() const
+{
+    StreamCost sum;
+    for (const auto& ctx : ctxs_) {
+        sum.slbLookups += ctx->noStreamCost.slbLookups;
+        sum.ataLookups += ctx->noStreamCost.ataLookups;
+    }
+    return sramEnergyFor(sum);
+}
+
+double
+StreamCacheController::streamDramCacheEnergyNj(StreamId sid) const
+{
+    StreamCost sum;
+    for (const auto& ctx : ctxs_) {
+        if (sid < ctx->streamCost.size()) {
+            sum.dramBytes += ctx->streamCost[sid].dramBytes;
+            sum.dramActivations += ctx->streamCost[sid].dramActivations;
+        }
+    }
+    return dramCacheEnergyFor(sum);
+}
+
+double
+StreamCacheController::nonStreamDramCacheEnergyNj() const
+{
+    StreamCost sum;
+    for (const auto& ctx : ctxs_) {
+        sum.dramBytes += ctx->noStreamCost.dramBytes;
+        sum.dramActivations += ctx->noStreamCost.dramActivations;
+    }
+    return dramCacheEnergyFor(sum);
 }
 
 std::uint64_t

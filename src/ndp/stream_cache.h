@@ -269,6 +269,22 @@ class StreamCacheController : public MemObject
     std::uint64_t streamMisses(StreamId sid) const;
     double dramCacheEnergyNj() const;
     double sramEnergyNj() const;
+
+    /**
+     * Per-stream cost attribution. Service latency is merged per owning
+     * sid on request completion, so summed over every stream plus the
+     * non-stream slot it equals breakdown() exactly (integer cycles).
+     * SRAM and DRAM-cache energy shares are derived from per-stream
+     * integer counters (lookups, bytes, activations) with the same
+     * coefficients as the machine totals, so the shares sum to
+     * sramEnergyNj()/dramCacheEnergyNj() up to float association order.
+     */
+    LatencyBreakdown streamBreakdown(StreamId sid) const;
+    LatencyBreakdown nonStreamBreakdown() const;
+    double streamSramEnergyNj(StreamId sid) const;
+    double nonStreamSramEnergyNj() const;
+    double streamDramCacheEnergyNj(StreamId sid) const;
+    double nonStreamDramCacheEnergyNj() const;
     const DramDevice& unitDram(UnitId unit) const;
 
     void report(StatGroup& stats, const std::string& prefix) const;
@@ -337,6 +353,16 @@ class StreamCacheController : public MemObject
      * single context (bound to the constructor's NoC/ext) covers all
      * units and the proxies are never used.
      */
+    /** Integer cost counters of one stream within one shard; energy is
+     *  derived from these so the attribution shards exactly. */
+    struct StreamCost
+    {
+        std::uint64_t slbLookups = 0;
+        std::uint64_t ataLookups = 0;
+        std::uint64_t dramBytes = 0;
+        std::uint64_t dramActivations = 0;
+    };
+
     struct ShardCtx
     {
         std::uint32_t id = 0;
@@ -360,6 +386,25 @@ class StreamCacheController : public MemObject
         /** Per-stream hit/miss counters (index = sid). */
         std::vector<std::uint64_t> streamHits;
         std::vector<std::uint64_t> streamMisses;
+        /** Per-stream service latency (index = sid; kNoStream separate);
+         *  excludes core writebacks, mirroring `bd`. */
+        std::vector<LatencyBreakdown> streamBd;
+        LatencyBreakdown noStreamBd;
+        /** Per-stream SRAM/DRAM-cache cost counters. */
+        std::vector<StreamCost> streamCost;
+        StreamCost noStreamCost;
+
+        StreamCost&
+        costFor(StreamId sid)
+        {
+            if (sid == kNoStream) {
+                return noStreamCost;
+            }
+            if (streamCost.size() <= sid) {
+                streamCost.resize(sid + 1);
+            }
+            return streamCost[sid];
+        }
 
         /** Streams whose first write was observed this interval. */
         std::vector<StreamId> pendingWritten;
@@ -426,9 +471,14 @@ class StreamCacheController : public MemObject
     std::uint64_t granuleForPacket(const StreamConfig& cfg,
                                    const Packet& pkt) const;
 
-    /** DRAM access at a resolved cache location. */
+    /** DRAM access at a resolved cache location, charged to `sid`. */
     DramResult dramAt(ShardCtx& ctx, const CacheLocation& loc,
-                      std::uint32_t bytes, bool is_write, Cycles t);
+                      std::uint32_t bytes, bool is_write, Cycles t,
+                      StreamId sid);
+
+    /** Energy of a stream's cost counters (machine coefficients). */
+    double sramEnergyFor(const StreamCost& c) const;
+    double dramCacheEnergyFor(const StreamCost& c) const;
 
     /**
      * The tag store consulted by `ctx` for (unit, sid): the real store

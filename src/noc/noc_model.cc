@@ -33,11 +33,12 @@ NocModel::recvAtomic(Packet& pkt)
 {
     NocResult res;
     if (pkt.hopDst == Packet::kCxlEndpoint) {
-        res = transferToCxl(pkt.hopSrc, pkt.bytes, pkt.ready);
+        res = transferToCxl(pkt.hopSrc, pkt.bytes, pkt.ready, pkt.sid);
     } else if (pkt.hopSrc == Packet::kCxlEndpoint) {
-        res = transferFromCxl(pkt.hopDst, pkt.bytes, pkt.ready);
+        res = transferFromCxl(pkt.hopDst, pkt.bytes, pkt.ready, pkt.sid);
     } else {
-        res = transfer(pkt.hopSrc, pkt.hopDst, pkt.bytes, pkt.ready);
+        res = transfer(pkt.hopSrc, pkt.hopDst, pkt.bytes, pkt.ready,
+                       pkt.sid);
     }
     const Cycles intra =
         static_cast<Cycles>(res.intraHops) * params_.intraHopCycles;
@@ -84,8 +85,23 @@ NocModel::routeStacks(StackId src, StackId dst, std::uint32_t bytes,
     return t;
 }
 
+void
+NocModel::chargeEnergy(StreamId sid, double nj)
+{
+    energyNj_ += nj;
+    if (sid == kNoStream) {
+        noStreamEnergyNj_ += nj;
+    } else {
+        if (streamEnergyNj_.size() <= sid) {
+            streamEnergyNj_.resize(sid + 1, 0.0);
+        }
+        streamEnergyNj_[sid] += nj;
+    }
+}
+
 NocResult
-NocModel::transfer(UnitId src, UnitId dst, std::uint32_t bytes, Cycles now)
+NocModel::transfer(UnitId src, UnitId dst, std::uint32_t bytes, Cycles now,
+                   StreamId sid)
 {
     NocResult res;
     if (src == dst) {
@@ -105,10 +121,11 @@ NocModel::transfer(UnitId src, UnitId dst, std::uint32_t bytes, Cycles now)
     res.interHops = hops.inter;
 
     const double bits = static_cast<double>(bytes) * 8.0;
-    energyNj_ += bits * params_.intraPjPerBit * 1e-3
-            * static_cast<double>(hops.intra)
-        + bits * params_.interPjPerBit * 1e-3
-            * static_cast<double>(hops.inter);
+    chargeEnergy(sid,
+                 bits * params_.intraPjPerBit * 1e-3
+                         * static_cast<double>(hops.intra)
+                     + bits * params_.interPjPerBit * 1e-3
+                         * static_cast<double>(hops.inter));
     intraHopBytes_ += static_cast<std::uint64_t>(bytes) * hops.intra;
     interHopBytes_ += static_cast<std::uint64_t>(bytes) * hops.inter;
     ++transfers_;
@@ -118,7 +135,8 @@ NocModel::transfer(UnitId src, UnitId dst, std::uint32_t bytes, Cycles now)
 
 NocResult
 NocModel::transferUnitPortal(UnitId unit, StackId portal_stack,
-                             std::uint32_t bytes, Cycles now, bool to_portal)
+                             std::uint32_t bytes, Cycles now, bool to_portal,
+                             StreamId sid)
 {
     NocResult res;
     const StackId ustack = topo_.stackOf(unit);
@@ -138,9 +156,11 @@ NocModel::transferUnitPortal(UnitId unit, StackId portal_stack,
     res.interHops = inter;
 
     const double bits = static_cast<double>(bytes) * 8.0;
-    energyNj_ += bits * params_.intraPjPerBit * 1e-3
-            * static_cast<double>(intra)
-        + bits * params_.interPjPerBit * 1e-3 * static_cast<double>(inter);
+    chargeEnergy(sid,
+                 bits * params_.intraPjPerBit * 1e-3
+                         * static_cast<double>(intra)
+                     + bits * params_.interPjPerBit * 1e-3
+                         * static_cast<double>(inter));
     intraHopBytes_ += static_cast<std::uint64_t>(bytes) * intra;
     interHopBytes_ += static_cast<std::uint64_t>(bytes) * inter;
     ++transfers_;
@@ -149,15 +169,18 @@ NocModel::transferUnitPortal(UnitId unit, StackId portal_stack,
 }
 
 NocResult
-NocModel::transferToCxl(UnitId src, std::uint32_t bytes, Cycles now)
+NocModel::transferToCxl(UnitId src, std::uint32_t bytes, Cycles now,
+                        StreamId sid)
 {
-    return transferUnitPortal(src, topo_.cxlStack(), bytes, now, true);
+    return transferUnitPortal(src, topo_.cxlStack(), bytes, now, true, sid);
 }
 
 NocResult
-NocModel::transferFromCxl(UnitId dst, std::uint32_t bytes, Cycles now)
+NocModel::transferFromCxl(UnitId dst, std::uint32_t bytes, Cycles now,
+                          StreamId sid)
 {
-    return transferUnitPortal(dst, topo_.cxlStack(), bytes, now, false);
+    return transferUnitPortal(dst, topo_.cxlStack(), bytes, now, false,
+                              sid);
 }
 
 Cycles
@@ -231,6 +254,8 @@ NocModel::reset()
         }
     }
     energyNj_ = 0.0;
+    streamEnergyNj_.clear();
+    noStreamEnergyNj_ = 0.0;
     transfers_ = 0;
     totalCycles_ = 0;
     intraHopBytes_ = 0;

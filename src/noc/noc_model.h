@@ -68,17 +68,20 @@ class NocModel : public MemObject
 
     /**
      * Move `bytes` from unit `src` to unit `dst` starting at `now`;
-     * reserves inter-stack links along the XY stack route.
+     * reserves inter-stack links along the XY stack route. `sid` owns the
+     * transfer for energy attribution (kNoStream = unattributed).
      */
     NocResult transfer(UnitId src, UnitId dst, std::uint32_t bytes,
-                       Cycles now);
+                       Cycles now, StreamId sid = kNoStream);
 
     /**
      * Transfer between a unit and the CXL attach point (the portal of the
      * CXL stack); used on every extended-memory access.
      */
-    NocResult transferToCxl(UnitId src, std::uint32_t bytes, Cycles now);
-    NocResult transferFromCxl(UnitId dst, std::uint32_t bytes, Cycles now);
+    NocResult transferToCxl(UnitId src, std::uint32_t bytes, Cycles now,
+                            StreamId sid = kNoStream);
+    NocResult transferFromCxl(UnitId dst, std::uint32_t bytes, Cycles now,
+                              StreamId sid = kNoStream);
 
     /** Zero-load latency between two units (no reservation). */
     Cycles pureLatency(UnitId src, UnitId dst) const;
@@ -90,6 +93,15 @@ class NocModel : public MemObject
     const NocParams& params() const { return params_; }
 
     double energyNj() const { return energyNj_; }
+    /** Energy of transfers owned by stream `sid` (0 if never seen). */
+    double
+    streamEnergyNj(StreamId sid) const
+    {
+        return sid < streamEnergyNj_.size() ? streamEnergyNj_[sid] : 0.0;
+    }
+    /** Energy of kNoStream transfers (core writebacks, metadata, ...);
+     *  together with the per-stream shares this covers energyNj(). */
+    double unattributedEnergyNj() const { return noStreamEnergyNj_; }
     std::uint64_t transfers() const { return transfers_; }
     /** Sum over transfers of (arrival - request) cycles. */
     Cycles totalTransferCycles() const { return totalCycles_; }
@@ -136,7 +148,10 @@ class NocModel : public MemObject
 
     NocResult transferUnitPortal(UnitId unit, StackId portal_stack,
                                  std::uint32_t bytes, Cycles now,
-                                 bool to_portal);
+                                 bool to_portal, StreamId sid);
+
+    /** Add `nj` to the machine total and to `sid`'s attribution slot. */
+    void chargeEnergy(StreamId sid, double nj);
 
     MeshTopology topo_;
     NocParams params_;
@@ -144,6 +159,9 @@ class NocModel : public MemObject
     std::vector<std::vector<BandwidthResource>> links_;
 
     double energyNj_ = 0.0;
+    /** Per-stream energy attribution (resize-on-demand by sid). */
+    std::vector<double> streamEnergyNj_;
+    double noStreamEnergyNj_ = 0.0;
     std::uint64_t transfers_ = 0;
     Cycles totalCycles_ = 0;
     std::uint64_t intraHopBytes_ = 0;

@@ -181,11 +181,101 @@ NdpSystem::run(const Workload& workload)
         cache.registerMetrics(mr);
         for (auto& core : cores) {
             core.registerMetrics(mr);
+            // Same series under a per-stack prefix: duplicate-name
+            // summing turns these into per-stack CPI stacks.
+            core.registerCpiMetrics(
+                mr, "stack." + std::to_string(topo.stackOf(core.id())));
         }
         for (auto& sh : shards) {
             sh.noc->registerMetrics(mr);
             sh.ext->registerMetrics(mr);
         }
+
+        // Per-stream cost attribution series (ndpext_report topdown).
+        // The "none" slot carries kNoStream traffic so the series always
+        // sum to the machine totals.
+        auto registerStream = [&mr, &cores, &shards,
+                               &cache](const std::string& base,
+                                       StreamId sid, bool none) {
+            mr.registerCounter(base + ".stallCycles",
+                               [&cores, sid, none] {
+                                   Cycles total = 0;
+                                   for (const auto& core : cores) {
+                                       total += none
+                                           ? core.noStreamStallCycles()
+                                           : core.streamStallCycles(sid);
+                                   }
+                                   return double(total);
+                               });
+            struct BdField
+            {
+                const char* name;
+                Cycles LatencyBreakdown::* field;
+            };
+            static const BdField kFields[] = {
+                {"metadata", &LatencyBreakdown::metadata},
+                {"icnIntra", &LatencyBreakdown::icnIntra},
+                {"icnInter", &LatencyBreakdown::icnInter},
+                {"dramCache", &LatencyBreakdown::dramCache},
+                {"extMem", &LatencyBreakdown::extMem},
+            };
+            for (const BdField& f : kFields) {
+                mr.registerCounter(
+                    base + ".serviceCycles." + f.name,
+                    [&cache, sid, none, field = f.field] {
+                        const LatencyBreakdown bd = none
+                            ? cache.nonStreamBreakdown()
+                            : cache.streamBreakdown(sid);
+                        return double(bd.*field);
+                    });
+            }
+            mr.registerCounter(base + ".energyNj.icn",
+                               [&shards, sid, none] {
+                                   double total = 0.0;
+                                   for (const auto& sh : shards) {
+                                       total += none
+                                           ? sh.noc->unattributedEnergyNj()
+                                           : sh.noc->streamEnergyNj(sid);
+                                   }
+                                   return total;
+                               });
+            mr.registerCounter(
+                base + ".energyNj.cxlLink", [&shards, sid, none] {
+                    double total = 0.0;
+                    for (const auto& sh : shards) {
+                        total += none
+                            ? sh.ext->unattributedLinkEnergyNj()
+                            : sh.ext->streamLinkEnergyNj(sid);
+                    }
+                    return total;
+                });
+            mr.registerCounter(
+                base + ".energyNj.extDram", [&shards, sid, none] {
+                    double total = 0.0;
+                    for (const auto& sh : shards) {
+                        total += none
+                            ? sh.ext->unattributedDramEnergyNj()
+                            : sh.ext->streamDramEnergyNj(sid);
+                    }
+                    return total;
+                });
+            mr.registerCounter(
+                base + ".energyNj.dramCache", [&cache, sid, none] {
+                    return none ? cache.nonStreamDramCacheEnergyNj()
+                                : cache.streamDramCacheEnergyNj(sid);
+                });
+            mr.registerCounter(base + ".energyNj.sram",
+                               [&cache, sid, none] {
+                                   return none
+                                       ? cache.nonStreamSramEnergyNj()
+                                       : cache.streamSramEnergyNj(sid);
+                               });
+        };
+        for (const StreamConfig& scfg : table.all()) {
+            registerStream("stream." + std::to_string(scfg.sid), scfg.sid,
+                           false);
+        }
+        registerStream("stream.none", kNoStream, true);
         runtime.registerMetrics(mr);
         runtime.setTelemetry(telemetry_);
         telemetry_->initPacketSampling(n);
@@ -336,6 +426,82 @@ NdpSystem::run(const Workload& workload)
         res.l1Hits += core.l1Hits();
         core.report(res.stats, "core" + std::to_string(core.id()));
     }
+
+    // Machine-wide CPI stack (fixed-order sums over cores, so the values
+    // are bit-identical for any --threads value; ndpext_report topdown
+    // checks the bucket-sum invariant against cores.memStallCycles).
+    {
+        CoreStallBreakdown stall;
+        Cycles compute = 0;
+        Cycles l1 = 0;
+        Cycles mem_stall = 0;
+        for (const auto& core : cores) {
+            const CoreStallBreakdown& s = core.stallBreakdown();
+            stall.metadata += s.metadata;
+            stall.icnIntra += s.icnIntra;
+            stall.icnInter += s.icnInter;
+            stall.dramCache += s.dramCache;
+            stall.extMem += s.extMem;
+            stall.mshrQueue += s.mshrQueue;
+            compute += core.computeCycles();
+            l1 += core.l1Cycles();
+            mem_stall += core.memStallCycles();
+        }
+        res.stats.set("cores.computeCycles", static_cast<double>(compute));
+        res.stats.set("cores.l1Cycles", static_cast<double>(l1));
+        res.stats.set("cores.memStallCycles",
+                      static_cast<double>(mem_stall));
+        stall.report(res.stats, "cores.stall");
+    }
+
+    // Per-stream cost attribution (mirrors the telemetry series so
+    // --stats-json carries them too).
+    auto addStreamStats = [&](const std::string& base, StreamId sid,
+                              bool none) {
+        Cycles stall = 0;
+        for (const auto& core : cores) {
+            stall += none ? core.noStreamStallCycles()
+                          : core.streamStallCycles(sid);
+        }
+        res.stats.set(base + ".stallCycles", static_cast<double>(stall));
+        const LatencyBreakdown bd = none ? cache.nonStreamBreakdown()
+                                         : cache.streamBreakdown(sid);
+        res.stats.set(base + ".serviceCycles.metadata",
+                      static_cast<double>(bd.metadata));
+        res.stats.set(base + ".serviceCycles.icnIntra",
+                      static_cast<double>(bd.icnIntra));
+        res.stats.set(base + ".serviceCycles.icnInter",
+                      static_cast<double>(bd.icnInter));
+        res.stats.set(base + ".serviceCycles.dramCache",
+                      static_cast<double>(bd.dramCache));
+        res.stats.set(base + ".serviceCycles.extMem",
+                      static_cast<double>(bd.extMem));
+        double icn = 0.0;
+        double link = 0.0;
+        double ext_dram = 0.0;
+        for (const Shard& sh : shards) {
+            icn += none ? sh.noc->unattributedEnergyNj()
+                        : sh.noc->streamEnergyNj(sid);
+            link += none ? sh.ext->unattributedLinkEnergyNj()
+                         : sh.ext->streamLinkEnergyNj(sid);
+            ext_dram += none ? sh.ext->unattributedDramEnergyNj()
+                             : sh.ext->streamDramEnergyNj(sid);
+        }
+        res.stats.set(base + ".energyNj.icn", icn);
+        res.stats.set(base + ".energyNj.cxlLink", link);
+        res.stats.set(base + ".energyNj.extDram", ext_dram);
+        res.stats.set(base + ".energyNj.dramCache",
+                      none ? cache.nonStreamDramCacheEnergyNj()
+                           : cache.streamDramCacheEnergyNj(sid));
+        res.stats.set(base + ".energyNj.sram",
+                      none ? cache.nonStreamSramEnergyNj()
+                           : cache.streamSramEnergyNj(sid));
+    };
+    for (const StreamConfig& scfg : table.all()) {
+        addStreamStats("stream." + std::to_string(scfg.sid), scfg.sid,
+                       false);
+    }
+    addStreamStats("stream.none", kNoStream, true);
 
     const double seconds = static_cast<double>(finish)
         / (static_cast<double>(cfg_.coreFreqMhz) * 1e6);

@@ -1,0 +1,217 @@
+/**
+ * tiny_json parser tests: the telemetry tool chain (ndpext_report,
+ * ndpext_bench_compare, the ctest schema gate) trusts this parser, so
+ * its edge cases are pinned here — deep nesting, escape handling
+ * (\uXXXX, \\, \"), numeric overflow/underflow, and truncated input.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "telemetry/tiny_json.h"
+
+namespace ndpext {
+namespace {
+
+json::ValuePtr
+mustParse(const std::string& text)
+{
+    std::string err;
+    json::ValuePtr v = json::parse(text, &err);
+    EXPECT_NE(v, nullptr) << "unexpected parse error: " << err;
+    return v;
+}
+
+std::string
+mustFail(const std::string& text)
+{
+    std::string err;
+    json::ValuePtr v = json::parse(text, &err);
+    EXPECT_EQ(v, nullptr) << "expected a parse error for: " << text;
+    EXPECT_FALSE(err.empty());
+    return err;
+}
+
+// --- basics -------------------------------------------------------------
+
+TEST(TinyJson, ScalarsAndContainers)
+{
+    EXPECT_TRUE(mustParse("null")->isNull());
+    EXPECT_TRUE(mustParse("true")->boolean);
+    EXPECT_FALSE(mustParse("false")->boolean);
+    EXPECT_DOUBLE_EQ(mustParse("-12.5e2")->number, -1250.0);
+    EXPECT_EQ(mustParse("\"hi\"")->string, "hi");
+    EXPECT_EQ(mustParse("[1, 2, 3]")->array.size(), 3u);
+    const json::ValuePtr obj = mustParse("{\"a\": 1, \"b\": \"x\"}");
+    EXPECT_DOUBLE_EQ(obj->num("a"), 1.0);
+    EXPECT_EQ(obj->str("b"), "x");
+    EXPECT_EQ(obj->get("absent"), nullptr);
+}
+
+TEST(TinyJson, ObjectPreservesInsertionOrderAndDuplicates)
+{
+    const json::ValuePtr v = mustParse("{\"z\": 1, \"a\": 2, \"z\": 3}");
+    ASSERT_EQ(v->object.size(), 3u);
+    EXPECT_EQ(v->object[0].first, "z");
+    EXPECT_EQ(v->object[1].first, "a");
+    // get() returns the first match; the duplicate stays addressable
+    // through the raw member list.
+    EXPECT_DOUBLE_EQ(v->num("z"), 1.0);
+    EXPECT_DOUBLE_EQ(v->object[2].second->number, 3.0);
+}
+
+// --- deep nesting -------------------------------------------------------
+
+TEST(TinyJson, DeeplyNestedArrays)
+{
+    // 1000 levels: enough to catch accidental O(depth^2) or a tiny
+    // recursion budget, small enough to stay clear of stack limits.
+    constexpr int kDepth = 1000;
+    std::string text;
+    text.reserve(2 * kDepth + 1);
+    for (int i = 0; i < kDepth; ++i) {
+        text += '[';
+    }
+    text += '7';
+    for (int i = 0; i < kDepth; ++i) {
+        text += ']';
+    }
+    const json::ValuePtr root = mustParse(text);
+    const json::Value* v = root.get();
+    for (int i = 0; i < kDepth; ++i) {
+        ASSERT_TRUE(v->isArray());
+        ASSERT_EQ(v->array.size(), 1u);
+        v = v->array[0].get();
+    }
+    EXPECT_DOUBLE_EQ(v->number, 7.0);
+}
+
+TEST(TinyJson, DeeplyNestedObjects)
+{
+    constexpr int kDepth = 200;
+    std::string text;
+    for (int i = 0; i < kDepth; ++i) {
+        text += "{\"k\":";
+    }
+    text += "true";
+    for (int i = 0; i < kDepth; ++i) {
+        text += '}';
+    }
+    const json::ValuePtr root = mustParse(text);
+    const json::Value* v = root.get();
+    for (int i = 0; i < kDepth; ++i) {
+        ASSERT_TRUE(v->isObject());
+        v = v->get("k");
+        ASSERT_NE(v, nullptr);
+    }
+    EXPECT_TRUE(v->boolean);
+}
+
+// --- string escapes -----------------------------------------------------
+
+TEST(TinyJson, SimpleEscapes)
+{
+    EXPECT_EQ(mustParse("\"a\\\\b\"")->string, "a\\b");
+    EXPECT_EQ(mustParse("\"a\\\"b\"")->string, "a\"b");
+    EXPECT_EQ(mustParse("\"a\\/b\"")->string, "a/b");
+    EXPECT_EQ(mustParse("\"\\b\\f\\n\\r\\t\"")->string, "\b\f\n\r\t");
+}
+
+TEST(TinyJson, UnicodeEscapesAsciiAndReplacement)
+{
+    EXPECT_EQ(mustParse("\"\\u0041\"")->string, "A");
+    EXPECT_EQ(mustParse("\"\\u007f\"")->string, "\x7f");
+    // The parser documents ASCII-only telemetry: non-ASCII code points
+    // (and surrogate halves) degrade to '?' rather than UTF-8.
+    EXPECT_EQ(mustParse("\"\\u00e9\"")->string, "?");
+    EXPECT_EQ(mustParse("\"\\ud83d\"")->string, "?");
+    EXPECT_EQ(mustParse("\"x\\u0041y\\u2603z\"")->string, "xAy?z");
+}
+
+TEST(TinyJson, BadEscapesAreErrors)
+{
+    EXPECT_NE(mustFail("\"\\q\"").find("bad escape"), std::string::npos);
+    // \u with fewer than 4 hex digits before end-of-input.
+    EXPECT_NE(mustFail("\"\\u00\"").find("bad \\u escape"),
+              std::string::npos);
+}
+
+// --- numbers: overflow / underflow --------------------------------------
+
+TEST(TinyJson, NumericOverflowBecomesInfinity)
+{
+    // strtod semantics: magnitudes past DBL_MAX saturate to +/-inf
+    // rather than failing the parse. Pin it so a parser swap can't
+    // silently change how a corrupt metric reads.
+    EXPECT_TRUE(std::isinf(mustParse("1e400")->number));
+    EXPECT_GT(mustParse("1e400")->number, 0.0);
+    EXPECT_TRUE(std::isinf(mustParse("-1e400")->number));
+    EXPECT_LT(mustParse("-1e400")->number, 0.0);
+}
+
+TEST(TinyJson, NumericUnderflowBecomesZeroOrDenormal)
+{
+    const double tiny = mustParse("1e-400")->number;
+    EXPECT_GE(tiny, 0.0);
+    EXPECT_LT(tiny, std::numeric_limits<double>::min());
+    EXPECT_DOUBLE_EQ(mustParse("-0.0")->number, 0.0);
+}
+
+TEST(TinyJson, LargeExactIntegers)
+{
+    // 2^53: the largest contiguously-representable integer. Cycle
+    // counters stay below this; the parse must be exact there.
+    EXPECT_DOUBLE_EQ(mustParse("9007199254740992")->number,
+                     9007199254740992.0);
+}
+
+// --- truncated / malformed input ----------------------------------------
+
+TEST(TinyJson, TruncatedInputsFailWithOffsets)
+{
+    EXPECT_NE(mustFail("").find("unexpected end of input"),
+              std::string::npos);
+    EXPECT_NE(mustFail("{\"a\": 1").find("expected ',' or '}'"),
+              std::string::npos);
+    EXPECT_NE(mustFail("[1, 2").find("expected ',' or ']'"),
+              std::string::npos);
+    EXPECT_NE(mustFail("\"abc").find("unterminated string"),
+              std::string::npos);
+    EXPECT_NE(mustFail("\"abc\\").find("unterminated string"),
+              std::string::npos);
+    EXPECT_NE(mustFail("{\"a\" 1}").find("expected ':'"),
+              std::string::npos);
+    EXPECT_NE(mustFail("tru").find("bad keyword"), std::string::npos);
+    // Errors carry a byte offset for debuggability.
+    EXPECT_NE(mustFail("[1, 2").find("offset"), std::string::npos);
+}
+
+TEST(TinyJson, TrailingGarbageRejected)
+{
+    EXPECT_NE(mustFail("{} x").find("trailing garbage"),
+              std::string::npos);
+    EXPECT_NE(mustFail("1 2").find("trailing garbage"), std::string::npos);
+}
+
+// --- JSONL --------------------------------------------------------------
+
+TEST(TinyJson, ParseLinesSkipsBlanksAndNamesBadLine)
+{
+    std::vector<json::ValuePtr> out;
+    std::string err;
+    EXPECT_TRUE(json::parseLines("{\"a\":1}\n\n  \t\n{\"b\":2}\n", out,
+                                 &err));
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_DOUBLE_EQ(out[1]->num("b"), 2.0);
+
+    out.clear();
+    EXPECT_FALSE(json::parseLines("{\"a\":1}\n{bad}\n", out, &err));
+    EXPECT_NE(err.find("line 2"), std::string::npos);
+}
+
+} // namespace
+} // namespace ndpext

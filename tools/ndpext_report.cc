@@ -9,14 +9,23 @@
  *       per-stream hit rates, p50/p99 of each sampled latency stage, and
  *       every runtime decision's stream->unit share assignment.
  *
- *   ndpext_report diff PREFIX_A PREFIX_B
+ *   ndpext_report topdown PREFIX
+ *       Fig. 2(a)-style top-down CPI stack from the final metric sample:
+ *       machine-wide, per stack, and per stream, plus per-stream energy
+ *       attribution. Verifies that the stall buckets sum exactly to the
+ *       recorded memory stall cycles (exit 1 on violation).
+ *
+ *   ndpext_report diff [--strict] [--tolerance=REL] PREFIX_A PREFIX_B
  *       Compare two runs: per-stream hit-rate deltas, stage-latency
  *       percentile deltas, and the decisions whose allocations differ
  *       (Algorithm 1 replay diffing without rerunning the simulator).
+ *       With --strict, exit 1 when aligned decisions diverge or any
+ *       headline metric's relative delta exceeds REL (default 0).
  *
  *   ndpext_report check PREFIX
  *       Validate the schema of all three files; exit 1 with a message on
- *       the first violation (the ctest schema gate).
+ *       the first violation (the ctest schema gate). Warns (exit 0) when
+ *       stage percentiles rest on too few sampled packet slices.
  *
  * Exit status: 0 = ok, 1 = bad telemetry content, 2 = usage error.
  */
@@ -25,6 +34,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -39,12 +49,25 @@ using namespace ndpext;
 namespace {
 
 constexpr const char* kUsage =
-    "usage: ndpext_report <command> <prefix> [<prefix2>]\n"
+    "usage: ndpext_report <command> [options] <prefix> [<prefix2>]\n"
     "  summary PREFIX       per-epoch metrics, per-stream hit rates,\n"
     "                       stage latency percentiles, decisions\n"
-    "  diff PREFIX PREFIX2  compare two telemetry runs\n"
+    "  topdown PREFIX       top-down CPI stack (machine / per stack /\n"
+    "                       per stream) + per-stream energy attribution\n"
+    "  diff [--strict] [--tolerance=REL] PREFIX PREFIX2\n"
+    "                       compare two telemetry runs; --strict exits 1\n"
+    "                       on decision divergence or metric deltas\n"
+    "                       beyond REL (default 0)\n"
     "  check PREFIX         validate the telemetry schema (exit 1 on\n"
     "                       violation)\n";
+
+/**
+ * Percentiles from fewer samples than this are statistically garbage
+ * (a p99 needs ~100 points to even be defined by rank). summary/topdown
+ * warn; check flags the same condition without failing, so low
+ * --telemetry-sample smoke runs stay usable as schema gates.
+ */
+constexpr std::size_t kMinStageSamples = 100;
 
 [[noreturn]] void
 usageError(const std::string& message)
@@ -252,6 +275,26 @@ allocSignature(const json::Value& decision)
     return sig;
 }
 
+/** Warn about stages whose percentiles rest on < kMinStageSamples
+ *  sampled slices. Returns the number of warnings printed. */
+std::size_t
+warnLowSamples(const std::map<std::string, std::vector<double>>& stages)
+{
+    std::size_t warned = 0;
+    for (const auto& [stage, samples] : stages) {
+        if (samples.size() < kMinStageSamples) {
+            std::fprintf(stderr,
+                         "ndpext_report: warning: stage '%s' percentiles "
+                         "computed from only %zu sampled slice(s) (< %zu); "
+                         "lower --telemetry-sample or run longer for "
+                         "trustworthy p99s\n",
+                         stage.c_str(), samples.size(), kMinStageSamples);
+            ++warned;
+        }
+    }
+    return warned;
+}
+
 void
 cmdSummary(const Run& run)
 {
@@ -326,6 +369,7 @@ cmdSummary(const Run& run)
                             : *std::max_element(samples.begin(),
                                                 samples.end()));
         }
+        warnLowSamples(stages);
     }
 
     // --- decisions ---
@@ -348,9 +392,204 @@ cmdSummary(const Run& run)
     }
 }
 
-void
-cmdDiff(const Run& a, const Run& b)
+/** The memory-stall buckets of the top-down stack, in print order. */
+constexpr const char* kStallBuckets[] = {"metadata",  "icnIntra",
+                                         "icnInter",  "dramCache",
+                                         "extMem",    "mshrQueue"};
+constexpr std::size_t kNumStallBuckets = 6;
+
+/** One CPI stack read from a metric namespace (cores / stack.<s>). */
+struct CpiStack
 {
+    bool present = false;
+    double compute = 0.0;
+    double l1 = 0.0;
+    double memStall = 0.0;
+    double buckets[kNumStallBuckets] = {};
+
+    double total() const { return compute + l1 + memStall; }
+    double
+    bucketSum() const
+    {
+        double sum = 0.0;
+        for (const double b : buckets) {
+            sum += b;
+        }
+        return sum;
+    }
+};
+
+CpiStack
+readCpiStack(const json::Value& metrics, const std::string& prefix)
+{
+    CpiStack s;
+    const json::Value* mem = metrics.get(prefix + ".memStallCycles");
+    if (mem == nullptr || !mem->isNumber()) {
+        return s;
+    }
+    s.present = true;
+    s.compute = metrics.num(prefix + ".computeCycles");
+    s.l1 = metrics.num(prefix + ".l1Cycles");
+    s.memStall = mem->number;
+    for (std::size_t i = 0; i < kNumStallBuckets; ++i) {
+        s.buckets[i] =
+            metrics.num(prefix + ".stall." + kStallBuckets[i]);
+    }
+    return s;
+}
+
+void
+printCpiRow(const char* label, const CpiStack& s)
+{
+    const double total = std::max(1.0, s.total());
+    std::printf("  %-10s %-14.0f %5.1f%% %5.1f%%", label, s.total(),
+                100.0 * s.compute / total, 100.0 * s.l1 / total);
+    for (std::size_t i = 0; i < kNumStallBuckets; ++i) {
+        std::printf(" %8.1f%%", 100.0 * s.buckets[i] / total);
+    }
+    std::printf("\n");
+}
+
+void
+cmdTopdown(const Run& run)
+{
+    if (run.epochs.empty()) {
+        fail(run.prefix + ".metrics.jsonl: no epoch samples");
+    }
+    const json::Value* metrics = run.epochs.back()->get("metrics");
+    if (metrics == nullptr || !metrics->isObject()) {
+        fail(run.prefix + ".metrics.jsonl: missing 'metrics' object");
+    }
+
+    const CpiStack machine = readCpiStack(*metrics, "cores");
+    if (!machine.present || metrics->get("cores.stall.metadata") == nullptr) {
+        fail(run.prefix + ": no CPI-stack series (cores.stall.*); "
+             "re-run the simulator with --telemetry");
+    }
+
+    std::printf("top-down CPI stack: %s (final sample, cumulative "
+                "cycles)\n\n",
+                run.prefix.c_str());
+    std::printf("  %-10s %-14s %6s %6s", "scope", "cycles", "cmp", "l1");
+    for (const char* b : kStallBuckets) {
+        std::printf(" %9s", b);
+    }
+    std::printf("\n");
+    printCpiRow("machine", machine);
+
+    // --- per-stack stacks (registered as stack.<s>.*) ---
+    for (std::size_t s = 0;; ++s) {
+        const std::string prefix = "stack." + std::to_string(s);
+        const CpiStack stack = readCpiStack(*metrics, prefix);
+        if (!stack.present) {
+            break;
+        }
+        printCpiRow(prefix.c_str(), stack);
+        if (stack.bucketSum() != stack.memStall) {
+            fail(prefix + ": stall buckets sum to "
+                 + std::to_string(stack.bucketSum()) + " but "
+                 + prefix + ".memStallCycles = "
+                 + std::to_string(stack.memStall));
+        }
+    }
+
+    // --- the tentpole invariant: buckets partition the stall cycles ---
+    if (machine.bucketSum() != machine.memStall) {
+        fail("invariant violation: stall buckets sum to "
+             + std::to_string(machine.bucketSum())
+             + " but cores.memStallCycles = "
+             + std::to_string(machine.memStall));
+    }
+    std::printf("\ninvariant ok: stall buckets sum exactly to "
+                "memStallCycles (%.0f)\n",
+                machine.memStall);
+
+    // --- per-stream cycle + energy attribution (stream.<sid>.*) ---
+    std::vector<std::string> sids;
+    const std::string sprefix = "stream.";
+    for (const auto& [name, value] : metrics->object) {
+        (void)value;
+        if (name.rfind(sprefix, 0) != 0) {
+            continue;
+        }
+        const std::string rest = name.substr(sprefix.size());
+        const auto dot = rest.find('.');
+        if (dot == std::string::npos
+            || rest.compare(dot, std::string::npos, ".stallCycles") != 0) {
+            continue;
+        }
+        sids.push_back(rest.substr(0, dot));
+    }
+    std::sort(sids.begin(), sids.end(), [](const std::string& a,
+                                           const std::string& b) {
+        const bool na = a != "none";
+        const bool nb = b != "none";
+        if (na != nb) {
+            return na; // "none" sorts last
+        }
+        if (a.size() != b.size()) {
+            return a.size() < b.size();
+        }
+        return a < b;
+    });
+
+    if (!sids.empty()) {
+        std::printf("\nper-stream attribution (cycles):\n");
+        std::printf("  %-8s %-12s %-10s %-10s %-10s %-10s %-10s\n",
+                    "stream", "stall", "metadata", "icnIntra", "icnInter",
+                    "dramCache", "extMem");
+        double stall_sum = 0.0;
+        for (const std::string& sid : sids) {
+            const std::string base = sprefix + sid;
+            const double stall = metrics->num(base + ".stallCycles");
+            stall_sum += stall;
+            std::printf(
+                "  %-8s %-12.0f %-10.0f %-10.0f %-10.0f %-10.0f %-10.0f\n",
+                sid.c_str(), stall,
+                metrics->num(base + ".serviceCycles.metadata"),
+                metrics->num(base + ".serviceCycles.icnIntra"),
+                metrics->num(base + ".serviceCycles.icnInter"),
+                metrics->num(base + ".serviceCycles.dramCache"),
+                metrics->num(base + ".serviceCycles.extMem"));
+        }
+        if (stall_sum != machine.memStall) {
+            fail("invariant violation: per-stream stall cycles sum to "
+                 + std::to_string(stall_sum)
+                 + " but cores.memStallCycles = "
+                 + std::to_string(machine.memStall));
+        }
+
+        std::printf("\nper-stream attribution (energy, nJ):\n");
+        std::printf("  %-8s %-12s %-12s %-12s %-12s %-12s\n", "stream",
+                    "icn", "cxlLink", "extDram", "dramCache", "sram");
+        for (const std::string& sid : sids) {
+            const std::string base = sprefix + sid + ".energyNj";
+            std::printf(
+                "  %-8s %-12.1f %-12.1f %-12.1f %-12.1f %-12.1f\n",
+                sid.c_str(), metrics->num(base + ".icn"),
+                metrics->num(base + ".cxlLink"),
+                metrics->num(base + ".extDram"),
+                metrics->num(base + ".dramCache"),
+                metrics->num(base + ".sram"));
+        }
+        std::printf("\nper-stream stall cycles sum exactly to "
+                    "memStallCycles (%.0f)\n",
+                    stall_sum);
+    }
+
+    warnLowSamples(stageSamples(run));
+}
+
+/**
+ * Compare two runs; returns the number of strict-mode violations
+ * (diverged aligned decisions count as one violation, plus one per
+ * headline metric whose relative delta exceeds `tolerance`). The caller
+ * only acts on the return value when --strict was given.
+ */
+std::size_t
+cmdDiff(const Run& a, const Run& b, double tolerance)
+{
+    std::size_t violations = 0;
     std::printf("telemetry diff: %s vs %s\n", a.prefix.c_str(),
                 b.prefix.c_str());
 
@@ -363,8 +602,15 @@ cmdDiff(const Run& a, const Run& b)
     for (const char* name : headline) {
         const double va = finalMetric(a, name);
         const double vb = finalMetric(b, name);
-        std::printf("  %-26s %-14.0f %-14.0f %-+14.0f\n", name, va, vb,
-                    vb - va);
+        const double rel =
+            va == 0.0 ? (vb == 0.0 ? 0.0 : 1.0)
+                      : std::abs(vb - va) / std::abs(va);
+        const bool over = rel > tolerance;
+        if (over) {
+            ++violations;
+        }
+        std::printf("  %-26s %-14.0f %-14.0f %-+14.0f%s\n", name, va, vb,
+                    vb - va, over ? "  <-- exceeds tolerance" : "");
     }
 
     // --- per-stream hit-rate deltas ---
@@ -452,6 +698,10 @@ cmdDiff(const Run& a, const Run& b)
         }
     }
     std::printf("%zu of %zu aligned decisions differ\n", diverged, common);
+    if (diverged > 0) {
+        ++violations;
+    }
+    return violations;
 }
 
 /** Schema checks (the ctest gate). Every failure names file and line. */
@@ -598,10 +848,14 @@ cmdCheck(const Run& run)
     checkMetricsSchema(run);
     checkDecisionsSchema(run);
     checkTraceSchema(run);
+    // Low sample counts are flagged but do not fail the check: short
+    // smoke runs are still valid schema-wise, just statistically thin.
+    const std::size_t low = warnLowSamples(stageSamples(run));
     std::printf("ok: %zu epoch sample(s), %zu decision(s), %zu trace "
-                "event(s)\n",
+                "event(s)%s\n",
                 run.epochs.size(), run.decisions.size(),
-                run.trace->get("traceEvents")->array.size());
+                run.trace->get("traceEvents")->array.size(),
+                low > 0 ? " [low-sample percentiles flagged above]" : "");
 }
 
 } // namespace
@@ -617,25 +871,52 @@ main(int argc, char** argv)
         std::printf("%s", kUsage);
         return 0;
     }
-    if (cmd == "summary" || cmd == "check") {
+    if (cmd == "summary" || cmd == "check" || cmd == "topdown") {
         if (argc != 3) {
             usageError(cmd + " takes exactly one prefix");
         }
         const Run run = loadRun(argv[2]);
         if (cmd == "summary") {
             cmdSummary(run);
+        } else if (cmd == "topdown") {
+            cmdTopdown(run);
         } else {
             cmdCheck(run);
         }
         return 0;
     }
     if (cmd == "diff") {
-        if (argc != 4) {
+        bool strict = false;
+        double tolerance = 0.0;
+        std::vector<std::string> prefixes;
+        for (int i = 2; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--strict") {
+                strict = true;
+            } else if (arg.rfind("--tolerance=", 0) == 0) {
+                char* end = nullptr;
+                tolerance = std::strtod(arg.c_str() + 12, &end);
+                if (end == nullptr || *end != '\0' || tolerance < 0.0) {
+                    usageError("bad --tolerance value '" + arg + "'");
+                }
+            } else if (!arg.empty() && arg[0] == '-') {
+                usageError("unknown diff flag '" + arg + "'");
+            } else {
+                prefixes.push_back(arg);
+            }
+        }
+        if (prefixes.size() != 2) {
             usageError("diff takes exactly two prefixes");
         }
-        const Run a = loadRun(argv[2]);
-        const Run b = loadRun(argv[3]);
-        cmdDiff(a, b);
+        const Run a = loadRun(prefixes[0]);
+        const Run b = loadRun(prefixes[1]);
+        const std::size_t violations = cmdDiff(a, b, tolerance);
+        if (strict && violations > 0) {
+            std::fprintf(stderr,
+                         "ndpext_report: diff --strict: %zu violation(s)\n",
+                         violations);
+            return 1;
+        }
         return 0;
     }
     usageError("unknown command '" + cmd + "'");
