@@ -77,14 +77,14 @@ class HostLlcController : public MemObject
 
   private:
     /** Response port adapter forwarding into handleRequest(). */
-    class CpuSidePort : public MemPort
+    class CpuSidePort final : public MemPort
     {
       public:
         explicit CpuSidePort(HostLlcController& owner)
             : MemPort("host_llc.cpu_side"), owner_(owner)
         {
         }
-        void recvAtomic(Packet& pkt) override
+        void recvAtomic(Packet& pkt) final
         {
             owner_.handleRequest(pkt);
         }

@@ -6,16 +6,6 @@
 
 namespace ndpext {
 
-namespace {
-
-constexpr std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
-} // namespace
-
 Rng::Rng(std::uint64_t seed)
 {
     // Seed the four lanes through splitmix64 as recommended by the
@@ -27,46 +17,12 @@ Rng::Rng(std::uint64_t seed)
     }
 }
 
-std::uint64_t
-Rng::next()
-{
-    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const std::uint64_t t = s_[1] << 17;
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-    return result;
-}
-
-std::uint64_t
-Rng::nextBounded(std::uint64_t bound)
-{
-    NDP_ASSERT(bound > 0);
-    // Modulo bias is negligible for the bounds used here (<< 2^63).
-    return next() % bound;
-}
-
-double
-Rng::nextDouble()
-{
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
 std::int64_t
 Rng::nextRange(std::int64_t lo, std::int64_t hi)
 {
     NDP_ASSERT(lo <= hi);
     const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
     return lo + static_cast<std::int64_t>(nextBounded(span));
-}
-
-bool
-Rng::nextBool(double p_true)
-{
-    return nextDouble() < p_true;
 }
 
 ZipfSampler::ZipfSampler(std::uint64_t n, double theta, std::uint64_t seed)

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/logging.h"
+
 namespace ndpext {
 
 /** Finalizer from splitmix64; also used as the simulator's hash mixer. */
@@ -24,28 +26,67 @@ mix64(std::uint64_t x)
     return x ^ (x >> 31);
 }
 
-/** xoshiro256** 1.0 -- fast, high-quality, deterministic. */
+/**
+ * xoshiro256** 1.0 -- fast, high-quality, deterministic.
+ *
+ * The draw methods are defined inline: workload generation makes
+ * hundreds of millions of calls and the out-of-line call overhead
+ * dominated graph construction. The generated sequences are identical
+ * to the previous out-of-line definitions (same state transitions).
+ */
 class Rng
 {
   public:
     explicit Rng(std::uint64_t seed = 1);
 
     /** Uniform 64-bit value. */
-    std::uint64_t next();
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
 
     /** Uniform in [0, bound). bound must be nonzero. */
-    std::uint64_t nextBounded(std::uint64_t bound);
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        NDP_ASSERT(bound > 0);
+        // Modulo bias is negligible for the bounds used here (<< 2^63).
+        return next() % bound;
+    }
 
     /** Uniform double in [0, 1). */
-    double nextDouble();
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** Uniform in [lo, hi]. */
     std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
 
     /** Bernoulli draw. */
-    bool nextBool(double p_true);
+    bool
+    nextBool(double p_true)
+    {
+        return nextDouble() < p_true;
+    }
 
   private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::uint64_t s_[4];
 };
 

@@ -23,7 +23,12 @@ InOrderCore::attributeStall(Cycles wait, const MshrSlot& blocking)
 {
     memStallCycles_ += wait;
 
-    const Cycles service = blocking.bd.total();
+    static const LatencyBreakdown kNoService{};
+    const LatencyBreakdown& bd =
+        blocking.pkt != nullptr ? blocking.pkt->bd : kNoService;
+    const StreamId sid =
+        blocking.pkt != nullptr ? blocking.pkt->sid : kNoStream;
+    const Cycles service = bd.total();
     if (service == 0) {
         // No recorded service breakdown to blame (slot never carried a
         // packet): pure queueing.
@@ -33,9 +38,8 @@ InOrderCore::attributeStall(Cycles wait, const MshrSlot& blocking)
         // largest-remainder rounding: integer shares, exact sum, and a
         // deterministic tie-break (lowest bucket index), so the split is
         // a pure function of (wait, breakdown).
-        const Cycles part[5] = {blocking.bd.metadata, blocking.bd.icnIntra,
-                                blocking.bd.icnInter, blocking.bd.dramCache,
-                                blocking.bd.extMem};
+        const Cycles part[5] = {bd.metadata, bd.icnIntra, bd.icnInter,
+                                bd.dramCache, bd.extMem};
         Cycles* const out[5] = {&stall_.metadata, &stall_.icnIntra,
                                 &stall_.icnInter, &stall_.dramCache,
                                 &stall_.extMem};
@@ -63,13 +67,13 @@ InOrderCore::attributeStall(Cycles wait, const MshrSlot& blocking)
     }
 
     // Per-stream attribution: the wait is the blocking packet's fault.
-    if (blocking.sid == kNoStream) {
+    if (sid == kNoStream) {
         noStreamStall_ += wait;
     } else {
-        if (streamStall_.size() <= blocking.sid) {
-            streamStall_.resize(blocking.sid + 1, 0);
+        if (streamStall_.size() <= sid) {
+            streamStall_.resize(sid + 1, 0);
         }
-        streamStall_[blocking.sid] += wait;
+        streamStall_[sid] += wait;
     }
 }
 
@@ -116,31 +120,48 @@ InOrderCore::step(AccessGenerator& gen)
         attributeStall(issue - now_, *slot);
     }
 
-    Packet pkt = Packet::request(acc, id_, issue);
-    memPort_.sendAtomic(pkt);
-    NDP_ASSERT(pkt.ready >= issue);
+    // Recycle the slot's pooled packet in place (the stall window above
+    // was already blamed on its previous occupant).
+    Packet* pkt = slot->pkt;
+    if (pkt == nullptr) {
+        pkt = pool_.acquire();
+        slot->pkt = pkt;
+    } else {
+        *pkt = Packet{};
+    }
+    pkt->addr = acc.addr;
+    pkt->bytes = acc.size;
+    pkt->op = acc.isWrite ? MemOp::Write : MemOp::Read;
+    pkt->sid = acc.sid;
+    pkt->elem = acc.elem;
+    pkt->src = id_;
+    pkt->ready = issue;
+    memPort_.sendAtomic(*pkt);
+    NDP_ASSERT(pkt->ready >= issue);
     if (telSink_ != nullptr && telSink_->tick()) {
         PacketSample s;
         s.core = id_;
-        s.sid = pkt.sid;
+        s.sid = pkt->sid;
         s.start = issue;
-        s.metadata = pkt.bd.metadata;
-        s.icnIntra = pkt.bd.icnIntra;
-        s.icnInter = pkt.bd.icnInter;
-        s.dramCache = pkt.bd.dramCache;
-        s.extMem = pkt.bd.extMem;
+        s.metadata = pkt->bd.metadata;
+        s.icnIntra = pkt->bd.icnIntra;
+        s.icnInter = pkt->bd.icnInter;
+        s.dramCache = pkt->bd.dramCache;
+        s.extMem = pkt->bd.extMem;
         telSink_->record(s);
     }
-    slot->free = pkt.ready;
-    slot->bd = pkt.bd;
-    slot->sid = pkt.sid;
+    slot->free = pkt->ready;
     now_ = issue + params_.l1HitCycles; // issue occupancy, then overlap
 
     const auto ev = l1d_.insert(line, acc.isWrite);
     if (ev.valid && ev.dirty) {
-        Packet wb =
-            Packet::writeback(ev.key * params_.lineBytes, id_, issue);
-        memPort_.sendAtomic(wb);
+        Packet* wb = pool_.acquire();
+        wb->addr = ev.key * params_.lineBytes;
+        wb->op = MemOp::Writeback;
+        wb->src = id_;
+        wb->ready = issue;
+        memPort_.sendAtomic(*wb);
+        pool_.release(wb);
     }
     return true;
 }

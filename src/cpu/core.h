@@ -23,6 +23,7 @@
 #include "common/types.h"
 #include "cpu/access_generator.h"
 #include "sim/breakdown.h"
+#include "sim/packet_pool.h"
 #include "sim/port.h"
 #include "sim/stats.h"
 
@@ -169,6 +170,9 @@ class InOrderCore : public MemObject
     /** Registers aggregate series under "cores.*" (sums across cores). */
     void registerMetrics(MetricRegistry& registry) override;
 
+    /** The core's private packet pool (engine telemetry). */
+    const PacketPool& packetPool() const { return pool_; }
+
   protected:
     MemPort* getPort(const std::string& port_name) override
     {
@@ -177,13 +181,17 @@ class InOrderCore : public MemObject
     }
 
   private:
-    /** One MSHR: completion time plus the occupying packet's identity
-     *  and service breakdown (for stall attribution). */
+    /**
+     * One MSHR: completion time plus the occupying packet (for stall
+     * attribution). The packet is acquired from the core's pool on
+     * first use and recycled in place on every later miss through this
+     * slot, so its identity and service breakdown stay readable until
+     * the slot is reused. Null until the slot first carries a miss.
+     */
     struct MshrSlot
     {
         Cycles free = 0;
-        LatencyBreakdown bd;
-        StreamId sid = kNoStream;
+        Packet* pkt = nullptr;
     };
 
     /**
@@ -199,6 +207,8 @@ class InOrderCore : public MemObject
     CoreParams params_;
     RequestPort memPort_;
     SetAssocCache l1d_;
+    /** Pool behind the MSHR packets and writeback scratch packets. */
+    PacketPool pool_;
 
     Cycles now_ = 0;
     /** In-flight misses (one entry per MSHR). */

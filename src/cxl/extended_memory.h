@@ -136,14 +136,14 @@ class ExtendedMemory : public MemObject
 
   private:
     /** Response port adapter forwarding into recvAtomic(). */
-    class InPort : public MemPort
+    class InPort final : public MemPort
     {
       public:
         explicit InPort(ExtendedMemory& owner)
             : MemPort("ext.in"), owner_(owner)
         {
         }
-        void recvAtomic(Packet& pkt) override { owner_.recvAtomic(pkt); }
+        void recvAtomic(Packet& pkt) final { owner_.recvAtomic(pkt); }
 
       private:
         ExtendedMemory& owner_;

@@ -11,13 +11,14 @@ Slb::Slb(std::uint32_t entries, Cycles hit_cycles, Cycles miss_cycles)
 }
 
 Cycles
-Slb::lookup(StreamId sid)
+Slb::lookupScan(StreamId sid)
 {
     Entry* lru = &entries_[0];
     for (auto& e : entries_) {
         if (e.valid && e.sid == sid) {
             e.lastUse = ++useClock_;
             ++hits_;
+            lastHit_ = &e;
             return hitCycles_;
         }
         if (!e.valid) {
@@ -30,6 +31,7 @@ Slb::lookup(StreamId sid)
     lru->sid = sid;
     lru->valid = true;
     lru->lastUse = ++useClock_;
+    lastHit_ = lru;
     return missCycles_;
 }
 
@@ -39,6 +41,9 @@ Slb::invalidate(StreamId sid)
     for (auto& e : entries_) {
         if (e.valid && e.sid == sid) {
             e.valid = false;
+            if (lastHit_ == &e) {
+                lastHit_ = nullptr;
+            }
             return;
         }
     }
@@ -50,6 +55,7 @@ Slb::invalidateAll()
     for (auto& e : entries_) {
         e.valid = false;
     }
+    lastHit_ = nullptr;
 }
 
 void

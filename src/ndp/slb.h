@@ -39,8 +39,23 @@ class Slb
     /**
      * Look up a stream; installs it on a miss (LRU eviction).
      * @return lookup latency in cycles.
+     *
+     * Inline fast path: the common case (same stream as the previous
+     * hit at this unit) touches one cached entry instead of scanning
+     * the TCAM array. Side effects (use clock, hit count) are exactly
+     * those of the full scan.
      */
-    Cycles lookup(StreamId sid);
+    Cycles
+    lookup(StreamId sid)
+    {
+        if (lastHit_ != nullptr && lastHit_->valid
+            && lastHit_->sid == sid) {
+            lastHit_->lastUse = ++useClock_;
+            ++hits_;
+            return hitCycles_;
+        }
+        return lookupScan(sid);
+    }
 
     /** Drop one stream (remap-table update invalidates SLB copies). */
     void invalidate(StreamId sid);
@@ -61,7 +76,12 @@ class Slb
         bool valid = false;
     };
 
+    /** Full TCAM scan (miss/refill path). */
+    Cycles lookupScan(StreamId sid);
+
     std::vector<Entry> entries_;
+    /** Most recently hit/installed entry (entries_ never reallocates). */
+    Entry* lastHit_ = nullptr;
     Cycles hitCycles_;
     Cycles missCycles_;
     std::uint64_t useClock_ = 0;

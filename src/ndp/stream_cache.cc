@@ -37,6 +37,8 @@ StreamCacheController::StreamCacheController(
     auto ctx = std::make_unique<ShardCtx>();
     ctx->nocPort.bind(noc_.port("in"));
     ctx->extPort.bind(ext_.port("in"));
+    ctx->noc = &noc_;
+    ctx->ext = &ext_;
     ctxs_.push_back(std::move(ctx));
 }
 
@@ -61,6 +63,8 @@ StreamCacheController::enableSharding(
         ctx->id = static_cast<std::uint32_t>(s);
         ctx->nocPort.bind(res.noc->port("in"));
         ctx->extPort.bind(res.ext->port("in"));
+        ctx->noc = res.noc;
+        ctx->ext = res.ext;
         ctx->fault = res.fault;
         ctxs_.push_back(std::move(ctx));
     }
@@ -155,41 +159,64 @@ StreamCacheController::unitDram(UnitId unit) const
 TagStore&
 StreamCacheController::storeFor(ShardCtx& ctx, UnitId unit, StreamId sid)
 {
+    // Memoized fast path: hash lookups into the store maps dominated
+    // the access path; a flat pointer table turns the common repeat
+    // lookup into one load. Map nodes are stable until erased, and
+    // every erase point drops the memo via clearRemoteStores().
+    const std::uint32_t stride =
+        static_cast<std::uint32_t>(streams_.numStreams());
+    if (ctx.storeCacheStride != stride) {
+        ctx.storeCache.assign(
+            units_.size() * static_cast<std::size_t>(stride), nullptr);
+        ctx.storeCacheStride = stride;
+    }
+    const std::size_t memo =
+        static_cast<std::size_t>(unit) * stride + sid;
+    if (TagStore* cached = ctx.storeCache[memo]) {
+        return *cached;
+    }
+
+    TagStore* found = nullptr;
     if (!sharded_ || shardOfUnit_[unit] == ctx.id) {
         auto& stores = units_[unit]->stores;
         auto it = stores.find(sid);
         if (it != stores.end()) {
-            return it->second;
+            found = &it->second;
+        } else {
+            const StreamConfig& cfg = streams_.stream(sid);
+            const std::uint32_t ways = params_.cachelineMode
+                ? 1
+                : (cfg.type == StreamType::Affine ? params_.affineWays
+                                                  : params_.indirectWays);
+            const std::uint64_t slots = remap_.unitSlots(sid, unit);
+            auto [ins, ok] = stores.emplace(sid, TagStore(slots, ways));
+            NDP_ASSERT(ok);
+            found = &ins->second;
         }
-        const StreamConfig& cfg = streams_.stream(sid);
-        const std::uint32_t ways = params_.cachelineMode
-            ? 1
-            : (cfg.type == StreamType::Affine ? params_.affineWays
-                                              : params_.indirectWays);
-        const std::uint64_t slots = remap_.unitSlots(sid, unit);
-        auto [ins, ok] = stores.emplace(sid, TagStore(slots, ways));
-        NDP_ASSERT(ok);
-        return ins->second;
+    } else {
+        // Cross-shard serving unit: consult a shard-private proxy built
+        // from the shared (read-only between barriers) remap geometry.
+        // The proxy approximates the remote slice's tag state with this
+        // shard's own access history -- deterministic for any thread
+        // count.
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(unit) << 16) | sid;
+        auto it = ctx.remoteStores.find(key);
+        if (it != ctx.remoteStores.end()) {
+            found = &it->second;
+        } else {
+            const StreamConfig& cfg = streams_.stream(sid);
+            const std::uint32_t ways = params_.cachelineMode
+                ? 1
+                : (cfg.type == StreamType::Affine ? params_.affineWays
+                                                  : params_.indirectWays);
+            const std::uint64_t slots = remap_.unitSlots(sid, unit);
+            found = &ctx.remoteStores.emplace(key, TagStore(slots, ways))
+                         .first->second;
+        }
     }
-
-    // Cross-shard serving unit: consult a shard-private proxy built from
-    // the shared (read-only between barriers) remap geometry. The proxy
-    // approximates the remote slice's tag state with this shard's own
-    // access history -- deterministic for any thread count.
-    const std::uint64_t key =
-        (static_cast<std::uint64_t>(unit) << 16) | sid;
-    auto it = ctx.remoteStores.find(key);
-    if (it != ctx.remoteStores.end()) {
-        return it->second;
-    }
-    const StreamConfig& cfg = streams_.stream(sid);
-    const std::uint32_t ways = params_.cachelineMode
-        ? 1
-        : (cfg.type == StreamType::Affine ? params_.affineWays
-                                          : params_.indirectWays);
-    const std::uint64_t slots = remap_.unitSlots(sid, unit);
-    return ctx.remoteStores.emplace(key, TagStore(slots, ways))
-        .first->second;
+    ctx.storeCache[memo] = found;
+    return *found;
 }
 
 DramDevice&
@@ -235,7 +262,8 @@ StreamCacheController::nocLeg(ShardCtx& ctx, Packet& pkt, UnitId src,
     pkt.hopSrc = src;
     pkt.hopDst = dst;
     pkt.bytes = bytes;
-    ctx.nocPort.sendAtomic(pkt);
+    ctx.noc->recvAtomic(pkt); // devirtualized ctx.nocPort.sendAtomic
+
 }
 
 void
@@ -248,7 +276,7 @@ StreamCacheController::extLeg(ShardCtx& ctx, Packet& pkt, Addr addr,
     pkt.addr = addr;
     pkt.bytes = bytes;
     pkt.op = is_write ? MemOp::Write : MemOp::Read;
-    ctx.extPort.sendAtomic(pkt);
+    ctx.ext->recvAtomic(pkt); // devirtualized ctx.extPort.sendAtomic
     if (pkt.poisoned) {
         // Poisoned read: the host exception handler repairs the line
         // (re-materialises it from the source copy) and the access
@@ -317,11 +345,15 @@ StreamCacheController::writebackVictim(ShardCtx& ctx, UnitId unit,
     // Off the critical path: reserve bandwidth, do not stall the
     // requester. The scratch packet's latency breakdown is discarded.
     const std::uint32_t bytes = granuleFetchBytes(cfg);
-    Packet wb = Packet::writeback(granuleAddr(cfg, victim_granule),
-                                  kNoUnit, t);
-    wb.sid = cfg.sid; // the victim's stream owns the writeback energy
-    nocLeg(ctx, wb, unit, Packet::kCxlEndpoint, bytes);
-    extLeg(ctx, wb, wb.addr, bytes, true);
+    Packet* wb = ctx.pool.acquire();
+    wb->addr = granuleAddr(cfg, victim_granule);
+    wb->op = MemOp::Writeback;
+    wb->src = kNoUnit;
+    wb->ready = t;
+    wb->sid = cfg.sid; // the victim's stream owns the writeback energy
+    nocLeg(ctx, *wb, unit, Packet::kCxlEndpoint, bytes);
+    extLeg(ctx, *wb, wb->addr, bytes, true);
+    ctx.pool.release(wb);
     ++ctx.writebacks;
 }
 
@@ -721,6 +753,9 @@ StreamCacheController::clearRemoteStores()
 {
     for (auto& ctx : ctxs_) {
         ctx->remoteStores.clear();
+        // Geometry changed: every memoized TagStore* may now dangle.
+        ctx->storeCache.clear();
+        ctx->storeCacheStride = 0;
     }
 }
 
@@ -971,6 +1006,26 @@ StreamCacheController::poisonEscalations() const
     std::uint64_t total = 0;
     for (const auto& ctx : ctxs_) {
         total += ctx->poisonEscalations;
+    }
+    return total;
+}
+
+std::uint64_t
+StreamCacheController::packetPoolHighWater() const
+{
+    std::uint64_t total = 0;
+    for (const auto& ctx : ctxs_) {
+        total += ctx->pool.highWater();
+    }
+    return total;
+}
+
+std::uint64_t
+StreamCacheController::packetPoolAllocated() const
+{
+    std::uint64_t total = 0;
+    for (const auto& ctx : ctxs_) {
+        total += ctx->pool.allocated();
     }
     return total;
 }

@@ -69,6 +69,7 @@
 #include "sampler/sampler.h"
 #include "sim/breakdown.h"
 #include "sim/packet.h"
+#include "sim/packet_pool.h"
 #include "sim/port.h"
 #include "stream/stream_table.h"
 
@@ -287,6 +288,10 @@ class StreamCacheController : public MemObject
     double nonStreamDramCacheEnergyNj() const;
     const DramDevice& unitDram(UnitId unit) const;
 
+    /** Packet-pool telemetry summed over shard contexts. */
+    std::uint64_t packetPoolHighWater() const;
+    std::uint64_t packetPoolAllocated() const;
+
     void report(StatGroup& stats, const std::string& prefix) const;
 
     /** Registers "cache.*" series, including per-stream hits/misses. */
@@ -300,14 +305,14 @@ class StreamCacheController : public MemObject
 
   private:
     /** Response port adapter forwarding into handleRequest(). */
-    class CpuSidePort : public MemPort
+    class CpuSidePort final : public MemPort
     {
       public:
         explicit CpuSidePort(StreamCacheController& owner)
             : MemPort("stream_cache.cpu_side"), owner_(owner)
         {
         }
-        void recvAtomic(Packet& pkt) override
+        void recvAtomic(Packet& pkt) final
         {
             owner_.handleRequest(pkt);
         }
@@ -368,6 +373,15 @@ class StreamCacheController : public MemObject
         std::uint32_t id = 0;
         RequestPort nocPort{"stream_cache.noc_side"};
         RequestPort extPort{"stream_cache.ext_side"};
+        /**
+         * Devirtualized peers of the ports above: the models a shard
+         * talks to are fixed at binding time, so the hot path calls
+         * their recvAtomic() directly instead of going through two
+         * virtual dispatches per leg. The ports stay bound as the
+         * authoritative topology record.
+         */
+        NocModel* noc = nullptr;
+        ExtendedMemory* ext = nullptr;
         FaultInjector* fault = nullptr;
 
         LatencyBreakdown bd;
@@ -417,6 +431,20 @@ class StreamCacheController : public MemObject
         /** Proxy DRAM bank timing for cross-shard serving units. */
         std::unordered_map<UnitId, std::unique_ptr<DramDevice>>
             remoteDrams;
+
+        /**
+         * Flat (unit * stride + sid) -> TagStore* memo over the per-unit
+         * store maps and remoteStores. Map nodes are pointer-stable
+         * until erased, so entries stay valid across inserts; the memo
+         * is dropped wholesale whenever tag-store geometry changes
+         * (reconfiguration, replica collapse, unit failure -- all of
+         * which funnel through clearRemoteStores()).
+         */
+        std::vector<TagStore*> storeCache;
+        std::uint32_t storeCacheStride = 0;
+
+        /** Shard-private pool for victim-writeback scratch packets. */
+        PacketPool pool;
     };
 
     ShardCtx&

@@ -26,6 +26,18 @@ NocModel::NocModel(const MeshTopology& topo, const NocParams& params)
              std::vector<BandwidthResource>(
                  4, BandwidthResource(params.interLinkBytesPerCycle)))
 {
+    const std::uint32_t n = topo_.numUnits();
+    routeCache_.resize(static_cast<std::size_t>(n) * n);
+    for (UnitId src = 0; src < n; ++src) {
+        for (UnitId dst = 0; dst < n; ++dst) {
+            routeCache_[static_cast<std::size_t>(src) * n + dst] =
+                topo_.route(src, dst);
+        }
+    }
+    portalHops_.resize(n);
+    for (UnitId u = 0; u < n; ++u) {
+        portalHops_[u] = topo_.hopsToPortal(u);
+    }
 }
 
 void
@@ -108,7 +120,7 @@ NocModel::transfer(UnitId src, UnitId dst, std::uint32_t bytes, Cycles now,
         res.done = now;
         return res;
     }
-    const auto hops = topo_.route(src, dst);
+    const auto& hops = routeFor(src, dst);
     Cycles t = now + static_cast<Cycles>(hops.intra) * params_.intraHopCycles;
     if (hops.inter > 0) {
         std::uint32_t inter = 0;
@@ -140,7 +152,7 @@ NocModel::transferUnitPortal(UnitId unit, StackId portal_stack,
 {
     NocResult res;
     const StackId ustack = topo_.stackOf(unit);
-    const std::uint32_t intra = topo_.hopsToPortal(unit);
+    const std::uint32_t intra = portalHops_[unit];
     Cycles t = now + static_cast<Cycles>(intra) * params_.intraHopCycles;
     std::uint32_t inter = 0;
     if (ustack != portal_stack) {
@@ -181,14 +193,6 @@ NocModel::transferFromCxl(UnitId dst, std::uint32_t bytes, Cycles now,
 {
     return transferUnitPortal(dst, topo_.cxlStack(), bytes, now, false,
                               sid);
-}
-
-Cycles
-NocModel::pureLatency(UnitId src, UnitId dst) const
-{
-    const auto hops = topo_.route(src, dst);
-    return static_cast<Cycles>(hops.intra) * params_.intraHopCycles
-        + static_cast<Cycles>(hops.inter) * params_.interHopCycles;
 }
 
 double

@@ -84,7 +84,13 @@ class NocModel : public MemObject
                               StreamId sid = kNoStream);
 
     /** Zero-load latency between two units (no reservation). */
-    Cycles pureLatency(UnitId src, UnitId dst) const;
+    Cycles
+    pureLatency(UnitId src, UnitId dst) const
+    {
+        const auto& hops = routeFor(src, dst);
+        return static_cast<Cycles>(hops.intra) * params_.intraHopCycles
+            + static_cast<Cycles>(hops.inter) * params_.interHopCycles;
+    }
 
     /** Attenuation factor k = dramLat / (dramLat + icnLat) (Section V-C). */
     double attenuation(UnitId from, UnitId to, Cycles dram_latency) const;
@@ -123,14 +129,14 @@ class NocModel : public MemObject
 
   private:
     /** Response port adapter forwarding into recvAtomic(). */
-    class InPort : public MemPort
+    class InPort final : public MemPort
     {
       public:
         explicit InPort(NocModel& owner)
             : MemPort("noc.in"), owner_(owner)
         {
         }
-        void recvAtomic(Packet& pkt) override { owner_.recvAtomic(pkt); }
+        void recvAtomic(Packet& pkt) final { owner_.recvAtomic(pkt); }
 
       private:
         NocModel& owner_;
@@ -153,10 +159,26 @@ class NocModel : public MemObject
     /** Add `nj` to the machine total and to `sid`'s attribution slot. */
     void chargeEnergy(StreamId sid, double nj);
 
+    /** Cached hop counts of the (static) route src -> dst. */
+    const MeshTopology::Hops&
+    routeFor(UnitId src, UnitId dst) const
+    {
+        return routeCache_[static_cast<std::size_t>(src) * topo_.numUnits()
+                           + dst];
+    }
+
     MeshTopology topo_;
     NocParams params_;
     /** [stack][direction 0..3] egress link resources (E,W,N,S). */
     std::vector<std::vector<BandwidthResource>> links_;
+    /**
+     * The topology never changes after construction, so hop counts for
+     * every (src, dst) pair and every unit's portal distance are
+     * precomputed here; route() walked coordinates on every transfer
+     * and showed up in the engine hot path.
+     */
+    std::vector<MeshTopology::Hops> routeCache_;
+    std::vector<std::uint32_t> portalHops_;
 
     double energyNj_ = 0.0;
     /** Per-stream energy attribution (resize-on-demand by sid). */

@@ -1,17 +1,99 @@
 #include "sim/event_queue.h"
 
-#include <utility>
+#include <algorithm>
+#include <bit>
 
 #include "common/logging.h"
 
 namespace ndpext {
+
+EventQueue::EventNode*
+EventQueue::acquireNode()
+{
+    if (freeNodes_ != nullptr) {
+        EventNode* node = freeNodes_;
+        freeNodes_ = node->next;
+        node->next = nullptr;
+        return node;
+    }
+    if (slabUsed_ == kSlabNodes) {
+        slabs_.push_back(std::make_unique<EventNode[]>(kSlabNodes));
+        slabUsed_ = 0;
+    }
+    ++nodesAllocated_;
+    return &slabs_.back()[slabUsed_++];
+}
+
+void
+EventQueue::releaseNode(EventNode* node)
+{
+    node->cb.reset();
+    node->next = freeNodes_;
+    freeNodes_ = node;
+}
+
+void
+EventQueue::bucketAppend(EventNode* node)
+{
+    const std::size_t b =
+        static_cast<std::size_t>(node->when & kBucketMask);
+    Bucket& bucket = buckets_[b];
+    node->next = nullptr;
+    if (bucket.tail == nullptr) {
+        bucket.head = node;
+        occupied_[b >> 6] |= std::uint64_t(1) << (b & 63);
+    } else {
+        bucket.tail->next = node;
+    }
+    bucket.tail = node;
+}
+
+void
+EventQueue::overflowInsert(EventNode* node)
+{
+    // Descending (when, seq): back() is the earliest event. Far-future
+    // events are rare (epoch boundaries), so the vector insert is cold.
+    auto it = std::lower_bound(
+        overflow_.begin(), overflow_.end(), node,
+        [](const EventNode* a, const EventNode* b) {
+            return a->when != b->when ? a->when > b->when : a->seq > b->seq;
+        });
+    overflow_.insert(it, node);
+}
+
+void
+EventQueue::migrateOverflow()
+{
+    while (!overflow_.empty()
+           && overflow_.back()->when - now_ < kBuckets) {
+        // Popping from the back walks ascending (when, seq), so each
+        // tick's events enter its bucket in seq order.
+        bucketAppend(overflow_.back());
+        overflow_.pop_back();
+    }
+}
 
 void
 EventQueue::schedule(Cycles when, Callback cb)
 {
     NDP_ASSERT(when >= now_, "scheduling in the past: when=", when,
                " now=", now_);
-    heap_.push(Event{when, nextSeq_++, std::move(cb)});
+    if (when < now_) {
+        when = now_; // defensive clamp (the assert above is always-on)
+    }
+    EventNode* node = acquireNode();
+    node->when = when;
+    node->seq = nextSeq_++;
+    node->cb = std::move(cb);
+    if (when - now_ < kBuckets) {
+        bucketAppend(node);
+    } else {
+        overflowInsert(node);
+    }
+    ++size_;
+    if (size_ > highWater_) {
+        highWater_ = size_;
+    }
 }
 
 void
@@ -20,37 +102,106 @@ EventQueue::scheduleIn(Cycles delta, Callback cb)
     schedule(now_ + delta, std::move(cb));
 }
 
+std::size_t
+EventQueue::firstOccupied(std::size_t from) const
+{
+    // [from, kBuckets)
+    std::size_t w = from >> 6;
+    std::uint64_t bits =
+        occupied_[w] & (~std::uint64_t(0) << (from & 63));
+    while (true) {
+        if (bits != 0) {
+            return (w << 6) + static_cast<std::size_t>(
+                       std::countr_zero(bits));
+        }
+        ++w;
+        if (w == occupied_.size()) {
+            break;
+        }
+        bits = occupied_[w];
+    }
+    // wrap: [0, from)
+    for (w = 0; w <= (from >> 6); ++w) {
+        std::uint64_t b = occupied_[w];
+        if (w == (from >> 6)) {
+            b &= ~(~std::uint64_t(0) << (from & 63));
+        }
+        if (b != 0) {
+            return (w << 6)
+                + static_cast<std::size_t>(std::countr_zero(b));
+        }
+    }
+    return kBuckets;
+}
+
+Cycles
+EventQueue::nextTickInternal() const
+{
+    // After migration, every overflow event is >= kBuckets cycles out,
+    // so any wheel event beats the overflow minimum.
+    if (size_ > overflow_.size()) {
+        const std::size_t b =
+            firstOccupied(static_cast<std::size_t>(now_ & kBucketMask));
+        NDP_ASSERT(b < kBuckets);
+        return buckets_[b].head->when;
+    }
+    return overflow_.back()->when;
+}
+
+Cycles
+EventQueue::nextTick() const
+{
+    NDP_ASSERT(size_ > 0);
+    return nextTickInternal();
+}
+
+void
+EventQueue::fireOne(Cycles t)
+{
+    const std::size_t b = static_cast<std::size_t>(t & kBucketMask);
+    Bucket& bucket = buckets_[b];
+    EventNode* node = bucket.head;
+    bucket.head = node->next;
+    if (bucket.head == nullptr) {
+        bucket.tail = nullptr;
+        occupied_[b >> 6] &= ~(std::uint64_t(1) << (b & 63));
+    }
+    --size_;
+    ++fired_;
+    // Move the callback out and recycle the node before invoking: the
+    // callback may schedule (and thus reuse the node) reentrantly.
+    EventCallback cb = std::move(node->cb);
+    releaseNode(node);
+    cb(now_);
+}
+
 void
 EventQueue::runUntil(Cycles until)
 {
-    while (!heap_.empty() && heap_.top().when <= until) {
-        // Copy out before pop: the callback may schedule more events.
-        Event ev = heap_.top();
-        heap_.pop();
-        now_ = ev.when;
-        ev.cb(now_);
+    while (size_ > 0) {
+        const Cycles t = nextTickInternal();
+        if (t > until) {
+            break;
+        }
+        now_ = t;
+        migrateOverflow();
+        fireOne(t);
     }
     if (until > now_) {
         now_ = until;
+        migrateOverflow();
     }
 }
 
 void
 EventQueue::runAll()
 {
-    while (!heap_.empty()) {
-        Event ev = heap_.top();
-        heap_.pop();
-        now_ = ev.when;
-        ev.cb(now_);
+    while (size_ > 0) {
+        const Cycles t = nextTickInternal();
+        now_ = t;
+        migrateOverflow();
+        fireOne(t);
     }
-}
-
-Cycles
-EventQueue::nextTick() const
-{
-    NDP_ASSERT(!heap_.empty());
-    return heap_.top().when;
 }
 
 } // namespace ndpext

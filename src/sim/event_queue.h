@@ -5,25 +5,182 @@
  * Memory accesses themselves are evaluated analytically (see DESIGN.md
  * section 4.1); the event queue sequences coarse events: epoch boundaries,
  * runtime reconfigurations, and workload phase changes.
+ *
+ * Implementation (see DESIGN.md "Engine internals"): a two-level
+ * calendar queue. Events within kBuckets cycles of now() live in a
+ * 256-bucket wheel indexed by `when & (kBuckets - 1)`; because the
+ * window is exactly kBuckets wide, a bucket holds events of exactly one
+ * tick and same-tick FIFO order is plain tail-append. Farther events
+ * wait in a sorted far-future overflow list and migrate into the wheel
+ * as now() advances. Event nodes are slab-pooled and callbacks use a
+ * small-buffer-optimised EventCallback instead of std::function, so the
+ * schedule/fire cycle allocates nothing in steady state. Firing order
+ * is exactly the old binary heap's (when, seq) order, so simulation
+ * results are unchanged.
  */
 
 #ifndef NDPEXT_SIM_EVENT_QUEUE_H
 #define NDPEXT_SIM_EVENT_QUEUE_H
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
 
 namespace ndpext {
 
-/** Min-heap of (tick, seq, callback) events. */
+/**
+ * Move-only callable taking (Cycles now), with a 48-byte inline buffer.
+ * Small lambdas (the only kind the simulator schedules) are stored in
+ * place; larger ones fall back to the heap. A static per-type vtable
+ * provides invoke/destroy/relocate.
+ */
+class EventCallback
+{
+  public:
+    EventCallback() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventCallback>>>
+    EventCallback(F&& f) // NOLINT: implicit from any callable, like
+                         // std::function
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineSize
+                      && alignof(Fn) <= alignof(std::max_align_t)
+                      && std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+            vt_ = &kInlineVt<Fn>;
+        } else {
+            heap_ = new Fn(std::forward<F>(f));
+            vt_ = &kHeapVt<Fn>;
+        }
+    }
+
+    EventCallback(EventCallback&& other) noexcept { moveFrom(other); }
+
+    EventCallback&
+    operator=(EventCallback&& other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    EventCallback(const EventCallback&) = delete;
+    EventCallback& operator=(const EventCallback&) = delete;
+
+    ~EventCallback() { reset(); }
+
+    explicit operator bool() const { return vt_ != nullptr; }
+
+    void operator()(Cycles now) { vt_->invoke(object(), now); }
+
+    void
+    reset()
+    {
+        if (vt_ != nullptr) {
+            vt_->destroy(object());
+            vt_ = nullptr;
+            heap_ = nullptr;
+        }
+    }
+
+  private:
+    static constexpr std::size_t kInlineSize = 48;
+
+    struct VTable
+    {
+        void (*invoke)(void* obj, Cycles now);
+        void (*destroy)(void* obj);
+        /** Move from -> to and destroy from; null for heap storage. */
+        void (*relocate)(void* from, void* to);
+    };
+
+    template <typename Fn>
+    static void
+    invokeImpl(void* obj, Cycles now)
+    {
+        (*static_cast<Fn*>(obj))(now);
+    }
+
+    template <typename Fn>
+    static void
+    destroyInline(void* obj)
+    {
+        static_cast<Fn*>(obj)->~Fn();
+    }
+
+    template <typename Fn>
+    static void
+    destroyHeap(void* obj)
+    {
+        delete static_cast<Fn*>(obj);
+    }
+
+    template <typename Fn>
+    static void
+    relocateImpl(void* from, void* to)
+    {
+        Fn* src = static_cast<Fn*>(from);
+        ::new (to) Fn(std::move(*src));
+        src->~Fn();
+    }
+
+    template <typename Fn>
+    static constexpr VTable kInlineVt{&invokeImpl<Fn>, &destroyInline<Fn>,
+                                      &relocateImpl<Fn>};
+    template <typename Fn>
+    static constexpr VTable kHeapVt{&invokeImpl<Fn>, &destroyHeap<Fn>,
+                                    nullptr};
+
+    void*
+    object()
+    {
+        return vt_->relocate != nullptr ? static_cast<void*>(buf_) : heap_;
+    }
+
+    void
+    moveFrom(EventCallback& other) noexcept
+    {
+        vt_ = other.vt_;
+        if (vt_ == nullptr) {
+            return;
+        }
+        if (vt_->relocate != nullptr) {
+            vt_->relocate(other.buf_, buf_);
+        } else {
+            heap_ = other.heap_;
+            other.heap_ = nullptr;
+        }
+        other.vt_ = nullptr;
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+    void* heap_ = nullptr;
+    const VTable* vt_ = nullptr;
+};
+
+/** Calendar queue of (tick, seq, callback) events; min-(when, seq). */
 class EventQueue
 {
   public:
-    using Callback = std::function<void(Cycles now)>;
+    using Callback = EventCallback;
+
+    /** Wheel width: the near window is [now, now + kBuckets). */
+    static constexpr std::size_t kBuckets = 256;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue&) = delete;
+    EventQueue& operator=(const EventQueue&) = delete;
 
     /** Schedule `cb` at absolute time `when` (>= now). */
     void schedule(Cycles when, Callback cb);
@@ -39,31 +196,80 @@ class EventQueue
 
     Cycles now() const { return now_; }
 
-    bool empty() const { return heap_.empty(); }
-    std::size_t size() const { return heap_.size(); }
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
 
     /** Tick of the earliest pending event; only valid if !empty(). */
     Cycles nextTick() const;
 
+    // --- engine telemetry ---
+    /** Events fired over the queue's lifetime. */
+    std::uint64_t eventsFired() const { return fired_; }
+    /** Maximum simultaneously pending events ever observed. */
+    std::uint64_t highWater() const { return highWater_; }
+    /** Event nodes ever slab-allocated (recycles don't count). */
+    std::uint64_t nodesAllocated() const { return nodesAllocated_; }
+
   private:
-    struct Event
+    struct EventNode
     {
-        Cycles when;
-        std::uint64_t seq; // FIFO tie-break for same-tick events
-        Callback cb;
-    };
-    struct Later
-    {
-        bool
-        operator()(const Event& a, const Event& b) const
-        {
-            return a.when != b.when ? a.when > b.when : a.seq > b.seq;
-        }
+        Cycles when = 0;
+        std::uint64_t seq = 0; // FIFO tie-break for same-tick events
+        EventNode* next = nullptr;
+        EventCallback cb;
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    struct Bucket
+    {
+        EventNode* head = nullptr;
+        EventNode* tail = nullptr;
+    };
+
+    static constexpr Cycles kBucketMask = kBuckets - 1;
+    static constexpr std::size_t kSlabNodes = 64;
+
+    EventNode* acquireNode();
+    void releaseNode(EventNode* node);
+
+    /** Tail-append into the wheel bucket of node->when (in-window). */
+    void bucketAppend(EventNode* node);
+
+    /** Sorted insert into the far-future list (descending (when, seq),
+     *  so back() is the minimum). */
+    void overflowInsert(EventNode* node);
+
+    /** Pull every overflow event that entered the window into the
+     *  wheel; must run on every now_ advance so a tick's far-scheduled
+     *  events precede later same-tick near schedules (FIFO proof in
+     *  DESIGN.md). */
+    void migrateOverflow();
+
+    /** Bucket index of the first occupied bucket starting at `from`
+     *  (wrapping); kBuckets when the wheel is empty. */
+    std::size_t firstOccupied(std::size_t from) const;
+
+    /** Earliest pending (when); size_ > 0 required. */
+    Cycles nextTickInternal() const;
+
+    /** Detach and fire the head event of tick `t`'s bucket. */
+    void fireOne(Cycles t);
+
+    std::array<Bucket, kBuckets> buckets_{};
+    /** Occupancy bitmap over buckets (bit b <=> bucket b non-empty). */
+    std::array<std::uint64_t, kBuckets / 64> occupied_{};
+    /** Far-future events, sorted descending by (when, seq). */
+    std::vector<EventNode*> overflow_;
+
+    std::vector<std::unique_ptr<EventNode[]>> slabs_;
+    std::size_t slabUsed_ = kSlabNodes;
+    EventNode* freeNodes_ = nullptr;
+
     Cycles now_ = 0;
     std::uint64_t nextSeq_ = 0;
+    std::size_t size_ = 0;
+    std::uint64_t fired_ = 0;
+    std::uint64_t highWater_ = 0;
+    std::uint64_t nodesAllocated_ = 0;
 };
 
 } // namespace ndpext

@@ -59,6 +59,15 @@ struct Packet
     /** Set by ExtendedMemory when a read returned a poisoned line. */
     bool poisoned = false;
 
+    /**
+     * Intrusive PacketPool hooks (sim/packet_pool.h): the free-list
+     * link threads released packets without any side allocation, and
+     * `pooled` marks a packet currently sitting in the free list so a
+     * double release is caught at the release point.
+     */
+    Packet* poolNext = nullptr;
+    bool pooled = false;
+
     /** Sentinel unit id addressing the CXL attach point. */
     static constexpr UnitId kCxlEndpoint = kNoUnit - 1;
 

@@ -12,6 +12,13 @@
  * Binding is done once at construction time by the system (NdpSystem /
  * HostSystem / test rigs); sending through an unbound port is a
  * programming error and panics.
+ *
+ * Hot-path convention: because bindings are fixed for a run, components
+ * on the miss path may additionally hold a concrete pointer to their
+ * peer model and call its recvAtomic() directly (see ShardCtx::noc/ext
+ * in ndp/stream_cache.h), skipping the RequestPort -> virtual MemPort
+ * double dispatch. The port stays bound as the authoritative wiring
+ * record; port adapters are marked `final` so direct calls can inline.
  */
 
 #ifndef NDPEXT_SIM_PORT_H

@@ -10,14 +10,23 @@
  * next-free-time would turn that into phantom queueing, so reservations
  * are kept as busy *intervals* and new requests fill the earliest gap at
  * or after their arrival time.
+ *
+ * The busy list is a fixed-capacity ring of disjoint intervals sorted by
+ * start time. Disjoint + sorted-by-start implies the end times are
+ * strictly increasing too, so the prefix of intervals entirely before an
+ * arrival is found by binary search instead of a linear walk -- this is
+ * the simulator's hottest loop (every NoC inter-stack hop, DRAM bank and
+ * CXL link reservation lands here). The first-fit semantics, the
+ * kMaxTracked drop-oldest cap and every returned start time are exactly
+ * those of the original linear implementation (pinned by the bench
+ * baselines' bit-identity gate).
  */
 
 #ifndef NDPEXT_SIM_RESOURCE_H
 #define NDPEXT_SIM_RESOURCE_H
 
-#include <algorithm>
 #include <cstdint>
-#include <deque>
+#include <memory>
 
 #include "common/logging.h"
 #include "common/types.h"
@@ -35,6 +44,31 @@ class BandwidthResource
         : bytesPerCycle_(bytes_per_cycle)
     {
     }
+
+    BandwidthResource(const BandwidthResource& other)
+        : bytesPerCycle_(other.bytesPerCycle_), head_(other.head_),
+          count_(other.count_), reservations_(other.reservations_),
+          queueCycles_(other.queueCycles_)
+    {
+        if (other.ring_ != nullptr) {
+            ring_ = std::make_unique<Interval[]>(kCap);
+            for (std::size_t i = 0; i < kCap; ++i) {
+                ring_[i] = other.ring_[i];
+            }
+        }
+    }
+
+    BandwidthResource&
+    operator=(const BandwidthResource& other)
+    {
+        if (this != &other) {
+            *this = BandwidthResource(other);
+        }
+        return *this;
+    }
+
+    BandwidthResource(BandwidthResource&&) = default;
+    BandwidthResource& operator=(BandwidthResource&&) = default;
 
     void
     setBandwidth(double bytes_per_cycle)
@@ -64,27 +98,27 @@ class BandwidthResource
         if (duration == 0) {
             duration = 1;
         }
+        if (ring_ == nullptr) {
+            ring_ = std::make_unique<Interval[]>(kCap);
+        }
         Cycles t = now;
-        std::size_t pos = 0;
-        for (; pos < busy_.size(); ++pos) {
-            const Interval& iv = busy_[pos];
-            if (iv.end <= t) {
-                continue; // interval entirely before us
-            }
+        // Ends are strictly increasing (disjoint intervals sorted by
+        // start): binary-search past the prefix that is entirely before
+        // the arrival, then walk the (short) run of collisions.
+        std::size_t pos = firstEndAfter(now);
+        for (; pos < count_; ++pos) {
+            const Interval& iv = at(pos);
             if (iv.start >= t + duration) {
                 break; // we fit in the gap before this interval
             }
             t = iv.end; // collide: try right after it
         }
-        // Find the sorted insertion point for (t, t+duration).
-        auto it = std::lower_bound(
-            busy_.begin(), busy_.end(), t,
-            [](const Interval& iv, Cycles start) {
-                return iv.start < start;
-            });
-        busy_.insert(it, Interval{t, t + duration});
-        if (busy_.size() > kMaxTracked) {
-            busy_.pop_front(); // oldest interval: far in the past
+        // Every interval before `pos` starts before `t` and every one at
+        // or after it starts at `t + duration` or later, so `pos` IS the
+        // sorted insertion point for (t, t + duration).
+        insertAt(pos, Interval{t, t + duration});
+        if (count_ > kMaxTracked) {
+            popFront(); // oldest interval: far in the past
         }
         ++reservations_;
         queueCycles_ += t - now;
@@ -104,11 +138,7 @@ class BandwidthResource
     Cycles
     nextFree() const
     {
-        Cycles latest = 0;
-        for (const auto& iv : busy_) {
-            latest = std::max(latest, iv.end);
-        }
-        return latest;
+        return count_ == 0 ? 0 : at(count_ - 1).end;
     }
 
     std::uint64_t reservations() const { return reservations_; }
@@ -117,7 +147,8 @@ class BandwidthResource
     void
     reset()
     {
-        busy_.clear();
+        head_ = 0;
+        count_ = 0;
         reservations_ = 0;
         queueCycles_ = 0;
     }
@@ -131,9 +162,71 @@ class BandwidthResource
 
     /** Intervals kept; older ones are in the past and prunable. */
     static constexpr std::size_t kMaxTracked = 128;
+    /** Ring capacity: power of two > kMaxTracked + 1 (transient size). */
+    static constexpr std::size_t kCap = 256;
+    static constexpr std::size_t kMask = kCap - 1;
+
+    const Interval&
+    at(std::size_t i) const
+    {
+        return ring_[(head_ + i) & kMask];
+    }
+
+    Interval&
+    at(std::size_t i)
+    {
+        return ring_[(head_ + i) & kMask];
+    }
+
+    /** Index of the first interval with end > t (count_ if none). */
+    std::size_t
+    firstEndAfter(Cycles t) const
+    {
+        std::size_t lo = 0;
+        std::size_t hi = count_;
+        while (lo < hi) {
+            const std::size_t mid = lo + (hi - lo) / 2;
+            if (at(mid).end <= t) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        return lo;
+    }
+
+    /** Insert `iv` at logical index `pos`, shifting the shorter side. */
+    void
+    insertAt(std::size_t pos, Interval iv)
+    {
+        if (pos * 2 >= count_) {
+            // Shift the tail [pos, count_) right by one.
+            for (std::size_t i = count_; i > pos; --i) {
+                at(i) = at(i - 1);
+            }
+        } else {
+            // Shift the head [0, pos) left by one.
+            head_ = (head_ + kCap - 1) & kMask;
+            for (std::size_t i = 0; i < pos; ++i) {
+                at(i) = at(i + 1);
+            }
+        }
+        ++count_;
+        at(pos) = iv;
+    }
+
+    void
+    popFront()
+    {
+        head_ = (head_ + 1) & kMask;
+        --count_;
+    }
 
     double bytesPerCycle_;
-    std::deque<Interval> busy_; // sorted by start
+    /** Disjoint busy intervals sorted by start (lazily allocated). */
+    std::unique_ptr<Interval[]> ring_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
     std::uint64_t reservations_ = 0;
     Cycles queueCycles_ = 0;
 };

@@ -1,6 +1,7 @@
 #include "system/ndp_system.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <queue>
 #include <utility>
@@ -74,6 +75,9 @@ struct Shard
                         std::greater<HeapItem>>
         ready;
     Cycles finish = 0;
+    /** Core-step events this shard fired (deterministic: the schedule
+     *  is fixed per shard, independent of --threads). */
+    std::uint64_t steps = 0;
     /**
      * Highest cycle any of this shard's cores reached (shard-private,
      * updated on the shard's own thread): the telemetry execute /
@@ -306,6 +310,7 @@ NdpSystem::run(const Workload& workload)
     Cycles interval_start = 0;
     Cycles epoch_start = 0;
     std::uint64_t epoch_idx = 0;
+    const auto engine_start = std::chrono::steady_clock::now();
     for (;;) {
         const Cycles sync = std::min(next_epoch, next_failure);
         exec.forEachShard(numShards, [&](std::uint32_t s) {
@@ -313,6 +318,7 @@ NdpSystem::run(const Workload& workload)
             while (!sh.ready.empty() && sh.ready.top().first < sync) {
                 const CoreId c = sh.ready.top().second;
                 sh.ready.pop();
+                ++sh.steps;
                 if (cores[c].step(*gens[c])) {
                     sh.ready.emplace(cores[c].now(), c);
                 } else {
@@ -376,6 +382,7 @@ NdpSystem::run(const Workload& workload)
             next_epoch += cfg_.runtime.epochCycles;
         }
     }
+    const auto engine_end = std::chrono::steady_clock::now();
     Cycles finish = 0;
     for (const Shard& sh : shards) {
         finish = std::max(finish, sh.finish);
@@ -452,6 +459,34 @@ NdpSystem::run(const Workload& workload)
         res.stats.set("cores.memStallCycles",
                       static_cast<double>(mem_stall));
         stall.report(res.stats, "cores.stall");
+    }
+
+    // Engine throughput telemetry. Event and pool counters are
+    // deterministic (thread-count blind) and gate nothing; the wall
+    // clock is host-dependent and advisory (the "Micros" suffix excludes
+    // it from bit-identity checks).
+    {
+        res.engineWallMicros = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                engine_end - engine_start)
+                .count());
+        std::uint64_t steps = 0;
+        for (const Shard& sh : shards) {
+            steps += sh.steps;
+        }
+        std::uint64_t pool_high = cache.packetPoolHighWater();
+        std::uint64_t pool_alloc = cache.packetPoolAllocated();
+        for (const auto& core : cores) {
+            pool_high += core.packetPool().highWater();
+            pool_alloc += core.packetPool().allocated();
+        }
+        res.stats.set("engine.eventsFired", static_cast<double>(steps));
+        res.stats.set("engine.packetPool.highWater",
+                      static_cast<double>(pool_high));
+        res.stats.set("engine.packetPool.allocated",
+                      static_cast<double>(pool_alloc));
+        res.stats.set("engine.wallMicros",
+                      static_cast<double>(res.engineWallMicros));
     }
 
     // Per-stream cost attribution (mirrors the telemetry series so

@@ -85,6 +85,24 @@ struct RunResult
     std::uint64_t slbMisses = 0;
     DegradedStats degraded;
 
+    /**
+     * Engine throughput (advisory, host wall-clock): microseconds spent
+     * inside the barrier loop, excluding machine construction and
+     * workload preparation. The deterministic companions (events fired,
+     * pool high-water marks) live in `stats` under "engine.".
+     */
+    std::uint64_t engineWallMicros = 0;
+
+    /** Simulated accesses per wall-clock second of the barrier loop. */
+    double
+    engineAccessesPerSec() const
+    {
+        return engineWallMicros == 0
+            ? 0.0
+            : static_cast<double>(accesses) * 1e6
+                / static_cast<double>(engineWallMicros);
+    }
+
     /** Average interconnect latency per request in cycles (Fig. 7 bars). */
     double
     avgIcnCycles() const

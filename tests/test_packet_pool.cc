@@ -1,0 +1,120 @@
+/**
+ * @file
+ * PacketPool: slab allocation, free-list recycling, high-water stats,
+ * and the double-release hard error.
+ */
+
+#include "sim/packet_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace ndpext {
+namespace {
+
+TEST(PacketPoolTest, AcquireReturnsDefaultInitialisedPacket)
+{
+    PacketPool pool;
+    Packet* pkt = pool.acquire();
+    ASSERT_NE(pkt, nullptr);
+    EXPECT_EQ(pkt->addr, 0u);
+    EXPECT_EQ(pkt->bytes, kCachelineBytes);
+    EXPECT_EQ(pkt->op, MemOp::Read);
+    EXPECT_EQ(pkt->sid, kNoStream);
+    EXPECT_EQ(pkt->ready, 0u);
+    EXPECT_EQ(pkt->bd.total(), 0u);
+    EXPECT_FALSE(pkt->pooled);
+    EXPECT_EQ(pkt->poolNext, nullptr);
+}
+
+TEST(PacketPoolTest, ReleaseThenAcquireRecyclesTheSameObject)
+{
+    PacketPool pool;
+    Packet* first = pool.acquire();
+    first->addr = 0xdead;
+    first->ready = 42;
+    first->bd.extMem = 7;
+    pool.release(first);
+
+    Packet* second = pool.acquire();
+    EXPECT_EQ(second, first) << "LIFO free list must reuse the object";
+    // Recycled packets come back fully reset.
+    EXPECT_EQ(second->addr, 0u);
+    EXPECT_EQ(second->ready, 0u);
+    EXPECT_EQ(second->bd.total(), 0u);
+    EXPECT_FALSE(second->pooled);
+    EXPECT_EQ(pool.allocated(), 1u) << "recycling is not an allocation";
+}
+
+TEST(PacketPoolTest, HighWaterTracksPeakNotCurrent)
+{
+    PacketPool pool;
+    std::vector<Packet*> live;
+    for (int i = 0; i < 10; ++i) {
+        live.push_back(pool.acquire());
+    }
+    EXPECT_EQ(pool.inUse(), 10u);
+    EXPECT_EQ(pool.highWater(), 10u);
+    for (Packet* pkt : live) {
+        pool.release(pkt);
+    }
+    EXPECT_EQ(pool.inUse(), 0u);
+    EXPECT_EQ(pool.highWater(), 10u);
+    Packet* one = pool.acquire();
+    EXPECT_EQ(pool.inUse(), 1u);
+    EXPECT_EQ(pool.highWater(), 10u);
+    pool.release(one);
+}
+
+TEST(PacketPoolTest, SlabGrowthYieldsDistinctStablePointers)
+{
+    PacketPool pool;
+    // Span several slabs and check every pointer is distinct and stays
+    // valid (slabs never move or free while the pool lives).
+    const std::size_t n = PacketPool::kSlabPackets * 3 + 5;
+    std::vector<Packet*> live;
+    std::set<Packet*> seen;
+    for (std::size_t i = 0; i < n; ++i) {
+        Packet* pkt = pool.acquire();
+        pkt->elem = i;
+        live.push_back(pkt);
+        EXPECT_TRUE(seen.insert(pkt).second) << "duplicate live pointer";
+    }
+    EXPECT_EQ(pool.allocated(), n);
+    EXPECT_EQ(pool.highWater(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(live[i]->elem, i);
+    }
+    for (Packet* pkt : live) {
+        pool.release(pkt);
+    }
+    EXPECT_EQ(pool.inUse(), 0u);
+}
+
+TEST(PacketPoolTest, InterleavedChurnKeepsCountsConsistent)
+{
+    PacketPool pool;
+    Packet* a = pool.acquire();
+    Packet* b = pool.acquire();
+    pool.release(a);
+    Packet* c = pool.acquire(); // recycles a
+    EXPECT_EQ(c, a);
+    EXPECT_EQ(pool.inUse(), 2u);
+    EXPECT_EQ(pool.highWater(), 2u);
+    EXPECT_EQ(pool.allocated(), 2u);
+    pool.release(b);
+    pool.release(c);
+}
+
+TEST(PacketPoolDeathTest, DoubleReleaseIsAHardError)
+{
+    PacketPool pool;
+    Packet* pkt = pool.acquire();
+    pool.release(pkt);
+    EXPECT_DEATH(pool.release(pkt), "double release");
+}
+
+} // namespace
+} // namespace ndpext

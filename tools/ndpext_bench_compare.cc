@@ -27,8 +27,8 @@
  *     exactly, non-integral values within 1e-9 relative (JSON text
  *     round-trip slack). --tolerance=REL widens both.
  *   - Wall-clock metrics (real_time, cpu_time, iterations, *_per_second,
- *     *Micros, plus --advisory=SUBSTR matches) are ADVISORY: printed,
- *     never failing. Machine speed is not a property of the tree.
+ *     *Micros, *PerSec, plus --advisory=SUBSTR matches) are ADVISORY:
+ *     printed, never failing. Machine speed is not a property of the tree.
  *   - A baseline metric missing from the current run is a failure; a new
  *     metric only in the current run is advisory (refresh the baseline).
  *
@@ -74,7 +74,7 @@ constexpr double kFloatSlack = 1e-9;
 /** Metric-name substrings that mark host-dependent (advisory) metrics. */
 const char* kAdvisoryPatterns[] = {"real_time", "cpu_time", "iterations",
                                    "bytes_per_second", "items_per_second",
-                                   "Micros"};
+                                   "Micros", "PerSec"};
 
 using MetricMap = std::map<std::string, double>;
 

@@ -299,6 +299,13 @@ printResult(const RunResult& r, bool dump_stats)
     std::printf("reconfigs       %llu\n",
                 static_cast<unsigned long long>(r.reconfigurations));
     std::printf("energy          %.3f mJ\n", r.energy.totalNj() * 1e-6);
+    if (r.engineWallMicros != 0) {
+        // stderr: stdout reports are byte-identical across runs (a
+        // documented contract); the wall-clock rate is host-dependent.
+        std::fprintf(stderr, "engine rate     %.0f accesses/s (%.1f ms)\n",
+                     r.engineAccessesPerSec(),
+                     static_cast<double>(r.engineWallMicros) * 1e-3);
+    }
     if (r.degraded.any()) {
         const auto& d = r.degraded;
         std::printf("--- degraded mode ---\n");
@@ -352,6 +359,12 @@ writeStatsJson(const RunResult& r, const std::string& path)
     std::snprintf(buf, sizeof(buf), "%.17g", r.energy.totalNj());
     out << "  \"energyNj\": " << buf << ",\n";
     out << "  \"reconfigurations\": " << r.reconfigurations << ",\n";
+    // Host-dependent engine throughput: top-level only (never under
+    // "stats" except the Micros-suffixed twin), so bit-identity checks
+    // stay clean while CI can gate on the rate.
+    out << "  \"engineWallMicros\": " << r.engineWallMicros << ",\n";
+    std::snprintf(buf, sizeof(buf), "%.17g", r.engineAccessesPerSec());
+    out << "  \"engineAccessesPerSec\": " << buf << ",\n";
     out << "  \"writeExceptions\": " << r.writeExceptions << ",\n";
     out << "  \"degraded\": {\n";
     out << "    \"failedUnits\": " << r.degraded.failedUnits << ",\n";
