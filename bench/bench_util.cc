@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/atomic_file.h"
 #include "common/logging.h"
 #include "telemetry/json_out.h"
 
@@ -186,21 +187,26 @@ finishStats(const BenchArgs& args)
     if (args.statsJson.empty()) {
         return 0;
     }
-    std::ofstream out(args.statsJson);
-    if (!out) {
-        std::fprintf(stderr, "cannot write --stats-json file '%s'\n",
-                     args.statsJson.c_str());
+    std::string error;
+    const bool ok = writeFileAtomic(
+        args.statsJson,
+        [](std::ostream& out) {
+            out << "{\n  \"stats\": {";
+            bool first = true;
+            for (const auto& [name, value] : statRecords()) {
+                out << (first ? "\n    " : ",\n    ")
+                    << jsonout::str(name) << ": " << jsonout::num(value);
+                first = false;
+            }
+            out << "\n  }\n}\n";
+        },
+        &error);
+    if (!ok) {
+        std::fprintf(stderr, "cannot write --stats-json file '%s': %s\n",
+                     args.statsJson.c_str(), error.c_str());
         return 1;
     }
-    out << "{\n  \"stats\": {";
-    bool first = true;
-    for (const auto& [name, value] : statRecords()) {
-        out << (first ? "\n    " : ",\n    ") << jsonout::str(name) << ": "
-            << jsonout::num(value);
-        first = false;
-    }
-    out << "\n  }\n}\n";
-    return out.good() ? 0 : 1;
+    return 0;
 }
 
 Table::Table(std::vector<std::string> columns)

@@ -128,6 +128,12 @@ class NexusConfigurator : public JigsawConfigurator
     /** The globally chosen replication degree of the last epoch. */
     std::uint32_t lastDegree() const { return lastDegree_; }
 
+    void serialize(ckpt::Writer& w) const override
+    {
+        w.u32(lastDegree_);
+    }
+    void deserialize(ckpt::Reader& r) override { lastDegree_ = r.u32(); }
+
   private:
     std::uint32_t maxDegree_;
     std::uint32_t lastDegree_ = 1;

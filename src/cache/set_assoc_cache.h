@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "sim/checkpoint.h"
 #include "sim/stats.h"
 
 namespace ndpext {
@@ -75,6 +76,41 @@ class SetAssocCache
     void report(StatGroup& stats, const std::string& prefix) const;
     void resetStats();
 
+    /** Checkpoint hooks (geometry is configuration; contents travel). */
+    void
+    serialize(ckpt::Writer& w) const
+    {
+        w.u64(entries_.size());
+        for (const Entry& e : entries_) {
+            w.u64(e.key);
+            w.u64(e.lastUse);
+            w.b(e.valid);
+            w.b(e.dirty);
+        }
+        w.u64(useClock_);
+        w.u64(hits_);
+        w.u64(misses_);
+        w.u64(evictions_);
+    }
+
+    void
+    deserialize(ckpt::Reader& r)
+    {
+        const std::uint64_t n = r.u64();
+        NDP_ASSERT(n == entries_.size(), "cache geometry mismatch: ", n,
+                   " != ", entries_.size());
+        for (Entry& e : entries_) {
+            e.key = r.u64();
+            e.lastUse = r.u64();
+            e.valid = r.b();
+            e.dirty = r.b();
+        }
+        useClock_ = r.u64();
+        hits_ = r.u64();
+        misses_ = r.u64();
+        evictions_ = r.u64();
+    }
+
   private:
     struct Entry
     {
@@ -127,6 +163,9 @@ class SramCache
     {
         tags_.report(stats, prefix);
     }
+
+    void serialize(ckpt::Writer& w) const { tags_.serialize(w); }
+    void deserialize(ckpt::Reader& r) { tags_.deserialize(r); }
 
   private:
     std::uint32_t lineBytes_;

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Crash-safe text-file emission: write to `<path>.tmp`, then rename.
+ *
+ * rename(2) is atomic on POSIX filesystems, so a reader (or a run
+ * resumed after a crash) only ever observes either the previous
+ * complete file or the new complete file -- never a torn write. Used
+ * by every JSON/JSONL emitter (--stats-json, telemetry flush, decision
+ * log, bench results) so outputs stay parseable even if the process is
+ * killed mid-flush.
+ */
+
+#ifndef NDPEXT_COMMON_ATOMIC_FILE_H
+#define NDPEXT_COMMON_ATOMIC_FILE_H
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+
+namespace ndpext {
+
+/**
+ * Stream `writer`'s output into `path` atomically. On any failure the
+ * temporary is removed, `error` (if non-null) describes what happened,
+ * and the previous contents of `path` (if any) are left untouched.
+ */
+inline bool
+writeFileAtomic(const std::string& path,
+                const std::function<void(std::ostream&)>& writer,
+                std::string* error = nullptr)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out) {
+            if (error != nullptr) {
+                *error = "cannot open '" + tmp + "' for writing";
+            }
+            return false;
+        }
+        writer(out);
+        out.flush();
+        if (!out) {
+            if (error != nullptr) {
+                *error = "write to '" + tmp + "' failed";
+            }
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        if (error != nullptr) {
+            *error = "cannot rename '" + tmp + "' to '" + path + "'";
+        }
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace ndpext
+
+#endif // NDPEXT_COMMON_ATOMIC_FILE_H

@@ -35,6 +35,22 @@ class Histogram
     /** One-line summary "n=... mean=... p50=... p99=... max=...". */
     std::string summary() const;
 
+    /** Raw state, for checkpoint/restore (bucketMax_ is configuration). */
+    const std::vector<std::uint64_t>& bins() const { return bins_; }
+    std::uint64_t overflow() const { return overflow_; }
+
+    void
+    restore(std::vector<std::uint64_t> bins, std::uint64_t overflow,
+            std::uint64_t count, double sum, double min, double max)
+    {
+        bins_ = std::move(bins);
+        overflow_ = overflow;
+        count_ = count;
+        sum_ = sum;
+        min_ = min;
+        max_ = max;
+    }
+
   private:
     double bucketMax_;
     std::vector<std::uint64_t> bins_;

@@ -80,6 +80,23 @@ class Rng
         return nextDouble() < p_true;
     }
 
+    /** Raw generator state, for checkpoint/restore. */
+    void
+    state(std::uint64_t out[4]) const
+    {
+        for (int i = 0; i < 4; ++i) {
+            out[i] = s_[i];
+        }
+    }
+
+    void
+    setState(const std::uint64_t in[4])
+    {
+        for (int i = 0; i < 4; ++i) {
+            s_[i] = in[i];
+        }
+    }
+
   private:
     static constexpr std::uint64_t
     rotl(std::uint64_t x, int k)

@@ -173,6 +173,83 @@ class InOrderCore : public MemObject
     /** The core's private packet pool (engine telemetry). */
     const PacketPool& packetPool() const { return pool_; }
 
+    /**
+     * Checkpoint hooks. MSHR slots keep only what later stall
+     * attribution reads (owning sid + service breakdown); their packets
+     * are re-acquired from the restored pool, which also reconstructs
+     * the pool's inUse count.
+     */
+    void
+    serialize(ckpt::Writer& w) const
+    {
+        w.u64(now_);
+        w.u64(accesses_);
+        w.u64(l1Hits_);
+        w.u64(computeCycles_);
+        w.u64(memStallCycles_);
+        w.u64(stall_.metadata);
+        w.u64(stall_.icnIntra);
+        w.u64(stall_.icnInter);
+        w.u64(stall_.dramCache);
+        w.u64(stall_.extMem);
+        w.u64(stall_.mshrQueue);
+        w.vecU64(streamStall_);
+        w.u64(noStreamStall_);
+        l1d_.serialize(w);
+        pool_.serialize(w);
+        w.u64(mshr_.size());
+        for (const MshrSlot& slot : mshr_) {
+            w.u64(slot.free);
+            w.b(slot.pkt != nullptr);
+            if (slot.pkt != nullptr) {
+                w.u32(slot.pkt->sid);
+                w.u64(slot.pkt->bd.metadata);
+                w.u64(slot.pkt->bd.icnIntra);
+                w.u64(slot.pkt->bd.icnInter);
+                w.u64(slot.pkt->bd.dramCache);
+                w.u64(slot.pkt->bd.extMem);
+                w.u64(slot.pkt->bd.requests);
+            }
+        }
+    }
+
+    void
+    deserialize(ckpt::Reader& r)
+    {
+        now_ = r.u64();
+        accesses_ = r.u64();
+        l1Hits_ = r.u64();
+        computeCycles_ = r.u64();
+        memStallCycles_ = r.u64();
+        stall_.metadata = r.u64();
+        stall_.icnIntra = r.u64();
+        stall_.icnInter = r.u64();
+        stall_.dramCache = r.u64();
+        stall_.extMem = r.u64();
+        stall_.mshrQueue = r.u64();
+        streamStall_ = r.vecU64();
+        noStreamStall_ = r.u64();
+        l1d_.deserialize(r);
+        pool_.deserialize(r);
+        const std::uint64_t n = r.u64();
+        NDP_ASSERT(n == mshr_.size(), "MSHR count mismatch");
+        for (MshrSlot& slot : mshr_) {
+            slot.free = r.u64();
+            slot.pkt = nullptr;
+            if (r.b()) {
+                slot.pkt = pool_.acquire();
+                slot.pkt->src = id_;
+                slot.pkt->sid = static_cast<StreamId>(r.u32());
+                slot.pkt->bd.metadata = r.u64();
+                slot.pkt->bd.icnIntra = r.u64();
+                slot.pkt->bd.icnInter = r.u64();
+                slot.pkt->bd.dramCache = r.u64();
+                slot.pkt->bd.extMem = r.u64();
+                slot.pkt->bd.requests = r.u64();
+            }
+        }
+    }
+
   protected:
     MemPort* getPort(const std::string& port_name) override
     {

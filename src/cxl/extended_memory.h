@@ -128,6 +128,51 @@ class ExtendedMemory : public MemObject
     /** Registers "ext.*" series (shard clones sum into one series). */
     void registerMetrics(MetricRegistry& registry) override;
 
+    /** Checkpoint hooks (link/DRAM parameters are configuration). */
+    void
+    serialize(ckpt::Writer& w) const
+    {
+        dram_.serialize(w);
+        link_.serialize(w);
+        w.u64(stream_.size());
+        for (const StreamCounters& c : stream_) {
+            w.u64(c.linkBytes);
+            w.u64(c.dramBytes);
+            w.u64(c.dramActivations);
+        }
+        w.u64(noStream_.linkBytes);
+        w.u64(noStream_.dramBytes);
+        w.u64(noStream_.dramActivations);
+        w.u64(accesses_);
+        w.d(linkEnergyNj_);
+        w.u64(linkBytes_);
+        w.u64(linkRetries_);
+        w.u64(retriesExhausted_);
+        w.u64(poisonedReads_);
+    }
+
+    void
+    deserialize(ckpt::Reader& r)
+    {
+        dram_.deserialize(r);
+        link_.deserialize(r);
+        stream_.assign(r.u64(), StreamCounters{});
+        for (StreamCounters& c : stream_) {
+            c.linkBytes = r.u64();
+            c.dramBytes = r.u64();
+            c.dramActivations = r.u64();
+        }
+        noStream_.linkBytes = r.u64();
+        noStream_.dramBytes = r.u64();
+        noStream_.dramActivations = r.u64();
+        accesses_ = r.u64();
+        linkEnergyNj_ = r.d();
+        linkBytes_ = r.u64();
+        linkRetries_ = r.u64();
+        retriesExhausted_ = r.u64();
+        poisonedReads_ = r.u64();
+    }
+
   protected:
     MemPort* getPort(const std::string& port_name) override
     {

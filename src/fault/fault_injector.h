@@ -27,6 +27,7 @@
 #ifndef NDPEXT_FAULT_FAULT_INJECTOR_H
 #define NDPEXT_FAULT_FAULT_INJECTOR_H
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <unordered_set>
@@ -34,6 +35,7 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "sim/checkpoint.h"
 #include "sim/stats.h"
 
 namespace ndpext {
@@ -140,6 +142,74 @@ class FaultInjector
     std::uint64_t dramBitFaultsInjected() const { return dramFaults_; }
 
     void report(StatGroup& stats, const std::string& prefix) const;
+
+    /**
+     * Checkpoint hooks. The schedule itself is configuration; RNG
+     * streams, the fired/poisoned sets (sorted for byte determinism)
+     * and the schedule cursor travel.
+     */
+    void
+    serialize(ckpt::Writer& w) const
+    {
+        std::uint64_t s[4];
+        linkRng_.state(s);
+        for (int i = 0; i < 4; ++i) {
+            w.u64(s[i]);
+        }
+        poisonRng_.state(s);
+        for (int i = 0; i < 4; ++i) {
+            w.u64(s[i]);
+        }
+        dramRng_.state(s);
+        for (int i = 0; i < 4; ++i) {
+            w.u64(s[i]);
+        }
+        std::vector<std::uint64_t> lines(poisonedLines_.begin(),
+                                         poisonedLines_.end());
+        std::sort(lines.begin(), lines.end());
+        w.vecU64(lines);
+        std::vector<std::uint32_t> failed(failed_.begin(), failed_.end());
+        std::sort(failed.begin(), failed.end());
+        w.vecU32(failed);
+        w.u64(nextFailure_);
+        w.u64(firstFailureAt_);
+        w.u64(linkErrors_);
+        w.u64(linesPoisoned_);
+        w.u64(dramFaults_);
+    }
+
+    void
+    deserialize(ckpt::Reader& r)
+    {
+        std::uint64_t s[4];
+        for (int i = 0; i < 4; ++i) {
+            s[i] = r.u64();
+        }
+        linkRng_.setState(s);
+        for (int i = 0; i < 4; ++i) {
+            s[i] = r.u64();
+        }
+        poisonRng_.setState(s);
+        for (int i = 0; i < 4; ++i) {
+            s[i] = r.u64();
+        }
+        dramRng_.setState(s);
+        poisonedLines_.clear();
+        for (const std::uint64_t line : r.vecU64()) {
+            poisonedLines_.insert(line);
+        }
+        failed_.clear();
+        for (const std::uint32_t unit : r.vecU32()) {
+            failed_.insert(static_cast<UnitId>(unit));
+        }
+        nextFailure_ = r.u64();
+        NDP_ASSERT(nextFailure_ <= params_.unitFailures.size(),
+                   "failure cursor out of range");
+        firstFailureAt_ = r.u64();
+        linkErrors_ = r.u64();
+        linesPoisoned_ = r.u64();
+        dramFaults_ = r.u64();
+    }
 
   private:
     FaultParams params_;

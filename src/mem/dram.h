@@ -118,6 +118,38 @@ class DramDevice
 
     void reset();
 
+    /** Checkpoint hooks (timing parameters are configuration). */
+    void
+    serialize(ckpt::Writer& w) const
+    {
+        w.u64(banks_.size());
+        for (const Bank& b : banks_) {
+            w.u64(static_cast<std::uint64_t>(b.openRow));
+            b.busy.serialize(w);
+        }
+        w.u64(rowHits_);
+        w.u64(rowMisses_);
+        w.u64(activations_);
+        w.u64(bytesRead_);
+        w.u64(bytesWritten_);
+    }
+
+    void
+    deserialize(ckpt::Reader& r)
+    {
+        const std::uint64_t n = r.u64();
+        NDP_ASSERT(n == banks_.size(), "DRAM bank count mismatch");
+        for (Bank& b : banks_) {
+            b.openRow = static_cast<std::int64_t>(r.u64());
+            b.busy.deserialize(r);
+        }
+        rowHits_ = r.u64();
+        rowMisses_ = r.u64();
+        activations_ = r.u64();
+        bytesRead_ = r.u64();
+        bytesWritten_ = r.u64();
+    }
+
   private:
     struct Bank
     {

@@ -379,4 +379,72 @@ StreamRemapTable::survivingRows(StreamId sid) const
     return entries_[sid].surviving;
 }
 
+void
+StreamRemapTable::serialize(ckpt::Writer& w) const
+{
+    w.u64(entries_.size());
+    for (const Entry& e : entries_) {
+        w.b(e.valid);
+        if (!e.valid) {
+            continue;
+        }
+        w.vecU32(e.alloc.shareRows);
+        w.vecU32(e.alloc.rowBase);
+        w.u64(e.alloc.groupOf.size());
+        for (const std::uint16_t g : e.alloc.groupOf) {
+            w.u32(g);
+        }
+        w.u32(e.alloc.numGroups);
+        w.u32(e.granuleBytes);
+        w.d(e.survivalFraction);
+        w.u64(e.surviving.size());
+        for (const SurvivingRow& s : e.surviving) {
+            w.u32(s.unit);
+            w.u32(s.oldRowOffset);
+            w.u32(s.newRowOffset);
+        }
+    }
+}
+
+void
+StreamRemapTable::deserialize(ckpt::Reader& r, const NocModel& noc)
+{
+    const std::uint64_t n = r.u64();
+    entries_.assign(n, Entry{});
+    std::fill(usedRows_.begin(), usedRows_.end(), 0);
+    for (std::size_t sid = 0; sid < entries_.size(); ++sid) {
+        Entry& e = entries_[sid];
+        e.valid = r.b();
+        if (!e.valid) {
+            continue;
+        }
+        e.alloc = StreamAlloc(numUnits_);
+        e.alloc.shareRows = r.vecU32();
+        e.alloc.rowBase = r.vecU32();
+        const std::uint64_t gn = r.u64();
+        e.alloc.groupOf.assign(gn, 0);
+        for (std::uint16_t& g : e.alloc.groupOf) {
+            g = static_cast<std::uint16_t>(r.u32());
+        }
+        e.alloc.numGroups = static_cast<std::uint16_t>(r.u32());
+        NDP_ASSERT(e.alloc.shareRows.size() == numUnits_
+                       && e.alloc.rowBase.size() == numUnits_
+                       && e.alloc.groupOf.size() == numUnits_,
+                   "remap allocation unit-count mismatch");
+        e.granuleBytes = r.u32();
+        e.survivalFraction = r.d();
+        const std::uint64_t sn = r.u64();
+        e.surviving.assign(sn, SurvivingRow{});
+        for (SurvivingRow& s : e.surviving) {
+            s.unit = static_cast<UnitId>(r.u32());
+            s.oldRowOffset = r.u32();
+            s.newRowOffset = r.u32();
+        }
+        buildViews(e, static_cast<StreamId>(sid), noc);
+        for (UnitId u = 0; u < numUnits_; ++u) {
+            usedRows_[u] += e.alloc.shareRows[u];
+        }
+    }
+}
+
 } // namespace ndpext

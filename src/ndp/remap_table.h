@@ -21,6 +21,7 @@
 
 #include "common/types.h"
 #include "noc/noc_model.h"
+#include "sim/checkpoint.h"
 #include "stream/stream_table.h"
 
 namespace ndpext {
@@ -148,6 +149,15 @@ class StreamRemapTable
         std::uint32_t newRowOffset; ///< row index within new unit alloc
     };
     const std::vector<SurvivingRow>& survivingRows(StreamId sid) const;
+
+    /**
+     * Checkpoint hooks. Only the authoritative per-stream allocations
+     * travel; group views, serving maps and usedRows_ are rebuilt
+     * deterministically by buildViews() at restore (it sorts by spot
+     * hash / unit id, so the rebuilt views are byte-identical).
+     */
+    void serialize(ckpt::Writer& w) const;
+    void deserialize(ckpt::Reader& r, const NocModel& noc);
 
   private:
     struct GroupView

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "sim/checkpoint.h"
 #include "sim/stats.h"
 
 namespace ndpext {
@@ -67,6 +68,45 @@ class Slb
     std::uint64_t misses() const { return misses_; }
 
     void report(StatGroup& stats, const std::string& prefix) const;
+
+    /** Checkpoint hooks (capacity/latencies are configuration). */
+    void
+    serialize(ckpt::Writer& w) const
+    {
+        w.u64(entries_.size());
+        for (const Entry& e : entries_) {
+            w.u32(e.sid);
+            w.u64(e.lastUse);
+            w.b(e.valid);
+        }
+        // lastHit_ as an index so the memoized fast path survives.
+        std::uint64_t last = ~std::uint64_t{0};
+        if (lastHit_ != nullptr) {
+            last = static_cast<std::uint64_t>(lastHit_ - entries_.data());
+        }
+        w.u64(last);
+        w.u64(useClock_);
+        w.u64(hits_);
+        w.u64(misses_);
+    }
+
+    void
+    deserialize(ckpt::Reader& r)
+    {
+        const std::uint64_t n = r.u64();
+        NDP_ASSERT(n == entries_.size(), "SLB capacity mismatch");
+        for (Entry& e : entries_) {
+            e.sid = static_cast<StreamId>(r.u32());
+            e.lastUse = r.u64();
+            e.valid = r.b();
+        }
+        const std::uint64_t last = r.u64();
+        lastHit_ =
+            last < entries_.size() ? entries_.data() + last : nullptr;
+        useClock_ = r.u64();
+        hits_ = r.u64();
+        misses_ = r.u64();
+    }
 
   private:
     struct Entry

@@ -1190,11 +1190,19 @@ StreamCacheController::dramCacheEnergyNj() const
         total += unit->dram.dynamicEnergyNj();
     }
     // Proxy devices model remote-unit traffic from other shards; their
-    // energy belongs to the DRAM-cache bucket too.
+    // energy belongs to the DRAM-cache bucket too. Summed in sorted
+    // unit order so the float total is independent of hash-map
+    // insertion history (a restored run must reproduce it exactly).
     for (const auto& ctx : ctxs_) {
+        std::vector<UnitId> units;
+        units.reserve(ctx->remoteDrams.size());
         for (const auto& [unit, dram] : ctx->remoteDrams) {
-            (void)unit;
-            total += dram->dynamicEnergyNj();
+            (void)dram;
+            units.push_back(unit);
+        }
+        std::sort(units.begin(), units.end());
+        for (const UnitId unit : units) {
+            total += ctx->remoteDrams.at(unit)->dynamicEnergyNj();
         }
     }
     return total;
@@ -1279,6 +1287,238 @@ StreamCacheController::registerMetrics(MetricRegistry& registry)
             return double(streamMisses(sid));
         });
     }
+}
+
+namespace {
+
+void
+writeBd(ckpt::Writer& w, const LatencyBreakdown& bd)
+{
+    w.u64(bd.metadata);
+    w.u64(bd.icnIntra);
+    w.u64(bd.icnInter);
+    w.u64(bd.dramCache);
+    w.u64(bd.extMem);
+    w.u64(bd.requests);
+}
+
+void
+readBd(ckpt::Reader& r, LatencyBreakdown& bd)
+{
+    bd.metadata = r.u64();
+    bd.icnIntra = r.u64();
+    bd.icnInter = r.u64();
+    bd.dramCache = r.u64();
+    bd.extMem = r.u64();
+    bd.requests = r.u64();
+}
+
+/** A tag store with its geometry, so restore can reconstruct it. */
+void
+writeStore(ckpt::Writer& w, const TagStore& ts)
+{
+    w.u32(ts.numWays());
+    w.u64(ts.numSets() * ts.numWays()); // slots, the ctor argument
+    ts.serialize(w);
+}
+
+TagStore
+readStore(ckpt::Reader& r)
+{
+    const std::uint32_t ways = r.u32();
+    const std::uint64_t slots = r.u64();
+    TagStore ts(slots, ways);
+    ts.deserialize(r);
+    return ts;
+}
+
+} // namespace
+
+void
+StreamCacheController::serialize(ckpt::Writer& w) const
+{
+    w.section(0x0CAC);
+    remap_.serialize(w);
+    w.u64(units_.size());
+    for (const auto& unit : units_) {
+        unit->dram.serialize(w);
+        unit->slb.serialize(w);
+        unit->samplers.serialize(w);
+        std::vector<StreamId> sids;
+        sids.reserve(unit->stores.size());
+        for (const auto& [sid, ts] : unit->stores) {
+            (void)ts;
+            sids.push_back(sid);
+        }
+        std::sort(sids.begin(), sids.end());
+        w.u64(sids.size());
+        for (const StreamId sid : sids) {
+            w.u32(sid);
+            writeStore(w, unit->stores.at(sid));
+        }
+        w.b(unit->metaCache != nullptr);
+        if (unit->metaCache != nullptr) {
+            unit->metaCache->serialize(w);
+        }
+    }
+    w.vecB(unitFailed_);
+    w.u64(ctxs_.size());
+    for (const auto& ctx : ctxs_) {
+        writeBd(w, ctx->bd);
+        w.u64(ctx->hits);
+        w.u64(ctx->misses);
+        w.u64(ctx->uncached);
+        w.u64(ctx->bypasses);
+        w.u64(ctx->writeExceptions);
+        w.u64(ctx->wayPredictions);
+        w.u64(ctx->wayMispredictions);
+        w.u64(ctx->writebacks);
+        w.u64(ctx->failedRedirects);
+        w.u64(ctx->dramFaults);
+        w.u64(ctx->poisonEscalations);
+        w.d(ctx->sramEnergyNj);
+        w.vecU64(ctx->streamHits);
+        w.vecU64(ctx->streamMisses);
+        w.u64(ctx->streamBd.size());
+        for (const LatencyBreakdown& bd : ctx->streamBd) {
+            writeBd(w, bd);
+        }
+        writeBd(w, ctx->noStreamBd);
+        w.u64(ctx->streamCost.size());
+        for (const StreamCost& c : ctx->streamCost) {
+            w.u64(c.slbLookups);
+            w.u64(c.ataLookups);
+            w.u64(c.dramBytes);
+            w.u64(c.dramActivations);
+        }
+        w.u64(ctx->noStreamCost.slbLookups);
+        w.u64(ctx->noStreamCost.ataLookups);
+        w.u64(ctx->noStreamCost.dramBytes);
+        w.u64(ctx->noStreamCost.dramActivations);
+        // Deferred write exceptions are applied at the barrier before a
+        // checkpoint is cut, but serialize them anyway for safety.
+        w.u64(ctx->pendingWritten.size());
+        for (const StreamId sid : ctx->pendingWritten) {
+            w.u32(sid);
+        }
+        w.vecB(ctx->writtenSeen);
+        std::vector<std::uint64_t> keys;
+        keys.reserve(ctx->remoteStores.size());
+        for (const auto& [key, ts] : ctx->remoteStores) {
+            (void)ts;
+            keys.push_back(key);
+        }
+        std::sort(keys.begin(), keys.end());
+        w.u64(keys.size());
+        for (const std::uint64_t key : keys) {
+            w.u64(key);
+            writeStore(w, ctx->remoteStores.at(key));
+        }
+        std::vector<UnitId> runits;
+        runits.reserve(ctx->remoteDrams.size());
+        for (const auto& [u, d] : ctx->remoteDrams) {
+            (void)d;
+            runits.push_back(u);
+        }
+        std::sort(runits.begin(), runits.end());
+        w.u64(runits.size());
+        for (const UnitId u : runits) {
+            w.u32(u);
+            ctx->remoteDrams.at(u)->serialize(w);
+        }
+        ctx->pool.serialize(w);
+    }
+    w.u64(invalidatedRows_);
+    w.u64(survivedRows_);
+}
+
+void
+StreamCacheController::deserialize(ckpt::Reader& r)
+{
+    r.section(0x0CAC);
+    remap_.deserialize(r, noc_);
+    const std::uint64_t nunits = r.u64();
+    NDP_ASSERT(nunits == units_.size(), "checkpoint unit-count mismatch");
+    for (auto& unit : units_) {
+        unit->dram.deserialize(r);
+        unit->slb.deserialize(r);
+        unit->samplers.deserialize(r);
+        unit->stores.clear();
+        const std::uint64_t nstores = r.u64();
+        for (std::uint64_t i = 0; i < nstores; ++i) {
+            const StreamId sid = static_cast<StreamId>(r.u32());
+            unit->stores.emplace(sid, readStore(r));
+        }
+        const bool has_meta = r.b();
+        NDP_ASSERT(has_meta == (unit->metaCache != nullptr),
+                   "metadata-cache mode mismatch");
+        if (has_meta) {
+            unit->metaCache->deserialize(r);
+        }
+    }
+    unitFailed_ = r.vecB();
+    NDP_ASSERT(unitFailed_.size() == units_.size());
+    const std::uint64_t nctx = r.u64();
+    NDP_ASSERT(nctx == ctxs_.size(), "checkpoint shard-count mismatch");
+    for (auto& ctx : ctxs_) {
+        readBd(r, ctx->bd);
+        ctx->hits = r.u64();
+        ctx->misses = r.u64();
+        ctx->uncached = r.u64();
+        ctx->bypasses = r.u64();
+        ctx->writeExceptions = r.u64();
+        ctx->wayPredictions = r.u64();
+        ctx->wayMispredictions = r.u64();
+        ctx->writebacks = r.u64();
+        ctx->failedRedirects = r.u64();
+        ctx->dramFaults = r.u64();
+        ctx->poisonEscalations = r.u64();
+        ctx->sramEnergyNj = r.d();
+        ctx->streamHits = r.vecU64();
+        ctx->streamMisses = r.vecU64();
+        ctx->streamBd.assign(r.u64(), LatencyBreakdown{});
+        for (LatencyBreakdown& bd : ctx->streamBd) {
+            readBd(r, bd);
+        }
+        readBd(r, ctx->noStreamBd);
+        ctx->streamCost.assign(r.u64(), StreamCost{});
+        for (StreamCost& c : ctx->streamCost) {
+            c.slbLookups = r.u64();
+            c.ataLookups = r.u64();
+            c.dramBytes = r.u64();
+            c.dramActivations = r.u64();
+        }
+        ctx->noStreamCost.slbLookups = r.u64();
+        ctx->noStreamCost.ataLookups = r.u64();
+        ctx->noStreamCost.dramBytes = r.u64();
+        ctx->noStreamCost.dramActivations = r.u64();
+        ctx->pendingWritten.assign(r.u64(), kNoStream);
+        for (StreamId& sid : ctx->pendingWritten) {
+            sid = static_cast<StreamId>(r.u32());
+        }
+        ctx->writtenSeen = r.vecB();
+        ctx->remoteStores.clear();
+        const std::uint64_t nremote = r.u64();
+        for (std::uint64_t i = 0; i < nremote; ++i) {
+            const std::uint64_t key = r.u64();
+            ctx->remoteStores.emplace(key, readStore(r));
+        }
+        ctx->remoteDrams.clear();
+        const std::uint64_t ndrams = r.u64();
+        for (std::uint64_t i = 0; i < ndrams; ++i) {
+            const UnitId u = static_cast<UnitId>(r.u32());
+            auto dram = std::make_unique<DramDevice>(unitDramParams_,
+                                                     coreFreqMhz_);
+            dram->deserialize(r);
+            ctx->remoteDrams.emplace(u, std::move(dram));
+        }
+        ctx->pool.deserialize(r);
+        // Every memoized TagStore* referenced pre-restore storage.
+        ctx->storeCache.clear();
+        ctx->storeCacheStride = 0;
+    }
+    invalidatedRows_ = r.u64();
+    survivedRows_ = r.u64();
 }
 
 } // namespace ndpext

@@ -297,6 +297,18 @@ class StreamCacheController : public MemObject
     /** Registers "cache.*" series, including per-stream hits/misses. */
     void registerMetrics(MetricRegistry& registry) override;
 
+    /**
+     * Checkpoint hooks. Barrier-side only: every shard must be quiescent
+     * and deferred write exceptions applied. Tag stores (including
+     * cross-shard proxies) are written in sorted (unit, sid) order with
+     * their geometry so restore can reconstruct stores that
+     * applyConfiguration never built in this process. The shard NoC/CXL/
+     * fault models referenced by each context are serialized by their
+     * owner (NdpSystem), not here.
+     */
+    void serialize(ckpt::Writer& w) const;
+    void deserialize(ckpt::Reader& r);
+
   protected:
     MemPort* getPort(const std::string& port_name) override
     {

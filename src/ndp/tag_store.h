@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "sim/checkpoint.h"
 
 namespace ndpext {
 
@@ -171,6 +172,38 @@ class TagStore
                 dirty_[d * ways_ + w] = src.dirty_[s * ways_ + w];
             }
         }
+    }
+
+    /**
+     * Checkpoint hooks. Geometry (slots, ways) is re-derived by the
+     * owner from the restored remap allocation; only contents travel,
+     * and the restored store must match the stored geometry exactly.
+     */
+    void
+    serialize(ckpt::Writer& w) const
+    {
+        w.u32(ways_);
+        w.u64(sets_);
+        w.vecU32(tags_);
+        w.vecB(dirty_);
+        w.vecU32(use_);
+        w.u32(useClock_);
+    }
+
+    void
+    deserialize(ckpt::Reader& r)
+    {
+        const std::uint32_t ways = r.u32();
+        const std::uint64_t sets = r.u64();
+        NDP_ASSERT(ways == ways_ && sets == sets_,
+                   "tag store geometry mismatch: ", sets, "x", ways,
+                   " != ", sets_, "x", ways_);
+        tags_ = r.vecU32();
+        dirty_ = r.vecB();
+        use_ = r.vecU32();
+        useClock_ = r.u32();
+        NDP_ASSERT(tags_.size() == sets_ * ways_
+                   && dirty_.size() == tags_.size());
     }
 
   private:

@@ -28,6 +28,7 @@
 #include "ndp/remap_table.h"
 #include "noc/noc_model.h"
 #include "sampler/miss_curve.h"
+#include "sim/checkpoint.h"
 
 namespace ndpext {
 
@@ -93,6 +94,29 @@ class ConfigAlgorithm
     std::uint64_t lastIterations() const { return iterations_; }
     std::uint64_t lastExtends() const { return extends_; }
     std::uint64_t lastMerges() const { return merges_; }
+
+    /**
+     * Checkpoint hooks: run() rebuilds all working state from its
+     * demands, so only the unit-health mask and last-run work counters
+     * persist across calls.
+     */
+    void
+    serialize(ckpt::Writer& w) const
+    {
+        w.vecB(failedUnits_);
+        w.u64(iterations_);
+        w.u64(extends_);
+        w.u64(merges_);
+    }
+
+    void
+    deserialize(ckpt::Reader& r)
+    {
+        failedUnits_ = r.vecB();
+        iterations_ = r.u64();
+        extends_ = r.u64();
+        merges_ = r.u64();
+    }
 
   private:
     struct Group

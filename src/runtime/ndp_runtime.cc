@@ -530,4 +530,107 @@ NdpRuntime::report(StatGroup& stats, const std::string& prefix) const
     stats.set(prefix + ".lastConfigMicros", lastConfigMicros_);
 }
 
+namespace {
+
+void
+writeCurve(ckpt::Writer& w, const MissCurve& curve)
+{
+    w.vecU64(curve.capacities());
+    w.vecD(curve.misses());
+    w.d(curve.zeroMisses());
+}
+
+MissCurve
+readCurve(ckpt::Reader& r)
+{
+    std::vector<std::uint64_t> capacities = r.vecU64();
+    std::vector<double> misses = r.vecD();
+    const double zero = r.d();
+    MissCurve curve(std::move(capacities), std::move(misses));
+    // setZeroMisses clamps; a stored value (already clamped) passes
+    // through unchanged, and the -1 "unset" sentinel must stay unset.
+    if (zero >= 0.0) {
+        curve.setZeroMisses(zero);
+    }
+    return curve;
+}
+
+void
+writeSids(ckpt::Writer& w, const std::vector<StreamId>& sids)
+{
+    w.u64(sids.size());
+    for (const StreamId sid : sids) {
+        w.u32(sid);
+    }
+}
+
+std::vector<StreamId>
+readSids(ckpt::Reader& r)
+{
+    std::vector<StreamId> sids(r.u64(), kNoStream);
+    for (StreamId& sid : sids) {
+        sid = static_cast<StreamId>(r.u32());
+    }
+    return sids;
+}
+
+} // namespace
+
+void
+NdpRuntime::serialize(ckpt::Writer& w) const
+{
+    w.section(0x0707);
+    configurator_->serialize(w);
+    w.u64(lastRateCurves_.size());
+    for (const auto& [sid, curve] : lastRateCurves_) {
+        w.u32(sid);
+        writeCurve(w, curve);
+    }
+    writeSids(w, pendingUncovered_);
+    w.u64(epochIndex_);
+    w.u64(lastNow_);
+    w.u64(lastAssignment_.perUnit.size());
+    for (const auto& sids : lastAssignment_.perUnit) {
+        writeSids(w, sids);
+    }
+    writeSids(w, lastAssignment_.uncovered);
+    w.u64(lastAssignment_.covered);
+    w.vecB(unitFailed_);
+    w.u64(reconfigs_);
+    w.u64(emergencyReconfigs_);
+    w.u64(failedUnitCount_);
+    w.u64(skippedReconfigs_);
+    w.u64(covered_);
+    w.b(configuredOnce_);
+}
+
+void
+NdpRuntime::deserialize(ckpt::Reader& r)
+{
+    r.section(0x0707);
+    configurator_->deserialize(r);
+    lastRateCurves_.clear();
+    const std::uint64_t ncurves = r.u64();
+    for (std::uint64_t i = 0; i < ncurves; ++i) {
+        const StreamId sid = static_cast<StreamId>(r.u32());
+        lastRateCurves_.emplace(sid, readCurve(r));
+    }
+    pendingUncovered_ = readSids(r);
+    epochIndex_ = r.u64();
+    lastNow_ = r.u64();
+    lastAssignment_.perUnit.assign(r.u64(), {});
+    for (auto& sids : lastAssignment_.perUnit) {
+        sids = readSids(r);
+    }
+    lastAssignment_.uncovered = readSids(r);
+    lastAssignment_.covered = r.u64();
+    unitFailed_ = r.vecB();
+    reconfigs_ = r.u64();
+    emergencyReconfigs_ = r.u64();
+    failedUnitCount_ = r.u64();
+    skippedReconfigs_ = r.u64();
+    covered_ = r.u64();
+    configuredOnce_ = r.b();
+}
+
 } // namespace ndpext

@@ -63,6 +63,13 @@ class Configurator
         (void)failed;
     }
 
+    /**
+     * Checkpoint hooks. Default: stateless between configure() calls
+     * (true for every baseline except Nexus's reporting field).
+     */
+    virtual void serialize(ckpt::Writer& w) const { (void)w; }
+    virtual void deserialize(ckpt::Reader& r) { (void)r; }
+
     virtual std::string name() const = 0;
 };
 
@@ -100,6 +107,9 @@ class NdpExtConfigurator : public Configurator
     {
         return algo_.lastMerges();
     }
+
+    void serialize(ckpt::Writer& w) const override { algo_.serialize(w); }
+    void deserialize(ckpt::Reader& r) override { algo_.deserialize(r); }
 
     ConfigAlgorithm& algorithm() { return algo_; }
 
@@ -225,6 +235,14 @@ class NdpRuntime
     double lastConfigMicros() const { return lastConfigMicros_; }
 
     void report(StatGroup& stats, const std::string& prefix) const;
+
+    /**
+     * Checkpoint hooks. A resumed system restores this state instead of
+     * calling start(); advisory wall-clock fields (lastAssignMicros /
+     * lastConfigMicros) intentionally do not travel.
+     */
+    void serialize(ckpt::Writer& w) const;
+    void deserialize(ckpt::Reader& r);
 
   private:
     /** Build demands from this epoch's profile. */

@@ -20,6 +20,7 @@
 
 #include "common/types.h"
 #include "sampler/miss_curve.h"
+#include "sim/checkpoint.h"
 #include "sim/stats.h"
 #include "stream/stream_table.h"
 
@@ -66,6 +67,42 @@ class MissCurveSampler
     const std::vector<std::uint64_t>& capacities() const
     {
         return capacities_;
+    }
+
+    /** Checkpoint hooks (params/capacity points are configuration). */
+    void
+    serialize(ckpt::Writer& w) const
+    {
+        w.u32(sid_);
+        w.u32(granuleBytes_);
+        w.u64(cases_.size());
+        for (const CapacityCase& c : cases_) {
+            w.u64(c.totalSlots);
+            w.u64(c.sampleStep);
+            w.vecU64(c.tags);
+            w.u64(c.observed);
+            w.u64(c.hits);
+        }
+        w.u64(accesses_);
+    }
+
+    void
+    deserialize(ckpt::Reader& r)
+    {
+        sid_ = static_cast<StreamId>(r.u32());
+        granuleBytes_ = r.u32();
+        // cases_ is rebuilt from the stream: its size is dynamic state
+        // (empty while unassigned, one per capacity point once
+        // configure() ran).
+        cases_.assign(r.u64(), CapacityCase{});
+        for (CapacityCase& c : cases_) {
+            c.totalSlots = r.u64();
+            c.sampleStep = r.u64();
+            c.tags = r.vecU64();
+            c.observed = r.u64();
+            c.hits = r.u64();
+        }
+        accesses_ = r.u64();
     }
 
   private:
@@ -121,6 +158,31 @@ class SamplerBank
     /** Clear bitvector/counters for the next epoch (samplers keep state
      *  until reassigned). */
     void newEpoch();
+
+    /** Checkpoint hooks. */
+    void
+    serialize(ckpt::Writer& w) const
+    {
+        w.u64(samplers_.size());
+        for (const MissCurveSampler& s : samplers_) {
+            s.serialize(w);
+        }
+        w.vecB(accessed_);
+        w.vecU64(counts_);
+    }
+
+    void
+    deserialize(ckpt::Reader& r)
+    {
+        const std::uint64_t n = r.u64();
+        NDP_ASSERT(n == samplers_.size(), "sampler count mismatch");
+        for (MissCurveSampler& s : samplers_) {
+            s.deserialize(r);
+        }
+        accessed_ = r.vecB();
+        counts_ = r.vecU64();
+        NDP_ASSERT(accessed_.size() == counts_.size());
+    }
 
   private:
     std::vector<MissCurveSampler> samplers_;

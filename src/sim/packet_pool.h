@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "sim/checkpoint.h"
 #include "sim/packet.h"
 
 namespace ndpext {
@@ -82,6 +83,41 @@ class PacketPool
     std::uint64_t highWater() const { return highWater_; }
     /** Slab objects ever constructed (recycles don't count). */
     std::uint64_t allocated() const { return allocated_; }
+
+    /**
+     * Checkpoint hooks: equivalent-state restore. Packet contents are
+     * reset on acquire(), so only the allocation counters matter; the
+     * restored pool holds `allocated` packets, all free. Owners that
+     * keep live packets across barriers (MSHR slots) re-acquire them
+     * during their own deserialize, restoring inUse without touching
+     * the allocated/high-water counters.
+     */
+    void
+    serialize(ckpt::Writer& w) const
+    {
+        w.u64(allocated_);
+        w.u64(highWater_);
+    }
+
+    void
+    deserialize(ckpt::Reader& r)
+    {
+        NDP_ASSERT(allocated_ == 0 && inUse_ == 0,
+                   "pool restore requires a fresh pool");
+        const std::uint64_t alloc = r.u64();
+        highWater_ = r.u64();
+        for (std::uint64_t i = 0; i < alloc; ++i) {
+            if (slabUsed_ == kSlabPackets) {
+                slabs_.push_back(std::make_unique<Packet[]>(kSlabPackets));
+                slabUsed_ = 0;
+            }
+            Packet* pkt = &slabs_.back()[slabUsed_++];
+            ++allocated_;
+            pkt->pooled = true;
+            pkt->poolNext = free_;
+            free_ = pkt;
+        }
+    }
 
   private:
     Packet* free_ = nullptr;

@@ -30,6 +30,7 @@
 
 #include "common/logging.h"
 #include "common/types.h"
+#include "sim/checkpoint.h"
 
 namespace ndpext {
 
@@ -151,6 +152,42 @@ class BandwidthResource
         count_ = 0;
         reservations_ = 0;
         queueCycles_ = 0;
+    }
+
+    /**
+     * Checkpoint hooks. The bandwidth is configuration (rebuilt by the
+     * owner); only the busy list and counters travel. Intervals are
+     * stored in logical order, so the restored ring is equivalent with
+     * head_ = 0 regardless of the original ring phase.
+     */
+    void
+    serialize(ckpt::Writer& w) const
+    {
+        w.u64(count_);
+        for (std::size_t i = 0; i < count_; ++i) {
+            w.u64(at(i).start);
+            w.u64(at(i).end);
+        }
+        w.u64(reservations_);
+        w.u64(queueCycles_);
+    }
+
+    void
+    deserialize(ckpt::Reader& r)
+    {
+        reset();
+        const std::uint64_t n = r.u64();
+        NDP_ASSERT(n <= kMaxTracked, "bad interval count ", n);
+        if (n > 0 && ring_ == nullptr) {
+            ring_ = std::make_unique<Interval[]>(kCap);
+        }
+        for (std::uint64_t i = 0; i < n; ++i) {
+            ring_[i].start = r.u64();
+            ring_[i].end = r.u64();
+        }
+        count_ = n;
+        reservations_ = r.u64();
+        queueCycles_ = r.u64();
     }
 
   private:

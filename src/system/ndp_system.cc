@@ -11,6 +11,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "runtime/static_config.h"
+#include "sim/checkpoint.h"
 #include "sim/sharded_executor.h"
 #include "telemetry/telemetry.h"
 
@@ -96,6 +97,115 @@ NdpSystem::NdpSystem(const SystemConfig& config, PolicyKind policy)
     cfg_.cache.cachelineMode = isCachelinePolicy(policy);
 }
 
+std::uint64_t
+NdpSystem::configHash(const Workload& workload) const
+{
+    // Canonical little-endian encoding of every field that shapes the
+    // simulated trajectory. Extending any param struct requires adding
+    // the new field here (stale checkpoints then fail the hash check,
+    // which is the safe direction).
+    ckpt::Writer w;
+    w.u32(cfg_.stacksX);
+    w.u32(cfg_.stacksY);
+    w.u32(cfg_.unitsX);
+    w.u32(cfg_.unitsY);
+    w.u64(cfg_.coreFreqMhz);
+    w.u64(cfg_.core.l1HitCycles);
+    w.u64(cfg_.core.l1dCapacityBytes);
+    w.u32(cfg_.core.l1dWays);
+    w.u32(cfg_.core.lineBytes);
+    w.u32(cfg_.core.mshrs);
+    w.u32(static_cast<std::uint32_t>(cfg_.memType));
+    w.u64(cfg_.unitCacheBytes);
+    const StreamCacheParams& sc = cfg_.cache;
+    w.u32(sc.affineBlockBytes);
+    w.u64(sc.affineCapBytesPerUnit);
+    w.u32(sc.affineWays);
+    w.u32(sc.indirectWays);
+    w.b(sc.indirectWayPrediction);
+    w.u64(sc.ataCycles);
+    w.u32(sc.slbEntries);
+    w.u64(sc.slbHitCycles);
+    w.u64(sc.slbMissCycles);
+    w.u64(sc.unitHandlerCycles);
+    w.u64(sc.writeExceptionCycles);
+    w.u32(sc.reqBytes);
+    w.u32(sc.rspBytes);
+    w.d(sc.slbPjPerLookup);
+    w.d(sc.ataPjPerLookup);
+    w.u32(sc.samplersPerUnit);
+    w.u32(sc.sampler.kSets);
+    w.u32(sc.sampler.numCapacities);
+    w.u64(sc.sampler.minCapacityBytes);
+    w.u64(sc.sampler.maxCapacityBytes);
+    w.u32(static_cast<std::uint32_t>(sc.remapMode));
+    w.b(sc.cachelineMode);
+    w.u64(sc.metadataCacheBytes);
+    w.u32(sc.metadataGranuleBytes);
+    w.u32(sc.metadataCacheWays);
+    w.u64(sc.metadataHitCycles);
+    w.u64(cfg_.noc.intraHopCycles);
+    w.u64(cfg_.noc.interHopCycles);
+    w.d(cfg_.noc.interLinkBytesPerCycle);
+    w.d(cfg_.noc.intraPjPerBit);
+    w.d(cfg_.noc.interPjPerBit);
+    w.u64(cfg_.cxl.linkLatencyCycles);
+    w.d(cfg_.cxl.linkBytesPerCycle);
+    w.d(cfg_.cxl.pjPerBit);
+    w.u64(cfg_.runtime.epochCycles);
+    w.u32(static_cast<std::uint32_t>(cfg_.runtime.method));
+    w.u64(cfg_.runtime.partialUntilCycles);
+    w.u32(cfg_.runtime.samplersPerUnit);
+    w.u64(cfg_.runtime.minSamplerAccesses);
+    w.b(cfg_.allowReplication);
+    w.u64(cfg_.faults.seed);
+    w.d(cfg_.faults.cxlTransientProb);
+    w.d(cfg_.faults.cxlPoisonProb);
+    w.d(cfg_.faults.dramBitProb);
+    w.u64(cfg_.faults.unitFailures.size());
+    for (const UnitFailure& f : cfg_.faults.unitFailures) {
+        w.u32(f.unit);
+        w.u64(f.at);
+    }
+    w.u32(cfg_.faults.maxLinkRetries);
+    w.u64(cfg_.faults.retryBackoffCycles);
+    w.u64(cfg_.faults.retryBackoffCapCycles);
+    w.u64(cfg_.faults.poisonPenaltyCycles);
+    w.d(cfg_.staticWattsPerUnit);
+    w.d(cfg_.staticWattsExt);
+    w.u32(static_cast<std::uint32_t>(policy_));
+    w.str(workload.name());
+    w.u32(workload.params().numCores);
+    w.u64(workload.params().footprintBytes);
+    w.u64(workload.params().accessesPerCore);
+    w.u64(workload.params().seed);
+    // Telemetry state travels inside the image, so its collection shape
+    // is part of the identity (its output paths are not).
+    w.b(telemetry_ != nullptr);
+    if (telemetry_ != nullptr) {
+        const TelemetryConfig& tc = telemetry_->config();
+        w.u64(tc.packetSampleEvery);
+        w.u64(tc.ringCapacity);
+        w.d(tc.latencyHistMax);
+        w.u64(tc.latencyHistBuckets);
+    }
+    return ckpt::fnv1a(w.bytes());
+}
+
+bool
+NdpSystem::setResume(const std::string& path, const Workload& workload,
+                     std::string* error)
+{
+    ckpt::CheckpointHeader header;
+    if (!ckpt::loadCheckpoint(path, configHash(workload), &header,
+                              &resumePayload_, error)) {
+        return false;
+    }
+    resume_ = true;
+    resumeEpoch_ = header.epoch;
+    return true;
+}
+
 RunResult
 NdpSystem::run(const Workload& workload)
 {
@@ -172,9 +282,12 @@ NdpSystem::run(const Workload& workload)
         cores.back().memPort().bind(cache.port("cpu_side"));
         gens.push_back(workload.makeGenerator(c));
     }
-    for (CoreId c = 0; c < n; ++c) {
-        shards[topo.stackOf(c)].ready.emplace(cores[c].now(), c);
-    }
+    // A core leaves the ready heap for good when its generator is
+    // exhausted; tracked per core (bytes, not vector<bool> bits: shard
+    // threads write their own cores' entries concurrently) so a
+    // checkpoint can record which cores are still running and resume
+    // can rebuild the heaps. Heaps are filled after the resume decision.
+    std::vector<std::uint8_t> alive(n, 1);
 
     // --- telemetry: register every component's series and hand the
     // cores their shard-private sample buffers. Registration must finish
@@ -294,7 +407,157 @@ NdpSystem::run(const Workload& workload)
         }
     }
 
-    runtime.start();
+    // --- barrier loop state (checkpointed alongside component state) ---
+    Cycles next_epoch = cfg_.runtime.epochCycles;
+    Cycles next_failure =
+        fault != nullptr ? fault->nextFailureAt() : FaultInjector::kNoFailure;
+    Cycles interval_start = 0;
+    Cycles epoch_start = 0;
+    std::uint64_t epoch_idx = 0;
+    /** Epoch barriers crossed, counted whether or not telemetry is
+     *  attached (epoch_idx is telemetry-local). Names checkpoints. */
+    std::uint64_t completed_epochs = 0;
+
+    // Full-machine snapshot at an epoch barrier: the only point where
+    // shards are quiescent and no packet is in flight between
+    // components. Section order is the restore order below.
+    const auto snapshot = [&]() {
+        ckpt::Writer w;
+        w.section(0x0515);
+        w.u64(completed_epochs);
+        w.u64(next_epoch);
+        w.u64(interval_start);
+        w.u64(epoch_start);
+        w.u64(epoch_idx);
+        // Stream-table read-only bits: the only mutable stream state
+        // (write-to-read-only exceptions clear them mid-run).
+        std::vector<bool> read_only;
+        read_only.reserve(table.numStreams());
+        for (const StreamConfig& scfg : table.all()) {
+            read_only.push_back(scfg.readOnly);
+        }
+        w.vecB(read_only);
+        w.u64(alive.size());
+        for (const std::uint8_t a : alive) {
+            w.u8(a);
+        }
+        noc.serialize(w);
+        ext.serialize(w);
+        w.b(fault != nullptr);
+        if (fault != nullptr) {
+            fault->serialize(w);
+        }
+        w.u64(shards.size());
+        for (const Shard& sh : shards) {
+            sh.noc->serialize(w);
+            sh.ext->serialize(w);
+            if (sh.fault != nullptr) {
+                sh.fault->serialize(w);
+            }
+            w.u64(sh.finish);
+            w.u64(sh.steps);
+            w.u64(sh.busyUntil);
+        }
+        cache.serialize(w);
+        runtime.serialize(w);
+        w.u64(cores.size());
+        for (const InOrderCore& core : cores) {
+            core.serialize(w);
+        }
+        w.b(telemetry_ != nullptr);
+        if (telemetry_ != nullptr) {
+            telemetry_->serialize(w);
+        }
+        return w;
+    };
+
+    // Mirror of snapshot(). The payload already passed the CRC and the
+    // config-hash check, so any structural mismatch here is an internal
+    // producer/consumer bug -- asserts, not recoverable errors.
+    const auto restore = [&](ckpt::Reader& r) {
+        r.section(0x0515);
+        completed_epochs = r.u64();
+        next_epoch = r.u64();
+        interval_start = r.u64();
+        epoch_start = r.u64();
+        epoch_idx = r.u64();
+        const std::vector<bool> read_only = r.vecB();
+        NDP_ASSERT(read_only.size() == table.numStreams(),
+                   "checkpoint stream-count mismatch");
+        for (std::size_t i = 0; i < read_only.size(); ++i) {
+            if (!read_only[i] && table.all()[i].readOnly) {
+                // Replay the write-to-read-only exception's table effect.
+                table.markWritten(table.all()[i].sid);
+            }
+        }
+        NDP_ASSERT(r.u64() == alive.size(),
+                   "checkpoint core-count mismatch");
+        for (std::uint8_t& a : alive) {
+            a = r.u8();
+        }
+        noc.deserialize(r);
+        ext.deserialize(r);
+        NDP_ASSERT(r.b() == (fault != nullptr),
+                   "checkpoint fault-injector presence mismatch");
+        if (fault != nullptr) {
+            fault->deserialize(r);
+        }
+        NDP_ASSERT(r.u64() == shards.size(),
+                   "checkpoint shard-count mismatch");
+        for (Shard& sh : shards) {
+            sh.noc->deserialize(r);
+            sh.ext->deserialize(r);
+            if (sh.fault != nullptr) {
+                sh.fault->deserialize(r);
+            }
+            sh.finish = r.u64();
+            sh.steps = r.u64();
+            sh.busyUntil = r.u64();
+        }
+        cache.deserialize(r);
+        runtime.deserialize(r);
+        NDP_ASSERT(r.u64() == cores.size(),
+                   "checkpoint core-count mismatch");
+        for (InOrderCore& core : cores) {
+            core.deserialize(r);
+        }
+        NDP_ASSERT(r.b() == (telemetry_ != nullptr),
+                   "checkpoint telemetry presence mismatch");
+        if (telemetry_ != nullptr) {
+            telemetry_->deserialize(r);
+        }
+        NDP_ASSERT(r.atEnd(), "checkpoint payload has trailing state");
+
+        // Fast-forward the (freshly constructed) generators: replaying
+        // the consumed accesses walks their RNG/index state to exactly
+        // where the snapshot left off (generators are deterministic and
+        // consume nothing once exhausted).
+        for (CoreId c = 0; c < n; ++c) {
+            Access dummy;
+            for (std::uint64_t i = 0; i < cores[c].accesses(); ++i) {
+                const bool ok = gens[c]->next(dummy);
+                NDP_ASSERT(ok, "generator exhausted during resume replay");
+            }
+        }
+    };
+
+    if (resume_) {
+        ckpt::Reader r(resumePayload_);
+        restore(r);
+        // Derived, not stored: the restored master injector knows the
+        // remaining failure schedule.
+        next_failure = fault != nullptr ? fault->nextFailureAt()
+                                        : FaultInjector::kNoFailure;
+    } else {
+        runtime.start();
+    }
+    for (CoreId c = 0; c < n; ++c) {
+        if (alive[c] != 0) {
+            shards[topo.stackOf(c)].ready.emplace(cores[c].now(), c);
+        }
+    }
+    const std::uint64_t ckpt_hash =
+        ckptEvery_ != 0 ? configHash(workload) : 0;
 
     // --- barrier loop: shards advance in parallel to the next global
     // event (epoch boundary or scheduled failure); the runtime acts at
@@ -304,12 +567,6 @@ NdpSystem::run(const Workload& workload)
         std::max<std::uint32_t>(cfg_.numThreads, 1), numShards);
     ShardedExecutor exec(threads);
 
-    Cycles next_epoch = cfg_.runtime.epochCycles;
-    Cycles next_failure =
-        fault != nullptr ? fault->nextFailureAt() : FaultInjector::kNoFailure;
-    Cycles interval_start = 0;
-    Cycles epoch_start = 0;
-    std::uint64_t epoch_idx = 0;
     const auto engine_start = std::chrono::steady_clock::now();
     for (;;) {
         const Cycles sync = std::min(next_epoch, next_failure);
@@ -322,6 +579,7 @@ NdpSystem::run(const Workload& workload)
                 if (cores[c].step(*gens[c])) {
                     sh.ready.emplace(cores[c].now(), c);
                 } else {
+                    alive[c] = 0;
                     sh.finish = std::max(sh.finish, cores[c].now());
                 }
                 sh.busyUntil = std::max(sh.busyUntil, cores[c].now());
@@ -380,6 +638,21 @@ NdpSystem::run(const Workload& workload)
             }
             runtime.onEpochEnd(next_epoch);
             next_epoch += cfg_.runtime.epochCycles;
+            ++completed_epochs;
+            if (ckptEvery_ != 0 && completed_epochs % ckptEvery_ == 0) {
+                const ckpt::Writer w = snapshot();
+                const std::string path = ckptPrefix_ + "."
+                    + std::to_string(completed_epochs) + ".ckpt";
+                std::string err;
+                if (!ckpt::saveCheckpoint(path, ckpt_hash,
+                                          completed_epochs, w.bytes(),
+                                          &err)) {
+                    // The run itself is unaffected; keep going so a
+                    // transient disk problem does not kill hours of
+                    // simulation (older checkpoints remain usable).
+                    warn(err);
+                }
+            }
         }
     }
     const auto engine_end = std::chrono::steady_clock::now();

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "sim/breakdown.h"
 #include "sim/stats.h"
@@ -140,6 +141,48 @@ class NdpSystem
      */
     void attachTelemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
 
+    /**
+     * Enable epoch-barrier checkpointing: after every `every_n_epochs`
+     * completed epochs the full deterministic machine state is written
+     * to `<prefix>.<epoch>.ckpt` (crash-safe temp + fsync + rename).
+     * Call before run(); 0 disables. A save failure (e.g. disk full) is
+     * reported as a warning and the run continues -- the simulation
+     * result is unaffected.
+     */
+    void
+    setCheckpointing(std::string prefix, std::uint64_t every_n_epochs)
+    {
+        ckptPrefix_ = std::move(prefix);
+        ckptEvery_ = every_n_epochs;
+    }
+
+    /**
+     * Resume run() from a checkpoint image instead of starting fresh.
+     * Call after attachTelemetry() (telemetry state travels in the
+     * image) and before run(), passing the same prepared workload that
+     * run() will receive. The image is fully validated here -- magic,
+     * version, size, CRC, and the config hash binding it to this exact
+     * system configuration, policy, workload and fault schedule.
+     * @return false with a diagnostic in `*error` (recoverable; nothing
+     *         asserts) if the file is missing, corrupt or mismatched.
+     */
+    bool setResume(const std::string& path, const Workload& workload,
+                   std::string* error);
+
+    /** Completed epochs of the image accepted by setResume (0 before). */
+    std::uint64_t resumeEpoch() const { return resumeEpoch_; }
+
+    /**
+     * Identity hash binding a checkpoint to the run that produced it:
+     * the finalized SystemConfig (every field that shapes the simulated
+     * trajectory -- host-only knobs numThreads and output paths are
+     * excluded), the policy, the workload identity, and the telemetry
+     * collection shape (attached + sampling config), since telemetry
+     * state travels inside the image. Resume is valid at any --threads
+     * value: the shard decomposition is per stack, not per thread.
+     */
+    std::uint64_t configHash(const Workload& workload) const;
+
     const SystemConfig& config() const { return cfg_; }
     PolicyKind policy() const { return policy_; }
 
@@ -148,6 +191,14 @@ class NdpSystem
     PolicyKind policy_;
     Telemetry* telemetry_ = nullptr;
     bool used_ = false;
+
+    /** Checkpoint emission (setCheckpointing). */
+    std::string ckptPrefix_;
+    std::uint64_t ckptEvery_ = 0;
+    /** Validated resume image (setResume). */
+    bool resume_ = false;
+    std::uint64_t resumeEpoch_ = 0;
+    std::vector<std::uint8_t> resumePayload_;
 };
 
 } // namespace ndpext

@@ -73,6 +73,45 @@ SystemConfig::unitDram() const
                                        : DramTimingParams::hmc2Unit();
 }
 
+bool
+SystemConfig::validate(std::string* error) const
+{
+    const auto fail = [&](const std::string& why) {
+        if (error != nullptr) {
+            *error = why;
+        }
+        return false;
+    };
+    if (numUnits() == 0) {
+        return fail("system geometry has zero units (stacks "
+                    + std::to_string(stacksX) + "x"
+                    + std::to_string(stacksY) + ", units "
+                    + std::to_string(unitsX) + "x"
+                    + std::to_string(unitsY) + ")");
+    }
+    const DramTimingParams dram = unitDram();
+    if (unitCacheBytes < dram.rowBytes * 4) {
+        return fail("unit cache of " + std::to_string(unitCacheBytes)
+                    + " bytes cannot hold 4 DRAM rows ("
+                    + std::to_string(dram.rowBytes * 4) + " bytes)");
+    }
+    if (runtime.epochCycles == 0) {
+        return fail("epoch length must be nonzero");
+    }
+    if (numThreads == 0) {
+        return fail("thread count must be nonzero");
+    }
+    for (const auto& f : faults.unitFailures) {
+        if (f.unit >= numUnits()) {
+            return fail("--fault=unit:" + std::to_string(f.unit)
+                        + " names a nonexistent unit (system has "
+                        + std::to_string(numUnits()) + " units, ids 0-"
+                        + std::to_string(numUnits() - 1) + ")");
+        }
+    }
+    return true;
+}
+
 void
 SystemConfig::finalize()
 {

@@ -100,6 +100,15 @@ struct SystemConfig
 
     DramTimingParams unitDram() const;
 
+    /**
+     * Check user-facing constraints, returning false with a diagnostic
+     * in `*error` instead of aborting: CLI frontends call this on
+     * flag-derived configs so a typo exits with a clear message
+     * (finalize() keeps the same conditions as asserts for library
+     * callers that skip validation).
+     */
+    bool validate(std::string* error) const;
+
     /** Derive dependent fields (affine cap, sampler range) and validate. */
     void finalize();
 

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "sim/checkpoint.h"
 
 namespace ndpext {
 
@@ -86,6 +87,10 @@ class DecisionLog
 
     /** One JSON object per record, schema in DESIGN.md §6. */
     void writeJsonl(std::ostream& os) const;
+
+    /** Checkpoint hooks: the record list is replaced wholesale. */
+    void serialize(ckpt::Writer& w) const;
+    void deserialize(ckpt::Reader& r);
 
   private:
     std::vector<DecisionRecord> records_;

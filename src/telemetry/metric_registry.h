@@ -36,6 +36,7 @@
 
 #include "common/histogram.h"
 #include "common/types.h"
+#include "sim/checkpoint.h"
 
 namespace ndpext {
 
@@ -100,6 +101,14 @@ class MetricRegistry
 
     /** Flush the buffered epoch series as JSONL (one object per epoch). */
     void writeJsonl(std::ostream& os) const;
+
+    /**
+     * Checkpoint hooks: the sampled ring and drop counter travel;
+     * metric/histogram registrations are re-made by the components of
+     * the restoring process before deserialize() runs.
+     */
+    void serialize(ckpt::Writer& w) const;
+    void deserialize(ckpt::Reader& r);
 
   private:
     struct Metric

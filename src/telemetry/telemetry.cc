@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "common/atomic_file.h"
 #include "common/logging.h"
 #include "telemetry/json_out.h"
 
@@ -98,14 +99,14 @@ Telemetry::writeAll(std::string* error)
     }
     const auto writeTo = [&](const std::string& suffix,
                              const auto& writer) -> bool {
+        // temp-file + rename so a crash mid-flush cannot leave a torn
+        // (unparseable) telemetry file behind.
         const std::string path = cfg_.outPrefix + suffix;
-        std::ofstream out(path);
-        if (out) {
-            writer(out);
-        }
-        if (!out) {
+        std::string why;
+        if (!writeFileAtomic(path, writer, &why)) {
             if (error != nullptr) {
-                *error = "cannot write telemetry file '" + path + "'";
+                *error =
+                    "cannot write telemetry file '" + path + "': " + why;
             }
             return false;
         }
@@ -117,6 +118,100 @@ Telemetry::writeAll(std::string* error)
                    [this](std::ostream& os) { trace_.write(os); })
         && writeTo(".decisions.jsonl",
                    [this](std::ostream& os) { decisions_.writeJsonl(os); });
+}
+
+namespace {
+
+void
+writeSample(ckpt::Writer& w, const PacketSample& s)
+{
+    w.u32(s.core);
+    w.u32(s.sid);
+    w.u64(s.start);
+    w.u64(s.metadata);
+    w.u64(s.icnIntra);
+    w.u64(s.icnInter);
+    w.u64(s.dramCache);
+    w.u64(s.extMem);
+}
+
+PacketSample
+readSample(ckpt::Reader& r)
+{
+    PacketSample s;
+    s.core = static_cast<CoreId>(r.u32());
+    s.sid = static_cast<StreamId>(r.u32());
+    s.start = r.u64();
+    s.metadata = r.u64();
+    s.icnIntra = r.u64();
+    s.icnInter = r.u64();
+    s.dramCache = r.u64();
+    s.extMem = r.u64();
+    return s;
+}
+
+} // namespace
+
+void
+Telemetry::serialize(ckpt::Writer& w) const
+{
+    w.section(0x7E7E);
+    metrics_.serialize(w);
+    trace_.serialize(w);
+    decisions_.serialize(w);
+    w.vecU64(latencyHist_.bins());
+    w.u64(latencyHist_.overflow());
+    w.u64(latencyHist_.count());
+    w.d(latencyHist_.sum());
+    w.d(latencyHist_.minValue());
+    w.d(latencyHist_.maxValue());
+    w.u64(buffers_.size());
+    for (const auto& buf : buffers_) {
+        w.u64(buf->every);
+        w.u64(buf->seen);
+        w.u64(buf->samples.size());
+        for (const PacketSample& s : buf->samples) {
+            writeSample(w, s);
+        }
+    }
+    w.vecU64(drainedUpTo_);
+    w.u64(drained_.size());
+    for (const PacketSample& s : drained_) {
+        writeSample(w, s);
+    }
+}
+
+void
+Telemetry::deserialize(ckpt::Reader& r)
+{
+    r.section(0x7E7E);
+    metrics_.deserialize(r);
+    trace_.deserialize(r);
+    decisions_.deserialize(r);
+    std::vector<std::uint64_t> bins = r.vecU64();
+    const std::uint64_t overflow = r.u64();
+    const std::uint64_t count = r.u64();
+    const double sum = r.d();
+    const double min = r.d();
+    const double max = r.d();
+    latencyHist_.restore(std::move(bins), overflow, count, sum, min, max);
+    const std::uint64_t nbuf = r.u64();
+    NDP_ASSERT(nbuf == buffers_.size(),
+               "packet-sample buffer count mismatch");
+    for (auto& buf : buffers_) {
+        buf->every = r.u64();
+        buf->seen = r.u64();
+        buf->samples.assign(r.u64(), PacketSample{});
+        for (PacketSample& s : buf->samples) {
+            s = readSample(r);
+        }
+    }
+    drainedUpTo_ = r.vecU64();
+    const std::uint64_t ndrained = r.u64();
+    drained_.assign(ndrained, PacketSample{});
+    for (PacketSample& s : drained_) {
+        s = readSample(r);
+    }
 }
 
 } // namespace ndpext

@@ -143,6 +143,16 @@ class Telemetry
      */
     bool writeAll(std::string* error = nullptr);
 
+    /**
+     * Checkpoint hooks. Deserialize expects the restoring process to
+     * have constructed this object with the same config and called
+     * initPacketSampling() with the same core count; everything the
+     * sinks accumulated (ring, trace events, decisions, histogram,
+     * sample buffers and drain cursors) is then replaced wholesale.
+     */
+    void serialize(ckpt::Writer& w) const;
+    void deserialize(ckpt::Reader& r);
+
   private:
     void emitPacketTrace(const PacketSample& s);
 

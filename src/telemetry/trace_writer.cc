@@ -69,4 +69,40 @@ TraceWriter::write(std::ostream& os) const
     os << "]}\n";
 }
 
+void
+TraceWriter::serialize(ckpt::Writer& w) const
+{
+    w.u64(events_.size());
+    for (const Event& e : events_) {
+        w.u8(static_cast<std::uint8_t>(e.ph));
+        w.str(e.cat);
+        w.str(e.name);
+        w.u32(e.pid);
+        w.u32(e.tid);
+        w.u64(e.ts);
+        w.u64(e.dur);
+        w.str(e.argsJson);
+    }
+}
+
+void
+TraceWriter::deserialize(ckpt::Reader& r)
+{
+    events_.clear();
+    const std::uint64_t n = r.u64();
+    events_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Event e;
+        e.ph = static_cast<char>(r.u8());
+        e.cat = r.str();
+        e.name = r.str();
+        e.pid = r.u32();
+        e.tid = r.u32();
+        e.ts = r.u64();
+        e.dur = r.u64();
+        e.argsJson = r.str();
+        events_.push_back(std::move(e));
+    }
+}
+
 } // namespace ndpext

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "sim/checkpoint.h"
 
 namespace ndpext {
 
@@ -62,6 +63,15 @@ class TraceWriter
 
     /** Serialize the whole trace; the stream's state reports errors. */
     void write(std::ostream& os) const;
+
+    /**
+     * Checkpoint hooks. The event list is replaced wholesale at restore
+     * (it includes the metadata events the original process emitted, so
+     * restore must run after this process's constructor-time metadata
+     * would otherwise duplicate them -- the owner replaces, not merges).
+     */
+    void serialize(ckpt::Writer& w) const;
+    void deserialize(ckpt::Reader& r);
 
   private:
     struct Event

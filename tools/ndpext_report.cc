@@ -112,6 +112,18 @@ struct Run
 Run
 loadRun(const std::string& prefix)
 {
+    // The simulator drops `<prefix>.inprogress` before a run and only
+    // removes it after every artifact is written, so its presence means
+    // the producing run crashed, was killed, or is still running -- the
+    // telemetry here is stale or incomplete.
+    if (std::ifstream(prefix + ".inprogress").good()) {
+        fail(prefix
+             + ".inprogress exists: the producing run did not finish "
+               "(crashed, killed, or still running). Re-run it, resume "
+               "it with --resume from its newest checkpoint, or drive "
+               "the retry with ndpext_supervise; delete the marker if "
+               "it is stale.");
+    }
     Run run;
     run.prefix = prefix;
     std::string text;

@@ -36,6 +36,12 @@
  *                        bit-identical for any value: the machine is
  *                        always decomposed into one shard per stack and
  *                        N only controls parallel shard execution.
+ *   --checkpoint=PREFIX  write PREFIX.<epoch>.ckpt machine snapshots at
+ *                        epoch barriers (crash-safe; not with host)
+ *   --checkpoint-every=N snapshot every N completed epochs (default 1)
+ *   --resume=FILE        restore machine state from a checkpoint and
+ *                        continue; outputs are byte-identical to the
+ *                        uninterrupted run at any --threads value
  *   --stats-json=FILE    write headline metrics + every counter as JSON
  *   --telemetry=PREFIX   write PREFIX.metrics.jsonl (epoch time-series),
  *                        PREFIX.trace.json (Perfetto trace) and
@@ -57,6 +63,7 @@
 #include <string>
 #include <vector>
 
+#include "common/atomic_file.h"
 #include "common/logging.h"
 #include "system/host_system.h"
 #include "system/ndp_system.h"
@@ -86,6 +93,9 @@ constexpr const char* kUsage =
     "                      dram-bit:p=<p>   (repeatable)\n"
     "  --fault-seed=N      fault-injection RNG seed\n"
     "  --threads=N         simulation threads (same results for any N)\n"
+    "  --checkpoint=PREFIX     write PREFIX.<epoch>.ckpt at epoch barriers\n"
+    "  --checkpoint-every=N    snapshot every N epochs (default 1)\n"
+    "  --resume=FILE       restore from a checkpoint and continue\n"
     "  --stats-json=FILE   write metrics + all counters as JSON\n"
     "  --telemetry=PREFIX  write PREFIX.{metrics.jsonl,trace.json,\n"
     "                      decisions.jsonl} (not with --policy=host)\n"
@@ -136,6 +146,9 @@ struct Options
     std::vector<std::string> faultSpecs;
     std::uint64_t faultSeed = 1;
     std::uint64_t threads = 1;
+    std::string checkpoint;
+    std::uint64_t checkpointEvery = 1;
+    std::string resume;
     std::string statsJson;
     std::string telemetry;
     std::uint64_t telemetrySample = 64;
@@ -241,6 +254,21 @@ parseArgs(int argc, char** argv)
                 usageError("bad --threads: '" + value("--threads=")
                            + "' (expected 1..1024)");
             }
+        } else if (arg.rfind("--checkpoint=", 0) == 0) {
+            opt.checkpoint = value("--checkpoint=");
+            if (opt.checkpoint.empty()) {
+                usageError("bad --checkpoint: empty output prefix");
+            }
+        } else if (arg.rfind("--checkpoint-every=", 0) == 0) {
+            opt.checkpointEvery = number("--checkpoint-every=");
+            if (opt.checkpointEvery == 0) {
+                usageError("bad --checkpoint-every: 0 (expected >= 1)");
+            }
+        } else if (arg.rfind("--resume=", 0) == 0) {
+            opt.resume = value("--resume=");
+            if (opt.resume.empty()) {
+                usageError("bad --resume: empty file name");
+            }
         } else if (arg.rfind("--stats-json=", 0) == 0) {
             opt.statsJson = value("--stats-json=");
             if (opt.statsJson.empty()) {
@@ -336,15 +364,22 @@ printResult(const RunResult& r, bool dump_stats)
 
 /**
  * Write headline metrics plus the full counter set as one JSON object:
- * scalars first, then every StatGroup counter under "stats".
+ * scalars first, then every StatGroup counter under "stats". Crash-safe:
+ * temp-file + rename, so the file is never observably torn.
  */
+void writeStatsJsonBody(const RunResult& r, std::ostream& out);
+
 bool
 writeStatsJson(const RunResult& r, const std::string& path)
 {
-    std::ofstream out(path);
-    if (!out) {
-        return false;
-    }
+    return writeFileAtomic(path, [&r](std::ostream& out) {
+        writeStatsJsonBody(r, out);
+    });
+}
+
+void
+writeStatsJsonBody(const RunResult& r, std::ostream& out)
+{
     out << "{\n";
     out << "  \"workload\": \"" << r.workload << "\",\n";
     out << "  \"policy\": \"" << r.policy << "\",\n";
@@ -380,7 +415,6 @@ writeStatsJson(const RunResult& r, const std::string& path)
     out << "  \"stats\": ";
     r.stats.dumpJson(out);
     out << "\n}\n";
-    return static_cast<bool>(out);
 }
 
 } // namespace
@@ -423,7 +457,20 @@ main(int argc, char** argv)
     if (opt.policy == "host" && !opt.telemetry.empty()) {
         usageError("--telemetry is not supported with --policy=host");
     }
+    if (opt.policy == "host"
+        && (!opt.checkpoint.empty() || !opt.resume.empty())) {
+        usageError("--checkpoint/--resume are not supported with "
+                   "--policy=host");
+    }
 
+    // Recoverable validation of flag-derived state: a typo exits with a
+    // diagnostic instead of tripping finalize()'s internal asserts.
+    std::string cfg_error;
+    if (!cfg.validate(&cfg_error)) {
+        std::fprintf(stderr, "ndpext_sim: invalid configuration: %s\n",
+                     cfg_error.c_str());
+        return 1;
+    }
     cfg.finalize();
 
     std::unique_ptr<Workload> workload;
@@ -450,6 +497,28 @@ main(int argc, char** argv)
         workload->prepare(params);
     }
 
+    // Crash marker: dropped before the run, removed only once every
+    // output artifact is complete. A leftover marker tells consumers
+    // (ndpext_report check) that the producing run died mid-epoch and
+    // its outputs -- though individually parseable thanks to atomic
+    // writes -- describe an unfinished run.
+    std::string marker;
+    if (!opt.telemetry.empty()) {
+        marker = opt.telemetry + ".inprogress";
+    } else if (!opt.statsJson.empty()) {
+        marker = opt.statsJson + ".inprogress";
+    }
+    if (!marker.empty()) {
+        std::ofstream m(marker);
+        m << "ndpext_sim run in progress\n";
+        if (!m) {
+            std::fprintf(stderr,
+                         "ndpext_sim: cannot write marker file '%s'\n",
+                         marker.c_str());
+            return 1;
+        }
+    }
+
     RunResult result;
     if (opt.policy == "host") {
         HostParams hp;
@@ -472,6 +541,25 @@ main(int argc, char** argv)
             telemetry = std::make_unique<Telemetry>(tcfg);
             system.attachTelemetry(telemetry.get());
         }
+        if (!opt.checkpoint.empty()) {
+            system.setCheckpointing(opt.checkpoint, opt.checkpointEvery);
+        }
+        if (!opt.resume.empty()) {
+            // Bad/corrupt/mismatched checkpoint files are user input:
+            // a diagnostic and a nonzero exit, never an abort.
+            std::string error;
+            if (!system.setResume(opt.resume, *workload, &error)) {
+                std::fprintf(stderr, "ndpext_sim: %s\n", error.c_str());
+                return 1;
+            }
+            // stderr: stdout stays byte-identical to an uninterrupted
+            // run (the documented resume contract).
+            std::fprintf(stderr,
+                         "ndpext_sim: resuming '%s' at epoch %llu\n",
+                         opt.resume.c_str(),
+                         static_cast<unsigned long long>(
+                             system.resumeEpoch()));
+        }
         result = system.run(*workload);
         if (telemetry != nullptr) {
             std::string error;
@@ -487,6 +575,9 @@ main(int argc, char** argv)
         std::fprintf(stderr, "ndpext_sim: cannot write --stats-json file '%s'\n",
                      opt.statsJson.c_str());
         return 1;
+    }
+    if (!marker.empty()) {
+        std::remove(marker.c_str());
     }
     return 0;
 }
