@@ -9,7 +9,7 @@ namespace ndpext {
 
 HostLlcController::HostLlcController(const HostParams& params)
     : MemObject("host_llc"), params_(params),
-      dram_(params.dram, params.coreFreqMhz)
+      dram_(createMemBackend(params.dram, params.coreFreqMhz))
 {
     NDP_ASSERT(params.numCores == params.meshX * params.meshY,
                "host mesh must match core count");
@@ -88,9 +88,10 @@ HostLlcController::access(CoreId core, const Access& acc, Cycles now)
 
     const auto ev = banks_[bank].insert(line, acc.isWrite);
     if (ev.valid && ev.dirty) {
-        dram_.access(ev.key * kCachelineBytes, kCachelineBytes, true, t);
+        dram_->access(ev.key * kCachelineBytes, kCachelineBytes, true,
+                      t);
     }
-    const DramResult dr = dram_.access(acc.addr, kCachelineBytes,
+    const DramResult dr = dram_->access(acc.addr, kCachelineBytes,
                                        acc.isWrite, t);
     bd_.extMem += dr.done - t;
     t = dr.done + route;
@@ -108,7 +109,7 @@ HostLlcController::writeback(CoreId core, Addr line_addr, Cycles now)
     if (banks_[bank].contains(line)) {
         banks_[bank].access(line, true);
     } else {
-        dram_.access(line_addr, kCachelineBytes, true, now);
+        dram_->access(line_addr, kCachelineBytes, true, now);
     }
 }
 
@@ -118,7 +119,7 @@ HostLlcController::report(StatGroup& stats, const std::string& prefix) const
     bd_.report(stats, prefix + ".lat");
     stats.add(prefix + ".llcHits", static_cast<double>(hits_));
     stats.add(prefix + ".llcMisses", static_cast<double>(misses_));
-    dram_.report(stats, prefix + ".dram");
+    dram_->report(stats, prefix + ".dram");
 }
 
 } // namespace ndpext

@@ -18,7 +18,7 @@
 #include "cache/set_assoc_cache.h"
 #include "common/types.h"
 #include "cpu/core.h"
-#include "mem/dram.h"
+#include "mem/mem_backend.h"
 #include "sim/breakdown.h"
 #include "sim/port.h"
 #include "sim/stats.h"
@@ -35,7 +35,7 @@ struct HostParams
     /** Cores/banks arranged on a meshX x meshY grid. */
     std::uint32_t meshX = 8;
     std::uint32_t meshY = 8;
-    DramTimingParams dram = DramTimingParams::ddr5Host();
+    MemBackendConfig dram = DramTimingParams::ddr5Host();
     std::uint64_t coreFreqMhz = 2000;
     /** NoC energy per bit per hop. */
     double hopPjPerBit = 0.4;
@@ -64,7 +64,7 @@ class HostLlcController : public MemObject
         const double total = static_cast<double>(hits_ + misses_);
         return total == 0.0 ? 0.0 : static_cast<double>(hits_) / total;
     }
-    double dramEnergyNj() const { return dram_.dynamicEnergyNj(); }
+    double dramEnergyNj() const { return dram_->dynamicEnergyNj(); }
     double nocEnergyNj() const { return nocEnergyNj_; }
 
     void report(StatGroup& stats, const std::string& prefix) const;
@@ -99,7 +99,7 @@ class HostLlcController : public MemObject
 
     HostParams params_;
     std::vector<SetAssocCache> banks_;
-    DramDevice dram_;
+    std::unique_ptr<MemBackend> dram_;
 
     LatencyBreakdown bd_;
     std::uint64_t hits_ = 0;

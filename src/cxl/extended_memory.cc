@@ -7,9 +7,10 @@
 namespace ndpext {
 
 ExtendedMemory::ExtendedMemory(const CxlParams& cxl,
-                               const DramTimingParams& dram,
+                               const MemBackendConfig& dram,
                                std::uint64_t core_freq_mhz)
-    : MemObject("ext"), cxl_(cxl), dram_(dram, core_freq_mhz),
+    : MemObject("ext"), cxl_(cxl),
+      dram_(createMemBackend(dram, core_freq_mhz)),
       link_(cxl.linkBytesPerCycle)
 {
 }
@@ -72,7 +73,7 @@ ExtendedMemory::access(Addr addr, std::uint32_t bytes, bool is_write,
         t = at_device + backoff;
     }
 
-    const DramResult dr = dram_.access(addr, bytes, is_write, at_device);
+    const DramResult dr = dram_->access(addr, bytes, is_write, at_device);
     sc.dramBytes += bytes;
     if (!dr.rowHit) {
         ++sc.dramActivations; // DramDevice activates on every non-hit
@@ -113,7 +114,7 @@ ExtendedMemory::report(StatGroup& stats, const std::string& prefix) const
               static_cast<double>(retriesExhausted_));
     stats.add(prefix + ".degraded.poisonedReads",
               static_cast<double>(poisonedReads_));
-    dram_.report(stats, prefix + ".dram");
+    dram_->report(stats, prefix + ".dram");
 }
 
 void
@@ -134,12 +135,13 @@ ExtendedMemory::registerMetrics(MetricRegistry& registry)
                              [this] { return double(retriesExhausted_); });
     registry.registerCounter("ext.degraded.poisonedReads",
                              [this] { return double(poisonedReads_); });
+    dram_->registerMetrics(registry, "ext.dram");
 }
 
 void
 ExtendedMemory::reset()
 {
-    dram_.reset();
+    dram_->reset();
     link_.reset();
     stream_.clear();
     noStream_ = StreamCounters{};

@@ -17,12 +17,13 @@
 #define NDPEXT_CXL_EXTENDED_MEMORY_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/types.h"
 #include "fault/fault_injector.h"
-#include "mem/dram.h"
+#include "mem/mem_backend.h"
 #include "sim/port.h"
 #include "sim/resource.h"
 #include "sim/stats.h"
@@ -55,7 +56,11 @@ struct CxlResult
 class ExtendedMemory : public MemObject
 {
   public:
-    ExtendedMemory(const CxlParams& cxl, const DramTimingParams& dram,
+    /**
+     * @param dram backend selection for the backing device; a bare
+     * DramTimingParams converts to the default "banked" backend.
+     */
+    ExtendedMemory(const CxlParams& cxl, const MemBackendConfig& dram,
                    std::uint64_t core_freq_mhz);
 
     ExtendedMemory(const ExtendedMemory&) = delete;
@@ -79,11 +84,11 @@ class ExtendedMemory : public MemObject
                      Cycles now, StreamId sid = kNoStream);
 
     const CxlParams& params() const { return cxl_; }
-    const DramDevice& dram() const { return dram_; }
+    const MemBackend& dram() const { return *dram_; }
 
     std::uint64_t accesses() const { return accesses_; }
     double linkEnergyNj() const { return linkEnergyNj_; }
-    double dramEnergyNj() const { return dram_.dynamicEnergyNj(); }
+    double dramEnergyNj() const { return dram_->dynamicEnergyNj(); }
     /** Payload bytes moved over the CXL link (bandwidth telemetry). */
     std::uint64_t linkBytes() const { return linkBytes_; }
 
@@ -132,7 +137,7 @@ class ExtendedMemory : public MemObject
     void
     serialize(ckpt::Writer& w) const
     {
-        dram_.serialize(w);
+        dram_->serialize(w);
         link_.serialize(w);
         w.u64(stream_.size());
         for (const StreamCounters& c : stream_) {
@@ -154,7 +159,7 @@ class ExtendedMemory : public MemObject
     void
     deserialize(ckpt::Reader& r)
     {
-        dram_.deserialize(r);
+        dram_->deserialize(r);
         link_.deserialize(r);
         stream_.assign(r.u64(), StreamCounters{});
         for (StreamCounters& c : stream_) {
@@ -220,14 +225,14 @@ class ExtendedMemory : public MemObject
     dramEnergyFor(const StreamCounters& c) const
     {
         return static_cast<double>(c.dramBytes) * 8.0
-            * dram_.params().rdWrPjPerBit * 1e-3
+            * dram_->params().rdWrPjPerBit * 1e-3
             + static_cast<double>(c.dramActivations)
-            * dram_.params().actPreNj;
+            * dram_->params().actPreNj;
     }
 
     InPort in_{*this};
     CxlParams cxl_;
-    DramDevice dram_;
+    std::unique_ptr<MemBackend> dram_;
     BandwidthResource link_;
     FaultInjector* fault_ = nullptr;
 

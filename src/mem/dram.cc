@@ -1,112 +1,24 @@
 #include "mem/dram.h"
 
-#include <algorithm>
+#include <memory>
 
-#include "common/bitutils.h"
 #include "common/logging.h"
+#include "mem/mem_backend_registry.h"
 
 namespace ndpext {
 
-namespace {
-
-/** Convert DRAM-clock cycles to core cycles, rounding up. */
-Cycles
-toCoreCycles(std::uint32_t dram_cycles, double dram_mhz, double core_mhz)
-{
-    const double c = static_cast<double>(dram_cycles) * core_mhz / dram_mhz;
-    const auto whole = static_cast<Cycles>(c);
-    return whole + (static_cast<double>(whole) < c ? 1 : 0);
-}
-
-} // namespace
-
-DramTimingParams
-DramTimingParams::hbm3Unit()
-{
-    DramTimingParams p;
-    p.name = "HBM3-unit";
-    p.clockMhz = 1600.0;
-    p.tRcd = p.tCas = p.tRp = 24;
-    p.rowBytes = 2048;
-    p.banks = 8;
-    // One unit owns 1/16 of a stack's bandwidth; HBM3 stack ~800 GB/s
-    // -> ~50 GB/s per unit = 25 B per 2 GHz core cycle.
-    p.busBytesPerCycle = 25.0;
-    p.rdWrPjPerBit = 1.7;
-    p.actPreNj = 0.6;
-    return p;
-}
-
-DramTimingParams
-DramTimingParams::hmc2Unit()
-{
-    DramTimingParams p;
-    p.name = "HMC2-vault";
-    p.clockMhz = 1250.0;
-    p.tRcd = p.tCas = p.tRp = 14;
-    p.rowBytes = 256; // HMC vaults use small rows
-    p.banks = 8;
-    // 16 vaults x 10 GB/s = 160 GB/s per stack; 10 GB/s = 5 B/cycle.
-    p.busBytesPerCycle = 5.0;
-    p.rdWrPjPerBit = 1.7;
-    p.actPreNj = 0.6;
-    return p;
-}
-
-DramTimingParams
-DramTimingParams::ddr5Extended()
-{
-    DramTimingParams p;
-    p.name = "DDR5-4800-ext";
-    p.clockMhz = 2400.0;
-    p.tRcd = p.tCas = p.tRp = 40;
-    p.rowBytes = 8192;
-    p.banks = 4 * 2 * 16; // 4 channels x 2 ranks x 16 banks (Table II)
-    // 4 channels x 38.4 GB/s = 153.6 GB/s = 76.8 B per core cycle.
-    p.busBytesPerCycle = 76.8;
-    p.rdWrPjPerBit = 3.2;
-    p.actPreNj = 3.3;
-    return p;
-}
-
-DramTimingParams
-DramTimingParams::ddr5Host()
-{
-    DramTimingParams p = ddr5Extended();
-    p.name = "DDR5-4800-host";
-    return p;
-}
-
 DramDevice::DramDevice(const DramTimingParams& params,
                        std::uint64_t core_freq_mhz)
-    : params_(params),
-      rcdCycles_(toCoreCycles(params.tRcd, params.clockMhz,
-                              static_cast<double>(core_freq_mhz))),
-      casCycles_(toCoreCycles(params.tCas, params.clockMhz,
-                              static_cast<double>(core_freq_mhz))),
-      rpCycles_(toCoreCycles(params.tRp, params.clockMhz,
-                             static_cast<double>(core_freq_mhz))),
-      busBytesPerCycle_(params.busBytesPerCycle),
-      banks_(params.banks)
+    : MemBackend(params, core_freq_mhz), banks_(params.totalBanks())
 {
-    NDP_ASSERT(params.banks > 0 && params.rowBytes > 0);
-}
-
-Cycles
-DramDevice::burstCycles(std::uint32_t bytes) const
-{
-    const double c = static_cast<double>(bytes) / busBytesPerCycle_;
-    const auto whole = static_cast<Cycles>(c);
-    return std::max<Cycles>(
-        1, whole + (static_cast<double>(whole) < c ? 1 : 0));
 }
 
 DramResult
 DramDevice::access(Addr addr, std::uint32_t bytes, bool is_write, Cycles now)
 {
     const std::uint64_t row_linear = addr / params_.rowBytes;
-    const std::uint32_t bank = row_linear % params_.banks;
-    const std::uint64_t row = row_linear / params_.banks;
+    const std::uint32_t bank = row_linear % banks_.size();
+    const std::uint64_t row = row_linear / banks_.size();
     return accessRow(bank, row, bytes, is_write, now);
 }
 
@@ -149,34 +61,35 @@ DramDevice::accessRow(std::uint32_t bank_idx, std::uint64_t row,
     return DramResult{start + lat + burst, hit};
 }
 
-double
-DramDevice::dynamicEnergyNj() const
-{
-    const double bits =
-        static_cast<double>(bytesRead_ + bytesWritten_) * 8.0;
-    return bits * params_.rdWrPjPerBit * 1e-3
-        + static_cast<double>(activations_) * params_.actPreNj;
-}
-
-void
-DramDevice::report(StatGroup& stats, const std::string& prefix) const
-{
-    stats.add(prefix + ".rowHits", static_cast<double>(rowHits_));
-    stats.add(prefix + ".rowMisses", static_cast<double>(rowMisses_));
-    stats.add(prefix + ".activations", static_cast<double>(activations_));
-    stats.add(prefix + ".bytesRead", static_cast<double>(bytesRead_));
-    stats.add(prefix + ".bytesWritten", static_cast<double>(bytesWritten_));
-    stats.add(prefix + ".dynamicEnergyNj", dynamicEnergyNj());
-}
-
 void
 DramDevice::reset()
 {
     for (auto& bank : banks_) {
         bank = Bank{};
     }
-    rowHits_ = rowMisses_ = activations_ = 0;
-    bytesRead_ = bytesWritten_ = 0;
+    MemBackend::reset();
 }
+
+// Link anchor called from forceLinkMemBackends(): an out-of-line
+// function call the optimizer cannot fold away, so static-library links
+// always pull this TU (and its registrar) in.
+int
+linkMemBackendBanked()
+{
+    return 1;
+}
+
+namespace {
+
+const MemBackendRegistrar bankedRegistrar{MemBackendInfo{
+    "banked",
+    "Banked row-buffer model with gap-filling bank occupancy (default; "
+    "bit-identical to the historical monolithic DRAM model)",
+    {},
+    [](const MemBackendConfig& cfg, std::uint64_t core_freq_mhz) {
+        return std::make_unique<DramDevice>(cfg.timing, core_freq_mhz);
+    }}};
+
+} // namespace
 
 } // namespace ndpext

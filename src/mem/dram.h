@@ -1,6 +1,7 @@
 /**
  * @file
- * Banked DRAM timing and energy model.
+ * Banked DRAM timing and energy model -- the default ("banked") memory
+ * backend.
  *
  * Implements the row-buffer state machine with the Table II parameters:
  *   HBM3  1600 MHz, RCD-CAS-RP 24-24-24, RD/WR 1.7 pJ/bit, ACT+PRE 0.6 nJ
@@ -11,6 +12,11 @@
  * the access path is pure integer arithmetic. Bank-level contention is
  * modelled with gap-filling interval reservation per bank (see
  * sim/resource.h); the row-buffer state itself is a scalar approximation.
+ *
+ * DramDevice stays a concrete class (tests and tools construct it
+ * directly); it is also registered as backend "banked" in the memory
+ * backend registry (mem/mem_backend_registry.h) and is the bit-identical
+ * default for every memory role.
  */
 
 #ifndef NDPEXT_MEM_DRAM_H
@@ -21,121 +27,45 @@
 #include <vector>
 
 #include "common/types.h"
+#include "mem/mem_backend.h"
 #include "sim/resource.h"
 #include "sim/stats.h"
 
 namespace ndpext {
-
-/** Timing/energy parameters of one DRAM technology. */
-struct DramTimingParams
-{
-    std::string name;
-    /** DRAM command clock, MHz. */
-    double clockMhz = 1600.0;
-    /** Row-to-column delay, CAS latency, precharge, in DRAM cycles. */
-    std::uint32_t tRcd = 24;
-    std::uint32_t tCas = 24;
-    std::uint32_t tRp = 24;
-    /** Row buffer size in bytes. */
-    std::uint64_t rowBytes = 2048;
-    /** Number of independently timed banks in this device. */
-    std::uint32_t banks = 8;
-    /** Data bus bandwidth of the whole device, bytes per core cycle. */
-    double busBytesPerCycle = 16.0;
-    /** Read/write dynamic energy, pJ per bit transferred. */
-    double rdWrPjPerBit = 1.7;
-    /** Activate+precharge energy, nJ per activation. */
-    double actPreNj = 0.6;
-
-    /** NDP-stack HBM3 slice owned by one NDP unit (Table II). */
-    static DramTimingParams hbm3Unit();
-    /** NDP-stack HMC2 vault owned by one NDP unit (Table II). */
-    static DramTimingParams hmc2Unit();
-    /** DDR5-4800 extended-memory device: 4 ch x 2 ranks x 16 banks. */
-    static DramTimingParams ddr5Extended();
-    /** Host-attached DDR5 main memory for the non-NDP baseline. */
-    static DramTimingParams ddr5Host();
-};
-
-/** Completion info of one DRAM access. */
-struct DramResult
-{
-    /** Time the critical word is available at the device pins. */
-    Cycles done = 0;
-    /** True if the access hit the open row. */
-    bool rowHit = false;
-};
 
 /**
  * A set of banks behind one shared data bus. Addresses are mapped
  * row-interleaved across banks: consecutive rows go to different banks,
  * maximizing bank-level parallelism for streaming patterns.
  */
-class DramDevice
+class DramDevice : public MemBackend
 {
   public:
     DramDevice(const DramTimingParams& params, std::uint64_t core_freq_mhz);
 
-    /**
-     * Issue an access. @param addr byte address within this device's local
-     * address space; @param bytes transfer size; @param now request time.
-     */
     DramResult access(Addr addr, std::uint32_t bytes, bool is_write,
-                      Cycles now);
+                      Cycles now) override;
 
-    /**
-     * Issue an access to an explicit (bank, row) pair, used by the stream
-     * cache which manages DRAM rows directly.
-     */
     DramResult accessRow(std::uint32_t bank, std::uint64_t row,
-                         std::uint32_t bytes, bool is_write, Cycles now);
+                         std::uint32_t bytes, bool is_write,
+                         Cycles now) override;
 
-    /** Row-hit access latency in core cycles (tCAS + first-word burst). */
-    Cycles rowHitLatency() const { return casCycles_ + burstCycles(64); }
-    /** Closed-row access latency (tRCD + tCAS + first-word burst). */
-    Cycles
-    rowClosedLatency() const
-    {
-        return rcdCycles_ + casCycles_ + burstCycles(64);
-    }
-    /** Row-conflict latency (tRP + tRCD + tCAS + first-word burst). */
-    Cycles
-    rowMissLatency() const
-    {
-        return rpCycles_ + rcdCycles_ + casCycles_ + burstCycles(64);
-    }
-
-    /** Cycles to stream `bytes` over the device data bus. */
-    Cycles burstCycles(std::uint32_t bytes) const;
-
-    const DramTimingParams& params() const { return params_; }
-
-    /** Total dynamic energy so far, in nanojoules. */
-    double dynamicEnergyNj() const;
-
-    /** Aggregate counters under the given prefix. */
-    void report(StatGroup& stats, const std::string& prefix) const;
-
-    void reset();
+    void reset() override;
 
     /** Checkpoint hooks (timing parameters are configuration). */
     void
-    serialize(ckpt::Writer& w) const
+    serialize(ckpt::Writer& w) const override
     {
         w.u64(banks_.size());
         for (const Bank& b : banks_) {
             w.u64(static_cast<std::uint64_t>(b.openRow));
             b.busy.serialize(w);
         }
-        w.u64(rowHits_);
-        w.u64(rowMisses_);
-        w.u64(activations_);
-        w.u64(bytesRead_);
-        w.u64(bytesWritten_);
+        serializeCounters(w);
     }
 
     void
-    deserialize(ckpt::Reader& r)
+    deserialize(ckpt::Reader& r) override
     {
         const std::uint64_t n = r.u64();
         NDP_ASSERT(n == banks_.size(), "DRAM bank count mismatch");
@@ -143,11 +73,7 @@ class DramDevice
             b.openRow = static_cast<std::int64_t>(r.u64());
             b.busy.deserialize(r);
         }
-        rowHits_ = r.u64();
-        rowMisses_ = r.u64();
-        activations_ = r.u64();
-        bytesRead_ = r.u64();
-        bytesWritten_ = r.u64();
+        deserializeCounters(r);
     }
 
   private:
@@ -158,19 +84,7 @@ class DramDevice
         BandwidthResource busy{1.0};
     };
 
-    DramTimingParams params_;
-    Cycles rcdCycles_;
-    Cycles casCycles_;
-    Cycles rpCycles_;
-    double busBytesPerCycle_;
     std::vector<Bank> banks_;
-
-    // Counters
-    std::uint64_t rowHits_ = 0;
-    std::uint64_t rowMisses_ = 0; // conflict or closed
-    std::uint64_t activations_ = 0;
-    std::uint64_t bytesRead_ = 0;
-    std::uint64_t bytesWritten_ = 0;
 };
 
 } // namespace ndpext

@@ -1,0 +1,369 @@
+#include "mem/mem_backend.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "telemetry/metric_registry.h"
+
+namespace ndpext {
+
+namespace {
+
+/** Convert DRAM-clock cycles to core cycles, rounding up. */
+Cycles
+toCoreCycles(std::uint32_t dram_cycles, double dram_mhz, double core_mhz)
+{
+    const double c = static_cast<double>(dram_cycles) * core_mhz / dram_mhz;
+    const auto whole = static_cast<Cycles>(c);
+    return whole + (static_cast<double>(whole) < c ? 1 : 0);
+}
+
+bool
+isNumeric(const std::string& s)
+{
+    if (s.empty()) {
+        return false;
+    }
+    const char* cstr = s.c_str();
+    char* end = nullptr;
+    std::strtod(cstr, &end);
+    return end == cstr + s.size();
+}
+
+} // namespace
+
+DramTimingParams
+DramTimingParams::hbm3Unit()
+{
+    DramTimingParams p;
+    p.name = "HBM3-unit";
+    p.clockMhz = 1600.0;
+    p.tRcd = p.tCas = p.tRp = 24;
+    p.rowBytes = 2048;
+    p.channels = 1;
+    p.ranks = 1;
+    p.banks = 8;
+    // One unit owns 1/16 of a stack's bandwidth; HBM3 stack ~800 GB/s
+    // -> ~50 GB/s per unit = 25 B per 2 GHz core cycle.
+    p.busBytesPerCycle = 25.0;
+    p.rdWrPjPerBit = 1.7;
+    p.actPreNj = 0.6;
+    return p;
+}
+
+DramTimingParams
+DramTimingParams::hmc2Unit()
+{
+    DramTimingParams p;
+    p.name = "HMC2-vault";
+    p.clockMhz = 1250.0;
+    p.tRcd = p.tCas = p.tRp = 14;
+    p.rowBytes = 256; // HMC vaults use small rows
+    p.channels = 1;
+    p.ranks = 1;
+    p.banks = 8;
+    // 16 vaults x 10 GB/s = 160 GB/s per stack; 10 GB/s = 5 B/cycle.
+    p.busBytesPerCycle = 5.0;
+    p.rdWrPjPerBit = 1.7;
+    p.actPreNj = 0.6;
+    return p;
+}
+
+DramTimingParams
+DramTimingParams::ddr5Extended()
+{
+    DramTimingParams p;
+    p.name = "DDR5-4800-ext";
+    p.clockMhz = 2400.0;
+    p.tRcd = p.tCas = p.tRp = 40;
+    p.rowBytes = 8192;
+    p.channels = 4; // Table II: 4 channels x 2 ranks x 16 banks
+    p.ranks = 2;
+    p.banks = 16;
+    // 4 channels x 38.4 GB/s = 153.6 GB/s = 76.8 B per core cycle.
+    p.busBytesPerCycle = 76.8;
+    p.rdWrPjPerBit = 3.2;
+    p.actPreNj = 3.3;
+    return p;
+}
+
+DramTimingParams
+DramTimingParams::ddr5Host()
+{
+    DramTimingParams p = ddr5Extended();
+    p.name = "DDR5-4800-host";
+    return p;
+}
+
+DramTimingParams
+DramTimingParams::lpddr5x()
+{
+    DramTimingParams p;
+    p.name = "LPDDR5X-8533";
+    // LPDDR5X-8533: slower core timing than DDR5 but far lower transfer
+    // energy -- the low-power expander point for heterogeneous stacks.
+    p.clockMhz = 1066.0;
+    p.tRcd = 19;
+    p.tCas = 17;
+    p.tRp = 21;
+    p.rowBytes = 2048;
+    p.channels = 2;
+    p.ranks = 1;
+    p.banks = 16;
+    // 2 x16 channels at 8533 MT/s ~ 34 GB/s = 17 B per core cycle.
+    p.busBytesPerCycle = 17.0;
+    p.rdWrPjPerBit = 1.2;
+    p.actPreNj = 1.1;
+    return p;
+}
+
+const std::vector<std::string>&
+dramPresetNames()
+{
+    static const std::vector<std::string> names = {
+        "ddr5-4800", "hbm3", "hmc2", "lpddr5x"};
+    return names;
+}
+
+bool
+dramPreset(const std::string& name, DramTimingParams* out)
+{
+    NDP_ASSERT(out != nullptr);
+    if (name == "ddr5-4800") {
+        *out = DramTimingParams::ddr5Extended();
+        return true;
+    }
+    if (name == "hbm3") {
+        *out = DramTimingParams::hbm3Unit();
+        return true;
+    }
+    if (name == "hmc2") {
+        *out = DramTimingParams::hmc2Unit();
+        return true;
+    }
+    if (name == "lpddr5x") {
+        *out = DramTimingParams::lpddr5x();
+        return true;
+    }
+    return false;
+}
+
+double
+MemBackendConfig::tunable(const std::string& key, double fallback) const
+{
+    for (const auto& [k, v] : tunables) {
+        if (k == key) {
+            return std::strtod(v.c_str(), nullptr);
+        }
+    }
+    return fallback;
+}
+
+void
+MemBackendConfig::setTunable(const std::string& key, const std::string& value)
+{
+    for (auto& [k, v] : tunables) {
+        if (k == key) {
+            v = value;
+            return;
+        }
+    }
+    tunables.emplace_back(key, value);
+    std::sort(tunables.begin(), tunables.end());
+}
+
+std::string
+MemBackendConfig::describe() const
+{
+    std::string out = backend;
+    if (timingSet && !timing.name.empty()) {
+        out += ",timing=" + timing.name;
+    }
+    for (const auto& [k, v] : tunables) {
+        out += "," + k + "=" + v;
+    }
+    return out;
+}
+
+void
+MemBackendConfig::hashInto(ckpt::Writer& w) const
+{
+    w.str(backend);
+    w.str(timing.name);
+    w.d(timing.clockMhz);
+    w.u32(timing.tRcd);
+    w.u32(timing.tCas);
+    w.u32(timing.tRp);
+    w.u64(timing.rowBytes);
+    w.u32(timing.channels);
+    w.u32(timing.ranks);
+    w.u32(timing.banks);
+    w.d(timing.busBytesPerCycle);
+    w.d(timing.rdWrPjPerBit);
+    w.d(timing.actPreNj);
+    w.u64(tunables.size());
+    for (const auto& [k, v] : tunables) {
+        w.str(k);
+        w.str(v);
+    }
+}
+
+bool
+MemBackendConfig::parseSpec(const std::string& spec, MemBackendConfig* out,
+                            std::string* error)
+{
+    NDP_ASSERT(out != nullptr);
+    const auto fail = [&](const std::string& why) {
+        if (error != nullptr) {
+            *error = why;
+        }
+        return false;
+    };
+    if (spec.empty()) {
+        return fail("empty backend spec");
+    }
+
+    MemBackendConfig cfg;
+    std::size_t pos = spec.find(',');
+    cfg.backend = spec.substr(0, pos);
+    if (cfg.backend.empty()) {
+        return fail("backend spec '" + spec + "' has an empty name");
+    }
+    while (pos != std::string::npos) {
+        const std::size_t start = pos + 1;
+        pos = spec.find(',', start);
+        const std::string item = spec.substr(
+            start,
+            pos == std::string::npos ? std::string::npos : pos - start);
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 == item.size()) {
+            return fail("backend option '" + item
+                        + "' is not of the form key=value");
+        }
+        const std::string key = item.substr(0, eq);
+        const std::string value = item.substr(eq + 1);
+        if (key == "preset") {
+            if (!dramPreset(value, &cfg.timing)) {
+                std::string known;
+                for (const auto& n : dramPresetNames()) {
+                    known += (known.empty() ? "" : ", ") + n;
+                }
+                return fail("unknown timing preset '" + value
+                            + "' (known presets: " + known + ")");
+            }
+            cfg.timingSet = true;
+            continue;
+        }
+        if (!isNumeric(value)) {
+            return fail("backend option '" + key + "=" + value
+                        + "' must have a numeric value");
+        }
+        cfg.setTunable(key, value);
+    }
+    *out = cfg;
+    return true;
+}
+
+MemBackend::MemBackend(const DramTimingParams& params,
+                       std::uint64_t core_freq_mhz)
+    : params_(params),
+      rcdCycles_(toCoreCycles(params.tRcd, params.clockMhz,
+                              static_cast<double>(core_freq_mhz))),
+      casCycles_(toCoreCycles(params.tCas, params.clockMhz,
+                              static_cast<double>(core_freq_mhz))),
+      rpCycles_(toCoreCycles(params.tRp, params.clockMhz,
+                             static_cast<double>(core_freq_mhz))),
+      busBytesPerCycle_(params.busBytesPerCycle)
+{
+    NDP_ASSERT(params.totalBanks() > 0 && params.rowBytes > 0);
+}
+
+Cycles
+MemBackend::burstCycles(std::uint32_t bytes) const
+{
+    const double c = static_cast<double>(bytes) / busBytesPerCycle_;
+    const auto whole = static_cast<Cycles>(c);
+    return std::max<Cycles>(
+        1, whole + (static_cast<double>(whole) < c ? 1 : 0));
+}
+
+double
+MemBackend::dynamicEnergyNj() const
+{
+    const double bits =
+        static_cast<double>(bytesRead_ + bytesWritten_) * 8.0;
+    return bits * params_.rdWrPjPerBit * 1e-3
+        + static_cast<double>(activations_) * params_.actPreNj;
+}
+
+double
+MemBackend::rowHitRate() const
+{
+    const std::uint64_t total = rowHits_ + rowMisses_;
+    return total == 0 ? 1.0
+                      : static_cast<double>(rowHits_)
+                            / static_cast<double>(total);
+}
+
+void
+MemBackend::report(StatGroup& stats, const std::string& prefix) const
+{
+    stats.add(prefix + ".rowHits", static_cast<double>(rowHits_));
+    stats.add(prefix + ".rowMisses", static_cast<double>(rowMisses_));
+    stats.add(prefix + ".activations", static_cast<double>(activations_));
+    stats.add(prefix + ".bytesRead", static_cast<double>(bytesRead_));
+    stats.add(prefix + ".bytesWritten", static_cast<double>(bytesWritten_));
+    stats.add(prefix + ".dynamicEnergyNj", dynamicEnergyNj());
+}
+
+void
+MemBackend::registerMetrics(MetricRegistry& registry,
+                            const std::string& prefix)
+{
+    registry.registerCounter(prefix + ".rowHits", [this]() {
+        return static_cast<double>(rowHits_);
+    });
+    registry.registerCounter(prefix + ".rowMisses", [this]() {
+        return static_cast<double>(rowMisses_);
+    });
+    registry.registerCounter(prefix + ".activations", [this]() {
+        return static_cast<double>(activations_);
+    });
+    registry.registerCounter(prefix + ".bytesRead", [this]() {
+        return static_cast<double>(bytesRead_);
+    });
+    registry.registerCounter(prefix + ".bytesWritten", [this]() {
+        return static_cast<double>(bytesWritten_);
+    });
+}
+
+void
+MemBackend::reset()
+{
+    rowHits_ = rowMisses_ = activations_ = 0;
+    bytesRead_ = bytesWritten_ = 0;
+}
+
+void
+MemBackend::serializeCounters(ckpt::Writer& w) const
+{
+    w.u64(rowHits_);
+    w.u64(rowMisses_);
+    w.u64(activations_);
+    w.u64(bytesRead_);
+    w.u64(bytesWritten_);
+}
+
+void
+MemBackend::deserializeCounters(ckpt::Reader& r)
+{
+    rowHits_ = r.u64();
+    rowMisses_ = r.u64();
+    activations_ = r.u64();
+    bytesRead_ = r.u64();
+    bytesWritten_ = r.u64();
+}
+
+} // namespace ndpext

@@ -1,0 +1,124 @@
+#include "mem/mem_backend_registry.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ndpext {
+
+namespace {
+
+/** Classic two-row Levenshtein distance. */
+std::size_t
+editDistance(const std::string& a, const std::string& b)
+{
+    std::vector<std::size_t> prev(b.size() + 1);
+    std::vector<std::size_t> cur(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j) {
+        prev[j] = j;
+    }
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t sub =
+                prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+} // namespace
+
+MemBackendRegistry&
+MemBackendRegistry::instance()
+{
+    forceLinkMemBackends();
+    static MemBackendRegistry registry;
+    return registry;
+}
+
+void
+MemBackendRegistry::add(MemBackendInfo info)
+{
+    NDP_ASSERT(!info.name.empty() && info.factory,
+               "backend registration needs a name and a factory");
+    const auto [it, inserted] =
+        backends_.emplace(info.name, std::move(info));
+    if (!inserted) {
+        NDP_FATAL("duplicate memory backend registration: ", it->first);
+    }
+}
+
+const MemBackendInfo*
+MemBackendRegistry::find(const std::string& name) const
+{
+    const auto it = backends_.find(name);
+    return it == backends_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string>
+MemBackendRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(backends_.size());
+    for (const auto& [name, info] : backends_) {
+        out.push_back(name);
+    }
+    return out; // std::map iteration is already sorted
+}
+
+std::string
+MemBackendRegistry::suggest(const std::string& name) const
+{
+    std::string best;
+    std::size_t bestDist = std::max<std::size_t>(2, name.size() / 3) + 1;
+    for (const auto& [candidate, info] : backends_) {
+        const std::size_t d = editDistance(name, candidate);
+        if (d < bestDist) {
+            bestDist = d;
+            best = candidate;
+        }
+    }
+    return best;
+}
+
+MemBackendRegistrar::MemBackendRegistrar(MemBackendInfo info)
+{
+    MemBackendRegistry::instance().add(std::move(info));
+}
+
+std::unique_ptr<MemBackend>
+createMemBackend(const MemBackendConfig& cfg, std::uint64_t core_freq_mhz)
+{
+    const MemBackendInfo* info =
+        MemBackendRegistry::instance().find(cfg.backend);
+    if (info == nullptr) {
+        NDP_FATAL("unknown memory backend: ", cfg.backend,
+                  " (validate configs with SystemConfig::validate first)");
+    }
+    std::unique_ptr<MemBackend> backend =
+        info->factory(cfg, core_freq_mhz);
+    NDP_ASSERT(backend != nullptr, "backend factory returned null");
+    backend->setBackendName(cfg.backend);
+    return backend;
+}
+
+int linkMemBackendBanked();
+int linkMemBackendSched();
+int linkMemBackendRefresh();
+
+void
+forceLinkMemBackends()
+{
+    // Calling one exported function per backend TU forces the linker to
+    // pull those archive members (and run their registrars). A volatile
+    // sink keeps the calls from being optimized out.
+    static volatile int anchor = linkMemBackendBanked()
+                                 + linkMemBackendSched()
+                                 + linkMemBackendRefresh();
+    (void)anchor;
+}
+
+} // namespace ndpext

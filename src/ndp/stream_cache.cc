@@ -11,14 +11,15 @@ namespace ndpext {
 
 StreamCacheController::StreamCacheController(
     const StreamCacheParams& params, StreamTable& streams, NocModel& noc,
-    ExtendedMemory& ext, const DramTimingParams& unit_dram,
+    ExtendedMemory& ext, const MemBackendConfig& unit_dram,
     std::uint64_t unit_cache_bytes, std::uint64_t core_freq_mhz)
     : MemObject("stream_cache"), params_(params), streams_(streams),
       noc_(noc), ext_(ext),
-      rowBytes_(static_cast<std::uint32_t>(unit_dram.rowBytes)),
+      rowBytes_(static_cast<std::uint32_t>(unit_dram.timing.rowBytes)),
       rowsPerUnit_(
-          static_cast<std::uint32_t>(unit_cache_bytes / unit_dram.rowBytes)),
-      unitDramParams_(unit_dram), coreFreqMhz_(core_freq_mhz),
+          static_cast<std::uint32_t>(unit_cache_bytes
+                                     / unit_dram.timing.rowBytes)),
+      unitDramCfg_(unit_dram), coreFreqMhz_(core_freq_mhz),
       remap_(noc.topology().numUnits(), rowsPerUnit_, rowBytes_,
              params.remapMode)
 {
@@ -149,11 +150,11 @@ StreamCacheController::samplerBank(UnitId unit) const
     return units_[unit]->samplers;
 }
 
-const DramDevice&
+const MemBackend&
 StreamCacheController::unitDram(UnitId unit) const
 {
     NDP_ASSERT(unit < units_.size());
-    return units_[unit]->dram;
+    return *units_[unit]->dram;
 }
 
 TagStore&
@@ -219,17 +220,17 @@ StreamCacheController::storeFor(ShardCtx& ctx, UnitId unit, StreamId sid)
     return *found;
 }
 
-DramDevice&
+MemBackend&
 StreamCacheController::dramFor(ShardCtx& ctx, UnitId unit)
 {
     if (!sharded_ || shardOfUnit_[unit] == ctx.id) {
-        return units_[unit]->dram;
+        return *units_[unit]->dram;
     }
     auto it = ctx.remoteDrams.find(unit);
     if (it == ctx.remoteDrams.end()) {
         it = ctx.remoteDrams
-                 .emplace(unit, std::make_unique<DramDevice>(
-                                    unitDramParams_, coreFreqMhz_))
+                 .emplace(unit, createMemBackend(unitDramCfg_,
+                                                 coreFreqMhz_))
                  .first;
     }
     return *it->second;
@@ -242,15 +243,15 @@ StreamCacheController::dramAt(ShardCtx& ctx, const CacheLocation& loc,
 {
     NDP_ASSERT(!unitFailed(loc.unit),
                "DRAM access on failed unit ", loc.unit);
-    DramDevice& dram = dramFor(ctx, loc.unit);
-    const std::uint32_t banks = dram.params().banks;
+    MemBackend& dram = dramFor(ctx, loc.unit);
+    const std::uint32_t banks = dram.params().totalBanks();
     const std::uint32_t bank = loc.deviceRow % banks;
     const std::uint64_t row = loc.deviceRow / banks;
     const DramResult dr = dram.accessRow(bank, row, bytes, is_write, t);
     StreamCost& cost = ctx.costFor(sid);
     cost.dramBytes += bytes;
     if (!dr.rowHit) {
-        ++cost.dramActivations; // DramDevice activates on every non-hit
+        ++cost.dramActivations; // backends activate on every non-hit
     }
     return dr;
 }
@@ -1075,8 +1076,9 @@ double
 StreamCacheController::dramCacheEnergyFor(const StreamCost& c) const
 {
     return static_cast<double>(c.dramBytes) * 8.0
-        * unitDramParams_.rdWrPjPerBit * 1e-3
-        + static_cast<double>(c.dramActivations) * unitDramParams_.actPreNj;
+        * unitDramCfg_.timing.rdWrPjPerBit * 1e-3
+        + static_cast<double>(c.dramActivations)
+        * unitDramCfg_.timing.actPreNj;
 }
 
 double
@@ -1187,7 +1189,7 @@ StreamCacheController::dramCacheEnergyNj() const
 {
     double total = 0.0;
     for (const auto& unit : units_) {
-        total += unit->dram.dynamicEnergyNj();
+        total += unit->dram->dynamicEnergyNj();
     }
     // Proxy devices model remote-unit traffic from other shards; their
     // energy belongs to the DRAM-cache bucket too. Summed in sorted
@@ -1274,6 +1276,13 @@ StreamCacheController::registerMetrics(MetricRegistry& registry)
                              [this] { return dramCacheEnergyNj(); });
     registry.registerCounter("cache.sramEnergyNj",
                              [this] { return sramEnergyNj(); });
+    // Backend telemetry: every unit device registers under one
+    // "cache.dram" prefix; duplicate names sum, so the series is the
+    // machine-wide total. (Cross-shard proxies are created lazily after
+    // registration and are not sampled.)
+    for (auto& unit : units_) {
+        unit->dram->registerMetrics(registry, "cache.dram");
+    }
     // Per-stream hit/miss series feed ndpext_report's per-stream hit-rate
     // table. Streams must be configured before metrics registration.
     for (const StreamConfig& cfg : streams_.all()) {
@@ -1341,7 +1350,7 @@ StreamCacheController::serialize(ckpt::Writer& w) const
     remap_.serialize(w);
     w.u64(units_.size());
     for (const auto& unit : units_) {
-        unit->dram.serialize(w);
+        unit->dram->serialize(w);
         unit->slb.serialize(w);
         unit->samplers.serialize(w);
         std::vector<StreamId> sids;
@@ -1440,7 +1449,7 @@ StreamCacheController::deserialize(ckpt::Reader& r)
     const std::uint64_t nunits = r.u64();
     NDP_ASSERT(nunits == units_.size(), "checkpoint unit-count mismatch");
     for (auto& unit : units_) {
-        unit->dram.deserialize(r);
+        unit->dram->deserialize(r);
         unit->slb.deserialize(r);
         unit->samplers.deserialize(r);
         unit->stores.clear();
@@ -1507,8 +1516,7 @@ StreamCacheController::deserialize(ckpt::Reader& r)
         const std::uint64_t ndrams = r.u64();
         for (std::uint64_t i = 0; i < ndrams; ++i) {
             const UnitId u = static_cast<UnitId>(r.u32());
-            auto dram = std::make_unique<DramDevice>(unitDramParams_,
-                                                     coreFreqMhz_);
+            auto dram = createMemBackend(unitDramCfg_, coreFreqMhz_);
             dram->deserialize(r);
             ctx->remoteDrams.emplace(u, std::move(dram));
         }

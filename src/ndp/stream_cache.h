@@ -28,7 +28,7 @@
  * into shards that run in parallel between epoch barriers. A shard owns
  * its units' SLBs, samplers, tag stores, DRAM banks and counters
  * outright; for traffic that *serves* on another shard's unit, the
- * shard uses private proxy TagStore/DramDevice instances derived from
+ * shard uses private proxy TagStore/MemBackend instances derived from
  * the shared (read-only between barriers) remap geometry, and its own
  * NoC/CXL models with a fair share of the global bandwidth. Cross-
  * cutting side effects -- the write-to-read-only exception's
@@ -61,7 +61,7 @@
 #include "common/types.h"
 #include "cpu/core.h"
 #include "cxl/extended_memory.h"
-#include "mem/dram.h"
+#include "mem/mem_backend.h"
 #include "ndp/remap_table.h"
 #include "ndp/slb.h"
 #include "ndp/tag_store.h"
@@ -145,12 +145,14 @@ class StreamCacheController : public MemObject
   public:
     /**
      * @param unit_cache_bytes DRAM-cache capacity per unit.
-     * @param unit_dram        Timing of each unit's local DRAM slice.
+     * @param unit_dram        Backend + timing of each unit's local
+     *                         DRAM slice (a bare DramTimingParams selects
+     *                         the default "banked" backend).
      */
     StreamCacheController(const StreamCacheParams& params,
                           StreamTable& streams, NocModel& noc,
                           ExtendedMemory& ext,
-                          const DramTimingParams& unit_dram,
+                          const MemBackendConfig& unit_dram,
                           std::uint64_t unit_cache_bytes,
                           std::uint64_t core_freq_mhz);
 
@@ -286,7 +288,7 @@ class StreamCacheController : public MemObject
     double nonStreamSramEnergyNj() const;
     double streamDramCacheEnergyNj(StreamId sid) const;
     double nonStreamDramCacheEnergyNj() const;
-    const DramDevice& unitDram(UnitId unit) const;
+    const MemBackend& unitDram(UnitId unit) const;
 
     /** Packet-pool telemetry summed over shard contexts. */
     std::uint64_t packetPoolHighWater() const;
@@ -335,17 +337,17 @@ class StreamCacheController : public MemObject
 
     struct UnitState
     {
-        DramDevice dram;
+        std::unique_ptr<MemBackend> dram;
         Slb slb;
         SamplerBank samplers;
         std::unordered_map<StreamId, TagStore> stores;
         /** Only in cachelineMode: the baseline metadata cache. */
         std::unique_ptr<SetAssocCache> metaCache;
 
-        UnitState(const DramTimingParams& dram_params,
+        UnitState(const MemBackendConfig& dram_cfg,
                   std::uint64_t core_freq_mhz,
                   const StreamCacheParams& params)
-            : dram(dram_params, core_freq_mhz),
+            : dram(createMemBackend(dram_cfg, core_freq_mhz)),
               slb(params.slbEntries, params.slbHitCycles,
                   params.slbMissCycles),
               samplers(params.samplersPerUnit, params.sampler)
@@ -441,7 +443,7 @@ class StreamCacheController : public MemObject
          *  keyed (unit << 16) | sid. */
         std::unordered_map<std::uint64_t, TagStore> remoteStores;
         /** Proxy DRAM bank timing for cross-shard serving units. */
-        std::unordered_map<UnitId, std::unique_ptr<DramDevice>>
+        std::unordered_map<UnitId, std::unique_ptr<MemBackend>>
             remoteDrams;
 
         /**
@@ -527,7 +529,7 @@ class StreamCacheController : public MemObject
     TagStore& storeFor(ShardCtx& ctx, UnitId unit, StreamId sid);
 
     /** Likewise for the unit's DRAM device. */
-    DramDevice& dramFor(ShardCtx& ctx, UnitId unit);
+    MemBackend& dramFor(ShardCtx& ctx, UnitId unit);
 
     /**
      * Record a write-to-read-only exception. Inline in non-sharded mode;
@@ -549,7 +551,7 @@ class StreamCacheController : public MemObject
     CpuSidePort cpuSide_{*this};
     std::uint32_t rowBytes_;
     std::uint32_t rowsPerUnit_;
-    DramTimingParams unitDramParams_;
+    MemBackendConfig unitDramCfg_;
     std::uint64_t coreFreqMhz_;
     StreamRemapTable remap_;
     std::vector<std::unique_ptr<UnitState>> units_;

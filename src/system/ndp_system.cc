@@ -24,14 +24,14 @@ std::unique_ptr<Configurator>
 makeConfigurator(PolicyKind policy, const SystemConfig& cfg,
                  const StreamCacheController& cache, const NocModel& noc)
 {
-    const DramTimingParams dram = cfg.unitDram();
-    const DramDevice probe(dram, cfg.coreFreqMhz);
+    const auto probe =
+        createMemBackend(cfg.unitMemBackend(), cfg.coreFreqMhz);
 
     BaselineContext ctx;
     ctx.numUnits = cache.numUnits();
     ctx.rowsPerUnit = cache.rowsPerUnit();
     ctx.rowBytes = cache.rowBytes();
-    ctx.dramLatency = probe.rowHitLatency();
+    ctx.dramLatency = probe->rowHitLatency();
 
     switch (policy) {
       case PolicyKind::NdpExt: {
@@ -41,7 +41,7 @@ makeConfigurator(PolicyKind policy, const SystemConfig& cfg,
         params.rowBytes = cache.rowBytes();
         params.affineCapBytesPerUnit =
             cache.params().affineCapBytesPerUnit;
-        params.dramLatency = probe.rowHitLatency();
+        params.dramLatency = probe->rowHitLatency();
         params.allowReplication = cfg.allowReplication;
         return std::make_unique<NdpExtConfigurator>(params, noc);
       }
@@ -116,6 +116,10 @@ NdpSystem::configHash(const Workload& workload) const
     w.u32(cfg_.core.lineBytes);
     w.u32(cfg_.core.mshrs);
     w.u32(static_cast<std::uint32_t>(cfg_.memType));
+    // Backend identity per memory role: a checkpoint taken under one
+    // backend (or tuning) must not resume under another.
+    cfg_.unitMemBackend().hashInto(w);
+    cfg_.extMemBackend().hashInto(w);
     w.u64(cfg_.unitCacheBytes);
     const StreamCacheParams& sc = cfg_.cache;
     w.u32(sc.affineBlockBytes);
@@ -225,10 +229,9 @@ NdpSystem::run(const Workload& workload)
     // table's distance calculations; shard-private clones below carry the
     // actual traffic.
     NocModel noc(topo, cfg_.noc);
-    ExtendedMemory ext(cfg_.cxl, DramTimingParams::ddr5Extended(),
-                       cfg_.coreFreqMhz);
+    ExtendedMemory ext(cfg_.cxl, cfg_.extMemBackend(), cfg_.coreFreqMhz);
     StreamCacheController cache(cfg_.cache, table, noc, ext,
-                                cfg_.unitDram(), cfg_.unitCacheBytes,
+                                cfg_.unitMemBackend(), cfg_.unitCacheBytes,
                                 cfg_.coreFreqMhz);
     NdpRuntime runtime(cfg_.runtime, cache,
                        makeConfigurator(policy_, cfg_, cache, noc));
@@ -251,8 +254,8 @@ NdpSystem::run(const Workload& workload)
     shardNoc.interLinkBytesPerCycle /= numShards;
     CxlParams shardCxl = cfg_.cxl;
     shardCxl.linkBytesPerCycle /= numShards;
-    DramTimingParams shardExtDram = DramTimingParams::ddr5Extended();
-    shardExtDram.busBytesPerCycle /= numShards;
+    MemBackendConfig shardExtDram = cfg_.extMemBackend();
+    shardExtDram.timing.busBytesPerCycle /= numShards;
 
     std::vector<Shard> shards(numShards);
     std::vector<StreamCacheController::ShardResources> resources(numShards);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "mem/mem_backend_registry.h"
 
 namespace ndpext {
 
@@ -69,8 +70,44 @@ isCachelinePolicy(PolicyKind kind)
 DramTimingParams
 SystemConfig::unitDram() const
 {
-    return memType == NdpMemType::Hbm3 ? DramTimingParams::hbm3Unit()
-                                       : DramTimingParams::hmc2Unit();
+    return unitMemBackend().timing;
+}
+
+namespace {
+
+/** Fill a role's timing default when the user picked none. */
+MemBackendConfig
+resolveRole(const MemBackendConfig& cfg, const DramTimingParams& fallback)
+{
+    MemBackendConfig out = cfg;
+    if (!out.timingSet) {
+        out.timing = fallback;
+        out.timingSet = true;
+    }
+    return out;
+}
+
+} // namespace
+
+MemBackendConfig
+SystemConfig::unitMemBackend() const
+{
+    return resolveRole(memBackendUnit,
+                       memType == NdpMemType::Hbm3
+                           ? DramTimingParams::hbm3Unit()
+                           : DramTimingParams::hmc2Unit());
+}
+
+MemBackendConfig
+SystemConfig::extMemBackend() const
+{
+    return resolveRole(memBackendExt, DramTimingParams::ddr5Extended());
+}
+
+MemBackendConfig
+SystemConfig::hostMemBackend() const
+{
+    return resolveRole(memBackendHost, DramTimingParams::ddr5Host());
 }
 
 bool
@@ -97,6 +134,42 @@ SystemConfig::validate(std::string* error) const
     }
     if (runtime.epochCycles == 0) {
         return fail("epoch length must be nonzero");
+    }
+    const auto& registry = MemBackendRegistry::instance();
+    for (const auto& [role, roleCfg] :
+         {std::pair<const char*, const MemBackendConfig*>{
+              "unit", &memBackendUnit},
+          {"ext", &memBackendExt},
+          {"host", &memBackendHost}}) {
+        const MemBackendInfo* info = registry.find(roleCfg->backend);
+        if (info == nullptr) {
+            std::string why = "unknown memory backend '"
+                              + roleCfg->backend + "' for role '" + role
+                              + "'";
+            const std::string hint = registry.suggest(roleCfg->backend);
+            if (!hint.empty()) {
+                why += " (did you mean '" + hint + "'?)";
+            } else {
+                std::string known;
+                for (const auto& n : registry.names()) {
+                    known += (known.empty() ? "" : ", ") + n;
+                }
+                why += " (registered backends: " + known + ")";
+            }
+            return fail(why);
+        }
+        for (const auto& [key, value] : roleCfg->tunables) {
+            const bool declared = std::any_of(
+                info->tunables.begin(), info->tunables.end(),
+                [&key = key](const MemTunable& t) {
+                    return t.key == key;
+                });
+            if (!declared) {
+                return fail("memory backend '" + roleCfg->backend
+                            + "' has no tunable '" + key
+                            + "' (see --list-mem-backends)");
+            }
+        }
     }
     if (numThreads == 0) {
         return fail("thread count must be nonzero");

@@ -92,6 +92,17 @@ struct SystemConfig
      */
     std::uint32_t numThreads = 1;
 
+    /**
+     * Memory backend selection per role (see mem/mem_backend_registry.h
+     * and `--mem-backend.<role>=NAME[,key=val...]`). Timing left unset
+     * resolves to the role default: the memType device for NDP units,
+     * DDR5-4800 for extended memory, DDR5 host channels for the host
+     * baseline.
+     */
+    MemBackendConfig memBackendUnit;
+    MemBackendConfig memBackendExt;
+    MemBackendConfig memBackendHost;
+
     std::uint32_t
     numUnits() const
     {
@@ -99,6 +110,11 @@ struct SystemConfig
     }
 
     DramTimingParams unitDram() const;
+
+    /** Role selections with timing defaults filled in. */
+    MemBackendConfig unitMemBackend() const;
+    MemBackendConfig extMemBackend() const;
+    MemBackendConfig hostMemBackend() const;
 
     /**
      * Check user-facing constraints, returning false with a diagnostic

@@ -25,7 +25,11 @@ TEST(DramPresets, TableIIValues)
 
     const auto ddr = DramTimingParams::ddr5Extended();
     EXPECT_EQ(ddr.tRcd, 40u);
-    EXPECT_EQ(ddr.banks, 4u * 2 * 16);
+    // Table II: 4 channels x 2 ranks x 16 banks, timed as 128 flat banks.
+    EXPECT_EQ(ddr.channels, 4u);
+    EXPECT_EQ(ddr.ranks, 2u);
+    EXPECT_EQ(ddr.banks, 16u);
+    EXPECT_EQ(ddr.totalBanks(), 4u * 2 * 16);
     EXPECT_DOUBLE_EQ(ddr.rdWrPjPerBit, 3.2);
     EXPECT_DOUBLE_EQ(ddr.actPreNj, 3.3);
 }

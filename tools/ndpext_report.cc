@@ -27,6 +27,11 @@
  *       the first violation (the ctest schema gate). Warns (exit 0) when
  *       stage percentiles rest on too few sampled packet slices.
  *
+ *   ndpext_report check --stats-json=FILE
+ *       Validate a `ndpext_sim --stats-json` output instead: required
+ *       headline scalars, the degraded block, and an all-numeric "stats"
+ *       counter object (the CI backend-matrix gate).
+ *
  * Exit status: 0 = ok, 1 = bad telemetry content, 2 = usage error.
  */
 
@@ -59,7 +64,9 @@ constexpr const char* kUsage =
     "                       on decision divergence or metric deltas\n"
     "                       beyond REL (default 0)\n"
     "  check PREFIX         validate the telemetry schema (exit 1 on\n"
-    "                       violation)\n";
+    "                       violation)\n"
+    "  check --stats-json=FILE\n"
+    "                       validate a --stats-json output instead\n";
 
 /**
  * Percentiles from fewer samples than this are statistically garbage
@@ -854,6 +861,78 @@ checkTraceSchema(const Run& run)
     }
 }
 
+/**
+ * Schema-check one `ndpext_sim --stats-json` output file. Every backend
+ * and policy emits the same headline scalars; the "stats" object is
+ * free-form (backends add their own counters) but must be all-numeric.
+ */
+void
+cmdCheckStatsJson(const std::string& path)
+{
+    // Same crash-marker contract as telemetry prefixes: the simulator
+    // leaves `FILE.inprogress` behind when it dies mid-run.
+    if (std::ifstream(path + ".inprogress").good()) {
+        fail(path + ".inprogress exists: the producing run did not "
+                    "finish; its stats describe an unfinished run");
+    }
+    std::string text;
+    std::string error;
+    if (!readFile(path, text, &error)) {
+        fail(error);
+    }
+    const json::ValuePtr doc = json::parse(text, &error);
+    if (doc == nullptr) {
+        fail(path + ": " + error);
+    }
+    if (!doc->isObject()) {
+        fail(path + ": not a JSON object");
+    }
+    for (const char* key : {"workload", "policy"}) {
+        const json::Value* v = doc->get(key);
+        if (v == nullptr || !v->isString() || v->string.empty()) {
+            fail(path + ": missing non-empty string '" + key + "'");
+        }
+    }
+    for (const char* key :
+         {"cycles", "accesses", "l1Hits", "missRate",
+          "avgMemLatencyCycles", "energyNj", "reconfigurations",
+          "engineWallMicros", "engineAccessesPerSec", "writeExceptions"}) {
+        const json::Value* v = doc->get(key);
+        if (v == nullptr || !v->isNumber()) {
+            fail(path + ": missing numeric '" + key + "'");
+        }
+    }
+    if (doc->num("cycles") <= 0.0) {
+        fail(path + ": cycles must be positive (did the run execute?)");
+    }
+    const json::Value* degraded = doc->get("degraded");
+    if (degraded == nullptr || !degraded->isObject()) {
+        fail(path + ": missing 'degraded' object");
+    }
+    for (const auto& [name, value] : degraded->object) {
+        if (!value->isNumber()) {
+            fail(path + ": degraded field '" + name
+                 + "' is not a number");
+        }
+    }
+    const json::Value* stats = doc->get("stats");
+    if (stats == nullptr || !stats->isObject()) {
+        fail(path + ": missing 'stats' object");
+    }
+    if (stats->object.empty()) {
+        fail(path + ": empty 'stats' object");
+    }
+    for (const auto& [name, value] : stats->object) {
+        if (!value->isNumber()) {
+            fail(path + ": stats counter '" + name
+                 + "' is not a number");
+        }
+    }
+    std::printf("ok: %s: workload=%s policy=%s, %zu stats counter(s)\n",
+                path.c_str(), doc->str("workload").c_str(),
+                doc->str("policy").c_str(), stats->object.size());
+}
+
 void
 cmdCheck(const Run& run)
 {
@@ -886,6 +965,15 @@ main(int argc, char** argv)
     if (cmd == "summary" || cmd == "check" || cmd == "topdown") {
         if (argc != 3) {
             usageError(cmd + " takes exactly one prefix");
+        }
+        if (cmd == "check"
+            && std::strncmp(argv[2], "--stats-json=", 13) == 0) {
+            const std::string path = argv[2] + 13;
+            if (path.empty()) {
+                usageError("check --stats-json= needs a file name");
+            }
+            cmdCheckStatsJson(path);
+            return 0;
         }
         const Run run = loadRun(argv[2]);
         if (cmd == "summary") {

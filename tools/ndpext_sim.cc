@@ -36,6 +36,12 @@
  *                        bit-identical for any value: the machine is
  *                        always decomposed into one shard per stack and
  *                        N only controls parallel shard execution.
+ *   --mem-backend.ROLE=NAME[,key=val...]
+ *                        memory backend per role (unit|ext|host), e.g.
+ *                          --mem-backend.ext=frfcfs,queue=16
+ *                          --mem-backend.ext=refresh,preset=lpddr5x
+ *                        (--list-mem-backends prints backends, tunables
+ *                        and timing presets)
  *   --checkpoint=PREFIX  write PREFIX.<epoch>.ckpt machine snapshots at
  *                        epoch barriers (crash-safe; not with host)
  *   --checkpoint-every=N snapshot every N completed epochs (default 1)
@@ -65,6 +71,7 @@
 
 #include "common/atomic_file.h"
 #include "common/logging.h"
+#include "mem/mem_backend_registry.h"
 #include "system/host_system.h"
 #include "system/ndp_system.h"
 #include "telemetry/telemetry.h"
@@ -93,6 +100,9 @@ constexpr const char* kUsage =
     "                      dram-bit:p=<p>   (repeatable)\n"
     "  --fault-seed=N      fault-injection RNG seed\n"
     "  --threads=N         simulation threads (same results for any N)\n"
+    "  --mem-backend.ROLE=NAME[,key=val...]\n"
+    "                      backend for ROLE in unit|ext|host\n"
+    "                      (--list-mem-backends shows what is available)\n"
     "  --checkpoint=PREFIX     write PREFIX.<epoch>.ckpt at epoch barriers\n"
     "  --checkpoint-every=N    snapshot every N epochs (default 1)\n"
     "  --resume=FILE       restore from a checkpoint and continue\n"
@@ -146,6 +156,13 @@ struct Options
     std::vector<std::string> faultSpecs;
     std::uint64_t faultSeed = 1;
     std::uint64_t threads = 1;
+    /** Per-role backend selections; unset roles keep the defaults. */
+    MemBackendConfig memBackendUnit;
+    bool memBackendUnitSet = false;
+    MemBackendConfig memBackendExt;
+    bool memBackendExtSet = false;
+    MemBackendConfig memBackendHost;
+    bool memBackendHostSet = false;
     std::string checkpoint;
     std::uint64_t checkpointEvery = 1;
     std::string resume;
@@ -176,6 +193,29 @@ parseGrid(const std::string& value, std::uint32_t& x, std::uint32_t& y)
     return true;
 }
 
+/** `--list-mem-backends`: registered backends, tunables and presets. */
+void
+printMemBackends()
+{
+    auto& registry = MemBackendRegistry::instance();
+    std::printf("memory backends (--mem-backend.ROLE=NAME[,key=val...], "
+                "ROLE in unit|ext|host):\n");
+    for (const std::string& name : registry.names()) {
+        const MemBackendInfo* info = registry.find(name);
+        std::printf("  %-8s %s\n", name.c_str(),
+                    info->description.c_str());
+        for (const MemTunable& t : info->tunables) {
+            std::printf("           %-8s %s\n", t.key.c_str(),
+                        t.description.c_str());
+        }
+    }
+    std::printf("timing presets (key `preset=NAME`, any backend):");
+    for (const std::string& name : dramPresetNames()) {
+        std::printf(" %s", name.c_str());
+    }
+    std::printf("\n");
+}
+
 Options
 parseArgs(int argc, char** argv)
 {
@@ -202,6 +242,38 @@ parseArgs(int argc, char** argv)
             std::printf("\npolicies: ndpext ndpext-static jigsaw "
                         "whirlpool nexus static-interleave host\n");
             std::exit(0);
+        } else if (arg == "--list-mem-backends") {
+            printMemBackends();
+            std::exit(0);
+        } else if (arg.rfind("--mem-backend.", 0) == 0) {
+            const std::string rest = value("--mem-backend.");
+            const auto eq = rest.find('=');
+            if (eq == std::string::npos) {
+                usageError("bad " + arg
+                           + " (expected --mem-backend.ROLE=NAME)");
+            }
+            const std::string role = rest.substr(0, eq);
+            const std::string spec = rest.substr(eq + 1);
+            MemBackendConfig* target = nullptr;
+            bool* set = nullptr;
+            if (role == "unit") {
+                target = &opt.memBackendUnit;
+                set = &opt.memBackendUnitSet;
+            } else if (role == "ext") {
+                target = &opt.memBackendExt;
+                set = &opt.memBackendExtSet;
+            } else if (role == "host") {
+                target = &opt.memBackendHost;
+                set = &opt.memBackendHostSet;
+            } else {
+                usageError("bad --mem-backend role: '" + role
+                           + "' (expected unit|ext|host)");
+            }
+            std::string error;
+            if (!MemBackendConfig::parseSpec(spec, target, &error)) {
+                usageError("bad --mem-backend." + role + ": " + error);
+            }
+            *set = true;
         } else if (arg.rfind("--workload=", 0) == 0) {
             opt.workload = value("--workload=");
         } else if (arg.rfind("--trace=", 0) == 0) {
@@ -435,6 +507,15 @@ main(int argc, char** argv)
     if (opt.epoch != 0) {
         cfg.runtime.epochCycles = opt.epoch;
     }
+    if (opt.memBackendUnitSet) {
+        cfg.memBackendUnit = opt.memBackendUnit;
+    }
+    if (opt.memBackendExtSet) {
+        cfg.memBackendExt = opt.memBackendExt;
+    }
+    if (opt.memBackendHostSet) {
+        cfg.memBackendHost = opt.memBackendHost;
+    }
 
     cfg.faults.seed = opt.faultSeed;
     for (const std::string& spec : opt.faultSpecs) {
@@ -529,6 +610,7 @@ main(int argc, char** argv)
         if (hp.numCores != cfg.numUnits()) {
             usageError("--policy=host needs a core count divisible by 8");
         }
+        hp.dram = cfg.hostMemBackend();
         HostSystem host(hp);
         result = host.run(*workload);
     } else {
