@@ -1,0 +1,43 @@
+#include "common/suggest.h"
+
+#include <algorithm>
+
+namespace ndpext {
+
+std::size_t
+editDistance(const std::string& a, const std::string& b)
+{
+    std::vector<std::size_t> prev(b.size() + 1);
+    std::vector<std::size_t> cur(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j) {
+        prev[j] = j;
+    }
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t sub =
+                prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+std::string
+closestName(const std::string& name,
+            const std::vector<std::string>& candidates)
+{
+    std::string best;
+    std::size_t bestDist = std::max<std::size_t>(2, name.size() / 3) + 1;
+    for (const std::string& candidate : candidates) {
+        const std::size_t d = editDistance(name, candidate);
+        if (d < bestDist) {
+            bestDist = d;
+            best = candidate;
+        }
+    }
+    return best;
+}
+
+} // namespace ndpext

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Shared did-you-mean helper for name-keyed registries and CLI flags.
+ *
+ * Both the memory-backend and arrival-process registries (and the
+ * workload factory) reject unknown names with an edit-distance
+ * suggestion; this is the one implementation they share.
+ */
+
+#ifndef NDPEXT_COMMON_SUGGEST_H
+#define NDPEXT_COMMON_SUGGEST_H
+
+#include <string>
+#include <vector>
+
+namespace ndpext {
+
+/** Classic two-row Levenshtein distance. */
+std::size_t editDistance(const std::string& a, const std::string& b);
+
+/**
+ * Closest candidate to `name` by Levenshtein distance, for did-you-mean
+ * diagnostics. Empty if nothing is within max(2, len/3) edits. Ties go
+ * to the earlier candidate, so pass candidates in sorted order for a
+ * deterministic suggestion.
+ */
+std::string closestName(const std::string& name,
+                        const std::vector<std::string>& candidates);
+
+} // namespace ndpext
+
+#endif // NDPEXT_COMMON_SUGGEST_H

@@ -85,6 +85,19 @@ struct Access
      * (models the non-memory instructions between loads/stores).
      */
     std::uint32_t computeCycles = 1;
+    /**
+     * Earliest cycle this access may start executing. The core idles
+     * until then if it is ahead (open-loop serving: a request cannot be
+     * served before it arrives); 0 -- the default -- never idles, so
+     * closed-loop workloads are unaffected.
+     */
+    Cycles notBefore = 0;
+    /**
+     * Marks the last access of a serving request; the core reports the
+     * completion cycle back to the generator (AccessGenerator::onRetire)
+     * so request latency can be measured. Always false outside serving.
+     */
+    bool endOfRequest = false;
 };
 
 } // namespace ndpext

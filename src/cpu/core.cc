@@ -81,7 +81,7 @@ bool
 InOrderCore::step(AccessGenerator& gen)
 {
     Access acc;
-    if (!gen.next(acc)) {
+    if (!gen.next(acc, now_)) {
         // Drain: the run is only complete once in-flight misses land.
         // Walk the slots in completion order so each incremental wait is
         // blamed on the packet that frees at that time.
@@ -99,6 +99,12 @@ InOrderCore::step(AccessGenerator& gen)
         return false;
     }
     ++accesses_;
+    if (acc.notBefore > now_) {
+        // Open-loop: the request this access belongs to has not arrived
+        // yet; the core sits idle until it does.
+        idleCycles_ += acc.notBefore - now_;
+        now_ = acc.notBefore;
+    }
     now_ += acc.computeCycles;
     computeCycles_ += acc.computeCycles;
 
@@ -106,6 +112,9 @@ InOrderCore::step(AccessGenerator& gen)
     if (l1d_.access(line, acc.isWrite)) {
         ++l1Hits_;
         now_ += params_.l1HitCycles;
+        if (acc.endOfRequest) {
+            gen.onRetire(acc, now_);
+        }
         return true;
     }
 
@@ -152,6 +161,11 @@ InOrderCore::step(AccessGenerator& gen)
     }
     slot->free = pkt->ready;
     now_ = issue + params_.l1HitCycles; // issue occupancy, then overlap
+    if (acc.endOfRequest) {
+        // The request completes when its final miss lands, not when the
+        // core moves on -- misses overlap with further execution.
+        gen.onRetire(acc, std::max(now_, slot->free));
+    }
 
     const auto ev = l1d_.insert(line, acc.isWrite);
     if (ev.valid && ev.dirty) {
@@ -176,6 +190,8 @@ InOrderCore::registerCpiMetrics(MetricRegistry& registry,
                              [this] { return double(l1Cycles()); });
     registry.registerCounter(prefix + ".memStallCycles",
                              [this] { return double(memStallCycles_); });
+    registry.registerCounter(prefix + ".idleCycles",
+                             [this] { return double(idleCycles_); });
     registry.registerCounter(prefix + ".stall.metadata",
                              [this] { return double(stall_.metadata); });
     registry.registerCounter(prefix + ".stall.icnIntra",
@@ -213,6 +229,7 @@ InOrderCore::report(StatGroup& stats, const std::string& prefix) const
     stats.add(prefix + ".l1Cycles", static_cast<double>(l1Cycles()));
     stats.add(prefix + ".memStallCycles",
               static_cast<double>(memStallCycles_));
+    stats.add(prefix + ".idleCycles", static_cast<double>(idleCycles_));
     stall_.report(stats, prefix + ".stall");
 }
 

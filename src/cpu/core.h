@@ -126,6 +126,10 @@ class InOrderCore : public MemObject
     std::uint64_t l1Misses() const { return accesses_ - l1Hits_; }
     Cycles computeCycles() const { return computeCycles_; }
     Cycles memStallCycles() const { return memStallCycles_; }
+    /** Cycles spent waiting for open-loop request arrivals
+     *  (Access::notBefore ahead of the core clock); always 0 for
+     *  closed-loop workloads. */
+    Cycles idleCycles() const { return idleCycles_; }
     /** L1 issue/hit pipeline cycles (every access pays l1HitCycles). */
     Cycles l1Cycles() const { return accesses_ * params_.l1HitCycles; }
 
@@ -133,6 +137,7 @@ class InOrderCore : public MemObject
      * Top-down stall attribution. Invariant (pinned by test_topdown):
      *   stallBreakdown().total() == memStallCycles()
      *   now() == computeCycles() + l1Cycles() + memStallCycles()
+     *            + idleCycles()
      */
     const CoreStallBreakdown& stallBreakdown() const { return stall_; }
 
@@ -187,6 +192,7 @@ class InOrderCore : public MemObject
         w.u64(l1Hits_);
         w.u64(computeCycles_);
         w.u64(memStallCycles_);
+        w.u64(idleCycles_);
         w.u64(stall_.metadata);
         w.u64(stall_.icnIntra);
         w.u64(stall_.icnInter);
@@ -221,6 +227,7 @@ class InOrderCore : public MemObject
         l1Hits_ = r.u64();
         computeCycles_ = r.u64();
         memStallCycles_ = r.u64();
+        idleCycles_ = r.u64();
         stall_.metadata = r.u64();
         stall_.icnIntra = r.u64();
         stall_.icnInter = r.u64();
@@ -294,6 +301,7 @@ class InOrderCore : public MemObject
     std::uint64_t l1Hits_ = 0;
     Cycles computeCycles_ = 0;
     Cycles memStallCycles_ = 0;
+    Cycles idleCycles_ = 0;
     CoreStallBreakdown stall_;
     /** Stall cycles per blocking stream id (resize-on-demand). */
     std::vector<Cycles> streamStall_;

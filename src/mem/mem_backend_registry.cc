@@ -1,35 +1,9 @@
 #include "mem/mem_backend_registry.h"
 
-#include <algorithm>
-
 #include "common/logging.h"
+#include "common/suggest.h"
 
 namespace ndpext {
-
-namespace {
-
-/** Classic two-row Levenshtein distance. */
-std::size_t
-editDistance(const std::string& a, const std::string& b)
-{
-    std::vector<std::size_t> prev(b.size() + 1);
-    std::vector<std::size_t> cur(b.size() + 1);
-    for (std::size_t j = 0; j <= b.size(); ++j) {
-        prev[j] = j;
-    }
-    for (std::size_t i = 1; i <= a.size(); ++i) {
-        cur[0] = i;
-        for (std::size_t j = 1; j <= b.size(); ++j) {
-            const std::size_t sub =
-                prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
-            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
-        }
-        std::swap(prev, cur);
-    }
-    return prev[b.size()];
-}
-
-} // namespace
 
 MemBackendRegistry&
 MemBackendRegistry::instance()
@@ -72,16 +46,7 @@ MemBackendRegistry::names() const
 std::string
 MemBackendRegistry::suggest(const std::string& name) const
 {
-    std::string best;
-    std::size_t bestDist = std::max<std::size_t>(2, name.size() / 3) + 1;
-    for (const auto& [candidate, info] : backends_) {
-        const std::size_t d = editDistance(name, candidate);
-        if (d < bestDist) {
-            bestDist = d;
-            best = candidate;
-        }
-    }
-    return best;
+    return closestName(name, names());
 }
 
 MemBackendRegistrar::MemBackendRegistrar(MemBackendInfo info)

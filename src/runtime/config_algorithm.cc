@@ -57,21 +57,91 @@ ConfigAlgorithm::atten(UnitId from, UnitId to) const
         / static_cast<double>(params_.dramLatency + icn);
 }
 
+std::uint32_t
+ConfigAlgorithm::sharedNeed(const StreamDemand& d, UnitId unit,
+                            std::uint32_t rows) const
+{
+    if (!d.reserved) {
+        return rows;
+    }
+    const auto it = tenantCaps_.find(d.tenant);
+    if (it == tenantCaps_.end()) {
+        return rows; // reserved tenant with a zero carve-out
+    }
+    const TenantCap& tc = it->second;
+    const std::uint32_t ownFree = tc.reservedRows > tc.used[unit]
+        ? tc.reservedRows - tc.used[unit]
+        : 0;
+    return rows > ownFree ? rows - ownFree : 0;
+}
+
 bool
-ConfigAlgorithm::canAlloc(UnitId unit, std::uint32_t rows,
-                          bool affine) const
+ConfigAlgorithm::canAlloc(const StreamDemand& d, UnitId unit,
+                          std::uint32_t rows) const
 {
     if (freeRows_[unit] < rows) {
         return false;
     }
-    if (affine && params_.affineCapBytesPerUnit > 0) {
+    if (d.affine && params_.affineCapBytesPerUnit > 0) {
         const std::uint64_t would = affineBytesUsed_[unit]
             + static_cast<std::uint64_t>(rows) * params_.rowBytes;
         if (would > params_.affineCapBytesPerUnit) {
             return false;
         }
     }
+    if (totalReservedRows_ > 0
+        && sharedUsed_[unit] + sharedNeed(d, unit, rows)
+            > sharedCapacity()) {
+        return false;
+    }
     return true;
+}
+
+void
+ConfigAlgorithm::classAlloc(const StreamDemand& d, UnitId unit,
+                            std::uint32_t rows)
+{
+    if (totalReservedRows_ == 0) {
+        return;
+    }
+    const std::uint32_t spill = sharedNeed(d, unit, rows);
+    if (d.reserved) {
+        const auto it = tenantCaps_.find(d.tenant);
+        if (it != tenantCaps_.end()) {
+            it->second.used[unit] += rows;
+        }
+    }
+    sharedUsed_[unit] += spill;
+    NDP_ASSERT(sharedUsed_[unit] <= sharedCapacity(),
+               "QoS shared pool overflow on unit ", unit);
+}
+
+void
+ConfigAlgorithm::classFree(const StreamDemand& d, UnitId unit,
+                           std::uint32_t rows)
+{
+    if (totalReservedRows_ == 0) {
+        return;
+    }
+    std::uint32_t from_shared = rows;
+    if (d.reserved) {
+        const auto it = tenantCaps_.find(d.tenant);
+        if (it != tenantCaps_.end()) {
+            TenantCap& tc = it->second;
+            NDP_ASSERT(tc.used[unit] >= rows,
+                       "QoS tenant accounting underflow on unit ", unit);
+            const auto spillOf = [&](std::uint32_t used) {
+                return used > tc.reservedRows ? used - tc.reservedRows
+                                              : 0;
+            };
+            const std::uint32_t before = spillOf(tc.used[unit]);
+            tc.used[unit] -= rows;
+            from_shared = before - spillOf(tc.used[unit]);
+        }
+    }
+    NDP_ASSERT(sharedUsed_[unit] >= from_shared,
+               "QoS shared pool underflow on unit ", unit);
+    sharedUsed_[unit] -= from_shared;
 }
 
 void
@@ -92,6 +162,7 @@ ConfigAlgorithm::doAlloc(SState& s, std::int32_t group, UnitId unit,
                            <= params_.affineCapBytesPerUnit,
                    "affine cap violated on unit ", unit);
     }
+    classAlloc(s.d, unit, rows);
 }
 
 std::int32_t
@@ -190,7 +261,7 @@ ConfigAlgorithm::bestExtend(const SState& s, std::int32_t g, UnitId near,
     std::vector<UnitId> candidates;
     for (UnitId u = 0; u < params_.numUnits; ++u) {
         if (u != near && s.groupOfUnit[u] < 0
-            && canAlloc(u, rows, s.d.affine)) {
+            && canAlloc(s.d, u, rows)) {
             candidates.push_back(u);
         }
     }
@@ -381,6 +452,7 @@ ConfigAlgorithm::applyMerge(const MergePlan& plan, UnitId uid)
                 affineBytesUsed_[unit] -=
                     static_cast<std::uint64_t>(freed) * params_.rowBytes;
             }
+            classFree(s.d, unit, freed);
             if (unit == uid) {
                 freed_at_uid += freed;
             }
@@ -450,6 +522,29 @@ ConfigAlgorithm::run(std::vector<StreamDemand> demands)
         states_.push_back(std::move(s));
     }
 
+    // QoS carve-outs: one reservation per reserved tenant *present in
+    // this run's demands* -- a departed tenant's reservation returns to
+    // the shared pool automatically on the next reconfiguration.
+    tenantCaps_.clear();
+    totalReservedRows_ = 0;
+    sharedUsed_.assign(params_.numUnits, 0);
+    for (const auto& s : states_) {
+        const StreamDemand& d = s.d;
+        if (d.tenant == kNoQosTenant || !d.reserved
+            || d.reservedRowsPerUnit == 0) {
+            continue;
+        }
+        TenantCap& tc = tenantCaps_[d.tenant];
+        if (tc.used.empty()) {
+            tc.reservedRows = d.reservedRowsPerUnit;
+            tc.used.assign(params_.numUnits, 0);
+            totalReservedRows_ += tc.reservedRows;
+        }
+    }
+    NDP_ASSERT(totalReservedRows_ <= params_.rowsPerUnit,
+               "QoS reservations exceed unit capacity (",
+               totalReservedRows_, " > ", params_.rowsPerUnit, ")");
+
     // Initial replication degrees. A stream starts with as many replica
     // groups as the cache space it can plausibly claim (its access share
     // of half the machine) could hold full copies of its footprint --
@@ -502,7 +597,7 @@ ConfigAlgorithm::run(std::vector<StreamDemand> demands)
         for (auto& s : states_) {
             for (std::size_t i = 0; i < s.d.accUnits.size(); ++i) {
                 const UnitId uid = s.d.accUnits[i];
-                if (canAlloc(uid, floor_rows, s.d.affine)) {
+                if (canAlloc(s.d, uid, floor_rows)) {
                     doAlloc(s, groupForUnit(s, i), uid, floor_rows);
                 }
             }
@@ -622,7 +717,7 @@ ConfigAlgorithm::run(std::vector<StreamDemand> demands)
             const UnitId uid = s.d.accUnits[acc_idx];
             const std::int32_t g = groupForUnit(s, acc_idx);
 
-            if (canAlloc(uid, seg_rows, s.d.affine)) {
+            if (canAlloc(s.d, uid, seg_rows)) {
                 doAlloc(s, g, uid, seg_rows);
                 progress = true;
                 continue;
@@ -654,7 +749,7 @@ ConfigAlgorithm::run(std::vector<StreamDemand> demands)
                 progress = true;
             } else if (mrg.valid) {
                 applyMerge(mrg, uid);
-                if (canAlloc(uid, seg_rows, s.d.affine)) {
+                if (canAlloc(s.d, uid, seg_rows)) {
                     doAlloc(s, groupForUnit(s, acc_idx), uid, seg_rows);
                     progress = true;
                 }

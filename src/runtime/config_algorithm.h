@@ -32,6 +32,9 @@
 
 namespace ndpext {
 
+/** Sentinel for streams that belong to no serving tenant. */
+inline constexpr std::uint32_t kNoQosTenant = ~0u;
+
 /** Everything the algorithm knows about one stream. */
 struct StreamDemand
 {
@@ -46,6 +49,29 @@ struct StreamDemand
     bool affine = false;
     /** Stream size: allocation beyond the footprint is useless. */
     std::uint64_t footprintBytes = 0;
+    /**
+     * QoS (multi-tenant serving, see src/serving): the owning tenant
+     * and its class. Reserved tenants get `reservedRowsPerUnit` rows
+     * carved out of every unit (shared among the tenant's streams);
+     * best-effort streams -- including all non-serving workloads --
+     * compete only for the remaining shared capacity. Defaults leave
+     * the algorithm byte-identical with pre-QoS behaviour.
+     */
+    std::uint32_t tenant = kNoQosTenant;
+    bool reserved = false;
+    std::uint32_t reservedRowsPerUnit = 0;
+};
+
+/**
+ * QoS attributes of one stream, precomputed by the system layer from
+ * the serving config and attached to gathered demands every epoch.
+ */
+struct StreamQos
+{
+    StreamId sid = kNoStream;
+    std::uint32_t tenant = kNoQosTenant;
+    bool reserved = false;
+    std::uint32_t reservedRowsPerUnit = 0;
 };
 
 struct ConfigParams
@@ -150,9 +176,36 @@ class ConfigAlgorithm
         std::size_t rwCursor = 0;
     };
 
-    bool canAlloc(UnitId unit, std::uint32_t rows, bool affine) const;
+    bool canAlloc(const StreamDemand& d, UnitId unit,
+                  std::uint32_t rows) const;
     void doAlloc(SState& s, std::int32_t group, UnitId unit,
                  std::uint32_t rows);
+
+    /**
+     * QoS class accounting. Each reserved tenant owns a per-unit row
+     * carve-out; everything else (best-effort tenants and non-serving
+     * streams) shares `rowsPerUnit - totalReservedRows_`. A reserved
+     * tenant draws from its own carve-out first and only its overflow
+     * counts against the shared pool. All-zero when no demand carries
+     * a reservation, making the checks no-ops.
+     */
+    struct TenantCap
+    {
+        std::uint32_t reservedRows = 0;
+        /** Rows this tenant currently holds per unit. */
+        std::vector<std::uint32_t> used;
+    };
+    /** Rows the demand would take from the shared pool on `unit`. */
+    std::uint32_t sharedNeed(const StreamDemand& d, UnitId unit,
+                             std::uint32_t rows) const;
+    void classAlloc(const StreamDemand& d, UnitId unit,
+                    std::uint32_t rows);
+    void classFree(const StreamDemand& d, UnitId unit,
+                   std::uint32_t rows);
+    std::uint32_t sharedCapacity() const
+    {
+        return params_.rowsPerUnit - totalReservedRows_;
+    }
 
     /** Weighted utility of a group for its assigned accessors. */
     double groupUtility(const SState& s, std::int32_t g) const;
@@ -197,6 +250,10 @@ class ConfigAlgorithm
 
     std::vector<SState> states_;
     std::vector<std::uint32_t> freeRows_;
+    /** QoS working state, rebuilt from demands on every run(). */
+    std::map<std::uint32_t, TenantCap> tenantCaps_;
+    std::uint32_t totalReservedRows_ = 0;
+    std::vector<std::uint32_t> sharedUsed_;
     /** Per-unit failed flag (empty = all healthy). */
     std::vector<bool> failedUnits_;
     std::vector<std::uint64_t> affineBytesUsed_;

@@ -125,9 +125,17 @@ NdpRuntime::assignSamplers(bool first_epoch)
         }
     }
 
-    // Cover pending (previously uncovered) streams first, then the rest.
+    // Reserved-QoS streams claim sampler coverage first (their miss
+    // curves feed carve-out sizing), then pending (previously
+    // uncovered) streams, then the rest.
     std::vector<StreamId> order;
     std::set<StreamId> seen;
+    for (const auto& [sid, q] : streamQos_) {
+        if (q.reserved && sid < num_streams
+            && seen.insert(sid).second) {
+            order.push_back(sid);
+        }
+    }
     for (const StreamId sid : pendingUncovered_) {
         if (seen.insert(sid).second) {
             order.push_back(sid);
@@ -157,6 +165,18 @@ NdpRuntime::assignSamplers(bool first_epoch)
     }
 }
 
+void
+NdpRuntime::applyQos(StreamDemand& d) const
+{
+    const auto it = streamQos_.find(d.sid);
+    if (it == streamQos_.end()) {
+        return;
+    }
+    d.tenant = it->second.tenant;
+    d.reserved = it->second.reserved;
+    d.reservedRowsPerUnit = it->second.reservedRowsPerUnit;
+}
+
 std::vector<StreamDemand>
 NdpRuntime::gatherDemands()
 {
@@ -171,6 +191,7 @@ NdpRuntime::gatherDemands()
         d.readOnly = cfg.readOnly;
         d.affine = cfg.type == StreamType::Affine;
         d.footprintBytes = cfg.size;
+        applyQos(d);
 
         std::uint64_t total = 0;
         const MissCurveSampler* sampler = nullptr;
@@ -260,6 +281,7 @@ NdpRuntime::start()
         d.readOnly = cfg.readOnly;
         d.affine = cfg.type == StreamType::Affine;
         d.footprintBytes = cfg.size;
+        applyQos(d);
         for (UnitId u = 0; u < cache_.numUnits(); ++u) {
             d.accUnits.push_back(u);
             d.accCounts.push_back(1);

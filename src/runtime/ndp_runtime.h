@@ -204,6 +204,22 @@ class NdpRuntime
     }
 
     /**
+     * Attach per-stream QoS attributes (multi-tenant serving). The
+     * runtime stamps them onto every gathered demand so the
+     * configurator can enforce class capacity constraints, and gives
+     * reserved streams first claim on sampler coverage. Derived from
+     * the static serving config at system construction, so this does
+     * not need to travel through checkpoints.
+     */
+    void setStreamQos(const std::vector<StreamQos>& qos)
+    {
+        streamQos_.clear();
+        for (const StreamQos& q : qos) {
+            streamQos_[q.sid] = q;
+        }
+    }
+
+    /**
      * Attach (or detach with nullptr) the telemetry sink. Every
      * configuration decision -- initial, per-epoch, emergency -- is then
      * captured in its decision log, and reconfiguration/failure instants
@@ -277,8 +293,13 @@ class NdpRuntime
     std::unique_ptr<Configurator> configurator_;
     SamplerAssigner assigner_;
 
+    /** Stamp serving QoS attributes onto a gathered demand. */
+    void applyQos(StreamDemand& d) const;
+
     /** Last known miss-rate curve per stream (misses for 1 access). */
     std::map<StreamId, MissCurve> lastRateCurves_;
+    /** Per-stream QoS attributes (empty outside serving mode). */
+    std::map<StreamId, StreamQos> streamQos_;
     /** Streams the last assignment could not cover (rotated in next). */
     std::vector<StreamId> pendingUncovered_;
 

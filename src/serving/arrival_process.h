@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Open-loop arrival processes and their self-registering factory.
+ *
+ * An ArrivalProcess turns a deterministic Rng into a sequence of
+ * inter-arrival gaps (in core cycles); the serving frontend runs one
+ * instance per (tenant, core) so arrival streams are independent across
+ * cores and statistically identical across runs. Implementations live in
+ * arrival_processes.cc and register themselves through ArrivalRegistrar
+ * -- the same ramulator2-style pattern as MemBackendRegistry (PR 7):
+ * CLI frontends enumerate the registry for `--list-arrivals`,
+ * SystemConfig::validate checks names and tunable keys against it (with
+ * an edit-distance did-you-mean on unknown names), and
+ * createArrivalProcess() constructs by name.
+ *
+ * Registrars live in a static library, so arrival_registry.cc -- always
+ * linked, since createArrivalProcess lives there -- anchors the process
+ * TU from forceLinkArrivalProcesses() to defeat dead-stripping.
+ */
+
+#ifndef NDPEXT_SERVING_ARRIVAL_PROCESS_H
+#define NDPEXT_SERVING_ARRIVAL_PROCESS_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/checkpoint.h"
+
+namespace ndpext {
+
+/**
+ * Parameters handed to an arrival-process factory: the tenant's mean
+ * inter-arrival period (cycles per request, per core) plus the
+ * process-specific tunables that survived validation.
+ */
+struct ArrivalParams
+{
+    /** Mean cycles between request arrivals at one core. */
+    double periodCycles = 0.0;
+    /** Process-specific tunables (validated against the registry). */
+    std::vector<std::pair<std::string, double>> tunables;
+
+    double
+    get(const std::string& key, double fallback) const
+    {
+        for (const auto& [k, v] : tunables) {
+            if (k == key) {
+                return v;
+            }
+        }
+        return fallback;
+    }
+};
+
+/**
+ * A deterministic generator of inter-arrival gaps. Gaps are >= 1 cycle,
+ * so arrival times are strictly increasing. State (including the Rng)
+ * checkpoints through serialize()/deserialize() -- the serving
+ * generator's state is restored exactly, never replayed.
+ */
+class ArrivalProcess
+{
+  public:
+    virtual ~ArrivalProcess() = default;
+
+    /** Cycles until the next arrival after the previous one. */
+    virtual Cycles nextGap() = 0;
+
+    virtual void serialize(ckpt::Writer& w) const = 0;
+    virtual void deserialize(ckpt::Reader& r) = 0;
+};
+
+/** One tunable an arrival process accepts via `--tenant=...,key=v`. */
+struct ArrivalTunable
+{
+    std::string key;
+    std::string description;
+};
+
+/** Registry record of one arrival-process implementation. */
+struct ArrivalInfo
+{
+    std::string name;
+    std::string description;
+    /** Declared tunables; unknown keys are a validation error. */
+    std::vector<ArrivalTunable> tunables;
+    std::function<std::unique_ptr<ArrivalProcess>(const ArrivalParams&,
+                                                  std::uint64_t seed)>
+        factory;
+};
+
+class ArrivalRegistry
+{
+  public:
+    static ArrivalRegistry& instance();
+
+    /** Register a process; duplicate names are a fatal error. */
+    void add(ArrivalInfo info);
+
+    /** Lookup by exact name; nullptr if absent. */
+    const ArrivalInfo* find(const std::string& name) const;
+
+    /** All registered names, sorted. */
+    std::vector<std::string> names() const;
+
+    /**
+     * Closest registered name to `name` by Levenshtein distance, for
+     * did-you-mean diagnostics. Empty if nothing is within
+     * max(2, len/3) edits.
+     */
+    std::string suggest(const std::string& name) const;
+
+  private:
+    ArrivalRegistry() = default;
+    std::map<std::string, ArrivalInfo> processes_;
+};
+
+/** Static-initialization helper: constructing one registers a process. */
+struct ArrivalRegistrar
+{
+    explicit ArrivalRegistrar(ArrivalInfo info);
+};
+
+/**
+ * Construct a validated arrival process by name. Unknown names are
+ * fatal here -- run SystemConfig::validate first for recoverable
+ * diagnostics.
+ */
+std::unique_ptr<ArrivalProcess>
+createArrivalProcess(const std::string& name, const ArrivalParams& params,
+                     std::uint64_t seed);
+
+/**
+ * Touch the process TU's anchors so static-library links retain the
+ * registrars. Called from ArrivalRegistry::instance().
+ */
+void forceLinkArrivalProcesses();
+
+} // namespace ndpext
+
+#endif // NDPEXT_SERVING_ARRIVAL_PROCESS_H

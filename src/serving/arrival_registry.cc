@@ -1,0 +1,83 @@
+#include "serving/arrival_process.h"
+
+#include "common/logging.h"
+#include "common/suggest.h"
+
+namespace ndpext {
+
+ArrivalRegistry&
+ArrivalRegistry::instance()
+{
+    forceLinkArrivalProcesses();
+    static ArrivalRegistry registry;
+    return registry;
+}
+
+void
+ArrivalRegistry::add(ArrivalInfo info)
+{
+    NDP_ASSERT(!info.name.empty() && info.factory,
+               "arrival-process registration needs a name and a factory");
+    const auto [it, inserted] =
+        processes_.emplace(info.name, std::move(info));
+    if (!inserted) {
+        NDP_FATAL("duplicate arrival-process registration: ", it->first);
+    }
+}
+
+const ArrivalInfo*
+ArrivalRegistry::find(const std::string& name) const
+{
+    const auto it = processes_.find(name);
+    return it == processes_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string>
+ArrivalRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(processes_.size());
+    for (const auto& [name, info] : processes_) {
+        out.push_back(name);
+    }
+    return out; // std::map iteration is already sorted
+}
+
+std::string
+ArrivalRegistry::suggest(const std::string& name) const
+{
+    return closestName(name, names());
+}
+
+ArrivalRegistrar::ArrivalRegistrar(ArrivalInfo info)
+{
+    ArrivalRegistry::instance().add(std::move(info));
+}
+
+std::unique_ptr<ArrivalProcess>
+createArrivalProcess(const std::string& name, const ArrivalParams& params,
+                     std::uint64_t seed)
+{
+    const ArrivalInfo* info = ArrivalRegistry::instance().find(name);
+    if (info == nullptr) {
+        NDP_FATAL("unknown arrival process: ", name,
+                  " (validate configs with SystemConfig::validate first)");
+    }
+    std::unique_ptr<ArrivalProcess> process = info->factory(params, seed);
+    NDP_ASSERT(process != nullptr, "arrival factory returned null");
+    return process;
+}
+
+int linkArrivalProcesses();
+
+void
+forceLinkArrivalProcesses()
+{
+    // Calling an exported function from the process TU forces the linker
+    // to pull that archive member (and run its registrars). A volatile
+    // sink keeps the call from being optimized out.
+    static volatile int anchor = linkArrivalProcesses();
+    (void)anchor;
+}
+
+} // namespace ndpext

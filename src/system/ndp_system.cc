@@ -11,6 +11,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "runtime/static_config.h"
+#include "serving/serving_workload.h"
 #include "sim/checkpoint.h"
 #include "sim/sharded_executor.h"
 #include "telemetry/telemetry.h"
@@ -183,6 +184,8 @@ NdpSystem::configHash(const Workload& workload) const
     w.u64(workload.params().footprintBytes);
     w.u64(workload.params().accessesPerCore);
     w.u64(workload.params().seed);
+    // Workload-specific identity (e.g. the full serving tenant config).
+    workload.hashExtra(w);
     // Telemetry state travels inside the image, so its collection shape
     // is part of the identity (its output paths are not).
     w.b(telemetry_ != nullptr);
@@ -285,6 +288,56 @@ NdpSystem::run(const Workload& workload)
         cores.back().memPort().bind(cache.port("cpu_side"));
         gens.push_back(workload.makeGenerator(c));
     }
+
+    // --- multi-tenant serving: QoS plumbing and SLO aggregation ---
+    const auto* servingWl = dynamic_cast<const ServingWorkload*>(&workload);
+    std::vector<const ServingGenerator*> servingGens;
+    /** Machine-wide per-tenant latency histograms (stable addresses for
+     *  the metric registry; refreshed from the per-core histograms at
+     *  every epoch sample and at the end of the run). */
+    std::vector<Histogram> tenantLatency;
+    if (servingWl != nullptr) {
+        for (const auto& g : gens) {
+            const auto* sg = dynamic_cast<const ServingGenerator*>(g.get());
+            NDP_ASSERT(sg != nullptr,
+                       "serving workload built a non-serving generator");
+            servingGens.push_back(sg);
+        }
+        const std::vector<TenantSpec>& tenants =
+            servingWl->serving().tenants;
+        tenantLatency.reserve(tenants.size());
+        for (std::size_t t = 0; t < tenants.size(); ++t) {
+            tenantLatency.push_back(servingGens[0]->tenantStats(t).latency);
+        }
+        // Reserved carve-outs: percent of a unit's rows, attached to
+        // every stream of the tenant so Algorithm 1 can enforce the
+        // per-class capacity constraint.
+        std::vector<StreamQos> qos;
+        for (const StreamConfig& scfg : table.all()) {
+            const std::uint32_t tn = servingWl->streamTenant(scfg.sid);
+            const TenantSpec& spec = tenants[tn];
+            StreamQos q;
+            q.sid = scfg.sid;
+            q.tenant = tn;
+            q.reserved = spec.reserved;
+            q.reservedRowsPerUnit = spec.reserved
+                ? static_cast<std::uint32_t>(
+                      static_cast<std::uint64_t>(cache.rowsPerUnit())
+                      * spec.reservePct / 100)
+                : 0;
+            qos.push_back(q);
+        }
+        runtime.setStreamQos(qos);
+    }
+    const auto refreshTenantLatency = [&]() {
+        for (std::size_t t = 0; t < tenantLatency.size(); ++t) {
+            tenantLatency[t] = servingGens[0]->tenantStats(t).latency;
+            for (std::size_t c = 1; c < servingGens.size(); ++c) {
+                mergeHistogram(&tenantLatency[t],
+                               servingGens[c]->tenantStats(t).latency);
+            }
+        }
+    };
     // A core leaves the ready heap for good when its generator is
     // exhausted; tracked per core (bytes, not vector<bool> bits: shard
     // threads write their own cores' entries concurrently) so a
@@ -396,6 +449,46 @@ NdpSystem::run(const Workload& workload)
                            false);
         }
         registerStream("stream.none", kNoStream, true);
+        if (servingWl != nullptr) {
+            const std::vector<TenantSpec>& tenants =
+                servingWl->serving().tenants;
+            for (std::size_t t = 0; t < tenants.size(); ++t) {
+                const std::string base = "tenant." + tenants[t].name;
+                const auto sumStat =
+                    [&servingGens, t](std::uint64_t TenantServingStats::* f) {
+                        std::uint64_t total = 0;
+                        for (const ServingGenerator* g : servingGens) {
+                            total += g->tenantStats(t).*f;
+                        }
+                        return static_cast<double>(total);
+                    };
+                mr.registerCounter(base + ".arrivals", [sumStat] {
+                    return sumStat(&TenantServingStats::arrivals);
+                });
+                mr.registerCounter(base + ".started", [sumStat] {
+                    return sumStat(&TenantServingStats::started);
+                });
+                mr.registerCounter(base + ".retired", [sumStat] {
+                    return sumStat(&TenantServingStats::retired);
+                });
+                mr.registerCounter(base + ".sloViolations", [sumStat] {
+                    return sumStat(&TenantServingStats::sloViolations);
+                });
+                mr.registerHistogram(base + ".latency",
+                                     &tenantLatency[t]);
+                // Static per-tenant facts, exported so `ndpext_report
+                // slo` can print targets without the --stats-json file.
+                mr.registerGauge(
+                    base + ".sloCycles",
+                    [v = static_cast<double>(tenants[t].sloCycles)] {
+                        return v;
+                    });
+                mr.registerGauge(base + ".reserved",
+                                 [v = tenants[t].reserved ? 1.0 : 0.0] {
+                                     return v;
+                                 });
+            }
+        }
         runtime.registerMetrics(mr);
         runtime.setTelemetry(telemetry_);
         telemetry_->initPacketSampling(n);
@@ -467,6 +560,12 @@ NdpSystem::run(const Workload& workload)
         for (const InOrderCore& core : cores) {
             core.serialize(w);
         }
+        // Generator side-state (serving frontend: arrival processes,
+        // pending queues, latency records). A no-op for the default
+        // count-replayed generators.
+        for (CoreId c = 0; c < n; ++c) {
+            gens[c]->serializeExtra(w);
+        }
         w.b(telemetry_ != nullptr);
         if (telemetry_ != nullptr) {
             telemetry_->serialize(w);
@@ -524,6 +623,9 @@ NdpSystem::run(const Workload& workload)
         for (InOrderCore& core : cores) {
             core.deserialize(r);
         }
+        for (CoreId c = 0; c < n; ++c) {
+            gens[c]->deserializeExtra(r);
+        }
         NDP_ASSERT(r.b() == (telemetry_ != nullptr),
                    "checkpoint telemetry presence mismatch");
         if (telemetry_ != nullptr) {
@@ -534,8 +636,13 @@ NdpSystem::run(const Workload& workload)
         // Fast-forward the (freshly constructed) generators: replaying
         // the consumed accesses walks their RNG/index state to exactly
         // where the snapshot left off (generators are deterministic and
-        // consume nothing once exhausted).
+        // consume nothing once exhausted). Self-contained generators
+        // (serving) restored their full state -- including their
+        // sub-generators -- in deserializeExtra above.
         for (CoreId c = 0; c < n; ++c) {
+            if (gens[c]->checkpointSelfContained()) {
+                continue;
+            }
             Access dummy;
             for (std::uint64_t i = 0; i < cores[c].accesses(); ++i) {
                 const bool ok = gens[c]->next(dummy);
@@ -629,6 +736,9 @@ NdpSystem::run(const Workload& workload)
         } else {
             if (telemetry_ != nullptr) {
                 // Snapshot before onEpochEnd clears the sampler counters.
+                if (servingWl != nullptr) {
+                    refreshTenantLatency();
+                }
                 telemetry_->sampleEpoch(epoch_idx, next_epoch);
                 std::string args = "{\"epoch\":";
                 args += std::to_string(epoch_idx);
@@ -665,6 +775,9 @@ NdpSystem::run(const Workload& workload)
     }
     // Final partial epoch: one last metric sample + epoch span.
     if (telemetry_ != nullptr) {
+        if (servingWl != nullptr) {
+            refreshTenantLatency();
+        }
         telemetry_->sampleEpoch(epoch_idx, finish);
         if (finish > epoch_start) {
             std::string args = "{\"epoch\":";
@@ -813,6 +926,51 @@ NdpSystem::run(const Workload& workload)
                        false);
     }
     addStreamStats("stream.none", kNoStream, true);
+
+    // Per-tenant SLO telemetry (ndpext_report slo / --stats-json).
+    if (servingWl != nullptr) {
+        refreshTenantLatency();
+        const std::vector<TenantSpec>& tenants =
+            servingWl->serving().tenants;
+        res.stats.set("serving.tenants",
+                      static_cast<double>(tenants.size()));
+        for (std::size_t t = 0; t < tenants.size(); ++t) {
+            std::uint64_t arrivals = 0;
+            std::uint64_t started = 0;
+            std::uint64_t retired = 0;
+            std::uint64_t violations = 0;
+            for (const ServingGenerator* g : servingGens) {
+                arrivals += g->tenantStats(t).arrivals;
+                started += g->tenantStats(t).started;
+                retired += g->tenantStats(t).retired;
+                violations += g->tenantStats(t).sloViolations;
+            }
+            const Histogram& lat = tenantLatency[t];
+            const std::string base = "tenant." + tenants[t].name;
+            res.stats.set(base + ".arrivals",
+                          static_cast<double>(arrivals));
+            res.stats.set(base + ".started",
+                          static_cast<double>(started));
+            res.stats.set(base + ".retired",
+                          static_cast<double>(retired));
+            res.stats.set(base + ".sloViolations",
+                          static_cast<double>(violations));
+            res.stats.set(base + ".sloCycles",
+                          static_cast<double>(tenants[t].sloCycles));
+            res.stats.set(base + ".reserved",
+                          tenants[t].reserved ? 1.0 : 0.0);
+            res.stats.set(base + ".latencyMean", lat.mean());
+            res.stats.set(base + ".latencyP50", lat.percentile(0.5));
+            res.stats.set(base + ".latencyP99", lat.percentile(0.99));
+            res.stats.set(base + ".latencyMax", lat.maxValue());
+            res.stats.set(base + ".sloAttainment",
+                          retired == 0
+                              ? 1.0
+                              : 1.0
+                                  - static_cast<double>(violations)
+                                      / static_cast<double>(retired));
+        }
+    }
 
     const double seconds = static_cast<double>(finish)
         / (static_cast<double>(cfg_.coreFreqMhz) * 1e6);

@@ -182,6 +182,12 @@ SystemConfig::validate(std::string* error) const
                         + std::to_string(numUnits() - 1) + ")");
         }
     }
+    if (serving.enabled()) {
+        std::string why;
+        if (!validateServingConfig(serving, &why)) {
+            return fail(why);
+        }
+    }
     return true;
 }
 

@@ -24,6 +24,7 @@
 #include "ndp/stream_cache.h"
 #include "noc/noc_model.h"
 #include "runtime/ndp_runtime.h"
+#include "serving/serving_config.h"
 
 namespace ndpext {
 
@@ -79,6 +80,12 @@ struct SystemConfig
      * Empty (the default) runs fault-free with zero simulation overhead.
      */
     FaultParams faults;
+
+    /**
+     * Multi-tenant serving frontend (--tenant/--horizon; src/serving).
+     * Empty (the default) runs the classic closed-loop workloads.
+     */
+    ServingConfig serving;
 
     /** Static power: NDP unit (core + logic + SRAM) and ext memory. */
     double staticWattsPerUnit = 0.05;

@@ -30,6 +30,17 @@ Workload::registerStreams(StreamTable& table) const
     }
 }
 
+void
+Workload::rebaseStreams(StreamId sid_offset, Addr addr_offset)
+{
+    NDP_ASSERT(prepared_, "rebaseStreams before prepare on ", name());
+    for (StreamConfig& cfg : configs_) {
+        cfg.sid = static_cast<StreamId>(cfg.sid + sid_offset);
+        cfg.base += addr_offset;
+    }
+    nextAddr_ += addr_offset;
+}
+
 Addr
 Workload::allocBytes(std::uint64_t bytes)
 {

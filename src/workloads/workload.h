@@ -23,6 +23,7 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "cpu/access_generator.h"
+#include "sim/checkpoint.h"
 #include "stream/stream_table.h"
 
 namespace ndpext {
@@ -54,12 +55,34 @@ class Workload
     virtual std::unique_ptr<AccessGenerator>
     makeGenerator(CoreId core) const = 0;
 
+    /**
+     * Fold workload config beyond WorkloadParams into the checkpoint
+     * config hash (NdpSystem::configHash). Workloads whose trajectory
+     * is fully determined by (name, params) need not override.
+     */
+    virtual void
+    hashExtra(ckpt::Writer& w) const
+    {
+        (void)w;
+    }
+
     const WorkloadParams& params() const { return p_; }
     const std::vector<StreamConfig>& streamConfigs() const
     {
         return configs_;
     }
     bool prepared() const { return prepared_; }
+
+    /**
+     * Shift every stream's id and base address, for composing several
+     * prepared workloads into one stream table / address space (the
+     * multi-tenant serving frontend). Generators keep indexing their
+     * owner's config list locally; only the emitted sid/addr change.
+     */
+    void rebaseStreams(StreamId sid_offset, Addr addr_offset);
+
+    /** One past the last allocated address (the footprint extent). */
+    Addr addressSpaceEnd() const { return nextAddr_; }
 
   protected:
     virtual void doPrepare() = 0;
@@ -119,7 +142,10 @@ class BoundedGenerator : public AccessGenerator
          std::uint32_t compute = 2) const
     {
         const StreamConfig& cfg = workload_.streamConfigs()[sid];
-        out.sid = sid;
+        // cfg.sid equals the local index until the workload is rebased
+        // into a composite (serving) stream space; always emitting the
+        // config's id keeps sub-generators correct in both cases.
+        out.sid = cfg.sid;
         out.elem = elem % cfg.numElems();
         out.addr = cfg.addrOf(out.elem);
         out.size = std::min<std::uint32_t>(cfg.elemSize, kCachelineBytes);

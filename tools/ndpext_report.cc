@@ -32,6 +32,14 @@
  *       headline scalars, the degraded block, and an all-numeric "stats"
  *       counter object (the CI backend-matrix gate).
  *
+ *   ndpext_report slo PREFIX
+ *   ndpext_report slo --stats-json=FILE
+ *       Multi-tenant serving view (runs produced with --tenant): each
+ *       tenant's request-latency p50/p99 against its SLO target,
+ *       attainment (1 - violations/retired), and -- from telemetry --
+ *       the per-epoch attainment trend. Exit 1 when the run carried no
+ *       serving tenants.
+ *
  * Exit status: 0 = ok, 1 = bad telemetry content, 2 = usage error.
  */
 
@@ -66,7 +74,12 @@ constexpr const char* kUsage =
     "  check PREFIX         validate the telemetry schema (exit 1 on\n"
     "                       violation)\n"
     "  check --stats-json=FILE\n"
-    "                       validate a --stats-json output instead\n";
+    "                       validate a --stats-json output instead\n"
+    "  slo PREFIX           per-tenant serving view: request-latency\n"
+    "                       p50/p99 against each SLO target, attainment,\n"
+    "                       and the per-epoch attainment trend\n"
+    "  slo --stats-json=FILE\n"
+    "                       the same table from a --stats-json output\n";
 
 /**
  * Percentiles from fewer samples than this are statistically garbage
@@ -933,6 +946,195 @@ cmdCheckStatsJson(const std::string& path)
                 doc->str("policy").c_str(), stats->object.size());
 }
 
+/** One tenant's serving numbers, from telemetry or a stats JSON. */
+struct TenantSlo
+{
+    std::string name;
+    double arrivals = 0.0;
+    double started = 0.0;
+    double retired = 0.0;
+    double violations = 0.0;
+    double sloCycles = 0.0;
+    bool reserved = false;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+
+    double
+    attainment() const
+    {
+        return retired == 0.0 ? 1.0 : 1.0 - violations / retired;
+    }
+};
+
+void
+printSloTable(const std::vector<TenantSlo>& tenants)
+{
+    std::printf("  %-12s %-11s %-9s %-9s %-9s %-9s %-9s %-9s %-9s %s\n",
+                "tenant", "qos", "arrivals", "retired", "viols", "p50",
+                "p99", "max", "slo", "attain");
+    for (const TenantSlo& t : tenants) {
+        std::printf("  %-12s %-11s %-9.0f %-9.0f %-9.0f %-9.0f %-9.0f "
+                    "%-9.0f %-9.0f %6.2f%%%s\n",
+                    t.name.c_str(), t.reserved ? "reserved" : "best-effort",
+                    t.arrivals, t.retired, t.violations, t.p50, t.p99,
+                    t.max, t.sloCycles, 100.0 * t.attainment(),
+                    t.p99 > t.sloCycles && t.sloCycles > 0.0
+                        ? "  <-- p99 over SLO"
+                        : "");
+    }
+}
+
+/** Tenant names present in a key set, via "tenant.<name>.arrivals". */
+std::vector<std::string>
+tenantNames(const json::Value& object)
+{
+    std::vector<std::string> names;
+    const std::string prefix = "tenant.";
+    const std::string suffix = ".arrivals";
+    for (const auto& [key, value] : object.object) {
+        (void)value;
+        if (key.rfind(prefix, 0) != 0 || key.size() <= prefix.size()
+            || key.compare(key.size() - suffix.size(), suffix.size(),
+                           suffix)
+                != 0) {
+            continue;
+        }
+        names.push_back(key.substr(
+            prefix.size(), key.size() - prefix.size() - suffix.size()));
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+void
+cmdSlo(const Run& run)
+{
+    if (run.epochs.empty()) {
+        fail(run.prefix + ".metrics.jsonl: no epoch samples");
+    }
+    const json::Value& last = *run.epochs.back();
+    const json::Value* metrics = last.get("metrics");
+    if (metrics == nullptr || !metrics->isObject()) {
+        fail(run.prefix + ".metrics.jsonl: missing 'metrics' object");
+    }
+    const std::vector<std::string> names = tenantNames(*metrics);
+    if (names.empty()) {
+        fail(run.prefix + ": no serving tenants in this run (tenant.* "
+                          "metrics absent); produce one with ndpext_sim "
+                          "--tenant=... --telemetry=PREFIX");
+    }
+
+    std::vector<TenantSlo> tenants;
+    const json::Value* hists = last.get("histograms");
+    for (const std::string& name : names) {
+        TenantSlo t;
+        t.name = name;
+        const std::string base = "tenant." + name;
+        t.arrivals = metrics->num(base + ".arrivals");
+        t.started = metrics->num(base + ".started");
+        t.retired = metrics->num(base + ".retired");
+        t.violations = metrics->num(base + ".sloViolations");
+        t.sloCycles = metrics->num(base + ".sloCycles");
+        t.reserved = metrics->num(base + ".reserved") != 0.0;
+        if (hists != nullptr) {
+            const json::Value* lat = hists->get(base + ".latency");
+            if (lat != nullptr) {
+                t.p50 = lat->num("p50");
+                t.p99 = lat->num("p99");
+                t.max = lat->num("max");
+            }
+        }
+        tenants.push_back(std::move(t));
+    }
+
+    std::printf("serving SLO view: %s (final sample, %zu tenant(s))\n\n",
+                run.prefix.c_str(), tenants.size());
+    printSloTable(tenants);
+
+    // Per-epoch attainment trend: the metrics are cumulative, so each
+    // interval's attainment comes from adjacent-sample deltas.
+    std::printf("\nper-epoch SLO attainment (interval, %%):\n");
+    std::printf("  %-6s", "epoch");
+    for (const std::string& name : names) {
+        std::printf(" %12s", name.c_str());
+    }
+    std::printf("\n");
+    std::vector<double> prev_retired(names.size(), 0.0);
+    std::vector<double> prev_viols(names.size(), 0.0);
+    for (const auto& line : run.epochs) {
+        const json::Value* m = line->get("metrics");
+        if (m == nullptr) {
+            continue;
+        }
+        std::printf("  %-6llu",
+                    static_cast<unsigned long long>(line->num("epoch")));
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            const std::string base = "tenant." + names[i];
+            const double retired = m->num(base + ".retired");
+            const double viols = m->num(base + ".sloViolations");
+            const double dr = retired - prev_retired[i];
+            const double dv = viols - prev_viols[i];
+            if (dr <= 0.0) {
+                std::printf(" %12s", "-");
+            } else {
+                std::printf(" %11.2f%%", 100.0 * (1.0 - dv / dr));
+            }
+            prev_retired[i] = retired;
+            prev_viols[i] = viols;
+        }
+        std::printf("\n");
+    }
+}
+
+/** The slo table from a `ndpext_sim --stats-json` output. */
+void
+cmdSloStatsJson(const std::string& path)
+{
+    if (std::ifstream(path + ".inprogress").good()) {
+        fail(path + ".inprogress exists: the producing run did not "
+                    "finish; its stats describe an unfinished run");
+    }
+    std::string text;
+    std::string error;
+    if (!readFile(path, text, &error)) {
+        fail(error);
+    }
+    const json::ValuePtr doc = json::parse(text, &error);
+    if (doc == nullptr) {
+        fail(path + ": " + error);
+    }
+    const json::Value* stats =
+        doc->isObject() ? doc->get("stats") : nullptr;
+    if (stats == nullptr || !stats->isObject()) {
+        fail(path + ": missing 'stats' object");
+    }
+    if (stats->num("serving.tenants") <= 0.0) {
+        fail(path + ": no serving tenants in this run (serving.tenants "
+                    "is absent); produce one with ndpext_sim "
+                    "--tenant=... --stats-json=FILE");
+    }
+    std::vector<TenantSlo> tenants;
+    for (const std::string& name : tenantNames(*stats)) {
+        TenantSlo t;
+        t.name = name;
+        const std::string base = "tenant." + name;
+        t.arrivals = stats->num(base + ".arrivals");
+        t.started = stats->num(base + ".started");
+        t.retired = stats->num(base + ".retired");
+        t.violations = stats->num(base + ".sloViolations");
+        t.sloCycles = stats->num(base + ".sloCycles");
+        t.reserved = stats->num(base + ".reserved") != 0.0;
+        t.p50 = stats->num(base + ".latencyP50");
+        t.p99 = stats->num(base + ".latencyP99");
+        t.max = stats->num(base + ".latencyMax");
+        tenants.push_back(std::move(t));
+    }
+    std::printf("serving SLO view: %s (%zu tenant(s))\n\n", path.c_str(),
+                tenants.size());
+    printSloTable(tenants);
+}
+
 void
 cmdCheck(const Run& run)
 {
@@ -962,17 +1164,22 @@ main(int argc, char** argv)
         std::printf("%s", kUsage);
         return 0;
     }
-    if (cmd == "summary" || cmd == "check" || cmd == "topdown") {
+    if (cmd == "summary" || cmd == "check" || cmd == "topdown"
+        || cmd == "slo") {
         if (argc != 3) {
             usageError(cmd + " takes exactly one prefix");
         }
-        if (cmd == "check"
+        if ((cmd == "check" || cmd == "slo")
             && std::strncmp(argv[2], "--stats-json=", 13) == 0) {
             const std::string path = argv[2] + 13;
             if (path.empty()) {
-                usageError("check --stats-json= needs a file name");
+                usageError(cmd + " --stats-json= needs a file name");
             }
-            cmdCheckStatsJson(path);
+            if (cmd == "check") {
+                cmdCheckStatsJson(path);
+            } else {
+                cmdSloStatsJson(path);
+            }
             return 0;
         }
         const Run run = loadRun(argv[2]);
@@ -980,6 +1187,8 @@ main(int argc, char** argv)
             cmdSummary(run);
         } else if (cmd == "topdown") {
             cmdTopdown(run);
+        } else if (cmd == "slo") {
+            cmdSlo(run);
         } else {
             cmdCheck(run);
         }

@@ -9,7 +9,14 @@
  *   ndpext_sim --trace=my.trace --policy=ndpext --stacks=2x2 --units=2x4
  *   ndpext_sim --workload=bfs --policy=host
  *   ndpext_sim --workload=pr --fault=unit:12@5M --fault-seed=7
+ *   ndpext_sim --tenant=name=emb,workload=recsys,arrival=poisson,period=400 \
+ *              --tenant=name=gnn,workload=bfs,period=900 --horizon=2M
  *   ndpext_sim --list
+ *
+ * Multi-tenant serving (src/serving): one repeatable --tenant flag per
+ * co-located tenant turns the run into an open-loop serving simulation;
+ * see --list-arrivals for arrival processes and their tunables, and
+ * `ndpext_report slo` for the per-tenant latency/SLO view.
  *
  * Options:
  *   --workload=NAME      built-in workload (see --list)
@@ -32,6 +39,13 @@
  *                          dram-bit:p=<p>       cache bit-fault probability
  *                        cycles take K/M/G suffixes (5M = 5,000,000)
  *   --fault-seed=N       fault-injection RNG seed (default 1)
+ *   --tenant=K=V,...     add a serving tenant (repeatable; implies the
+ *                        open-loop serving frontend). Keys: name,
+ *                        workload, arrival, period, req, qos, reserve-pct,
+ *                        slo, arrive, depart, footprint-mb, plus any
+ *                        tunable of the chosen arrival process
+ *   --horizon=N          serving: last admissible arrival cycle
+ *                        (K/M/G suffixes; default 2M)
  *   --threads=N          simulation threads (default 1). Results are
  *                        bit-identical for any value: the machine is
  *                        always decomposed into one shard per stack and
@@ -71,7 +85,9 @@
 
 #include "common/atomic_file.h"
 #include "common/logging.h"
+#include "common/suggest.h"
 #include "mem/mem_backend_registry.h"
+#include "serving/serving_workload.h"
 #include "system/host_system.h"
 #include "system/ndp_system.h"
 #include "telemetry/telemetry.h"
@@ -99,6 +115,12 @@ constexpr const char* kUsage =
     "                      cxl-transient:p=<p> | cxl-poison:p=<p> |\n"
     "                      dram-bit:p=<p>   (repeatable)\n"
     "  --fault-seed=N      fault-injection RNG seed\n"
+    "  --tenant=K=V,...    add a serving tenant (repeatable); keys: name,\n"
+    "                      workload, arrival, period, req, qos,\n"
+    "                      reserve-pct, slo, arrive, depart, footprint-mb\n"
+    "                      (--list-arrivals shows arrival processes)\n"
+    "  --horizon=N         serving: last admissible arrival cycle\n"
+    "                      (K/M/G suffixes)\n"
     "  --threads=N         simulation threads (same results for any N)\n"
     "  --mem-backend.ROLE=NAME[,key=val...]\n"
     "                      backend for ROLE in unit|ext|host\n"
@@ -111,7 +133,9 @@ constexpr const char* kUsage =
     "                      decisions.jsonl} (not with --policy=host)\n"
     "  --telemetry-sample=N  trace every Nth L1 miss per core (default 64)\n"
     "  --dump-stats        print every simulator counter\n"
-    "  --list              print workloads and policies\n";
+    "  --list              print workloads and policies\n"
+    "  --list-workloads    print the workload archetypes\n"
+    "  --list-arrivals     print arrival processes and their tunables\n";
 
 /** Print a diagnostic plus usage and exit with status 2 (bad input). */
 [[noreturn]] void
@@ -155,6 +179,10 @@ struct Options
     /** Raw --fault specs; parsed once the geometry is known. */
     std::vector<std::string> faultSpecs;
     std::uint64_t faultSeed = 1;
+    /** Raw --tenant specs; parsed against the serving schema. */
+    std::vector<std::string> tenantSpecs;
+    std::uint64_t horizon = 0;
+    bool horizonSet = false;
     std::uint64_t threads = 1;
     /** Per-role backend selections; unset roles keep the defaults. */
     MemBackendConfig memBackendUnit;
@@ -191,6 +219,70 @@ parseGrid(const std::string& value, std::uint32_t& x, std::uint32_t& y)
     x = static_cast<std::uint32_t>(xv);
     y = static_cast<std::uint32_t>(yv);
     return true;
+}
+
+/** Unsigned parse with K/M/G suffixes (5M = 5,000,000). */
+bool
+parseCycles(const std::string& text, std::uint64_t& out)
+{
+    if (text.empty()) {
+        return false;
+    }
+    std::uint64_t scale = 1;
+    std::string digits = text;
+    switch (text.back()) {
+      case 'K':
+      case 'k':
+        scale = 1'000;
+        digits.pop_back();
+        break;
+      case 'M':
+      case 'm':
+        scale = 1'000'000;
+        digits.pop_back();
+        break;
+      case 'G':
+      case 'g':
+        scale = 1'000'000'000;
+        digits.pop_back();
+        break;
+      default:
+        break;
+    }
+    if (!parseU64(digits, out)) {
+        return false;
+    }
+    out *= scale;
+    return true;
+}
+
+/** `--list-workloads`: the workload archetypes, one per line. */
+void
+printWorkloads()
+{
+    std::printf("workloads (--workload=NAME or --tenant=...,workload=NAME"
+                "):\n");
+    for (const auto& name : allWorkloadNames()) {
+        std::printf("  %s\n", name.c_str());
+    }
+}
+
+/** `--list-arrivals`: registered arrival processes and tunables. */
+void
+printArrivals()
+{
+    auto& registry = ArrivalRegistry::instance();
+    std::printf("arrival processes (--tenant=...,arrival=NAME"
+                "[,key=val...]):\n");
+    for (const std::string& name : registry.names()) {
+        const ArrivalInfo* info = registry.find(name);
+        std::printf("  %-8s %s\n", name.c_str(),
+                    info->description.c_str());
+        for (const ArrivalTunable& t : info->tunables) {
+            std::printf("           %-14s %s\n", t.key.c_str(),
+                        t.description.c_str());
+        }
+    }
 }
 
 /** `--list-mem-backends`: registered backends, tunables and presets. */
@@ -244,6 +336,12 @@ parseArgs(int argc, char** argv)
             std::exit(0);
         } else if (arg == "--list-mem-backends") {
             printMemBackends();
+            std::exit(0);
+        } else if (arg == "--list-workloads") {
+            printWorkloads();
+            std::exit(0);
+        } else if (arg == "--list-arrivals") {
+            printArrivals();
             std::exit(0);
         } else if (arg.rfind("--mem-backend.", 0) == 0) {
             const std::string rest = value("--mem-backend.");
@@ -320,6 +418,16 @@ parseArgs(int argc, char** argv)
             opt.faultSpecs.push_back(value("--fault="));
         } else if (arg.rfind("--fault-seed=", 0) == 0) {
             opt.faultSeed = number("--fault-seed=");
+        } else if (arg.rfind("--tenant=", 0) == 0) {
+            opt.tenantSpecs.push_back(value("--tenant="));
+        } else if (arg.rfind("--horizon=", 0) == 0) {
+            if (!parseCycles(value("--horizon="), opt.horizon)
+                || opt.horizon == 0) {
+                usageError("bad --horizon: '" + value("--horizon=")
+                           + "' (expected a positive cycle count, "
+                             "K/M/G suffixes allowed)");
+            }
+            opt.horizonSet = true;
         } else if (arg.rfind("--threads=", 0) == 0) {
             opt.threads = number("--threads=");
             if (opt.threads == 0 || opt.threads > 1024) {
@@ -532,6 +640,26 @@ main(int argc, char** argv)
                        + " units");
         }
     }
+    for (const std::string& spec : opt.tenantSpecs) {
+        TenantSpec tenant;
+        std::string error;
+        if (!parseTenantSpec(spec, &tenant, &error)) {
+            usageError("bad --tenant: " + error);
+        }
+        cfg.serving.tenants.push_back(std::move(tenant));
+    }
+    if (opt.horizonSet) {
+        if (!cfg.serving.enabled()) {
+            usageError("--horizon requires at least one --tenant");
+        }
+        cfg.serving.horizonCycles = opt.horizon;
+    }
+    if (cfg.serving.enabled() && !opt.trace.empty()) {
+        usageError("--tenant cannot be combined with --trace");
+    }
+    if (cfg.serving.enabled() && opt.policy == "host") {
+        usageError("--tenant is not supported with --policy=host");
+    }
     if (opt.policy == "host" && cfg.faults.anyFaults()) {
         usageError("--fault is not supported with --policy=host");
     }
@@ -555,7 +683,17 @@ main(int argc, char** argv)
     cfg.finalize();
 
     std::unique_ptr<Workload> workload;
-    if (!opt.trace.empty()) {
+    if (cfg.serving.enabled()) {
+        auto serving = std::make_unique<ServingWorkload>(
+            cfg.serving, cfg.runtime.epochCycles);
+        WorkloadParams params;
+        params.numCores = cfg.numUnits();
+        params.footprintBytes = opt.footprintMb * 1_MiB;
+        params.accessesPerCore = opt.accesses;
+        params.seed = opt.seed;
+        serving->prepare(params);
+        workload = std::move(serving);
+    } else if (!opt.trace.empty()) {
         std::string error;
         workload =
             TraceWorkload::parseFile(opt.trace, cfg.numUnits(), &error);
@@ -566,8 +704,15 @@ main(int argc, char** argv)
         const auto names = allWorkloadNames();
         if (std::find(names.begin(), names.end(), opt.workload)
             == names.end()) {
-            usageError("unknown --workload: '" + opt.workload
-                       + "' (--list prints the available workloads)");
+            std::string why = "unknown --workload: '" + opt.workload + "'";
+            const std::string hint = closestName(opt.workload, names);
+            if (!hint.empty()) {
+                why += " (did you mean '" + hint + "'?)";
+            } else {
+                why += " (--list-workloads prints the available "
+                       "workloads)";
+            }
+            usageError(why);
         }
         workload = makeWorkload(opt.workload);
         WorkloadParams params;
