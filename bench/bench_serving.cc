@@ -20,6 +20,7 @@
 
 #include "bench_util.h"
 #include "serving/serving_workload.h"
+#include "telemetry/telemetry.h"
 
 using namespace ndpext;
 
@@ -59,6 +60,63 @@ servingConfig(const Regime& regime, Cycles horizon)
     return cfg;
 }
 
+/**
+ * Where each tenant's tail goes: the dominant stage (by summed cycles)
+ * across the slow exemplars the request tracer retained. Printed as
+ * context under the table; not a recorded baseline column (telemetry
+ * is observer-only and the deterministic columns already pin the run).
+ */
+std::string
+tailBlame(const Telemetry& tel, const ServingConfig& sc)
+{
+    struct StageView
+    {
+        const char* name;
+        Cycles RequestTraceRecord::*field;
+    };
+    static const StageView kStages[] = {
+        {"queueWait", &RequestTraceRecord::queueWait},
+        {"compute", &RequestTraceRecord::compute},
+        {"l1", &RequestTraceRecord::l1},
+        {"metadata", &RequestTraceRecord::metadata},
+        {"icnIntra", &RequestTraceRecord::icnIntra},
+        {"icnInter", &RequestTraceRecord::icnInter},
+        {"dramCache", &RequestTraceRecord::dramCache},
+        {"extMem", &RequestTraceRecord::extMem},
+        {"mshrQueue", &RequestTraceRecord::mshrQueue},
+    };
+    std::string out;
+    for (std::size_t t = 0; t < sc.tenants.size(); ++t) {
+        Cycles total = 0;
+        Cycles perStage[9] = {};
+        for (const auto& e : tel.requestTrace().retained()) {
+            if (!e.slow || e.rec.tenant != t) {
+                continue;
+            }
+            total += e.rec.latency();
+            for (std::size_t s = 0; s < 9; ++s) {
+                perStage[s] += e.rec.*kStages[s].field;
+            }
+        }
+        std::size_t top = 0;
+        for (std::size_t s = 1; s < 9; ++s) {
+            if (perStage[s] > perStage[top]) {
+                top = s;
+            }
+        }
+        char buf[96];
+        std::snprintf(buf, sizeof buf, "%s%s=%s(%.0f%%)",
+                      t == 0 ? "" : " ", sc.tenants[t].name.c_str(),
+                      total == 0 ? "none" : kStages[top].name,
+                      total == 0 ? 0.0
+                                 : 100.0
+                              * static_cast<double>(perStage[top])
+                              / static_cast<double>(total));
+        out += buf;
+    }
+    return out;
+}
+
 } // namespace
 
 int
@@ -82,7 +140,13 @@ main(int argc, char** argv)
         const ServingConfig sc = servingConfig(regime, horizon);
         ServingWorkload w(sc, cfg.runtime.epochCycles);
         w.prepare(bench::benchWorkloadParams(args, cfg.numUnits()));
-        const RunResult r = bench::runPolicy(cfg, PolicyKind::NdpExt, w);
+        TelemetryConfig tc;
+        tc.traceRequests = true; // in-memory tail exemplars only
+        Telemetry tel(tc);
+        const RunResult r =
+            bench::runPolicy(cfg, PolicyKind::NdpExt, w, &tel);
+        std::printf("  %-17s tail blame: %s\n", regime.label,
+                    tailBlame(tel, sc).c_str());
 
         bench::recordStat(std::string(regime.label) + ".cycles",
                           static_cast<double>(r.cycles));

@@ -110,7 +110,17 @@ RunResult
 runPolicy(const SystemConfig& cfg, PolicyKind policy,
           const Workload& workload)
 {
+    return runPolicy(cfg, policy, workload, nullptr);
+}
+
+RunResult
+runPolicy(const SystemConfig& cfg, PolicyKind policy,
+          const Workload& workload, Telemetry* telemetry)
+{
     NdpSystem sys(cfg, policy);
+    if (telemetry != nullptr) {
+        sys.attachTelemetry(telemetry);
+    }
     return sys.run(workload);
 }
 

@@ -80,6 +80,14 @@ Workload& preparedWorkload(const std::string& name, const BenchArgs& args,
 RunResult runPolicy(const SystemConfig& cfg, PolicyKind policy,
                     const Workload& workload);
 
+/**
+ * Same run with a telemetry observer attached (may be null). Telemetry
+ * is observer-only, so the RunResult -- and every recorded baseline
+ * column -- is identical to the plain overload's.
+ */
+RunResult runPolicy(const SystemConfig& cfg, PolicyKind policy,
+                    const Workload& workload, Telemetry* telemetry);
+
 /** Run the non-NDP host baseline on a prepared workload. */
 RunResult runHost(const Workload& workload);
 

@@ -43,6 +43,10 @@ inline constexpr StreamId kNoStream = std::numeric_limits<StreamId>::max();
 /** Sentinel for "no unit". */
 inline constexpr UnitId kNoUnit = std::numeric_limits<UnitId>::max();
 
+/** Sentinel tenant id for accesses outside the serving frontend. */
+inline constexpr std::uint32_t kNoTenantId =
+    std::numeric_limits<std::uint32_t>::max();
+
 /** Cacheline size used by the SRAM cache hierarchy (Table II). */
 inline constexpr std::uint32_t kCachelineBytes = 64;
 
@@ -98,6 +102,13 @@ struct Access
      * so request latency can be measured. Always false outside serving.
      */
     bool endOfRequest = false;
+    /**
+     * Owning serving tenant (index into the ServingConfig tenant list),
+     * or kNoTenantId outside serving. Pure metadata: the memory system
+     * never reads it; the request-trace observer keys its per-request
+     * span accumulation on it.
+     */
+    std::uint32_t tenant = kNoTenantId;
 };
 
 } // namespace ndpext

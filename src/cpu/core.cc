@@ -18,6 +18,61 @@ InOrderCore::InOrderCore(CoreId id, const CoreParams& params)
 {
 }
 
+namespace {
+
+/**
+ * Split a wait window over a service breakdown into integer shares
+ * (largest-remainder rounding, exact sum, tie-break lowest bucket
+ * index -- a pure function of (wait, breakdown)). `out` accumulates
+ * [metadata, icnIntra, icnInter, dramCache, extMem, mshrQueue]; the
+ * whole window lands in mshrQueue when there is no recorded service.
+ */
+void
+splitWait(Cycles wait, const LatencyBreakdown& bd, Cycles out[6])
+{
+    const Cycles service = bd.total();
+    if (service == 0) {
+        out[5] += wait;
+        return;
+    }
+    const Cycles part[5] = {bd.metadata, bd.icnIntra, bd.icnInter,
+                            bd.dramCache, bd.extMem};
+    Cycles share[5];
+    Cycles rem[5];
+    Cycles assigned = 0;
+    for (int i = 0; i < 5; ++i) {
+        share[i] = wait * part[i] / service;
+        rem[i] = wait * part[i] % service;
+        assigned += share[i];
+    }
+    for (Cycles left = wait - assigned; left > 0; --left) {
+        int best = 0;
+        for (int i = 1; i < 5; ++i) {
+            if (rem[i] > rem[best]) {
+                best = i;
+            }
+        }
+        ++share[best];
+        rem[best] = 0;
+    }
+    for (int i = 0; i < 5; ++i) {
+        out[i] += share[i];
+    }
+}
+
+void
+addShares(RequestTraceRecord& req, const Cycles shares[6])
+{
+    req.metadata += shares[0];
+    req.icnIntra += shares[1];
+    req.icnInter += shares[2];
+    req.dramCache += shares[3];
+    req.extMem += shares[4];
+    req.mshrQueue += shares[5];
+}
+
+} // namespace
+
 void
 InOrderCore::attributeStall(Cycles wait, const MshrSlot& blocking)
 {
@@ -28,42 +83,18 @@ InOrderCore::attributeStall(Cycles wait, const MshrSlot& blocking)
         blocking.pkt != nullptr ? blocking.pkt->bd : kNoService;
     const StreamId sid =
         blocking.pkt != nullptr ? blocking.pkt->sid : kNoStream;
-    const Cycles service = bd.total();
-    if (service == 0) {
-        // No recorded service breakdown to blame (slot never carried a
-        // packet): pure queueing.
-        stall_.mshrQueue += wait;
-    } else {
-        // Split the window over the blocking packet's buckets with
-        // largest-remainder rounding: integer shares, exact sum, and a
-        // deterministic tie-break (lowest bucket index), so the split is
-        // a pure function of (wait, breakdown).
-        const Cycles part[5] = {bd.metadata, bd.icnIntra, bd.icnInter,
-                                bd.dramCache, bd.extMem};
-        Cycles* const out[5] = {&stall_.metadata, &stall_.icnIntra,
-                                &stall_.icnInter, &stall_.dramCache,
-                                &stall_.extMem};
-        Cycles share[5];
-        Cycles rem[5];
-        Cycles assigned = 0;
-        for (int i = 0; i < 5; ++i) {
-            share[i] = wait * part[i] / service;
-            rem[i] = wait * part[i] % service;
-            assigned += share[i];
-        }
-        for (Cycles left = wait - assigned; left > 0; --left) {
-            int best = 0;
-            for (int i = 1; i < 5; ++i) {
-                if (rem[i] > rem[best]) {
-                    best = i;
-                }
-            }
-            ++share[best];
-            rem[best] = 0;
-        }
-        for (int i = 0; i < 5; ++i) {
-            *out[i] += share[i];
-        }
+    Cycles shares[6] = {0, 0, 0, 0, 0, 0};
+    splitWait(wait, bd, shares);
+    stall_.metadata += shares[0];
+    stall_.icnIntra += shares[1];
+    stall_.icnInter += shares[2];
+    stall_.dramCache += shares[3];
+    stall_.extMem += shares[4];
+    stall_.mshrQueue += shares[5];
+    if (reqOpen_) {
+        // The same exact shares feed the in-flight request's record, so
+        // its stage sum stays cycle-exact.
+        addShares(req_, shares);
     }
 
     // Per-stream attribution: the wait is the blocking packet's fault.
@@ -99,21 +130,46 @@ InOrderCore::step(AccessGenerator& gen)
         return false;
     }
     ++accesses_;
+    const bool openReq =
+        reqSink_ != nullptr && acc.tenant != kNoTenantId && !reqOpen_;
     if (acc.notBefore > now_) {
         // Open-loop: the request this access belongs to has not arrived
         // yet; the core sits idle until it does.
         idleCycles_ += acc.notBefore - now_;
         now_ = acc.notBefore;
     }
+    if (openReq) {
+        // First access of a serving request: requests are strictly
+        // sequential per core, so !reqOpen_ identifies it, and only the
+        // first access carries the arrival cycle in notBefore.
+        reqOpen_ = true;
+        req_ = RequestTraceRecord{};
+        req_.tenant = acc.tenant;
+        req_.core = id_;
+        req_.arrival = acc.notBefore;
+        req_.start = now_;
+        req_.queueWait = now_ - acc.notBefore;
+    }
     now_ += acc.computeCycles;
     computeCycles_ += acc.computeCycles;
+    if (reqOpen_) {
+        req_.compute += acc.computeCycles;
+    }
 
     const std::uint64_t line = acc.addr / params_.lineBytes;
     if (l1d_.access(line, acc.isWrite)) {
         ++l1Hits_;
         now_ += params_.l1HitCycles;
+        if (reqOpen_) {
+            req_.l1 += params_.l1HitCycles;
+        }
         if (acc.endOfRequest) {
             gen.onRetire(acc, now_);
+            if (reqOpen_) {
+                req_.done = now_;
+                reqSink_->push(req_);
+                reqOpen_ = false;
+            }
         }
         return true;
     }
@@ -161,10 +217,28 @@ InOrderCore::step(AccessGenerator& gen)
     }
     slot->free = pkt->ready;
     now_ = issue + params_.l1HitCycles; // issue occupancy, then overlap
+    if (reqOpen_) {
+        req_.l1 += params_.l1HitCycles;
+    }
     if (acc.endOfRequest) {
         // The request completes when its final miss lands, not when the
         // core moves on -- misses overlap with further execution.
-        gen.onRetire(acc, std::max(now_, slot->free));
+        const Cycles done = std::max(now_, slot->free);
+        gen.onRetire(acc, done);
+        if (reqOpen_) {
+            if (done > now_) {
+                // Completion tail: the final miss is still in flight
+                // after the core moved on. Not a core stall, but it IS
+                // request latency -- split it over the final packet's
+                // own service breakdown.
+                Cycles shares[6] = {0, 0, 0, 0, 0, 0};
+                splitWait(done - now_, pkt->bd, shares);
+                addShares(req_, shares);
+            }
+            req_.done = done;
+            reqSink_->push(req_);
+            reqOpen_ = false;
+        }
     }
 
     const auto ev = l1d_.insert(line, acc.isWrite);

@@ -26,6 +26,7 @@
 #include "sim/packet_pool.h"
 #include "sim/port.h"
 #include "sim/stats.h"
+#include "telemetry/request_trace.h"
 
 namespace ndpext {
 
@@ -172,6 +173,17 @@ class InOrderCore : public MemObject
      */
     void setTelemetrySink(PacketSampleBuffer* sink) { telSink_ = sink; }
 
+    /**
+     * Attach an end-to-end request-trace sink (null detaches). The core
+     * then accumulates one RequestTraceRecord per serving request
+     * (accesses carrying a tenant id, delimited by endOfRequest): queue
+     * wait, compute, L1 pipeline, the exact largest-remainder stall
+     * shares, and the completion tail split over the final packet's
+     * service breakdown -- so the record's stage sum equals its latency
+     * cycle-exactly. Observer-only; must be shard-private to this core.
+     */
+    void setRequestTraceSink(RequestTraceBuffer* sink) { reqSink_ = sink; }
+
     /** Registers aggregate series under "cores.*" (sums across cores). */
     void registerMetrics(MetricRegistry& registry) override;
 
@@ -217,6 +229,19 @@ class InOrderCore : public MemObject
                 w.u64(slot.pkt->bd.requests);
             }
         }
+        w.b(reqOpen_);
+        w.u32(req_.tenant);
+        w.u64(req_.arrival);
+        w.u64(req_.start);
+        w.u64(req_.queueWait);
+        w.u64(req_.compute);
+        w.u64(req_.l1);
+        w.u64(req_.metadata);
+        w.u64(req_.icnIntra);
+        w.u64(req_.icnInter);
+        w.u64(req_.dramCache);
+        w.u64(req_.extMem);
+        w.u64(req_.mshrQueue);
     }
 
     void
@@ -255,6 +280,21 @@ class InOrderCore : public MemObject
                 slot.pkt->bd.requests = r.u64();
             }
         }
+        reqOpen_ = r.b();
+        req_ = RequestTraceRecord{};
+        req_.core = id_;
+        req_.tenant = r.u32();
+        req_.arrival = r.u64();
+        req_.start = r.u64();
+        req_.queueWait = r.u64();
+        req_.compute = r.u64();
+        req_.l1 = r.u64();
+        req_.metadata = r.u64();
+        req_.icnIntra = r.u64();
+        req_.icnInter = r.u64();
+        req_.dramCache = r.u64();
+        req_.extMem = r.u64();
+        req_.mshrQueue = r.u64();
     }
 
   protected:
@@ -308,6 +348,12 @@ class InOrderCore : public MemObject
     Cycles noStreamStall_ = 0;
     /** Telemetry sink (null = sampling off; the default). */
     PacketSampleBuffer* telSink_ = nullptr;
+    /** Request-trace sink (null = request tracing off; the default). */
+    RequestTraceBuffer* reqSink_ = nullptr;
+    /** True while a traced serving request is in flight on this core. */
+    bool reqOpen_ = false;
+    /** The in-flight request's stage accumulator (valid iff reqOpen_). */
+    RequestTraceRecord req_;
 };
 
 } // namespace ndpext

@@ -233,6 +233,7 @@ ServingGenerator::next(Access& out, Cycles now)
     NDP_ASSERT(ok, "serving sub-generator exhausted");
     ++t.subPulled;
     out.notBefore = curFirst_ ? curArrival_ : 0;
+    out.tenant = curTenant_;
     curFirst_ = false;
     --curLeft_;
     out.endOfRequest = curLeft_ == 0;

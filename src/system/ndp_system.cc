@@ -8,12 +8,14 @@
 #include <vector>
 
 #include "baselines/nuca_policies.h"
+#include "common/atomic_file.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "runtime/static_config.h"
 #include "serving/serving_workload.h"
 #include "sim/checkpoint.h"
 #include "sim/sharded_executor.h"
+#include "telemetry/json_out.h"
 #include "telemetry/telemetry.h"
 
 namespace ndpext {
@@ -195,8 +197,23 @@ NdpSystem::configHash(const Workload& workload) const
         w.u64(tc.ringCapacity);
         w.d(tc.latencyHistMax);
         w.u64(tc.latencyHistBuckets);
+        w.b(tc.traceRequests);
+        w.u64(tc.traceSlowK);
+        w.u64(tc.traceUniformK);
+        w.u64(tc.traceSeed);
     }
     return ckpt::fnv1a(w.bytes());
+}
+
+void
+NdpSystem::addHeartbeatPath(const std::string& path)
+{
+    if (path.empty()
+        || std::find(heartbeatPaths_.begin(), heartbeatPaths_.end(), path)
+            != heartbeatPaths_.end()) {
+        return;
+    }
+    heartbeatPaths_.push_back(path);
 }
 
 bool
@@ -495,6 +512,19 @@ NdpSystem::run(const Workload& workload)
         for (CoreId c = 0; c < n; ++c) {
             cores[c].setTelemetrySink(telemetry_->packetBuffer(c));
         }
+        // End-to-end request tracing: serving runs only (non-serving
+        // runs have no request boundaries; their per-packet visibility
+        // comes from the existing packet sampler).
+        if (servingWl != nullptr) {
+            std::vector<RequestTraceCollector::TenantMeta> metas;
+            for (const TenantSpec& spec : servingWl->serving().tenants) {
+                metas.push_back({spec.name, spec.reserved, spec.sloCycles});
+            }
+            telemetry_->initRequestTracing(n, std::move(metas));
+            for (CoreId c = 0; c < n; ++c) {
+                cores[c].setRequestTraceSink(telemetry_->requestBuffer(c));
+            }
+        }
         for (std::uint32_t s = 0; s < numShards; ++s) {
             std::string tname = "shard";
             tname += std::to_string(s);
@@ -502,6 +532,84 @@ NdpSystem::run(const Workload& workload)
                                            tname);
         }
     }
+
+    // --- heartbeat: small advisory status file(s), atomically rewritten
+    // at every epoch barrier so `ndpext_report watch` and the supervisor
+    // can follow progress/ETA without touching the run. Write-only from
+    // the run's perspective, so the wall-clock stamps cannot perturb
+    // determinism.
+    const auto wallUnixMs = [] {
+        return static_cast<std::int64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::system_clock::now().time_since_epoch())
+                .count());
+    };
+    const std::int64_t hbStartMs = wallUnixMs();
+    const Cycles hbStartCycles = resumeEpoch_ * cfg_.runtime.epochCycles;
+    const auto writeHeartbeat = [&](std::uint64_t epoch, Cycles cycles,
+                                    bool done) {
+        if (heartbeatPaths_.empty()) {
+            return;
+        }
+        std::uint64_t acc = 0;
+        for (const auto& core : cores) {
+            acc += core.accesses();
+        }
+        std::uint64_t totalHint = 0;
+        if (servingWl == nullptr) {
+            totalHint =
+                static_cast<std::uint64_t>(workload.params().numCores)
+                * workload.params().accessesPerCore;
+        }
+        const Cycles horizon =
+            servingWl != nullptr ? servingWl->horizon() : 0;
+        for (const std::string& path : heartbeatPaths_) {
+            std::string why;
+            const bool ok = writeFileAtomic(
+                path,
+                [&](std::ostream& os) {
+                    os << "{\"done\":" << (done ? "true" : "false")
+                       << ",\"epoch\":" << epoch
+                       << ",\"cycles\":" << cycles << ",\"epochCycles\":"
+                       << cfg_.runtime.epochCycles
+                       << ",\"horizonCycles\":" << horizon
+                       << ",\"accesses\":" << acc
+                       << ",\"totalAccessesHint\":" << totalHint
+                       << ",\"startCycles\":" << hbStartCycles
+                       << ",\"startUnixMs\":" << hbStartMs
+                       << ",\"wallUnixMs\":" << wallUnixMs()
+                       << ",\"tenants\":[";
+                    if (servingWl != nullptr) {
+                        const std::vector<TenantSpec>& tenants =
+                            servingWl->serving().tenants;
+                        for (std::size_t t = 0; t < tenants.size(); ++t) {
+                            std::uint64_t retired = 0;
+                            std::uint64_t violations = 0;
+                            for (const ServingGenerator* g : servingGens) {
+                                retired += g->tenantStats(t).retired;
+                                violations +=
+                                    g->tenantStats(t).sloViolations;
+                            }
+                            if (t > 0) {
+                                os << ",";
+                            }
+                            os << "{\"name\":"
+                               << jsonout::str(tenants[t].name)
+                               << ",\"reserved\":"
+                               << (tenants[t].reserved ? 1 : 0)
+                               << ",\"sloCycles\":" << tenants[t].sloCycles
+                               << ",\"retired\":" << retired
+                               << ",\"violations\":" << violations << "}";
+                        }
+                    }
+                    os << "]}\n";
+                },
+                &why);
+            if (!ok) {
+                warn("cannot write heartbeat file '" + path + "': " + why);
+            }
+        }
+    };
 
     // --- barrier loop state (checkpointed alongside component state) ---
     Cycles next_epoch = cfg_.runtime.epochCycles;
@@ -678,6 +786,10 @@ NdpSystem::run(const Workload& workload)
     ShardedExecutor exec(threads);
 
     const auto engine_start = std::chrono::steady_clock::now();
+    // First heartbeat before any epoch completes, so staleness monitors
+    // have a baseline mtime from the moment the engine starts.
+    writeHeartbeat(completed_epochs,
+                   completed_epochs * cfg_.runtime.epochCycles, false);
     for (;;) {
         const Cycles sync = std::min(next_epoch, next_failure);
         exec.forEachShard(numShards, [&](std::uint32_t s) {
@@ -707,6 +819,7 @@ NdpSystem::run(const Workload& workload)
         // barrier-wait (simulated-time imbalance, thread-count blind).
         if (telemetry_ != nullptr) {
             telemetry_->drainPacketSamples();
+            telemetry_->drainRequestTraces();
             TraceWriter& tw = telemetry_->trace();
             for (std::uint32_t s = 0; s < numShards; ++s) {
                 const Cycles busy = std::max(
@@ -740,6 +853,7 @@ NdpSystem::run(const Workload& workload)
                     refreshTenantLatency();
                 }
                 telemetry_->sampleEpoch(epoch_idx, next_epoch);
+                telemetry_->finalizeRequestEpoch(epoch_idx);
                 std::string args = "{\"epoch\":";
                 args += std::to_string(epoch_idx);
                 args += '}';
@@ -753,6 +867,15 @@ NdpSystem::run(const Workload& workload)
             next_epoch += cfg_.runtime.epochCycles;
             ++completed_epochs;
             if (ckptEvery_ != 0 && completed_epochs % ckptEvery_ == 0) {
+                if (telemetry_ != nullptr) {
+                    // Bound image growth: move rendered telemetry to the
+                    // on-disk .part side files so the snapshot only
+                    // carries un-flushed state (DESIGN.md §6).
+                    std::string ferr;
+                    if (!telemetry_->flushToDisk(&ferr)) {
+                        warn(ferr);
+                    }
+                }
                 const ckpt::Writer w = snapshot();
                 const std::string path = ckptPrefix_ + "."
                     + std::to_string(completed_epochs) + ".ckpt";
@@ -766,6 +889,8 @@ NdpSystem::run(const Workload& workload)
                     warn(err);
                 }
             }
+            writeHeartbeat(completed_epochs,
+                           next_epoch - cfg_.runtime.epochCycles, false);
         }
     }
     const auto engine_end = std::chrono::steady_clock::now();
@@ -779,6 +904,7 @@ NdpSystem::run(const Workload& workload)
             refreshTenantLatency();
         }
         telemetry_->sampleEpoch(epoch_idx, finish);
+        telemetry_->finalizeRequestEpoch(epoch_idx);
         if (finish > epoch_start) {
             std::string args = "{\"epoch\":";
             args += std::to_string(epoch_idx);
@@ -788,6 +914,7 @@ NdpSystem::run(const Workload& workload)
                 finish - epoch_start, args);
         }
     }
+    writeHeartbeat(completed_epochs, finish, true);
 
     // --- collect results (sums over shard-private models) ---
     RunResult res;

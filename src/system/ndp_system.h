@@ -173,6 +173,18 @@ class NdpSystem
     std::uint64_t resumeEpoch() const { return resumeEpoch_; }
 
     /**
+     * Register a heartbeat status file (may be called more than once;
+     * duplicates are dropped). At every epoch barrier -- and once more
+     * at completion with "done":true -- the run atomically rewrites each
+     * registered path with a small JSON object: epoch/cycle progress,
+     * retired-access counts, per-tenant SLO tallies and wall-clock
+     * stamps. Advisory and write-only: the run never reads it back, so
+     * it carries wall-clock times without breaking determinism;
+     * `ndpext_report watch` and `ndpext_supervise` are the readers.
+     */
+    void addHeartbeatPath(const std::string& path);
+
+    /**
      * Identity hash binding a checkpoint to the run that produced it:
      * the finalized SystemConfig (every field that shapes the simulated
      * trajectory -- host-only knobs numThreads and output paths are
@@ -199,6 +211,8 @@ class NdpSystem
     bool resume_ = false;
     std::uint64_t resumeEpoch_ = 0;
     std::vector<std::uint8_t> resumePayload_;
+    /** Heartbeat status files rewritten at every epoch barrier. */
+    std::vector<std::string> heartbeatPaths_;
 };
 
 } // namespace ndpext

@@ -26,58 +26,72 @@ void
 DecisionLog::writeJsonl(std::ostream& os) const
 {
     for (const DecisionRecord& r : records_) {
-        os << "{\"kind\":" << jsonout::str(r.kind)
-           << ",\"epoch\":" << r.epoch << ",\"cycles\":" << r.cycles
-           << ",\"applied\":" << (r.applied ? "true" : "false")
-           << ",\"iterations\":" << r.iterations
-           << ",\"extends\":" << r.extends << ",\"merges\":" << r.merges;
-
-        os << ",\"demands\":[";
-        for (std::size_t i = 0; i < r.demands.size(); ++i) {
-            const auto& d = r.demands[i];
-            if (i > 0) {
-                os << ",";
-            }
-            os << "{\"sid\":" << d.sid
-               << ",\"footprintBytes\":" << d.footprintBytes
-               << ",\"granuleBytes\":" << d.granuleBytes
-               << ",\"readOnly\":" << (d.readOnly ? "true" : "false")
-               << ",\"affine\":" << (d.affine ? "true" : "false")
-               << ",\"accUnits\":";
-            writeNumArray(os, d.accUnits);
-            os << ",\"accCounts\":";
-            writeNumArray(os, d.accCounts);
-            os << ",\"curve\":{\"capacities\":";
-            writeNumArray(os, d.curveCapacities);
-            os << ",\"misses\":";
-            writeNumArray(os, d.curveMisses);
-            os << "}}";
-        }
-        os << "]";
-
-        os << ",\"samplerAssignment\":[";
-        for (std::size_t u = 0; u < r.samplerAssignment.size(); ++u) {
-            if (u > 0) {
-                os << ",";
-            }
-            writeNumArray(os, r.samplerAssignment[u]);
-        }
-        os << "],\"uncovered\":";
-        writeNumArray(os, r.uncoveredStreams);
-
-        os << ",\"allocs\":[";
-        for (std::size_t i = 0; i < r.allocs.size(); ++i) {
-            const auto& a = r.allocs[i];
-            if (i > 0) {
-                os << ",";
-            }
-            os << "{\"sid\":" << a.sid << ",\"numGroups\":" << a.numGroups
-               << ",\"shareRows\":";
-            writeNumArray(os, a.shareRows);
-            os << "}";
-        }
-        os << "]}\n";
+        writeRecordLine(os, r);
     }
+}
+
+void
+DecisionLog::flushJsonl(std::ostream& os)
+{
+    writeJsonl(os);
+    flushedRecords_ += records_.size();
+    records_.clear();
+}
+
+void
+DecisionLog::writeRecordLine(std::ostream& os, const DecisionRecord& r) const
+{
+    os << "{\"kind\":" << jsonout::str(r.kind)
+       << ",\"epoch\":" << r.epoch << ",\"cycles\":" << r.cycles
+       << ",\"applied\":" << (r.applied ? "true" : "false")
+       << ",\"iterations\":" << r.iterations
+       << ",\"extends\":" << r.extends << ",\"merges\":" << r.merges;
+
+    os << ",\"demands\":[";
+    for (std::size_t i = 0; i < r.demands.size(); ++i) {
+        const auto& d = r.demands[i];
+        if (i > 0) {
+            os << ",";
+        }
+        os << "{\"sid\":" << d.sid
+           << ",\"footprintBytes\":" << d.footprintBytes
+           << ",\"granuleBytes\":" << d.granuleBytes
+           << ",\"readOnly\":" << (d.readOnly ? "true" : "false")
+           << ",\"affine\":" << (d.affine ? "true" : "false")
+           << ",\"accUnits\":";
+        writeNumArray(os, d.accUnits);
+        os << ",\"accCounts\":";
+        writeNumArray(os, d.accCounts);
+        os << ",\"curve\":{\"capacities\":";
+        writeNumArray(os, d.curveCapacities);
+        os << ",\"misses\":";
+        writeNumArray(os, d.curveMisses);
+        os << "}}";
+    }
+    os << "]";
+
+    os << ",\"samplerAssignment\":[";
+    for (std::size_t u = 0; u < r.samplerAssignment.size(); ++u) {
+        if (u > 0) {
+            os << ",";
+        }
+        writeNumArray(os, r.samplerAssignment[u]);
+    }
+    os << "],\"uncovered\":";
+    writeNumArray(os, r.uncoveredStreams);
+
+    os << ",\"allocs\":[";
+    for (std::size_t i = 0; i < r.allocs.size(); ++i) {
+        const auto& a = r.allocs[i];
+        if (i > 0) {
+            os << ",";
+        }
+        os << "{\"sid\":" << a.sid << ",\"numGroups\":" << a.numGroups
+           << ",\"shareRows\":";
+        writeNumArray(os, a.shareRows);
+        os << "}";
+    }
+    os << "]}\n";
 }
 
 namespace {
@@ -139,6 +153,7 @@ DecisionLog::serialize(ckpt::Writer& w) const
         }
         w.b(rec.applied);
     }
+    w.u64(flushedRecords_);
 }
 
 void
@@ -181,6 +196,7 @@ DecisionLog::deserialize(ckpt::Reader& r)
         rec.applied = r.b();
         records_.push_back(std::move(rec));
     }
+    flushedRecords_ = r.u64();
 }
 
 } // namespace ndpext

@@ -88,12 +88,25 @@ class DecisionLog
     /** One JSON object per record, schema in DESIGN.md §6. */
     void writeJsonl(std::ostream& os) const;
 
+    /**
+     * writeJsonl + clear: records move to `os` (a .part side file),
+     * only the flushed-count cursor stays, so checkpoint images do not
+     * grow with the number of logged decisions.
+     */
+    void flushJsonl(std::ostream& os);
+
+    /** Records already moved out via flushJsonl(). */
+    std::uint64_t flushedRecords() const { return flushedRecords_; }
+
     /** Checkpoint hooks: the record list is replaced wholesale. */
     void serialize(ckpt::Writer& w) const;
     void deserialize(ckpt::Reader& r);
 
   private:
+    void writeRecordLine(std::ostream& os, const DecisionRecord& r) const;
+
     std::vector<DecisionRecord> records_;
+    std::uint64_t flushedRecords_ = 0;
 };
 
 } // namespace ndpext

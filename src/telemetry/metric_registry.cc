@@ -97,38 +97,52 @@ MetricRegistry::latest(const std::string& name) const
 }
 
 void
+MetricRegistry::writeSampleLine(std::ostream& os, const EpochSample& s) const
+{
+    os << "{\"epoch\":" << s.epoch << ",\"cycles\":" << s.cycles
+       << ",\"metrics\":{";
+    bool first = true;
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+        if (!first) {
+            os << ",";
+        }
+        first = false;
+        os << jsonout::str(metrics_[i].name) << ":"
+           << jsonout::num(s.values[i]);
+    }
+    os << "}";
+    if (!s.hists.empty()) {
+        os << ",\"histograms\":{";
+        for (std::size_t i = 0; i < hists_.size(); ++i) {
+            if (i > 0) {
+                os << ",";
+            }
+            const auto& h = s.hists[i];
+            os << jsonout::str(hists_[i].name) << ":{\"count\":" << h.count
+               << ",\"mean\":" << jsonout::num(h.mean)
+               << ",\"p50\":" << jsonout::num(h.p50)
+               << ",\"p99\":" << jsonout::num(h.p99)
+               << ",\"max\":" << jsonout::num(h.max) << "}";
+        }
+        os << "}";
+    }
+    os << "}\n";
+}
+
+void
 MetricRegistry::writeJsonl(std::ostream& os) const
 {
     for (const EpochSample& s : ring_) {
-        os << "{\"epoch\":" << s.epoch << ",\"cycles\":" << s.cycles
-           << ",\"metrics\":{";
-        bool first = true;
-        for (std::size_t i = 0; i < metrics_.size(); ++i) {
-            if (!first) {
-                os << ",";
-            }
-            first = false;
-            os << jsonout::str(metrics_[i].name) << ":"
-               << jsonout::num(s.values[i]);
-        }
-        os << "}";
-        if (!s.hists.empty()) {
-            os << ",\"histograms\":{";
-            for (std::size_t i = 0; i < hists_.size(); ++i) {
-                if (i > 0) {
-                    os << ",";
-                }
-                const auto& h = s.hists[i];
-                os << jsonout::str(hists_[i].name) << ":{\"count\":"
-                   << h.count << ",\"mean\":" << jsonout::num(h.mean)
-                   << ",\"p50\":" << jsonout::num(h.p50)
-                   << ",\"p99\":" << jsonout::num(h.p99)
-                   << ",\"max\":" << jsonout::num(h.max) << "}";
-            }
-            os << "}";
-        }
-        os << "}\n";
+        writeSampleLine(os, s);
     }
+}
+
+void
+MetricRegistry::flushJsonl(std::ostream& os)
+{
+    writeJsonl(os);
+    flushedSamples_ += ring_.size();
+    ring_.clear();
 }
 
 void
@@ -149,6 +163,7 @@ MetricRegistry::serialize(ckpt::Writer& w) const
         }
     }
     w.u64(dropped_);
+    w.u64(flushedSamples_);
 }
 
 void
@@ -172,6 +187,7 @@ MetricRegistry::deserialize(ckpt::Reader& r)
         ring_.push_back(std::move(s));
     }
     dropped_ = r.u64();
+    flushedSamples_ = r.u64();
 }
 
 } // namespace ndpext

@@ -103,9 +103,19 @@ class MetricRegistry
     void writeJsonl(std::ostream& os) const;
 
     /**
-     * Checkpoint hooks: the sampled ring and drop counter travel;
-     * metric/histogram registrations are re-made by the components of
-     * the restoring process before deserialize() runs.
+     * writeJsonl + clear: the samples move to `os` (a .part side file)
+     * and only the flushed-count cursor stays in memory, keeping
+     * checkpoint images flat across epochs.
+     */
+    void flushJsonl(std::ostream& os);
+
+    /** Samples already moved out via flushJsonl(). */
+    std::uint64_t flushedSamples() const { return flushedSamples_; }
+
+    /**
+     * Checkpoint hooks: the sampled ring, drop counter and flush cursor
+     * travel; metric/histogram registrations are re-made by the
+     * components of the restoring process before deserialize() runs.
      */
     void serialize(ckpt::Writer& w) const;
     void deserialize(ckpt::Reader& r);
@@ -126,6 +136,7 @@ class MetricRegistry
 
     void registerMetric(const std::string& name, MetricKind kind,
                         std::function<double()> read);
+    void writeSampleLine(std::ostream& os, const EpochSample& s) const;
 
     std::vector<Metric> metrics_;
     std::map<std::string, std::size_t> index_;
@@ -133,6 +144,7 @@ class MetricRegistry
     std::deque<EpochSample> ring_;
     std::size_t capacity_;
     std::uint64_t dropped_ = 0;
+    std::uint64_t flushedSamples_ = 0;
 };
 
 } // namespace ndpext

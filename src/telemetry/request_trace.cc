@@ -1,0 +1,366 @@
+#include "telemetry/request_trace.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "telemetry/json_out.h"
+
+namespace ndpext {
+
+namespace {
+
+/**
+ * Slow-reservoir order: latency desc, ties broken (arrival, core) asc so
+ * the retained set is independent of drain interleaving details.
+ */
+bool
+slowerThan(const RequestTraceRecord& a, const RequestTraceRecord& b)
+{
+    if (a.latency() != b.latency()) {
+        return a.latency() > b.latency();
+    }
+    if (a.arrival != b.arrival) {
+        return a.arrival < b.arrival;
+    }
+    return a.core < b.core;
+}
+
+bool
+sameRequest(const RequestTraceRecord& a, const RequestTraceRecord& b)
+{
+    return a.core == b.core && a.arrival == b.arrival && a.done == b.done;
+}
+
+void
+writeRec(ckpt::Writer& w, const RequestTraceRecord& r)
+{
+    w.u32(r.tenant);
+    w.u32(r.core);
+    w.u64(r.arrival);
+    w.u64(r.start);
+    w.u64(r.done);
+    w.u64(r.queueWait);
+    w.u64(r.compute);
+    w.u64(r.l1);
+    w.u64(r.metadata);
+    w.u64(r.icnIntra);
+    w.u64(r.icnInter);
+    w.u64(r.dramCache);
+    w.u64(r.extMem);
+    w.u64(r.mshrQueue);
+}
+
+RequestTraceRecord
+readRec(ckpt::Reader& r)
+{
+    RequestTraceRecord rec;
+    rec.tenant = r.u32();
+    rec.core = r.u32();
+    rec.arrival = r.u64();
+    rec.start = r.u64();
+    rec.done = r.u64();
+    rec.queueWait = r.u64();
+    rec.compute = r.u64();
+    rec.l1 = r.u64();
+    rec.metadata = r.u64();
+    rec.icnIntra = r.u64();
+    rec.icnInter = r.u64();
+    rec.dramCache = r.u64();
+    rec.extMem = r.u64();
+    rec.mshrQueue = r.u64();
+    return rec;
+}
+
+/** Stage spans in causal order; rendered sequentially from arrival. */
+struct StageSlice
+{
+    const char* name;
+    Cycles RequestTraceRecord::* field;
+};
+
+constexpr StageSlice kStages[] = {
+    {"queueWait", &RequestTraceRecord::queueWait},
+    {"compute", &RequestTraceRecord::compute},
+    {"l1", &RequestTraceRecord::l1},
+    {"metadata", &RequestTraceRecord::metadata},
+    {"icnIntra", &RequestTraceRecord::icnIntra},
+    {"icnInter", &RequestTraceRecord::icnInter},
+    {"dramCache", &RequestTraceRecord::dramCache},
+    {"extMem", &RequestTraceRecord::extMem},
+    {"mshrQueue", &RequestTraceRecord::mshrQueue},
+};
+
+} // namespace
+
+void
+RequestTraceCollector::init(std::uint32_t num_cores,
+                            std::vector<TenantMeta> tenants,
+                            TraceWriter* trace)
+{
+    NDP_ASSERT(buffers_.empty());
+    NDP_ASSERT(!tenants.empty());
+    tenants_ = std::move(tenants);
+    trace_ = trace;
+    buffers_.reserve(num_cores);
+    for (std::uint32_t c = 0; c < num_cores; ++c) {
+        buffers_.push_back(std::make_unique<RequestTraceBuffer>());
+    }
+    cur_.resize(tenants_.size());
+    if (trace_ != nullptr) {
+        trace_->processName(TraceWriter::kPidRequests, "requests");
+        for (std::size_t t = 0; t < tenants_.size(); ++t) {
+            trace_->threadName(TraceWriter::kPidRequests,
+                               static_cast<std::uint32_t>(t),
+                               tenants_[t].name);
+        }
+    }
+}
+
+RequestTraceBuffer*
+RequestTraceCollector::buffer(CoreId c)
+{
+    if (buffers_.empty()) {
+        return nullptr;
+    }
+    NDP_ASSERT(c < buffers_.size());
+    return buffers_[c].get();
+}
+
+void
+RequestTraceCollector::drain()
+{
+    for (auto& buf : buffers_) {
+        for (const RequestTraceRecord& r : buf->records) {
+            offer(r);
+        }
+        buf->records.clear();
+    }
+}
+
+void
+RequestTraceCollector::offer(const RequestTraceRecord& r)
+{
+    NDP_ASSERT(r.tenant < cur_.size());
+    Reservoir& res = cur_[r.tenant];
+    res.count += 1;
+
+    if (p_.slowK > 0) {
+        if (res.slow.size() < p_.slowK
+            || slowerThan(r, res.slow.back())) {
+            auto it = std::upper_bound(res.slow.begin(), res.slow.end(), r,
+                                       slowerThan);
+            res.slow.insert(it, r);
+            if (res.slow.size() > p_.slowK) {
+                res.slow.pop_back();
+            }
+        }
+    }
+
+    if (p_.uniformK > 0) {
+        if (res.uniform.size() < p_.uniformK) {
+            res.uniform.push_back(r);
+        } else {
+            // Algorithm R with a counter-hashed draw: no RNG state to
+            // checkpoint, and the decision for the n-th request of a
+            // tenant is a pure function of (seed, tenant, n).
+            const std::uint64_t draw = mix64(
+                p_.seed ^ mix64(static_cast<std::uint64_t>(r.tenant) + 1));
+            const std::uint64_t j = mix64(draw ^ res.count) % res.count;
+            if (j < p_.uniformK) {
+                res.uniform[j] = r;
+            }
+        }
+    }
+}
+
+void
+RequestTraceCollector::finalizeEpoch(std::uint64_t epoch)
+{
+    for (std::size_t t = 0; t < cur_.size(); ++t) {
+        Reservoir& res = cur_[t];
+        std::vector<Exemplar> picked;
+        picked.reserve(res.slow.size() + res.uniform.size());
+        for (const RequestTraceRecord& r : res.slow) {
+            picked.push_back({r, epoch, true, 0});
+        }
+        // Uniform sample, minus requests already retained as slow;
+        // (arrival, core) order keeps the output readable and stable.
+        std::vector<RequestTraceRecord> uni = res.uniform;
+        std::sort(uni.begin(), uni.end(),
+                  [](const RequestTraceRecord& a,
+                     const RequestTraceRecord& b) {
+                      if (a.arrival != b.arrival) {
+                          return a.arrival < b.arrival;
+                      }
+                      return a.core < b.core;
+                  });
+        for (const RequestTraceRecord& r : uni) {
+            const bool dup = std::any_of(
+                res.slow.begin(), res.slow.end(),
+                [&](const RequestTraceRecord& s) {
+                    return sameRequest(s, r);
+                });
+            if (!dup) {
+                picked.push_back({r, epoch, false, 0});
+            }
+        }
+        for (Exemplar& e : picked) {
+            e.flowId = nextFlowId_++;
+            emitExemplarTrace(e);
+            retained_.push_back(e);
+        }
+        res.slow.clear();
+        res.uniform.clear();
+        res.count = 0;
+    }
+}
+
+void
+RequestTraceCollector::emitExemplarTrace(const Exemplar& e)
+{
+    if (trace_ == nullptr) {
+        return;
+    }
+    const RequestTraceRecord& r = e.rec;
+    const std::uint32_t tid = r.tenant;
+    const std::string args = "{\"kind\":"
+        + jsonout::str(e.slow ? "slow" : "uniform")
+        + ",\"epoch\":" + std::to_string(e.epoch)
+        + ",\"core\":" + std::to_string(r.core)
+        + ",\"latency\":" + std::to_string(r.latency()) + "}";
+    trace_->completeSpan("request", "request", TraceWriter::kPidRequests,
+                         tid, r.arrival, r.latency(), args);
+    // Child stage slices laid out sequentially in causal order. This is
+    // an *attribution* tree -- the stall shares did not actually occur
+    // back-to-back -- but the widths are the exact cycle attribution
+    // and they tile [arrival, done) with no gap (stage-sum identity).
+    Cycles cursor = r.arrival;
+    for (const StageSlice& s : kStages) {
+        const Cycles dur = r.*(s.field);
+        if (dur == 0) {
+            continue;
+        }
+        trace_->completeSpan("request", s.name, TraceWriter::kPidRequests,
+                             tid, cursor, dur);
+        cursor += dur;
+    }
+    trace_->flowStart("request", "req", TraceWriter::kPidRequests, tid,
+                      r.arrival, e.flowId);
+    trace_->flowStep("request", "req", TraceWriter::kPidRequests, tid,
+                     r.start, e.flowId);
+    trace_->flowEnd("request", "req", TraceWriter::kPidRequests, tid,
+                    r.done, e.flowId);
+}
+
+void
+RequestTraceCollector::writeExemplarLine(std::ostream& os,
+                                         const Exemplar& e) const
+{
+    const RequestTraceRecord& r = e.rec;
+    NDP_ASSERT(r.tenant < tenants_.size());
+    const TenantMeta& tm = tenants_[r.tenant];
+    const bool violation = tm.sloCycles > 0 && r.latency() > tm.sloCycles;
+    os << "{\"epoch\":" << e.epoch << ",\"tenant\":" << jsonout::str(tm.name)
+       << ",\"qos\":" << jsonout::str(tm.reserved ? "reserved" : "best-effort")
+       << ",\"kind\":" << jsonout::str(e.slow ? "slow" : "uniform")
+       << ",\"core\":" << r.core << ",\"flow\":" << e.flowId
+       << ",\"arrival\":" << r.arrival << ",\"start\":" << r.start
+       << ",\"done\":" << r.done << ",\"latency\":" << r.latency()
+       << ",\"sloCycles\":" << tm.sloCycles
+       << ",\"violation\":" << (violation ? 1 : 0) << ",\"stages\":{";
+    bool first = true;
+    for (const StageSlice& s : kStages) {
+        if (!first) {
+            os << ",";
+        }
+        first = false;
+        os << "\"" << s.name << "\":" << r.*(s.field);
+    }
+    os << "}}\n";
+}
+
+void
+RequestTraceCollector::writeJsonl(std::ostream& os) const
+{
+    for (const Exemplar& e : retained_) {
+        writeExemplarLine(os, e);
+    }
+}
+
+void
+RequestTraceCollector::flushJsonl(std::ostream& os)
+{
+    writeJsonl(os);
+    flushed_ += retained_.size();
+    retained_.clear();
+}
+
+void
+RequestTraceCollector::serialize(ckpt::Writer& w) const
+{
+    w.section(0x7ACE);
+    // Buffers are drained at every barrier before a snapshot is taken.
+    for (const auto& buf : buffers_) {
+        NDP_ASSERT(buf->records.empty());
+    }
+    w.u64(cur_.size());
+    for (const Reservoir& res : cur_) {
+        w.u64(res.slow.size());
+        for (const RequestTraceRecord& r : res.slow) {
+            writeRec(w, r);
+        }
+        w.u64(res.uniform.size());
+        for (const RequestTraceRecord& r : res.uniform) {
+            writeRec(w, r);
+        }
+        w.u64(res.count);
+    }
+    w.u64(retained_.size());
+    for (const Exemplar& e : retained_) {
+        writeRec(w, e.rec);
+        w.u64(e.epoch);
+        w.b(e.slow);
+        w.u64(e.flowId);
+    }
+    w.u64(flushed_);
+    w.u64(nextFlowId_);
+}
+
+void
+RequestTraceCollector::deserialize(ckpt::Reader& r)
+{
+    r.section(0x7ACE);
+    const std::uint64_t ntenants = r.u64();
+    NDP_ASSERT(ntenants == cur_.size());
+    for (Reservoir& res : cur_) {
+        res.slow.clear();
+        res.uniform.clear();
+        const std::uint64_t nslow = r.u64();
+        res.slow.reserve(nslow);
+        for (std::uint64_t i = 0; i < nslow; ++i) {
+            res.slow.push_back(readRec(r));
+        }
+        const std::uint64_t nuni = r.u64();
+        res.uniform.reserve(nuni);
+        for (std::uint64_t i = 0; i < nuni; ++i) {
+            res.uniform.push_back(readRec(r));
+        }
+        res.count = r.u64();
+    }
+    retained_.clear();
+    const std::uint64_t nret = r.u64();
+    retained_.reserve(nret);
+    for (std::uint64_t i = 0; i < nret; ++i) {
+        Exemplar e;
+        e.rec = readRec(r);
+        e.epoch = r.u64();
+        e.slow = r.b();
+        e.flowId = r.u64();
+        retained_.push_back(e);
+    }
+    flushed_ = r.u64();
+    nextFlowId_ = r.u64();
+}
+
+} // namespace ndpext

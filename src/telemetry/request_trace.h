@@ -1,0 +1,211 @@
+/**
+ * @file
+ * End-to-end serving-request tracing with tail-based exemplar sampling.
+ *
+ * Every serving request carries an implicit trace context on its core:
+ * the core accumulates causal stage cycles from arrival to completion --
+ * queue wait (arrival to first issue), compute, L1 pipeline, and the
+ * stall attribution over the blocking packets' service breakdowns
+ * (stream-cache metadata lookup, NoC intra/inter hops, DRAM-cache
+ * service, CXL-link + ext-memory backend service, MSHR queueing). The
+ * accounting reuses the core's exact largest-remainder stall split, so
+ * the integer stage cycles of a completed RequestTraceRecord sum
+ * EXACTLY to its latency (done - arrival); tests/test_request_trace.cc
+ * pins the identity.
+ *
+ * Completed records land in shard-private per-core RequestTraceBuffers
+ * (the core is stepped only by its shard thread) and are drained at
+ * epoch barriers in core-id order -- the same discipline as the packet
+ * sampler -- so the drain order, and everything derived from it, is
+ * bit-identical for any --threads value and across kill+resume.
+ *
+ * Tail-based exemplar sampling: per tenant and per epoch the collector
+ * keeps the K slowest requests plus a size-U uniform sample (reservoir
+ * sampling with a counter-hashed deterministic RNG -- no global RNG
+ * state, no wall clock), so p99 exemplars are always retained at
+ * bounded memory regardless of request count. Finalized exemplars are
+ * exported to the Perfetto writer as flow-linked span trees (pid 4
+ * "requests", one track per tenant; the child stage slices are an
+ * attribution tree laid out sequentially, not the true interleaving)
+ * and to a JSONL exemplar file (<prefix>.exemplars.jsonl, schema in
+ * DESIGN.md section 6).
+ *
+ * Observer-only: nothing here feeds back into timing, placement or RNG
+ * state; stats/stdout are byte-identical with tracing on or off.
+ */
+
+#ifndef NDPEXT_TELEMETRY_REQUEST_TRACE_H
+#define NDPEXT_TELEMETRY_REQUEST_TRACE_H
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/checkpoint.h"
+#include "telemetry/trace_writer.h"
+
+namespace ndpext {
+
+/** One completed request's causal stage breakdown (cycles). */
+struct RequestTraceRecord
+{
+    std::uint32_t tenant = 0;
+    CoreId core = 0;
+    /** Arrival cycle (queue entry). */
+    Cycles arrival = 0;
+    /** Cycle the core began executing the first access. */
+    Cycles start = 0;
+    /** Completion cycle (final miss landed). */
+    Cycles done = 0;
+
+    /** Stage cycles; invariant: stageSum() == latency(). */
+    Cycles queueWait = 0;
+    Cycles compute = 0;
+    Cycles l1 = 0;
+    Cycles metadata = 0;
+    Cycles icnIntra = 0;
+    Cycles icnInter = 0;
+    Cycles dramCache = 0;
+    Cycles extMem = 0;
+    Cycles mshrQueue = 0;
+
+    Cycles latency() const { return done - arrival; }
+
+    Cycles
+    stageSum() const
+    {
+        return queueWait + compute + l1 + metadata + icnIntra + icnInter
+            + dramCache + extMem + mshrQueue;
+    }
+};
+
+/**
+ * Shard-private sink handed to one core: the core pushes every
+ * completed request; the main thread drains at barriers. Always empty
+ * at an epoch barrier after the drain, so checkpoints stay small.
+ */
+struct RequestTraceBuffer
+{
+    std::vector<RequestTraceRecord> records;
+
+    void push(const RequestTraceRecord& r) { records.push_back(r); }
+};
+
+class RequestTraceCollector
+{
+  public:
+    struct Params
+    {
+        /** Slowest requests retained per tenant per epoch. */
+        std::uint64_t slowK = 8;
+        /** Uniform-sample size per tenant per epoch. */
+        std::uint64_t uniformK = 8;
+        /** Seed for the counter-hashed reservoir RNG. */
+        std::uint64_t seed = 0x7ACE5EED;
+    };
+
+    /** Static per-tenant facts (exemplar lines, track names). */
+    struct TenantMeta
+    {
+        std::string name;
+        bool reserved = false;
+        Cycles sloCycles = 0;
+    };
+
+    /** A retained request trace. */
+    struct Exemplar
+    {
+        RequestTraceRecord rec;
+        std::uint64_t epoch = 0;
+        /** True: one of the epoch's K slowest; false: uniform sample. */
+        bool slow = true;
+        /** Flow id linking the exported span tree (unique per run). */
+        std::uint64_t flowId = 0;
+    };
+
+    explicit RequestTraceCollector(const Params& params) : p_(params) {}
+
+    RequestTraceCollector(const RequestTraceCollector&) = delete;
+    RequestTraceCollector& operator=(const RequestTraceCollector&) = delete;
+
+    /**
+     * Arm the collector: one buffer per core, tenant metadata, and the
+     * trace writer exemplar spans are emitted into (may be null for
+     * JSONL-only collection). Names the pid-4 tracks.
+     */
+    void init(std::uint32_t num_cores, std::vector<TenantMeta> tenants,
+              TraceWriter* trace);
+
+    /** True once init() armed it (buffers exist). */
+    bool active() const { return !buffers_.empty(); }
+
+    const std::vector<TenantMeta>& tenants() const { return tenants_; }
+
+    /** The buffer core `c` writes into (null when inactive). */
+    RequestTraceBuffer* buffer(CoreId c);
+
+    /**
+     * Barrier-side: feed every new completed record into its tenant's
+     * epoch reservoir, in core-id order, and clear the buffers.
+     */
+    void drain();
+
+    /**
+     * Epoch barrier: select this epoch's exemplars (slow-K first, then
+     * the uniform sample minus duplicates), emit their span trees and
+     * flow events, append them to the retained list, and reset the
+     * reservoirs for the next epoch.
+     */
+    void finalizeEpoch(std::uint64_t epoch);
+
+    /** Retained exemplars not yet flushed to disk. */
+    const std::vector<Exemplar>& retained() const { return retained_; }
+
+    /** Exemplar lines already flushed to the .part file. */
+    std::uint64_t flushedExemplars() const { return flushed_; }
+
+    /** One JSON object per retained exemplar (schema: DESIGN.md §6). */
+    void writeJsonl(std::ostream& os) const;
+
+    /** writeJsonl + clear: the flushed count advances. */
+    void flushJsonl(std::ostream& os);
+
+    /**
+     * Checkpoint hooks (own section tag). Reservoirs, retained
+     * exemplars, the flush cursor and the flow-id counter travel;
+     * params and tenant metadata are reconstructed by the restoring
+     * process (they are part of the config hash).
+     */
+    void serialize(ckpt::Writer& w) const;
+    void deserialize(ckpt::Reader& r);
+
+  private:
+    struct Reservoir
+    {
+        /** Sorted: latency desc, then (arrival, core) asc. */
+        std::vector<RequestTraceRecord> slow;
+        std::vector<RequestTraceRecord> uniform;
+        /** Completed requests seen this epoch. */
+        std::uint64_t count = 0;
+    };
+
+    void offer(const RequestTraceRecord& r);
+    void emitExemplarTrace(const Exemplar& e);
+    void writeExemplarLine(std::ostream& os, const Exemplar& e) const;
+
+    Params p_;
+    std::vector<TenantMeta> tenants_;
+    TraceWriter* trace_ = nullptr;
+    std::vector<std::unique_ptr<RequestTraceBuffer>> buffers_;
+    std::vector<Reservoir> cur_;
+    std::vector<Exemplar> retained_;
+    std::uint64_t flushed_ = 0;
+    std::uint64_t nextFlowId_ = 1;
+};
+
+} // namespace ndpext
+
+#endif // NDPEXT_TELEMETRY_REQUEST_TRACE_H

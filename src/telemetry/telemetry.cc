@@ -1,6 +1,9 @@
 #include "telemetry/telemetry.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "common/atomic_file.h"
 #include "common/logging.h"
@@ -10,6 +13,9 @@ namespace ndpext {
 
 Telemetry::Telemetry(const TelemetryConfig& config)
     : cfg_(config), metrics_(config.ringCapacity),
+      reqTrace_(RequestTraceCollector::Params{config.traceSlowK,
+                                              config.traceUniformK,
+                                              config.traceSeed}),
       latencyHist_(config.latencyHistMax, config.latencyHistBuckets)
 {
     trace_.processName(TraceWriter::kPidRuntime, "runtime");
@@ -17,7 +23,7 @@ Telemetry::Telemetry(const TelemetryConfig& config)
     trace_.processName(TraceWriter::kPidPackets, "packets");
     metrics_.registerHistogram("telemetry.packetLatency", &latencyHist_);
     metrics_.registerCounter("telemetry.packetSamples", [this] {
-        return static_cast<double>(drained_.size());
+        return static_cast<double>(drainedCount_);
     });
 }
 
@@ -80,8 +86,42 @@ Telemetry::drainPacketSamples()
             latencyHist_.add(static_cast<double>(s.total()));
             emitPacketTrace(s);
             drained_.push_back(s);
+            ++drainedCount_;
         }
         drainedUpTo_[c] = samples.size();
+    }
+}
+
+void
+Telemetry::initRequestTracing(
+    std::uint32_t num_cores,
+    std::vector<RequestTraceCollector::TenantMeta> tenants)
+{
+    if (!cfg_.traceRequests || tenants.empty()) {
+        return;
+    }
+    reqTrace_.init(num_cores, std::move(tenants), &trace_);
+}
+
+RequestTraceBuffer*
+Telemetry::requestBuffer(CoreId c)
+{
+    return reqTrace_.buffer(c);
+}
+
+void
+Telemetry::drainRequestTraces()
+{
+    if (reqTrace_.active()) {
+        reqTrace_.drain();
+    }
+}
+
+void
+Telemetry::finalizeRequestEpoch(std::uint64_t epoch)
+{
+    if (reqTrace_.active()) {
+        reqTrace_.finalizeEpoch(epoch);
     }
 }
 
@@ -89,6 +129,150 @@ void
 Telemetry::sampleEpoch(std::uint64_t epoch, Cycles cycles)
 {
     metrics_.sample(epoch, cycles);
+}
+
+std::string
+Telemetry::partPath(const char* suffix) const
+{
+    return cfg_.outPrefix + suffix;
+}
+
+bool
+Telemetry::appendPart(const char* suffix,
+                      const std::function<void(std::ostream&)>& writer,
+                      std::string* error)
+{
+    const std::string path = partPath(suffix);
+    // The first flush of a fresh (non-resumed) run truncates, so stale
+    // side files from an earlier crashed run with the same prefix can
+    // never leak into this run's output.
+    const auto mode = partFresh_ ? std::ios::trunc : std::ios::app;
+    std::ofstream os(path, std::ios::out | mode);
+    writer(os);
+    os.flush();
+    if (!os) {
+        if (error != nullptr) {
+            *error = "cannot append to telemetry side file '" + path + "'";
+        }
+        return false;
+    }
+    return true;
+}
+
+bool
+Telemetry::flushToDisk(std::string* error)
+{
+    if (cfg_.outPrefix.empty()) {
+        return true;
+    }
+    const bool ok =
+        appendPart(".metrics.part",
+                   [this](std::ostream& os) { metrics_.flushJsonl(os); },
+                   error)
+        && appendPart(".trace.part",
+                      [this](std::ostream& os) { trace_.flushEventsTo(os); },
+                      error)
+        && appendPart(
+            ".decisions.part",
+            [this](std::ostream& os) { decisions_.flushJsonl(os); }, error)
+        && appendPart(".exemplars.part",
+                      [this](std::ostream& os) { reqTrace_.flushJsonl(os); },
+                      error);
+    partFresh_ = false;
+    if (!ok) {
+        return false;
+    }
+    // Drop the drained-sample copies too (only the cumulative counter
+    // and histogram feed metrics); the undrained per-core suffixes stay.
+    for (std::size_t c = 0; c < buffers_.size(); ++c) {
+        auto& samples = buffers_[c]->samples;
+        samples.erase(samples.begin(),
+                      samples.begin()
+                          + static_cast<std::ptrdiff_t>(drainedUpTo_[c]));
+        drainedUpTo_[c] = 0;
+    }
+    drained_.clear();
+    return true;
+}
+
+bool
+Telemetry::readPartText(const char* suffix, std::uint64_t expected_lines,
+                        std::string* out, std::string* error) const
+{
+    out->clear();
+    if (expected_lines == 0) {
+        return true;
+    }
+    const std::string path = partPath(suffix);
+    std::ifstream is(path, std::ios::in | std::ios::binary);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    if (!is) {
+        if (error != nullptr) {
+            *error = "cannot read telemetry side file '" + path + "'";
+        }
+        return false;
+    }
+    *out = buf.str();
+    const std::uint64_t lines = static_cast<std::uint64_t>(
+        std::count(out->begin(), out->end(), '\n'));
+    if (lines != expected_lines) {
+        if (error != nullptr) {
+            *error = "telemetry side file '" + path + "' has "
+                + std::to_string(lines) + " lines, expected "
+                + std::to_string(expected_lines);
+        }
+        return false;
+    }
+    return true;
+}
+
+void
+Telemetry::truncatePartFiles()
+{
+    // Resume-time normalization: a kill between a flush append and the
+    // next checkpoint save leaves extra (possibly torn) trailing lines
+    // beyond the restored flush cursors; rewrite each side file down to
+    // exactly its cursor so appends are idempotent across retries.
+    const auto truncate = [this](const char* suffix, std::uint64_t keep) {
+        const std::string path = partPath(suffix);
+        std::string text;
+        if (keep > 0) {
+            std::ifstream is(path, std::ios::in | std::ios::binary);
+            std::ostringstream buf;
+            buf << is.rdbuf();
+            NDP_ASSERT(static_cast<bool>(is),
+                       "telemetry side file missing at resume: ", path);
+            text = buf.str();
+            std::size_t pos = 0;
+            for (std::uint64_t i = 0; i < keep; ++i) {
+                pos = text.find('\n', pos);
+                NDP_ASSERT(pos != std::string::npos,
+                           "telemetry side file too short at resume: ",
+                           path);
+                ++pos;
+            }
+            text.resize(pos);
+        }
+        std::string why;
+        const bool ok = writeFileAtomic(
+            path, [&](std::ostream& os) { os << text; }, &why);
+        NDP_ASSERT(ok, "cannot rewrite telemetry side file ", path, ": ",
+                   why);
+    };
+    truncate(".metrics.part", metrics_.flushedSamples());
+    truncate(".trace.part", trace_.flushedEvents());
+    truncate(".decisions.part", decisions_.flushedRecords());
+    truncate(".exemplars.part", reqTrace_.flushedExemplars());
+}
+
+void
+Telemetry::removePartFiles() const
+{
+    std::remove(partPath(".metrics.part").c_str());
+    std::remove(partPath(".trace.part").c_str());
+    std::remove(partPath(".decisions.part").c_str());
+    std::remove(partPath(".exemplars.part").c_str());
 }
 
 bool
@@ -112,12 +296,52 @@ Telemetry::writeAll(std::string* error)
         }
         return true;
     };
-    return writeTo(".metrics.jsonl",
-                   [this](std::ostream& os) { metrics_.writeJsonl(os); })
+    // Stitch flushed side-file content back in front of the in-memory
+    // remainder; byte-identical to a run that never flushed.
+    std::string metricsPart;
+    std::string decisionsPart;
+    std::string exemplarsPart;
+    std::string tracePart;
+    if (!readPartText(".metrics.part", metrics_.flushedSamples(),
+                      &metricsPart, error)
+        || !readPartText(".decisions.part", decisions_.flushedRecords(),
+                         &decisionsPart, error)
+        || !readPartText(".exemplars.part", reqTrace_.flushedExemplars(),
+                         &exemplarsPart, error)
+        || !readPartText(".trace.part", trace_.flushedEvents(), &tracePart,
+                         error)) {
+        return false;
+    }
+    std::vector<std::string> traceLines;
+    traceLines.reserve(trace_.flushedEvents());
+    for (std::size_t pos = 0; pos < tracePart.size();) {
+        const std::size_t nl = tracePart.find('\n', pos);
+        traceLines.push_back(tracePart.substr(pos, nl - pos));
+        pos = nl + 1;
+    }
+    bool ok = writeTo(".metrics.jsonl",
+                      [&](std::ostream& os) {
+                          os << metricsPart;
+                          metrics_.writeJsonl(os);
+                      })
         && writeTo(".trace.json",
-                   [this](std::ostream& os) { trace_.write(os); })
-        && writeTo(".decisions.jsonl",
-                   [this](std::ostream& os) { decisions_.writeJsonl(os); });
+                   [&](std::ostream& os) {
+                       trace_.writeStitched(os, traceLines);
+                   })
+        && writeTo(".decisions.jsonl", [&](std::ostream& os) {
+               os << decisionsPart;
+               decisions_.writeJsonl(os);
+           });
+    if (ok && reqTrace_.active()) {
+        ok = writeTo(".exemplars.jsonl", [&](std::ostream& os) {
+            os << exemplarsPart;
+            reqTrace_.writeJsonl(os);
+        });
+    }
+    if (ok) {
+        removePartFiles();
+    }
+    return ok;
 }
 
 namespace {
@@ -179,6 +403,8 @@ Telemetry::serialize(ckpt::Writer& w) const
     for (const PacketSample& s : drained_) {
         writeSample(w, s);
     }
+    w.u64(drainedCount_);
+    reqTrace_.serialize(w);
 }
 
 void
@@ -211,6 +437,14 @@ Telemetry::deserialize(ckpt::Reader& r)
     drained_.assign(ndrained, PacketSample{});
     for (PacketSample& s : drained_) {
         s = readSample(r);
+    }
+    drainedCount_ = r.u64();
+    reqTrace_.deserialize(r);
+    if (!cfg_.outPrefix.empty()) {
+        truncatePartFiles();
+        // The side files now end exactly at the restored cursors; the
+        // next flush must append, not truncate.
+        partFresh_ = false;
     }
 }
 

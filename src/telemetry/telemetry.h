@@ -24,6 +24,7 @@
 #define NDPEXT_TELEMETRY_TELEMETRY_H
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -32,6 +33,7 @@
 #include "common/types.h"
 #include "telemetry/decision_log.h"
 #include "telemetry/metric_registry.h"
+#include "telemetry/request_trace.h"
 #include "telemetry/trace_writer.h"
 
 namespace ndpext {
@@ -40,8 +42,9 @@ struct TelemetryConfig
 {
     /**
      * Output path prefix; writeAll() emits <prefix>.metrics.jsonl,
-     * <prefix>.trace.json and <prefix>.decisions.jsonl. Empty = collect
-     * in memory only (tests; determinism cross-checks).
+     * <prefix>.trace.json, <prefix>.decisions.jsonl and -- when request
+     * tracing is on -- <prefix>.exemplars.jsonl. Empty = collect in
+     * memory only (tests; determinism cross-checks).
      */
     std::string outPrefix;
     /** Sample every Nth L1 miss per core into the trace (0 = off). */
@@ -51,6 +54,15 @@ struct TelemetryConfig
     /** Packet-latency histogram range in cycles (overflow bin beyond). */
     double latencyHistMax = 20000.0;
     std::size_t latencyHistBuckets = 200;
+
+    /** End-to-end request tracing (serving runs only). */
+    bool traceRequests = false;
+    /** Slowest exemplars retained per tenant per epoch. */
+    std::uint64_t traceSlowK = 8;
+    /** Uniform exemplar sample per tenant per epoch. */
+    std::uint64_t traceUniformK = 8;
+    /** Exemplar-reservoir hash seed. */
+    std::uint64_t traceSeed = 0x7ACE5EED;
 };
 
 /** One sampled memory request, reconstructed from its LatencyBreakdown. */
@@ -133,11 +145,45 @@ class Telemetry
     /** Cumulative latency histogram over drained samples. */
     const Histogram& packetLatencyHist() const { return latencyHist_; }
 
+    /**
+     * Arm end-to-end request tracing (no-op unless the config enables
+     * it): one buffer per core, one reservoir per tenant, exemplar
+     * spans into the trace writer. Serving runs only.
+     */
+    void initRequestTracing(
+        std::uint32_t num_cores,
+        std::vector<RequestTraceCollector::TenantMeta> tenants);
+
+    /** The request-trace buffer core `c` writes into (null = off). */
+    RequestTraceBuffer* requestBuffer(CoreId c);
+
+    /** Barrier-side: move completed requests into their reservoirs. */
+    void drainRequestTraces();
+
+    /** Epoch barrier: select + export this epoch's exemplars. */
+    void finalizeRequestEpoch(std::uint64_t epoch);
+
+    RequestTraceCollector& requestTrace() { return reqTrace_; }
+    const RequestTraceCollector& requestTrace() const { return reqTrace_; }
+
     /** Snapshot all metrics at an epoch barrier. */
     void sampleEpoch(std::uint64_t epoch, Cycles cycles);
 
     /**
-     * Write <prefix>.{metrics.jsonl, trace.json, decisions.jsonl}.
+     * Move everything accumulated so far out of memory into
+     * <prefix>.{metrics,trace,decisions,exemplars}.part side files (one
+     * rendered line per unit, appended) and drop the in-memory copies,
+     * so the next checkpoint image stays flat no matter how many epochs
+     * ran. Called right before each snapshot; writeAll() stitches the
+     * side files back in front of the in-memory remainder. No-op
+     * (returns true) when outPrefix is empty.
+     */
+    bool flushToDisk(std::string* error = nullptr);
+
+    /**
+     * Write <prefix>.{metrics.jsonl, trace.json, decisions.jsonl} and,
+     * when request tracing is armed, <prefix>.exemplars.jsonl; flushed
+     * .part side files are stitched in and removed on success.
      * No-op (returns true) when outPrefix is empty; returns false and
      * fills `error` (if non-null) on the first I/O failure.
      */
@@ -155,16 +201,29 @@ class Telemetry
 
   private:
     void emitPacketTrace(const PacketSample& s);
+    std::string partPath(const char* suffix) const;
+    bool appendPart(const char* suffix,
+                    const std::function<void(std::ostream&)>& writer,
+                    std::string* error);
+    bool readPartText(const char* suffix, std::uint64_t expected_lines,
+                      std::string* out, std::string* error) const;
+    void truncatePartFiles();
+    void removePartFiles() const;
 
     TelemetryConfig cfg_;
     MetricRegistry metrics_;
     TraceWriter trace_;
     DecisionLog decisions_;
+    RequestTraceCollector reqTrace_;
     Histogram latencyHist_;
     std::vector<std::unique_ptr<PacketSampleBuffer>> buffers_;
     /** Per-core drain watermark into buffers_[c]->samples. */
     std::vector<std::size_t> drainedUpTo_;
     std::vector<PacketSample> drained_;
+    /** Samples ever drained (metric source; survives flushToDisk). */
+    std::uint64_t drainedCount_ = 0;
+    /** First flushToDisk truncates stale .part files, later ones append. */
+    bool partFresh_ = true;
 };
 
 } // namespace ndpext

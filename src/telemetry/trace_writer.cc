@@ -1,5 +1,6 @@
 #include "telemetry/trace_writer.h"
 
+#include "common/logging.h"
 #include "telemetry/json_out.h"
 
 namespace ndpext {
@@ -9,7 +10,7 @@ TraceWriter::completeSpan(const std::string& cat, const std::string& name,
                           std::uint32_t pid, std::uint32_t tid, Cycles ts,
                           Cycles dur, const std::string& args_json)
 {
-    events_.push_back({'X', cat, name, pid, tid, ts, dur, args_json});
+    events_.push_back({'X', cat, name, pid, tid, ts, dur, 0, args_json});
 }
 
 void
@@ -17,20 +18,44 @@ TraceWriter::instant(const std::string& cat, const std::string& name,
                      std::uint32_t pid, std::uint32_t tid, Cycles ts,
                      const std::string& args_json)
 {
-    events_.push_back({'i', cat, name, pid, tid, ts, 0, args_json});
+    events_.push_back({'i', cat, name, pid, tid, ts, 0, 0, args_json});
 }
 
 void
 TraceWriter::counter(const std::string& name, std::uint32_t pid, Cycles ts,
                      const std::string& args_json)
 {
-    events_.push_back({'C', "metric", name, pid, 0, ts, 0, args_json});
+    events_.push_back({'C', "metric", name, pid, 0, ts, 0, 0, args_json});
+}
+
+void
+TraceWriter::flowStart(const std::string& cat, const std::string& name,
+                       std::uint32_t pid, std::uint32_t tid, Cycles ts,
+                       std::uint64_t id)
+{
+    events_.push_back({'s', cat, name, pid, tid, ts, 0, id, ""});
+}
+
+void
+TraceWriter::flowStep(const std::string& cat, const std::string& name,
+                      std::uint32_t pid, std::uint32_t tid, Cycles ts,
+                      std::uint64_t id)
+{
+    events_.push_back({'t', cat, name, pid, tid, ts, 0, id, ""});
+}
+
+void
+TraceWriter::flowEnd(const std::string& cat, const std::string& name,
+                     std::uint32_t pid, std::uint32_t tid, Cycles ts,
+                     std::uint64_t id)
+{
+    events_.push_back({'f', cat, name, pid, tid, ts, 0, id, ""});
 }
 
 void
 TraceWriter::processName(std::uint32_t pid, const std::string& name)
 {
-    events_.push_back({'M', "__metadata", "process_name", pid, 0, 0, 0,
+    events_.push_back({'M', "__metadata", "process_name", pid, 0, 0, 0, 0,
                        "{\"name\":" + jsonout::str(name) + "}"});
 }
 
@@ -38,30 +63,59 @@ void
 TraceWriter::threadName(std::uint32_t pid, std::uint32_t tid,
                         const std::string& name)
 {
-    events_.push_back({'M', "__metadata", "thread_name", pid, tid, 0, 0,
+    events_.push_back({'M', "__metadata", "thread_name", pid, tid, 0, 0, 0,
                        "{\"name\":" + jsonout::str(name) + "}"});
+}
+
+void
+TraceWriter::renderEvent(std::ostream& os, const Event& e)
+{
+    os << "{\"ph\":\"" << e.ph << "\",\"cat\":" << jsonout::str(e.cat)
+       << ",\"name\":" << jsonout::str(e.name) << ",\"pid\":" << e.pid
+       << ",\"tid\":" << e.tid << ",\"ts\":" << e.ts;
+    if (e.ph == 'X') {
+        os << ",\"dur\":" << e.dur;
+    }
+    if (e.ph == 'i') {
+        os << ",\"s\":\"g\"";
+    }
+    if (e.ph == 's' || e.ph == 't' || e.ph == 'f') {
+        os << ",\"id\":" << e.id;
+        if (e.ph == 'f') {
+            os << ",\"bp\":\"e\"";
+        }
+    }
+    if (!e.argsJson.empty()) {
+        os << ",\"args\":" << e.argsJson;
+    }
+    os << "}";
 }
 
 void
 TraceWriter::write(std::ostream& os) const
 {
+    NDP_ASSERT(flushed_ == 0);
+    writeStitched(os, {});
+}
+
+void
+TraceWriter::writeStitched(std::ostream& os,
+                           const std::vector<std::string>& part_lines) const
+{
+    NDP_ASSERT(part_lines.size() == flushed_);
+    const std::size_t total = part_lines.size() + events_.size();
     os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
-    for (std::size_t i = 0; i < events_.size(); ++i) {
-        const Event& e = events_[i];
-        os << "{\"ph\":\"" << e.ph << "\",\"cat\":" << jsonout::str(e.cat)
-           << ",\"name\":" << jsonout::str(e.name) << ",\"pid\":" << e.pid
-           << ",\"tid\":" << e.tid << ",\"ts\":" << e.ts;
-        if (e.ph == 'X') {
-            os << ",\"dur\":" << e.dur;
+    std::size_t i = 0;
+    for (const std::string& line : part_lines) {
+        os << line;
+        if (++i != total) {
+            os << ",";
         }
-        if (e.ph == 'i') {
-            os << ",\"s\":\"g\"";
-        }
-        if (!e.argsJson.empty()) {
-            os << ",\"args\":" << e.argsJson;
-        }
-        os << "}";
-        if (i + 1 != events_.size()) {
+        os << "\n";
+    }
+    for (const Event& e : events_) {
+        renderEvent(os, e);
+        if (++i != total) {
             os << ",";
         }
         os << "\n";
@@ -70,8 +124,20 @@ TraceWriter::write(std::ostream& os) const
 }
 
 void
+TraceWriter::flushEventsTo(std::ostream& os)
+{
+    for (const Event& e : events_) {
+        renderEvent(os, e);
+        os << "\n";
+    }
+    flushed_ += events_.size();
+    events_.clear();
+}
+
+void
 TraceWriter::serialize(ckpt::Writer& w) const
 {
+    w.u64(flushed_);
     w.u64(events_.size());
     for (const Event& e : events_) {
         w.u8(static_cast<std::uint8_t>(e.ph));
@@ -81,6 +147,7 @@ TraceWriter::serialize(ckpt::Writer& w) const
         w.u32(e.tid);
         w.u64(e.ts);
         w.u64(e.dur);
+        w.u64(e.id);
         w.str(e.argsJson);
     }
 }
@@ -88,6 +155,7 @@ TraceWriter::serialize(ckpt::Writer& w) const
 void
 TraceWriter::deserialize(ckpt::Reader& r)
 {
+    flushed_ = r.u64();
     events_.clear();
     const std::uint64_t n = r.u64();
     events_.reserve(n);
@@ -100,6 +168,7 @@ TraceWriter::deserialize(ckpt::Reader& r)
         e.tid = r.u32();
         e.ts = r.u64();
         e.dur = r.u64();
+        e.id = r.u64();
         e.argsJson = r.str();
         events_.push_back(std::move(e));
     }

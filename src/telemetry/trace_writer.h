@@ -13,10 +13,18 @@
  *   pid 1 "runtime"  -- epoch spans, reconfiguration/fault instants
  *   pid 2 "shards"   -- tid = shard: execute + barrier_wait spans
  *   pid 3 "packets"  -- tid = core: sampled per-packet stage slices
+ *   pid 4 "requests" -- tid = tenant: exemplar request span trees,
+ *                       flow-linked arrival -> start -> done
  *
  * Event categories ("cat"): "epoch", "shard", "runtime", "fault",
- * "packet". The ctest schema check (tools/ndpext_report check) pins the
- * exact field set.
+ * "packet", "request". The ctest schema check (tools/ndpext_report
+ * check) pins the exact field set.
+ *
+ * When checkpointing with a telemetry output prefix, already-emitted
+ * events are flushed to a side file (<prefix>.trace.part, one rendered
+ * event per line) before each snapshot so the checkpoint image does not
+ * grow with run length; writeStitched() re-joins the flushed lines with
+ * the in-memory remainder into a byte-identical final file.
  */
 
 #ifndef NDPEXT_TELEMETRY_TRACE_WRITER_H
@@ -39,6 +47,7 @@ class TraceWriter
     static constexpr std::uint32_t kPidRuntime = 1;
     static constexpr std::uint32_t kPidShards = 2;
     static constexpr std::uint32_t kPidPackets = 3;
+    static constexpr std::uint32_t kPidRequests = 4;
 
     /** Complete span (ph "X"): [ts, ts+dur) on (pid, tid). */
     void completeSpan(const std::string& cat, const std::string& name,
@@ -54,15 +63,50 @@ class TraceWriter
     void counter(const std::string& name, std::uint32_t pid, Cycles ts,
                  const std::string& args_json);
 
+    /**
+     * Flow events (ph "s"/"t"/"f") -- arrows linking spans across
+     * tracks. All three phases of one arrow share `id`; the end is
+     * emitted with "bp":"e" so the arrow binds to the enclosing slice.
+     */
+    void flowStart(const std::string& cat, const std::string& name,
+                   std::uint32_t pid, std::uint32_t tid, Cycles ts,
+                   std::uint64_t id);
+    void flowStep(const std::string& cat, const std::string& name,
+                  std::uint32_t pid, std::uint32_t tid, Cycles ts,
+                  std::uint64_t id);
+    void flowEnd(const std::string& cat, const std::string& name,
+                 std::uint32_t pid, std::uint32_t tid, Cycles ts,
+                 std::uint64_t id);
+
     /** Metadata: names a process/thread track in the viewer. */
     void processName(std::uint32_t pid, const std::string& name);
     void threadName(std::uint32_t pid, std::uint32_t tid,
                     const std::string& name);
 
-    std::size_t numEvents() const { return events_.size(); }
+    /** Total events emitted so far, flushed lines included. */
+    std::size_t numEvents() const { return flushed_ + events_.size(); }
 
-    /** Serialize the whole trace; the stream's state reports errors. */
+    /** Events already flushed out via flushEventsTo(). */
+    std::uint64_t flushedEvents() const { return flushed_; }
+
+    /** Serialize the whole trace; requires no prior flush. */
     void write(std::ostream& os) const;
+
+    /**
+     * Serialize with `part_lines` (the flushed per-event renderings, in
+     * emission order) stitched in front of the in-memory remainder.
+     * Byte-identical to what write() on a never-flushed writer with the
+     * same event sequence would produce.
+     */
+    void writeStitched(std::ostream& os,
+                       const std::vector<std::string>& part_lines) const;
+
+    /**
+     * Append one rendered line per buffered event to `os`, clear the
+     * buffer and advance the flushed count. Keeps checkpoint images
+     * flat across epochs; the owner persists the lines.
+     */
+    void flushEventsTo(std::ostream& os);
 
     /**
      * Checkpoint hooks. The event list is replaced wholesale at restore
@@ -83,10 +127,14 @@ class TraceWriter
         std::uint32_t tid = 0;
         Cycles ts = 0;
         Cycles dur = 0;
+        std::uint64_t id = 0; ///< flow id (ph "s"/"t"/"f" only)
         std::string argsJson; ///< pre-rendered {"k":v} or empty
     };
 
+    static void renderEvent(std::ostream& os, const Event& e);
+
     std::vector<Event> events_;
+    std::uint64_t flushed_ = 0;
 };
 
 } // namespace ndpext

@@ -1,0 +1,106 @@
+# Request-trace forensics gate (ctest): a short overloaded serving run
+# with --trace-requests must emit a schema-clean exemplar JSONL and a
+# flow-linked trace (`ndpext_report check`), `report trace` must name a
+# dominant stage per tenant, `report watch` must read the heartbeat of
+# the finished run, and `report slo` must print `n/a` -- never nan/inf
+# -- for a tenant that departed before the run ended. Invoked with
+# -DSIM=... -DREPORT=... -DOUT_DIR=... (see tests/CMakeLists.txt).
+
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+execute_process(
+    COMMAND ${SIM}
+            --tenant=name=emb,workload=recsys,arrival=fixed,period=3000,qos=reserved,reserve-pct=25,slo=60000
+            --tenant=name=gone,workload=mv,arrival=fixed,period=4000,slo=80000,depart=2
+            --horizon=150000 --epoch=20000 --accesses=4000
+            --telemetry=${OUT_DIR}/run --telemetry-sample=16
+            --trace-requests=4
+            --stats-json=${OUT_DIR}/run.stats.json
+    RESULT_VARIABLE sim_rc
+    OUTPUT_QUIET)
+if(NOT sim_rc EQUAL 0)
+    message(FATAL_ERROR "ndpext_sim --trace-requests failed (rc=${sim_rc})")
+endif()
+
+foreach(suffix metrics.jsonl trace.json decisions.jsonl exemplars.jsonl
+        heartbeat.json)
+    if(NOT EXISTS ${OUT_DIR}/run.${suffix})
+        message(FATAL_ERROR "missing telemetry file run.${suffix}")
+    endif()
+endforeach()
+
+# Schema gate: validates the exemplar lines (stage sums, enums) and the
+# flow-event pairing in the trace alongside the base telemetry schema.
+execute_process(
+    COMMAND ${REPORT} check ${OUT_DIR}/run
+    RESULT_VARIABLE check_rc
+    OUTPUT_VARIABLE check_out
+    ERROR_VARIABLE check_err)
+if(NOT check_rc EQUAL 0)
+    message(FATAL_ERROR
+        "ndpext_report check failed: ${check_out}${check_err}")
+endif()
+
+# Tail exemplars were actually retained for the p99 view.
+file(STRINGS ${OUT_DIR}/run.exemplars.jsonl slow_lines
+     REGEX "\"kind\":\"slow\"")
+list(LENGTH slow_lines num_slow)
+if(num_slow LESS 4)
+    message(FATAL_ERROR
+        "expected >= 4 slow exemplars, found ${num_slow}")
+endif()
+
+# Span forensics: full per-stage breakdown plus per-tenant p99 blame.
+execute_process(
+    COMMAND ${REPORT} trace ${OUT_DIR}/run
+    RESULT_VARIABLE trace_rc
+    OUTPUT_VARIABLE trace_out
+    ERROR_VARIABLE trace_err)
+if(NOT trace_rc EQUAL 0)
+    message(FATAL_ERROR
+        "ndpext_report trace failed: ${trace_out}${trace_err}")
+endif()
+if(NOT trace_out MATCHES "p99-dominant stage per tenant:")
+    message(FATAL_ERROR "report trace lacks the blame line:\n${trace_out}")
+endif()
+foreach(name emb gone)
+    if(NOT trace_out MATCHES "${name}")
+        message(FATAL_ERROR
+            "report trace lost tenant ${name}:\n${trace_out}")
+    endif()
+endforeach()
+
+# Live monitoring view against the finished run's heartbeat.
+execute_process(
+    COMMAND ${REPORT} watch ${OUT_DIR}/run
+    RESULT_VARIABLE watch_rc
+    OUTPUT_VARIABLE watch_out
+    ERROR_VARIABLE watch_err)
+if(NOT watch_rc EQUAL 0)
+    message(FATAL_ERROR
+        "ndpext_report watch failed: ${watch_out}${watch_err}")
+endif()
+if(NOT watch_out MATCHES "finished")
+    message(FATAL_ERROR "report watch missed completion:\n${watch_out}")
+endif()
+
+# SLO trend regression: tenant `gone` departs after epoch 2, so later
+# epochs have no new retirements for it -- the trend column must print
+# n/a, and nan/inf must never leak into the report.
+execute_process(
+    COMMAND ${REPORT} slo ${OUT_DIR}/run
+    RESULT_VARIABLE slo_rc
+    OUTPUT_VARIABLE slo_out
+    ERROR_VARIABLE slo_err)
+if(NOT slo_rc EQUAL 0)
+    message(FATAL_ERROR "ndpext_report slo failed: ${slo_out}${slo_err}")
+endif()
+if(NOT slo_out MATCHES "n/a")
+    message(FATAL_ERROR
+        "report slo should print n/a for the departed tenant:\n${slo_out}")
+endif()
+# Word boundary: "tenant" contains "nan", so anchor on a non-letter.
+string(TOLOWER "${slo_out}" slo_lower)
+if(slo_lower MATCHES "(^|[^a-z])-?(nan|inf)")
+    message(FATAL_ERROR "report slo leaked nan/inf:\n${slo_out}")
+endif()

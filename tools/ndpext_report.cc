@@ -37,8 +37,27 @@
  *       Multi-tenant serving view (runs produced with --tenant): each
  *       tenant's request-latency p50/p99 against its SLO target,
  *       attainment (1 - violations/retired), and -- from telemetry --
- *       the per-epoch attainment trend. Exit 1 when the run carried no
- *       serving tenants.
+ *       the per-epoch attainment trend (`n/a` for epochs where a tenant
+ *       retired nothing, e.g. before arrival or after departure). Exit 1
+ *       when the run carried no serving tenants.
+ *
+ *   ndpext_report trace PREFIX
+ *       Tail-latency forensics for runs produced with --trace-requests:
+ *       per-request causal span breakdown (queue wait -> compute -> L1
+ *       -> NoC -> CXL -> ext-memory ...) of every retained exemplar,
+ *       verified cycle-exact against the recorded request latency, plus
+ *       a per-tenant blame summary naming the stage that dominates the
+ *       slowest (p99) exemplars. Exit 1 when a stage sum disagrees with
+ *       its request latency or the run retained no exemplars.
+ *
+ *   ndpext_report watch PREFIX
+ *       Follow a live (or finished) run without perturbing it: reads
+ *       only the advisory PREFIX.heartbeat.json the simulator atomically
+ *       rewrites at epoch barriers, plus any flushed PREFIX.metrics.part
+ *       side file. Prints epoch/cycle progress, wall-clock rate and ETA,
+ *       and each tenant's cumulative SLO attainment / violation burn
+ *       rate. Unlike every other command, watch accepts an .inprogress
+ *       marker -- an in-progress run is exactly what it is for.
  *
  * Exit status: 0 = ok, 1 = bad telemetry content, 2 = usage error.
  */
@@ -79,7 +98,12 @@ constexpr const char* kUsage =
     "                       p50/p99 against each SLO target, attainment,\n"
     "                       and the per-epoch attainment trend\n"
     "  slo --stats-json=FILE\n"
-    "                       the same table from a --stats-json output\n";
+    "                       the same table from a --stats-json output\n"
+    "  trace PREFIX         per-request span breakdown of every retained\n"
+    "                       tail exemplar (--trace-requests runs) and a\n"
+    "                       per-tenant p99 blame summary\n"
+    "  watch PREFIX         live view of a running simulation from its\n"
+    "                       heartbeat file: progress, ETA, SLO burn rate\n";
 
 /**
  * Percentiles from fewer samples than this are statistically garbage
@@ -127,6 +151,8 @@ struct Run
     std::vector<json::ValuePtr> epochs;    ///< metrics.jsonl lines
     std::vector<json::ValuePtr> decisions; ///< decisions.jsonl lines
     json::ValuePtr trace;                  ///< trace.json document
+    /** exemplars.jsonl lines; empty unless run with --trace-requests. */
+    std::vector<json::ValuePtr> exemplars;
 };
 
 Run
@@ -166,6 +192,11 @@ loadRun(const std::string& prefix)
     run.trace = json::parse(text, &error);
     if (run.trace == nullptr) {
         fail(prefix + ".trace.json: " + error);
+    }
+    // Optional fourth artifact: only --trace-requests runs emit it.
+    if (readFile(prefix + ".exemplars.jsonl", text, nullptr)
+        && !json::parseLines(text, run.exemplars, &error)) {
+        fail(prefix + ".exemplars.jsonl: " + error);
     }
     return run;
 }
@@ -852,11 +883,17 @@ checkTraceSchema(const Run& run)
     if (events->array.empty()) {
         fail(at + ": empty trace");
     }
+    // Flow events (ph s/t/f) must pair up: every flow id needs exactly
+    // one start and one end -- an orphan means a request span tree was
+    // emitted half-linked (e.g. a tenant departed mid-epoch and its
+    // exemplar was dropped on the floor).
+    std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>> flows;
     for (std::size_t i = 0; i < events->array.size(); ++i) {
         const json::Value& ev = *events->array[i];
         const std::string evat = at + " event " + std::to_string(i);
         const std::string ph = ev.str("ph");
-        if (ph != "X" && ph != "i" && ph != "C" && ph != "M") {
+        if (ph != "X" && ph != "i" && ph != "C" && ph != "M" && ph != "s"
+            && ph != "t" && ph != "f") {
             fail(evat + ": bad ph '" + ph + "'");
         }
         for (const char* key : {"pid", "tid", "ts"}) {
@@ -870,6 +907,96 @@ checkTraceSchema(const Run& run)
         }
         if (ph == "X" && ev.get("dur") == nullptr) {
             fail(evat + ": complete span without 'dur'");
+        }
+        if (ph == "s" || ph == "t" || ph == "f") {
+            const json::Value* id = ev.get("id");
+            if (id == nullptr || !id->isNumber()) {
+                fail(evat + ": flow event without numeric 'id'");
+            }
+            const std::uint64_t fid =
+                static_cast<std::uint64_t>(id->number);
+            if (ph == "s") {
+                ++flows[fid].first;
+            } else if (ph == "f") {
+                ++flows[fid].second;
+            } else if (flows.find(fid) == flows.end()) {
+                fail(evat + ": flow step for id "
+                     + std::to_string(fid) + " before its start");
+            }
+        }
+    }
+    for (const auto& [fid, counts] : flows) {
+        if (counts.first != 1 || counts.second != 1) {
+            fail(at + ": orphan flow id " + std::to_string(fid) + " ("
+                 + std::to_string(counts.first) + " start(s), "
+                 + std::to_string(counts.second) + " end(s))");
+        }
+    }
+}
+
+/** The nine exemplar stage names, in causal order. */
+constexpr const char* kExemplarStages[] = {
+    "queueWait", "compute",   "l1",     "metadata", "icnIntra",
+    "icnInter",  "dramCache", "extMem", "mshrQueue"};
+
+/**
+ * Validate PREFIX.exemplars.jsonl: field presence/types, enum values,
+ * and the load-bearing invariant that each exemplar's stage cycles sum
+ * exactly to its end-to-end request latency (no unattributed cycles).
+ */
+void
+checkExemplarSchema(const Run& run)
+{
+    const std::string at = run.prefix + ".exemplars.jsonl";
+    for (std::size_t i = 0; i < run.exemplars.size(); ++i) {
+        const json::Value& ex = *run.exemplars[i];
+        const std::string exat = at + " line " + std::to_string(i + 1);
+        if (!ex.isObject()) {
+            fail(exat + ": not an object");
+        }
+        for (const char* key : {"tenant", "qos", "kind"}) {
+            const json::Value* v = ex.get(key);
+            if (v == nullptr || !v->isString() || v->string.empty()) {
+                fail(exat + ": missing non-empty string '" + key + "'");
+            }
+        }
+        const std::string qos = ex.str("qos");
+        if (qos != "reserved" && qos != "best-effort") {
+            fail(exat + ": bad qos '" + qos + "'");
+        }
+        const std::string kind = ex.str("kind");
+        if (kind != "slow" && kind != "uniform") {
+            fail(exat + ": bad kind '" + kind + "'");
+        }
+        for (const char* key : {"epoch", "core", "flow", "arrival",
+                                "start", "done", "latency", "sloCycles",
+                                "violation"}) {
+            const json::Value* v = ex.get(key);
+            if (v == nullptr || !v->isNumber()) {
+                fail(exat + ": missing numeric '" + key + "'");
+            }
+        }
+        const json::Value* stages = ex.get("stages");
+        if (stages == nullptr || !stages->isObject()) {
+            fail(exat + ": missing 'stages' object");
+        }
+        double sum = 0.0;
+        for (const char* stage : kExemplarStages) {
+            const json::Value* v = stages->get(stage);
+            if (v == nullptr || !v->isNumber()) {
+                fail(exat + ": missing numeric stage '"
+                     + std::string(stage) + "'");
+            }
+            sum += v->number;
+        }
+        if (ex.num("done") - ex.num("arrival") != ex.num("latency")) {
+            fail(exat + ": done - arrival != latency");
+        }
+        if (sum != ex.num("latency")) {
+            fail(exat + ": stage sum " + std::to_string(sum)
+                 + " != request latency "
+                 + std::to_string(ex.num("latency"))
+                 + " (unattributed cycles)");
         }
     }
 }
@@ -1076,7 +1203,10 @@ cmdSlo(const Run& run)
             const double dr = retired - prev_retired[i];
             const double dv = viols - prev_viols[i];
             if (dr <= 0.0) {
-                std::printf(" %12s", "-");
+                // Nothing retired this interval (tenant not yet arrived,
+                // already departed, or simply idle): attainment is
+                // undefined, never NaN/inf.
+                std::printf(" %12s", "n/a");
             } else {
                 std::printf(" %11.2f%%", 100.0 * (1.0 - dv / dr));
             }
@@ -1135,19 +1265,286 @@ cmdSloStatsJson(const std::string& path)
     printSloTable(tenants);
 }
 
+/**
+ * Tail-latency forensics: the full causal span path of every retained
+ * exemplar, verified cycle-exact, plus per-tenant p99 blame.
+ */
+void
+cmdTrace(const Run& run)
+{
+    if (run.exemplars.empty()) {
+        fail(run.prefix + ": no request exemplars "
+             + "(produce them with ndpext_sim --tenant=... "
+               "--telemetry=PREFIX --trace-requests)");
+    }
+    checkExemplarSchema(run);
+
+    std::map<std::string, std::vector<const json::Value*>> by_tenant;
+    for (const auto& ex : run.exemplars) {
+        by_tenant[ex->str("tenant")].push_back(ex.get());
+    }
+    std::printf("request-trace view: %s (%zu exemplar(s), %zu "
+                "tenant(s))\n",
+                run.prefix.c_str(), run.exemplars.size(),
+                by_tenant.size());
+
+    std::vector<std::pair<std::string, std::string>> blame;
+    for (const auto& [tenant, exemplars] : by_tenant) {
+        std::size_t slow_n = 0;
+        for (const json::Value* ex : exemplars) {
+            slow_n += ex->str("kind") == "slow" ? 1 : 0;
+        }
+        std::printf("\ntenant %s (%s, slo=%.0f): %zu slow + %zu uniform "
+                    "exemplar(s)\n",
+                    tenant.c_str(), exemplars.front()->str("qos").c_str(),
+                    exemplars.front()->num("sloCycles"), slow_n,
+                    exemplars.size() - slow_n);
+        std::printf("  %-5s %-5s %-4s %-10s %-9s", "epoch", "flow",
+                    "core", "arrival", "latency");
+        for (const char* stage : kExemplarStages) {
+            std::printf(" %9s", stage);
+        }
+        std::printf(" %s\n", "slo");
+        double stage_sum[std::size(kExemplarStages)] = {};
+        for (const json::Value* ex : exemplars) {
+            if (ex->str("kind") != "slow") {
+                continue; // uniform exemplars feed tooling, not the table
+            }
+            std::printf("  %-5.0f %-5.0f %-4.0f %-10.0f %-9.0f",
+                        ex->num("epoch"), ex->num("flow"), ex->num("core"),
+                        ex->num("arrival"), ex->num("latency"));
+            const json::Value* stages = ex->get("stages");
+            for (std::size_t s = 0; s < std::size(kExemplarStages); ++s) {
+                const double v = stages->num(kExemplarStages[s]);
+                stage_sum[s] += v;
+                std::printf(" %9.0f", v);
+            }
+            std::printf(" %s\n",
+                        ex->num("violation") != 0.0 ? "VIOL" : "ok");
+        }
+        // Blame: which stage dominates the slowest requests this run
+        // retained -- the first place to look for this tenant's tail.
+        double total = 0.0;
+        std::size_t dom = 0;
+        for (std::size_t s = 0; s < std::size(kExemplarStages); ++s) {
+            total += stage_sum[s];
+            if (stage_sum[s] > stage_sum[dom]) {
+                dom = s;
+            }
+        }
+        std::size_t second = dom == 0 ? 1 : 0;
+        for (std::size_t s = 0; s < std::size(kExemplarStages); ++s) {
+            if (s != dom && stage_sum[s] > stage_sum[second]) {
+                second = s;
+            }
+        }
+        if (total > 0.0) {
+            std::printf("  blame: %s (%.1f%% of slow-exemplar cycles), "
+                        "then %s (%.1f%%)\n",
+                        kExemplarStages[dom],
+                        100.0 * stage_sum[dom] / total,
+                        kExemplarStages[second],
+                        100.0 * stage_sum[second] / total);
+            blame.emplace_back(tenant, kExemplarStages[dom]);
+        }
+    }
+    std::printf("\np99-dominant stage per tenant:");
+    for (const auto& [tenant, stage] : blame) {
+        std::printf(" %s:%s", tenant.c_str(), stage.c_str());
+    }
+    std::printf("\n");
+}
+
+/** Parse as many whole JSONL lines as possible (a live file may end in
+ *  a partially-appended line; everything before it is still valid). */
+std::vector<json::ValuePtr>
+parseLinesLenient(const std::string& text)
+{
+    std::vector<json::ValuePtr> lines;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        const std::size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos) {
+            break; // trailing partial line: ignore
+        }
+        std::string err;
+        json::ValuePtr v = json::parse(text.substr(pos, nl - pos), &err);
+        if (v == nullptr) {
+            break;
+        }
+        lines.push_back(std::move(v));
+        pos = nl + 1;
+    }
+    return lines;
+}
+
+/**
+ * Live view of a (possibly still running) simulation. Strictly
+ * read-only over advisory artifacts -- the heartbeat file the run
+ * atomically rewrites at epoch barriers and any flushed .metrics.part
+ * side file -- so watching cannot perturb the run. The .inprogress
+ * marker is informational here, never an error.
+ */
+void
+cmdWatch(const std::string& prefix)
+{
+    const bool in_progress =
+        std::ifstream(prefix + ".inprogress").good();
+    std::string text;
+    json::ValuePtr hb;
+    if (readFile(prefix + ".heartbeat.json", text, nullptr)) {
+        std::string error;
+        hb = json::parse(text, &error);
+        if (hb == nullptr) {
+            fail(prefix + ".heartbeat.json: " + error);
+        }
+    }
+    std::vector<json::ValuePtr> samples;
+    if (readFile(prefix + ".metrics.part", text, nullptr)
+        || readFile(prefix + ".metrics.jsonl", text, nullptr)) {
+        samples = parseLinesLenient(text);
+    }
+    if (hb == nullptr && samples.empty()) {
+        fail(prefix + ": nothing to watch (no .heartbeat.json, "
+                      ".metrics.part or .metrics.jsonl; heartbeats come "
+                      "from ndpext_sim --telemetry/--checkpoint runs)");
+    }
+
+    std::printf("watch: %s\n", prefix.c_str());
+    if (hb != nullptr) {
+        const json::Value* done_v = hb->get("done");
+        const bool done =
+            done_v != nullptr && done_v->isBool() && done_v->boolean;
+        std::printf("  status: %s\n",
+                    done          ? "finished"
+                    : in_progress ? "running (in-progress marker present)"
+                                  : "interrupted (no in-progress marker; "
+                                    "resume from its newest checkpoint)");
+        const double cycles = hb->num("cycles");
+        const double horizon = hb->num("horizonCycles");
+        const double accesses = hb->num("accesses");
+        const double total_hint = hb->num("totalAccessesHint");
+        std::printf("  epoch %.0f, cycle %.0f", hb->num("epoch"), cycles);
+        if (horizon > 0.0) {
+            std::printf(" / horizon %.0f (%.1f%%)", horizon,
+                        100.0 * std::min(cycles / horizon, 1.0));
+        }
+        std::printf(", %.0f accesses", accesses);
+        if (total_hint > 0.0) {
+            std::printf(" / %.0f (%.1f%%)", total_hint,
+                        100.0 * std::min(accesses / total_hint, 1.0));
+        }
+        std::printf("\n");
+        const double elapsed_ms =
+            hb->num("wallUnixMs") - hb->num("startUnixMs");
+        const double progressed = cycles - hb->num("startCycles");
+        if (elapsed_ms > 0.0 && progressed > 0.0) {
+            std::printf("  wall: %.1fs this attempt, %.2f Mcycles/s",
+                        elapsed_ms / 1e3,
+                        progressed / elapsed_ms / 1e3);
+            if (!done && horizon > cycles) {
+                std::printf(", ETA ~%.1fs to horizon",
+                            (horizon - cycles) * elapsed_ms / progressed
+                                / 1e3);
+            }
+            std::printf("\n");
+        }
+        const json::Value* tenants = hb->get("tenants");
+        if (tenants != nullptr && tenants->isArray()
+            && !tenants->array.empty()) {
+            std::printf("  %-12s %-11s %-9s %-9s %-9s %s\n", "tenant",
+                        "qos", "slo", "retired", "viols", "attain");
+            for (const auto& t : tenants->array) {
+                const double retired = t->num("retired");
+                const double viols = t->num("violations");
+                std::printf("  %-12s %-11s %-9.0f %-9.0f %-9.0f",
+                            t->str("name").c_str(),
+                            t->num("reserved") != 0.0 ? "reserved"
+                                                      : "best-effort",
+                            t->num("sloCycles"), retired, viols);
+                if (retired <= 0.0) {
+                    std::printf(" %6s\n", "n/a");
+                } else {
+                    std::printf(" %5.2f%%%s\n",
+                                100.0 * (1.0 - viols / retired),
+                                viols > 0.0 ? "  <-- violations burning"
+                                            : "");
+                }
+            }
+        }
+    } else {
+        std::printf("  status: %s (no heartbeat file)\n",
+                    in_progress ? "running (in-progress marker present)"
+                                : "finished");
+    }
+
+    // Interval view from flushed metric samples: the SLO burn rate of
+    // the most recent completed epoch.
+    if (samples.size() >= 2) {
+        const json::Value* prev =
+            samples[samples.size() - 2]->get("metrics");
+        const json::Value* last = samples.back()->get("metrics");
+        if (prev != nullptr && last != nullptr) {
+            const std::vector<std::string> names = tenantNames(*last);
+            if (!names.empty()) {
+                std::printf("  last flushed epoch (%.0f) attainment:",
+                            samples.back()->num("epoch"));
+                for (const std::string& name : names) {
+                    const std::string base = "tenant." + name;
+                    const double dr = last->num(base + ".retired")
+                        - prev->num(base + ".retired");
+                    const double dv = last->num(base + ".sloViolations")
+                        - prev->num(base + ".sloViolations");
+                    if (dr <= 0.0) {
+                        std::printf(" %s:n/a", name.c_str());
+                    } else {
+                        std::printf(" %s:%.2f%%", name.c_str(),
+                                    100.0 * (1.0 - dv / dr));
+                    }
+                }
+                std::printf("\n");
+            }
+        }
+    }
+    std::printf("  %zu flushed metric sample(s) on disk\n",
+                samples.size());
+}
+
 void
 cmdCheck(const Run& run)
 {
     checkMetricsSchema(run);
     checkDecisionsSchema(run);
     checkTraceSchema(run);
+    checkExemplarSchema(run);
+    // Every exemplar's flow id must be linked in the trace: its span
+    // tree carries matching s/t/f events (checked pairwise above).
+    if (!run.exemplars.empty()) {
+        std::map<std::uint64_t, bool> flow_ids;
+        for (const auto& ev : run.trace->get("traceEvents")->array) {
+            if (ev->str("ph") == "s" && ev->get("id") != nullptr) {
+                flow_ids[static_cast<std::uint64_t>(
+                    ev->get("id")->number)] = true;
+            }
+        }
+        for (std::size_t i = 0; i < run.exemplars.size(); ++i) {
+            const std::uint64_t fid = static_cast<std::uint64_t>(
+                run.exemplars[i]->num("flow"));
+            if (flow_ids.find(fid) == flow_ids.end()) {
+                fail(run.prefix + ".exemplars.jsonl line "
+                     + std::to_string(i + 1) + ": flow id "
+                     + std::to_string(fid) + " has no trace flow events");
+            }
+        }
+    }
     // Low sample counts are flagged but do not fail the check: short
     // smoke runs are still valid schema-wise, just statistically thin.
     const std::size_t low = warnLowSamples(stageSamples(run));
     std::printf("ok: %zu epoch sample(s), %zu decision(s), %zu trace "
-                "event(s)%s\n",
+                "event(s), %zu exemplar(s)%s\n",
                 run.epochs.size(), run.decisions.size(),
                 run.trace->get("traceEvents")->array.size(),
+                run.exemplars.size(),
                 low > 0 ? " [low-sample percentiles flagged above]" : "");
 }
 
@@ -1164,8 +1561,15 @@ main(int argc, char** argv)
         std::printf("%s", kUsage);
         return 0;
     }
+    if (cmd == "watch") {
+        if (argc != 3) {
+            usageError("watch takes exactly one prefix");
+        }
+        cmdWatch(argv[2]);
+        return 0;
+    }
     if (cmd == "summary" || cmd == "check" || cmd == "topdown"
-        || cmd == "slo") {
+        || cmd == "slo" || cmd == "trace") {
         if (argc != 3) {
             usageError(cmd + " takes exactly one prefix");
         }
@@ -1189,6 +1593,8 @@ main(int argc, char** argv)
             cmdTopdown(run);
         } else if (cmd == "slo") {
             cmdSlo(run);
+        } else if (cmd == "trace") {
+            cmdTrace(run);
         } else {
             cmdCheck(run);
         }

@@ -132,6 +132,11 @@ constexpr const char* kUsage =
     "  --telemetry=PREFIX  write PREFIX.{metrics.jsonl,trace.json,\n"
     "                      decisions.jsonl} (not with --policy=host)\n"
     "  --telemetry-sample=N  trace every Nth L1 miss per core (default 64)\n"
+    "  --trace-requests[=K]  serving only: end-to-end request tracing with\n"
+    "                      per-tenant tail exemplars (K slowest + K\n"
+    "                      uniform per epoch, default 8); adds\n"
+    "                      PREFIX.exemplars.jsonl (needs --telemetry and\n"
+    "                      --tenant)\n"
     "  --dump-stats        print every simulator counter\n"
     "  --list              print workloads and policies\n"
     "  --list-workloads    print the workload archetypes\n"
@@ -197,6 +202,8 @@ struct Options
     std::string statsJson;
     std::string telemetry;
     std::uint64_t telemetrySample = 64;
+    bool traceRequests = false;
+    std::uint64_t traceK = 8;
     bool dumpStats = false;
 };
 
@@ -461,6 +468,14 @@ parseArgs(int argc, char** argv)
             }
         } else if (arg.rfind("--telemetry-sample=", 0) == 0) {
             opt.telemetrySample = number("--telemetry-sample=");
+        } else if (arg == "--trace-requests") {
+            opt.traceRequests = true;
+        } else if (arg.rfind("--trace-requests=", 0) == 0) {
+            opt.traceRequests = true;
+            opt.traceK = number("--trace-requests=");
+            if (opt.traceK == 0) {
+                usageError("bad --trace-requests: 0 (expected >= 1)");
+            }
         } else if (arg == "--dump-stats") {
             opt.dumpStats = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -666,6 +681,14 @@ main(int argc, char** argv)
     if (opt.policy == "host" && !opt.telemetry.empty()) {
         usageError("--telemetry is not supported with --policy=host");
     }
+    if (opt.traceRequests && opt.telemetry.empty()) {
+        usageError("--trace-requests needs --telemetry (exemplars are a "
+                   "telemetry artifact)");
+    }
+    if (opt.traceRequests && !cfg.serving.enabled()) {
+        usageError("--trace-requests needs at least one --tenant "
+                   "(requests only exist in serving runs)");
+    }
     if (opt.policy == "host"
         && (!opt.checkpoint.empty() || !opt.resume.empty())) {
         usageError("--checkpoint/--resume are not supported with "
@@ -765,11 +788,16 @@ main(int argc, char** argv)
             TelemetryConfig tcfg;
             tcfg.outPrefix = opt.telemetry;
             tcfg.packetSampleEvery = opt.telemetrySample;
+            tcfg.traceRequests = opt.traceRequests;
+            tcfg.traceSlowK = opt.traceK;
+            tcfg.traceUniformK = opt.traceK;
             telemetry = std::make_unique<Telemetry>(tcfg);
             system.attachTelemetry(telemetry.get());
+            system.addHeartbeatPath(opt.telemetry + ".heartbeat.json");
         }
         if (!opt.checkpoint.empty()) {
             system.setCheckpointing(opt.checkpoint, opt.checkpointEvery);
+            system.addHeartbeatPath(opt.checkpoint + ".heartbeat.json");
         }
         if (!opt.resume.empty()) {
             // Bad/corrupt/mismatched checkpoint files are user input:

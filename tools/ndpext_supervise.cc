@@ -18,6 +18,15 @@
  * SIGKILLs each attempt T milliseconds after launch. Progress still
  * converges because every attempt resumes from the checkpoint frontier
  * of the previous one. CI uses this to prove crash recovery end to end.
+ *
+ * The simulator rewrites `PREFIX.heartbeat.json` at every epoch barrier
+ * (the supervisor's PREFIX, since it owns the checkpoint flags). The
+ * supervisor reads it two ways: on each retry it reports the epoch the
+ * run had reached and an ETA extrapolated from the heartbeat's own
+ * rate, and with `--hang-after-ms=T` it watches the file's mtime while
+ * the child runs -- a child that is alive but has not refreshed its
+ * heartbeat for T ms is declared hung, SIGKILLed, and the supervisor
+ * fails fast (retrying a deterministic hang would hang again).
  */
 
 #include <cerrno>
@@ -27,15 +36,19 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <sys/stat.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include "sim/checkpoint.h"
+#include "telemetry/tiny_json.h"
 
 namespace {
 
@@ -57,7 +70,12 @@ usage(const char* argv0)
         "  --max-retries=N       relaunch budget after failures\n"
         "                        (default 5)\n"
         "  --kill-after-ms=T     chaos hook: SIGKILL each attempt T ms\n"
-        "                        after launch (default: off)\n",
+        "                        after launch (default: off)\n"
+        "  --hang-after-ms=T     declare the child hung when its\n"
+        "                        PREFIX.heartbeat.json has not been\n"
+        "                        refreshed for T ms while the child is\n"
+        "                        still alive; SIGKILL it and fail fast\n"
+        "                        (default: off)\n",
         argv0);
     std::exit(2);
 }
@@ -68,6 +86,7 @@ struct Options
     std::string checkpointEvery;
     std::uint64_t maxRetries = 5;
     std::uint64_t killAfterMs = 0;
+    std::uint64_t hangAfterMs = 0;
     std::vector<std::string> child;
 };
 
@@ -120,6 +139,13 @@ parseArgs(int argc, char** argv)
                              argv[0]);
                 std::exit(2);
             }
+        } else if (parseFlag(arg, "--hang-after-ms", &value)) {
+            opt.hangAfterMs = parseU64(value, "--hang-after-ms", argv[0]);
+            if (opt.hangAfterMs == 0) {
+                std::fprintf(stderr, "%s: --hang-after-ms must be > 0\n",
+                             argv[0]);
+                std::exit(2);
+            }
         } else {
             std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0],
                          arg.c_str());
@@ -152,12 +178,75 @@ parseArgs(int argc, char** argv)
     return opt;
 }
 
+/** Heartbeat mtime in milliseconds since the Unix epoch (0 = no file). */
+std::uint64_t
+heartbeatMtimeMs(const std::string& path)
+{
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+        return 0;
+    }
+    return static_cast<std::uint64_t>(st.st_mtim.tv_sec) * 1000
+        + static_cast<std::uint64_t>(st.st_mtim.tv_nsec) / 1000000;
+}
+
 /**
- * Run one attempt to completion (or until the chaos kill fires).
- * Returns the child's wait status via waitpid semantics.
+ * Report the last heartbeat the previous attempt left behind: how far
+ * it got and -- from the heartbeat's own wall-clock/cycle stamps -- a
+ * rough ETA to the serving horizon. Best effort: silent when the file
+ * is missing or unparseable (the checkpoint is the source of truth).
  */
-int
-runAttempt(const std::vector<std::string>& args, std::uint64_t kill_after_ms)
+void
+reportLastHeartbeat(const std::string& hb_path)
+{
+    std::ifstream in(hb_path, std::ios::binary);
+    if (!in) {
+        return;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const ndpext::json::ValuePtr hb = ndpext::json::parse(ss.str());
+    if (hb == nullptr) {
+        return;
+    }
+    std::string eta = "unknown";
+    const double cycles = hb->num("cycles");
+    const double horizon = hb->num("horizonCycles");
+    const double progressed = cycles - hb->num("startCycles");
+    const double elapsed_ms =
+        hb->num("wallUnixMs") - hb->num("startUnixMs");
+    if (horizon > cycles && progressed > 0.0 && elapsed_ms > 0.0) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "~%.1fs to horizon",
+                      (horizon - cycles) * elapsed_ms / progressed / 1e3);
+        eta = buf;
+    } else if (horizon > 0.0 && cycles >= horizon) {
+        eta = "past horizon (draining)";
+    }
+    std::fprintf(stderr,
+                 "ndpext_supervise: last heartbeat: epoch %llu, cycle "
+                 "%llu, ETA %s\n",
+                 static_cast<unsigned long long>(hb->num("epoch")),
+                 static_cast<unsigned long long>(cycles), eta.c_str());
+}
+
+struct AttemptResult
+{
+    int status = 0;
+    /** The supervisor killed the child for a stale heartbeat. */
+    bool hung = false;
+    /** Milliseconds without a heartbeat refresh when declared hung. */
+    std::uint64_t staleMs = 0;
+};
+
+/**
+ * Run one attempt to completion (or until the chaos kill or the
+ * hang detector fires). Returns the child's wait status via waitpid
+ * semantics, plus whether the hang detector killed it.
+ */
+AttemptResult
+runAttempt(const std::vector<std::string>& args, std::uint64_t kill_after_ms,
+           std::uint64_t hang_after_ms, const std::string& hb_path)
 {
     std::vector<char*> argv;
     argv.reserve(args.size() + 1);
@@ -179,20 +268,50 @@ runAttempt(const std::vector<std::string>& args, std::uint64_t kill_after_ms)
         ::_exit(127);
     }
 
-    if (kill_after_ms > 0) {
-        // Chaos hook: give the attempt a fixed time slice, then SIGKILL
-        // it if still running. A completed child is reaped normally.
-        const auto deadline = std::chrono::steady_clock::now()
-            + std::chrono::milliseconds(kill_after_ms);
+    if (kill_after_ms > 0 || hang_after_ms > 0) {
+        // Polling mode: chaos kill after a fixed slice, and/or the hang
+        // detector watching the heartbeat file's mtime. A completed
+        // child is reaped normally.
+        const auto start = std::chrono::steady_clock::now();
+        const auto kill_deadline =
+            start + std::chrono::milliseconds(kill_after_ms);
+        // Baseline for "no heartbeat yet": launch time. A pre-existing
+        // heartbeat from the previous attempt only counts once the
+        // child refreshes it.
+        std::uint64_t last_mtime =
+            hang_after_ms > 0 ? heartbeatMtimeMs(hb_path) : 0;
+        auto last_progress = start;
         for (;;) {
             int status = 0;
             const pid_t done = ::waitpid(pid, &status, WNOHANG);
             if (done == pid) {
-                return status;
+                return {status, false, 0};
             }
-            if (std::chrono::steady_clock::now() >= deadline) {
+            const auto now = std::chrono::steady_clock::now();
+            if (kill_after_ms > 0 && now >= kill_deadline) {
                 ::kill(pid, SIGKILL);
                 break;
+            }
+            if (hang_after_ms > 0) {
+                const std::uint64_t mtime = heartbeatMtimeMs(hb_path);
+                if (mtime != 0 && mtime != last_mtime) {
+                    last_mtime = mtime;
+                    last_progress = now;
+                }
+                const auto stale = now - last_progress;
+                if (stale >= std::chrono::milliseconds(hang_after_ms)) {
+                    ::kill(pid, SIGKILL);
+                    AttemptResult res;
+                    res.hung = true;
+                    res.staleMs = static_cast<std::uint64_t>(
+                        std::chrono::duration_cast<
+                            std::chrono::milliseconds>(stale)
+                            .count());
+                    while (::waitpid(pid, &res.status, 0) < 0
+                           && errno == EINTR) {
+                    }
+                    return res;
+                }
             }
             std::this_thread::sleep_for(std::chrono::milliseconds(1));
         }
@@ -205,7 +324,7 @@ runAttempt(const std::vector<std::string>& args, std::uint64_t kill_after_ms)
             std::exit(1);
         }
     }
-    return status;
+    return {status, false, 0};
 }
 
 std::string
@@ -234,10 +353,12 @@ main(int argc, char** argv)
         base.push_back("--checkpoint-every=" + opt.checkpointEvery);
     }
 
+    const std::string hb_path = opt.checkpoint + ".heartbeat.json";
     for (std::uint64_t attempt = 0;; ++attempt) {
         std::vector<std::string> args = base;
         std::string resumed_from;
         if (attempt > 0) {
+            reportLastHeartbeat(hb_path);
             // Retries resume from the newest image that passes header +
             // CRC validation; a corrupt newest image falls back to the
             // previous one. The child revalidates against its config
@@ -265,7 +386,29 @@ main(int argc, char** argv)
             }
         }
 
-        const int status = runAttempt(args, opt.killAfterMs);
+        const AttemptResult res =
+            runAttempt(args, opt.killAfterMs, opt.hangAfterMs, hb_path);
+        if (res.hung) {
+            // A deterministic simulator that stops heartbeating while
+            // alive is wedged (deadlock, livelock, or a filesystem that
+            // swallowed the heartbeat); a retry would wedge the same
+            // way, so surface it instead of burning the budget.
+            std::fprintf(
+                stderr,
+                "ndpext_supervise: attempt %llu hung: child was alive "
+                "but '%s' saw no refresh for %llu ms "
+                "(--hang-after-ms=%llu); SIGKILLed it. Inspect the "
+                "child with ndpext_report watch, raise --hang-after-ms "
+                "if epochs legitimately take longer, or resume manually "
+                "from the newest checkpoint.\n",
+                static_cast<unsigned long long>(attempt + 1),
+                hb_path.c_str(),
+                static_cast<unsigned long long>(res.staleMs),
+                static_cast<unsigned long long>(opt.hangAfterMs));
+            reportLastHeartbeat(hb_path);
+            return 1;
+        }
+        const int status = res.status;
         if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
             if (attempt > 0) {
                 std::fprintf(stderr,
