@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Placement control-plane scaling: cold vs warm-start sampler
+ * assignment and full vs budget-capped Algorithm 1 on synthetic
+ * 1k/10k/100k-stream populations (the serving north star: tenants x
+ * cores x sub-workloads re-placed every epoch under a time budget).
+ *
+ * Unlike the figure benches this one is self-checking: it fails (exit
+ * 1) when warm-start parity or the deterministic speedup floor is
+ * violated, so the --quick ctest smoke and the CI solver-regress gate
+ * double as correctness tests.
+ *
+ * Recorded stats (--stats-json, schema A; pinned in
+ * bench/baselines/solver_quick.json):
+ *   assignNk.covered / coldAugPaths / seededPairs / warmSteadyAugPaths
+ *     / churnDelta / churnColdAugPaths / churnWarmAugPaths
+ *   cfgNk.fullSteps / cappedSteps / fullObjectiveBytes /
+ *     cappedObjectiveBytes
+ * plus advisory *WallMicros wall-clock columns.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "noc/mesh.h"
+#include "noc/noc_model.h"
+#include "runtime/config_algorithm.h"
+#include "runtime/sampler_assign.h"
+
+namespace ndpext {
+namespace {
+
+constexpr std::uint32_t kUnits = 64;          // 8 stacks x 8 units
+constexpr std::uint32_t kSamplersPerUnit = 4; // S in the paper
+constexpr std::uint32_t kRowsPerUnit = 512;
+constexpr std::uint32_t kRowBytes = 2048;
+
+double
+wallMicros(std::chrono::steady_clock::time_point t0)
+{
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    return std::chrono::duration<double, std::micro>(dt).count();
+}
+
+/**
+ * Synthetic access bitvectors: every stream is touched by its home
+ * unit plus a ~25% random subset of the machine, mirroring the shared
+ * read-mostly streams that dominate serving populations.
+ */
+std::vector<std::vector<bool>>
+makeAccessed(std::uint32_t num_units, std::uint32_t num_streams,
+             std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<bool>> accessed(
+        num_units, std::vector<bool>(num_streams, false));
+    for (std::uint32_t s = 0; s < num_streams; ++s) {
+        accessed[s % num_units][s] = true;
+        for (std::uint32_t u = 0; u < num_units; ++u) {
+            if (rng.nextBool(0.25)) {
+                accessed[u][s] = true;
+            }
+        }
+    }
+    return accessed;
+}
+
+bool
+runAssignCase(const std::string& name, std::uint32_t num_streams)
+{
+    const SamplerAssigner assigner(kSamplersPerUnit);
+    auto accessed = makeAccessed(kUnits, num_streams, num_streams);
+    std::vector<StreamId> streams(num_streams);
+    for (std::uint32_t s = 0; s < num_streams; ++s) {
+        streams[s] = s;
+    }
+
+    // Cold solve: the from-scratch reference.
+    SamplerAssignStats cold_stats;
+    const auto t0 = std::chrono::steady_clock::now();
+    const SamplerAssignment cold =
+        assigner.assign(accessed, streams, &cold_stats);
+    const double cold_us = wallMicros(t0);
+
+    // Warm steady state: identical demands, empty delta. Must reproduce
+    // the previous assignment bit-identically with zero augmenting
+    // paths -- the epoch-over-epoch fast path.
+    SamplerAssignStats steady_stats;
+    const auto t1 = std::chrono::steady_clock::now();
+    const SamplerAssignment steady =
+        assigner.assignWarm(accessed, streams, cold, {}, &steady_stats);
+    const double steady_us = wallMicros(t1);
+
+    bool ok = true;
+    if (steady.perUnit != cold.perUnit
+        || steady.covered != cold.covered) {
+        std::printf("  %s: FAIL steady warm-start diverged from cold\n",
+                    name.c_str());
+        ok = false;
+    }
+    if (steady_stats.augmentingPaths != 0) {
+        std::printf("  %s: FAIL steady warm-start ran %llu augmenting "
+                    "path(s), expected 0\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(
+                        steady_stats.augmentingPaths));
+        ok = false;
+    }
+    // Deterministic speedup floor: the warm solve must save at least 5x
+    // the cold solve's BFS work in steady state.
+    if (cold_stats.augmentingPaths
+        < 5 * std::max<std::uint64_t>(1, steady_stats.augmentingPaths)) {
+        std::printf("  %s: FAIL cold work %llu < 5x warm work %llu\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(
+                        cold_stats.augmentingPaths),
+                    static_cast<unsigned long long>(
+                        steady_stats.augmentingPaths));
+        ok = false;
+    }
+
+    // Churn: every 16th stream re-rolls its accessor set (tenant
+    // arrival/departure scale). Warm solve seeded from the stale
+    // assignment must still match the cold solve's coverage.
+    std::vector<StreamId> delta;
+    Rng churn(num_streams ^ 0x9e3779b97f4a7c15ull);
+    for (std::uint32_t s = 0; s < num_streams; s += 16) {
+        delta.push_back(s);
+        for (std::uint32_t u = 0; u < kUnits; ++u) {
+            accessed[u][s] = churn.nextBool(0.25);
+        }
+        accessed[s % kUnits][s] = true;
+    }
+    SamplerAssignStats churn_cold_stats;
+    const SamplerAssignment churn_cold =
+        assigner.assign(accessed, streams, &churn_cold_stats);
+    SamplerAssignStats churn_warm_stats;
+    const auto t2 = std::chrono::steady_clock::now();
+    const SamplerAssignment churn_warm = assigner.assignWarm(
+        accessed, streams, cold, delta, &churn_warm_stats);
+    const double churn_us = wallMicros(t2);
+    if (churn_warm.covered != churn_cold.covered) {
+        std::printf("  %s: FAIL churn warm covers %llu, cold %llu\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(churn_warm.covered),
+                    static_cast<unsigned long long>(churn_cold.covered));
+        ok = false;
+    }
+
+    std::printf("  %-10s covered=%-5llu coldAug=%-5llu steadyAug=%llu "
+                "churnAug=%-5llu coldMs=%.2f steadyMs=%.3f churnMs=%.2f "
+                "(%.0fx steady speedup)\n",
+                name.c_str(),
+                static_cast<unsigned long long>(cold.covered),
+                static_cast<unsigned long long>(
+                    cold_stats.augmentingPaths),
+                static_cast<unsigned long long>(
+                    steady_stats.augmentingPaths),
+                static_cast<unsigned long long>(
+                    churn_warm_stats.augmentingPaths),
+                cold_us / 1000.0, steady_us / 1000.0, churn_us / 1000.0,
+                steady_us > 0.0 ? cold_us / steady_us : 0.0);
+
+    bench::recordStat(name + ".covered",
+                      static_cast<double>(cold.covered));
+    bench::recordStat(name + ".coldAugPaths",
+                      static_cast<double>(cold_stats.augmentingPaths));
+    bench::recordStat(name + ".seededPairs",
+                      static_cast<double>(steady_stats.seededPairs));
+    bench::recordStat(name + ".warmSteadyAugPaths",
+                      static_cast<double>(steady_stats.augmentingPaths));
+    bench::recordStat(name + ".churnDelta",
+                      static_cast<double>(delta.size()));
+    bench::recordStat(
+        name + ".churnColdAugPaths",
+        static_cast<double>(churn_cold_stats.augmentingPaths));
+    bench::recordStat(
+        name + ".churnWarmAugPaths",
+        static_cast<double>(churn_warm_stats.augmentingPaths));
+    bench::recordStat(name + ".coldWallMicros", cold_us);
+    bench::recordStat(name + ".warmSteadyWallMicros", steady_us);
+    bench::recordStat(name + ".churnWarmWallMicros", churn_us);
+    return ok;
+}
+
+/** Synthetic demand population for the Algorithm 1 scaling cases. */
+std::vector<StreamDemand>
+makeDemands(std::uint32_t num_streams)
+{
+    std::vector<StreamDemand> demands;
+    demands.reserve(num_streams);
+    for (std::uint32_t s = 0; s < num_streams; ++s) {
+        StreamDemand d;
+        d.sid = s;
+        d.footprintBytes =
+            (1ull + s % 64) * 1024 * 1024; // 1..64 MiB
+        d.readOnly = (s % 4) != 0;
+        const std::uint32_t fanout = 1 + s % 4;
+        for (std::uint32_t i = 0; i < fanout; ++i) {
+            d.accUnits.push_back((s + i * 17) % kUnits);
+            d.accCounts.push_back(1 + (s * 7 + i * 131) % 100);
+        }
+        std::vector<std::uint64_t> caps;
+        std::vector<double> misses;
+        const double total = static_cast<double>(1000 + s % 1000);
+        for (std::uint32_t i = 0; i < 10; ++i) {
+            caps.push_back(4096ull << i); // 4 KiB .. 2 MiB
+            misses.push_back(total / static_cast<double>(i + 2));
+        }
+        d.curve = MissCurve(std::move(caps), std::move(misses));
+        d.curve.setZeroMisses(total);
+        demands.push_back(std::move(d));
+    }
+    return demands;
+}
+
+bool
+runCfgCase(const std::string& name, std::uint32_t num_streams,
+           std::uint64_t full_steps, std::uint64_t budget_steps)
+{
+    const MeshTopology topo{4, 2, 2, 4}; // 64 units
+    const NocModel noc{topo, NocParams{}};
+    ConfigParams params;
+    params.numUnits = kUnits;
+    params.rowsPerUnit = kRowsPerUnit;
+    params.rowBytes = kRowBytes;
+    params.maxIterations = full_steps;
+    ConfigParams capped_params = params;
+    capped_params.budgetIterations = budget_steps;
+
+    const std::vector<StreamDemand> demands = makeDemands(num_streams);
+
+    ConfigAlgorithm full(params, noc);
+    const auto t0 = std::chrono::steady_clock::now();
+    full.run(demands);
+    const double full_us = wallMicros(t0);
+
+    ConfigAlgorithm capped(capped_params, noc);
+    const auto t1 = std::chrono::steady_clock::now();
+    capped.run(demands);
+    const double capped_us = wallMicros(t1);
+
+    const double full_obj =
+        static_cast<double>(full.lastObjectiveBytes());
+    const double capped_obj =
+        static_cast<double>(capped.lastObjectiveBytes());
+    const double regret_pct =
+        full_obj == 0.0 ? 0.0 : 100.0 * (1.0 - capped_obj / full_obj);
+
+    bool ok = true;
+    if (capped.lastIterations() > budget_steps) {
+        std::printf("  %s: FAIL budget overran: %llu > %llu steps\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(
+                        capped.lastIterations()),
+                    static_cast<unsigned long long>(budget_steps));
+        ok = false;
+    }
+    // Bounded regret: the anytime placement keeps at least half the
+    // full solve's placed bytes (the floor allocation alone guarantees
+    // a valid placement well above zero).
+    if (capped_obj < 0.5 * full_obj) {
+        std::printf("  %s: FAIL regret %.1f%% exceeds 50%%\n",
+                    name.c_str(), regret_pct);
+        ok = false;
+    }
+
+    std::printf("  %-10s fullSteps=%-6llu cappedSteps=%-6llu "
+                "objective=%.1fMB capped=%.1fMB regret=%.2f%% "
+                "fullMs=%.1f cappedMs=%.1f\n",
+                name.c_str(),
+                static_cast<unsigned long long>(full.lastIterations()),
+                static_cast<unsigned long long>(capped.lastIterations()),
+                full_obj / 1e6, capped_obj / 1e6, regret_pct,
+                full_us / 1000.0, capped_us / 1000.0);
+
+    bench::recordStat(name + ".fullSteps",
+                      static_cast<double>(full.lastIterations()));
+    bench::recordStat(name + ".cappedSteps",
+                      static_cast<double>(capped.lastIterations()));
+    bench::recordStat(name + ".fullObjectiveBytes", full_obj);
+    bench::recordStat(name + ".cappedObjectiveBytes", capped_obj);
+    bench::recordStat(name + ".budgetHits",
+                      static_cast<double>(capped.budgetHits()));
+    bench::recordStat(name + ".fullWallMicros", full_us);
+    bench::recordStat(name + ".cappedWallMicros", capped_us);
+    return ok;
+}
+
+} // namespace
+} // namespace ndpext
+
+int
+main(int argc, char** argv)
+{
+    using namespace ndpext;
+    const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+
+    std::printf("solver scaling (%u units, S=%u, %u rows/unit):\n",
+                kUnits, kSamplersPerUnit, kRowsPerUnit);
+    std::printf("sampler assignment (cold vs warm-start):\n");
+    bool ok = runAssignCase("assign1k", 1000);
+    ok = runAssignCase("assign10k", 10000) && ok;
+    if (!args.quick) {
+        ok = runAssignCase("assign100k", 100000) && ok;
+    }
+
+    std::printf("algorithm 1 (full vs anytime budget):\n");
+    ok = runCfgCase("cfg1k", 1000, 1 << 20, 4096) && ok;
+    if (!args.quick) {
+        ok = runCfgCase("cfg10k", 10000, 1 << 20, 8192) && ok;
+    }
+
+    if (!ok) {
+        std::printf("solver bench: FAIL\n");
+        return 1;
+    }
+    const int rc = bench::finishStats(args);
+    return rc;
+}

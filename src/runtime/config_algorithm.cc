@@ -1,6 +1,7 @@
 #include "runtime/config_algorithm.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -484,6 +485,7 @@ ConfigAlgorithm::run(std::vector<StreamDemand> demands)
     freeRows_.assign(params_.numUnits, params_.rowsPerUnit);
     affineBytesUsed_.assign(params_.numUnits, 0);
     iterations_ = extends_ = merges_ = 0;
+    lastBudgetHit_ = false;
 
     // Failed units contribute neither capacity nor (trustworthy) demand:
     // their sampler state died with them (Section V degraded mode).
@@ -608,7 +610,31 @@ ConfigAlgorithm::run(std::vector<StreamDemand> demands)
     }
 
     const bool trace = std::getenv("NDPEXT_TRACE_CONFIG") != nullptr;
+    const auto budget_t0 = std::chrono::steady_clock::now();
     while (iterations_ < params_.maxIterations) {
+        // Anytime budgets: every iteration boundary is a valid placement
+        // (the floor allocation above guarantees feasibility), so we can
+        // stop here and emit the best-so-far configuration. The
+        // iteration cap is deterministic; the wall-clock cap is advisory
+        // and only polled every 64 iterations to keep it off the hot
+        // path.
+        if (params_.budgetIterations != 0
+            && iterations_ >= params_.budgetIterations) {
+            ++budgetHits_;
+            lastBudgetHit_ = true;
+            break;
+        }
+        if (params_.budgetMicros != 0 && (iterations_ & 63u) == 0
+            && iterations_ != 0) {
+            const auto dt =
+                std::chrono::steady_clock::now() - budget_t0;
+            if (std::chrono::duration<double, std::micro>(dt).count()
+                >= static_cast<double>(params_.budgetMicros)) {
+                ++budgetHits_;
+                lastBudgetHit_ = true;
+                break;
+            }
+        }
         ++iterations_;
         // NextSteepestSlopeSeg: the stream with max marginal utility over
         // its whole remaining curve (UCP lookahead). A replicated stream
@@ -803,6 +829,7 @@ ConfigAlgorithm::emit()
 
     // RRowBase: bump allocation per unit over the emitted streams.
     std::vector<std::uint32_t> next_row(params_.numUnits, 0);
+    lastObjective_ = 0;
     for (auto& [sid, alloc] : out) {
         (void)sid;
         for (UnitId u = 0; u < params_.numUnits; ++u) {
@@ -810,6 +837,9 @@ ConfigAlgorithm::emit()
                 alloc.rowBase[u] = next_row[u];
                 next_row[u] += alloc.shareRows[u];
                 NDP_ASSERT(next_row[u] <= params_.rowsPerUnit);
+                lastObjective_ +=
+                    static_cast<std::uint64_t>(alloc.shareRows[u])
+                    * params_.rowBytes;
             }
         }
     }

@@ -91,6 +91,21 @@ struct ConfigParams
      * replication group (placement/sizing co-optimization only).
      */
     bool allowReplication = true;
+    /**
+     * Anytime budget (deterministic): stop the refinement loop after
+     * this many iterations and emit the best-so-far valid placement.
+     * Every iteration boundary is a valid placement (the floor
+     * allocation precedes the loop), so interruption never yields an
+     * inconsistent configuration. 0 = unlimited. Counted, not timed,
+     * so results are bit-identical across hosts.
+     */
+    std::uint64_t budgetIterations = 0;
+    /**
+     * Anytime budget (advisory): wall-clock cap in microseconds,
+     * checked every 64 iterations. Host-dependent by nature -- never
+     * use it where bit-identical results are required. 0 = unlimited.
+     */
+    std::uint64_t budgetMicros = 0;
 };
 
 class ConfigAlgorithm
@@ -120,6 +135,17 @@ class ConfigAlgorithm
     std::uint64_t lastIterations() const { return iterations_; }
     std::uint64_t lastExtends() const { return extends_; }
     std::uint64_t lastMerges() const { return merges_; }
+    /** Runs cut short by either budget (cumulative across runs). */
+    std::uint64_t budgetHits() const { return budgetHits_; }
+    /** True if the last run() stopped on a budget rather than converging. */
+    bool lastBudgetHit() const { return lastBudgetHit_; }
+    /**
+     * Placement quality of the last run(): total cache bytes placed,
+     * summed over every emitted share. Deterministic, monotone in the
+     * refinement loop, and directly comparable between a full solve and
+     * a budget-capped one (bounded-regret checks).
+     */
+    std::uint64_t lastObjectiveBytes() const { return lastObjective_; }
 
     /**
      * Checkpoint hooks: run() rebuilds all working state from its
@@ -133,6 +159,9 @@ class ConfigAlgorithm
         w.u64(iterations_);
         w.u64(extends_);
         w.u64(merges_);
+        w.u64(budgetHits_);
+        w.b(lastBudgetHit_);
+        w.u64(lastObjective_);
     }
 
     void
@@ -142,6 +171,9 @@ class ConfigAlgorithm
         iterations_ = r.u64();
         extends_ = r.u64();
         merges_ = r.u64();
+        budgetHits_ = r.u64();
+        lastBudgetHit_ = r.b();
+        lastObjective_ = r.u64();
     }
 
   private:
@@ -260,6 +292,9 @@ class ConfigAlgorithm
     std::uint64_t iterations_ = 0;
     std::uint64_t extends_ = 0;
     std::uint64_t merges_ = 0;
+    std::uint64_t budgetHits_ = 0;
+    bool lastBudgetHit_ = false;
+    std::uint64_t lastObjective_ = 0;
 };
 
 } // namespace ndpext

@@ -32,7 +32,8 @@ std::int64_t
 MaxFlow::solve(std::uint32_t s, std::uint32_t t)
 {
     NDP_ASSERT(s < head_.size() && t < head_.size() && s != t);
-    std::int64_t total = 0;
+    std::int64_t total = seeded_; // units pushed by seedPath() count
+    seeded_ = 0;
     std::vector<std::int32_t> parent_edge(head_.size());
 
     while (true) {
@@ -72,8 +73,26 @@ MaxFlow::solve(std::uint32_t s, std::uint32_t t)
             v = edges_[static_cast<std::size_t>(e) ^ 1].to;
         }
         total += push;
+        ++augmentingPaths_;
     }
     return total;
+}
+
+bool
+MaxFlow::seedPath(const std::vector<std::size_t>& path)
+{
+    for (const std::size_t idx : path) {
+        NDP_ASSERT(idx < edges_.size());
+        if (edges_[idx].cap < 1) {
+            return false;
+        }
+    }
+    for (const std::size_t idx : path) {
+        edges_[idx].cap -= 1;
+        edges_[idx ^ 1].cap += 1;
+    }
+    ++seeded_;
+    return true;
 }
 
 std::int64_t

@@ -25,11 +25,29 @@ class MaxFlow
     std::size_t addEdge(std::uint32_t u, std::uint32_t v,
                         std::int64_t capacity);
 
-    /** Compute the maximum s -> t flow. */
+    /**
+     * Compute the maximum s -> t flow. The returned value includes
+     * units pushed by seedPath() since the previous solve() call, so
+     * a warm-started solve reports the same total as a cold one.
+     */
     std::int64_t solve(std::uint32_t s, std::uint32_t t);
 
-    /** Flow pushed through edge `idx` after solve(). */
+    /**
+     * Warm-start: push one unit of flow along a path given as forward
+     * edge indices (each from addEdge). Succeeds only if every edge on
+     * the path has residual capacity >= 1, so seeding can never create
+     * an infeasible flow; a later solve() then only augments on top of
+     * the seeded units. Max-flow value is unique, so a seeded solve
+     * reaches the same total as a cold one.
+     * @return true if the unit was pushed, false if any edge was full.
+     */
+    bool seedPath(const std::vector<std::size_t>& path);
+
+    /** Flow pushed through edge `idx` after solve()/seedPath(). */
     std::int64_t flowOn(std::size_t idx) const;
+
+    /** BFS augmenting paths found by solve() calls (seeding adds none). */
+    std::uint64_t augmentingPaths() const { return augmentingPaths_; }
 
     std::uint32_t numNodes() const
     {
@@ -48,6 +66,9 @@ class MaxFlow
     std::vector<Edge> edges_;
     std::vector<std::int32_t> head_;
     std::vector<std::int64_t> originalCap_;
+    std::uint64_t augmentingPaths_ = 0;
+    /** Units pushed by seedPath(), consumed by the next solve(). */
+    std::int64_t seeded_ = 0;
 };
 
 } // namespace ndpext

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <set>
 
 #include "common/logging.h"
@@ -77,7 +78,35 @@ scaleRateCurve(const MissCurve& rate, std::uint64_t total)
     return scaled;
 }
 
+void
+fnv1a(std::uint64_t& h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xffu;
+        h *= 0x100000001b3ull;
+    }
+}
+
 } // namespace
+
+std::uint64_t
+demandFingerprint(const StreamDemand& d)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    fnv1a(h, d.sid);
+    fnv1a(h, d.footprintBytes);
+    fnv1a(h, d.readOnly ? 1 : 0);
+    fnv1a(h, d.affine ? 1 : 0);
+    for (const UnitId u : d.accUnits) {
+        fnv1a(h, u);
+    }
+    for (const double m : d.curve.misses()) {
+        fnv1a(h,
+              static_cast<std::uint64_t>(
+                  std::llround(std::log2(1.0 + std::max(0.0, m)) * 4.0)));
+    }
+    return h;
+}
 
 std::vector<std::pair<StreamId, StreamAlloc>>
 StaticEqualConfigurator::configure(const std::vector<StreamDemand>& demands)
@@ -99,7 +128,8 @@ NdpRuntime::NdpRuntime(const RuntimeParams& params,
 }
 
 void
-NdpRuntime::assignSamplers(bool first_epoch)
+NdpRuntime::assignSamplers(bool first_epoch,
+                           const std::vector<StreamId>* delta)
 {
     const std::uint32_t num_units = cache_.numUnits();
     const StreamTable& table = cache_.streams();
@@ -148,9 +178,24 @@ NdpRuntime::assignSamplers(bool first_epoch)
         }
     }
 
+    // Warm-start only when enabled, past the first epoch, and with a
+    // structurally compatible previous assignment to seed from.
+    const bool warm = params_.solverWarmStart && !first_epoch
+        && delta != nullptr
+        && lastAssignment_.perUnit.size() == num_units;
+
     const auto t0 = std::chrono::steady_clock::now();
-    const SamplerAssignment assignment = assigner_.assign(accessed, order);
+    SamplerAssignStats assign_stats;
+    const SamplerAssignment assignment = warm
+        ? assigner_.assignWarm(accessed, order, lastAssignment_, *delta,
+                               &assign_stats)
+        : assigner_.assign(accessed, order, &assign_stats);
     lastAssignMicros_ = microsSince(t0);
+    solverWallMicros_ += lastAssignMicros_;
+    if (warm) {
+        solverWarmReused_ += assign_stats.seededPairs;
+        solverDeltaStreams_ += delta->size();
+    }
     covered_ += assignment.covered;
     pendingUncovered_ = assignment.uncovered;
     lastAssignment_ = assignment;
@@ -163,6 +208,52 @@ NdpRuntime::assignSamplers(bool first_epoch)
         }
         cache_.samplerBank(u).assign(slots);
     }
+}
+
+void
+NdpRuntime::noteStreamChurn(const std::vector<StreamId>& sids)
+{
+    churnStreams_.insert(churnStreams_.end(), sids.begin(), sids.end());
+}
+
+std::vector<StreamId>
+NdpRuntime::computeDelta(const std::vector<StreamDemand>& demands)
+{
+    std::map<StreamId, std::uint64_t> fresh;
+    for (const StreamDemand& d : demands) {
+        fresh[d.sid] = demandFingerprint(d);
+    }
+
+    std::set<StreamId> delta;
+    for (const auto& [sid, fp] : fresh) {
+        const auto it = lastFingerprints_.find(sid);
+        if (it == lastFingerprints_.end() || it->second != fp) {
+            delta.insert(sid); // arrived or changed beyond threshold
+        }
+    }
+    for (const auto& [sid, fp] : lastFingerprints_) {
+        (void)fp;
+        if (fresh.count(sid) == 0) {
+            delta.insert(sid); // departed
+        }
+    }
+    for (const StreamId sid : churnStreams_) {
+        delta.insert(sid);
+    }
+    churnStreams_.clear();
+    lastFingerprints_ = std::move(fresh);
+    return {delta.begin(), delta.end()};
+}
+
+void
+NdpRuntime::noteDecision()
+{
+    ++solverDecisions_;
+    solverIterations_ += configurator_->lastIterations();
+    if (configurator_->lastBudgetHit()) {
+        ++solverBudgetHits_;
+    }
+    solverWallMicros_ += lastConfigMicros_;
 }
 
 void
@@ -294,6 +385,7 @@ NdpRuntime::start()
     }
     if (!demands.empty()) {
         auto config = configurator_->configure(demands);
+        noteDecision();
         cache_.applyConfiguration(config);
         configuredOnce_ = !configurator_->reconfigures();
         ++reconfigs_;
@@ -381,6 +473,7 @@ NdpRuntime::emergencyReconfigure()
     const auto t0 = std::chrono::steady_clock::now();
     auto config = configurator_->configure(demands);
     lastConfigMicros_ = microsSince(t0);
+    noteDecision();
     stripFailedUnits(config);
     // No stability guard here: running degraded costs more than any row
     // invalidation this reconfiguration can cause.
@@ -460,14 +553,21 @@ NdpRuntime::onEpochEnd(Cycles now)
 
     std::vector<StreamDemand> demands;
     std::vector<std::pair<StreamId, StreamAlloc>> config;
+    std::vector<StreamId> delta;
+    bool have_delta = false;
     bool decided = false;
     bool applied = false;
     if (adapt) {
         demands = gatherDemands();
         if (!demands.empty()) {
+            if (params_.solverWarmStart) {
+                delta = computeDelta(demands);
+                have_delta = true;
+            }
             const auto t0 = std::chrono::steady_clock::now();
             config = configurator_->configure(demands);
             lastConfigMicros_ = microsSince(t0);
+            noteDecision();
             stripFailedUnits(config);
             decided = true;
             // Skip reconfigurations that barely move the allocation:
@@ -500,7 +600,11 @@ NdpRuntime::onEpochEnd(Cycles now)
     }
 
     // Rotate sampler coverage for the next epoch, then clear counters.
-    assignSamplers(/*first_epoch=*/false);
+    // Warm-start only with a fresh delta set (fingerprints need this
+    // epoch's demands); epochs that skipped demand gathering fall back
+    // to a cold solve.
+    assignSamplers(/*first_epoch=*/false,
+                   have_delta ? &delta : nullptr);
     for (UnitId u = 0; u < cache_.numUnits(); ++u) {
         cache_.samplerBank(u).newEpoch();
     }
@@ -536,6 +640,24 @@ NdpRuntime::registerMetrics(MetricRegistry& registry)
     registry.registerCounter("runtime.degraded.failedUnits", [this] {
         return double(failedUnitCount_);
     });
+    // Incremental-solver series. Deterministic counters only: metric
+    // output is byte-compared across runs (crash recovery, serving
+    // bit-identity), so wall-clock stays out of the registry and is
+    // reported through StatGroup instead.
+    registry.registerCounter("solver.decisions",
+                             [this] { return double(solverDecisions_); });
+    registry.registerCounter("solver.iterations", [this] {
+        return double(solverIterations_);
+    });
+    registry.registerCounter("solver.budgetHits", [this] {
+        return double(solverBudgetHits_);
+    });
+    registry.registerCounter("solver.warmStartReused", [this] {
+        return double(solverWarmReused_);
+    });
+    registry.registerCounter("solver.deltaStreams", [this] {
+        return double(solverDeltaStreams_);
+    });
 }
 
 void
@@ -548,6 +670,19 @@ NdpRuntime::report(StatGroup& stats, const std::string& prefix) const
     stats.add(prefix + ".degraded.failedUnits",
               static_cast<double>(failedUnitCount_));
     stats.add(prefix + ".streamsCovered", static_cast<double>(covered_));
+    stats.add(prefix + ".solver.decisions",
+              static_cast<double>(solverDecisions_));
+    stats.add(prefix + ".solver.iterations",
+              static_cast<double>(solverIterations_));
+    stats.add(prefix + ".solver.budgetHits",
+              static_cast<double>(solverBudgetHits_));
+    stats.add(prefix + ".solver.warmStartReused",
+              static_cast<double>(solverWarmReused_));
+    stats.add(prefix + ".solver.deltaStreams",
+              static_cast<double>(solverDeltaStreams_));
+    // Advisory wall-clock: the Micros suffix keeps it outside the
+    // determinism contract (DESIGN.md section 5.3).
+    stats.set(prefix + ".solver.wallMicros", solverWallMicros_);
     stats.set(prefix + ".lastAssignMicros", lastAssignMicros_);
     stats.set(prefix + ".lastConfigMicros", lastConfigMicros_);
 }
@@ -624,6 +759,19 @@ NdpRuntime::serialize(ckpt::Writer& w) const
     w.u64(skippedReconfigs_);
     w.u64(covered_);
     w.b(configuredOnce_);
+    // Incremental-solver state. Wall-clock micros intentionally do not
+    // travel (advisory, host-dependent).
+    w.u64(lastFingerprints_.size());
+    for (const auto& [sid, fp] : lastFingerprints_) {
+        w.u32(sid);
+        w.u64(fp);
+    }
+    writeSids(w, churnStreams_);
+    w.u64(solverDecisions_);
+    w.u64(solverIterations_);
+    w.u64(solverBudgetHits_);
+    w.u64(solverWarmReused_);
+    w.u64(solverDeltaStreams_);
 }
 
 void
@@ -653,6 +801,18 @@ NdpRuntime::deserialize(ckpt::Reader& r)
     skippedReconfigs_ = r.u64();
     covered_ = r.u64();
     configuredOnce_ = r.b();
+    lastFingerprints_.clear();
+    const std::uint64_t nfp = r.u64();
+    for (std::uint64_t i = 0; i < nfp; ++i) {
+        const StreamId sid = static_cast<StreamId>(r.u32());
+        lastFingerprints_[sid] = r.u64();
+    }
+    churnStreams_ = readSids(r);
+    solverDecisions_ = r.u64();
+    solverIterations_ = r.u64();
+    solverBudgetHits_ = r.u64();
+    solverWarmReused_ = r.u64();
+    solverDeltaStreams_ = r.u64();
 }
 
 } // namespace ndpext

@@ -35,6 +35,16 @@ namespace ndpext {
 
 class Telemetry;
 
+/**
+ * Demand fingerprint for delta-set derivation (incremental solver).
+ * Quantizes each miss-curve point to log2(1 + misses) quarter-steps --
+ * a point must move by roughly 19% before the fingerprint changes, so
+ * sub-threshold per-epoch noise does not invalidate warm starts.
+ * Purely a function of the gathered demand; replay tools derive
+ * identical deltas from recorded DecisionLog inputs.
+ */
+std::uint64_t demandFingerprint(const StreamDemand& d);
+
 /** Strategy that turns profiled demands into a cache configuration. */
 class Configurator
 {
@@ -51,6 +61,10 @@ class Configurator
     virtual std::uint64_t lastIterations() const { return 0; }
     virtual std::uint64_t lastExtends() const { return 0; }
     virtual std::uint64_t lastMerges() const { return 0; }
+    /** Anytime-budget telemetry (0 for policies without a budget). */
+    virtual std::uint64_t budgetHits() const { return 0; }
+    virtual bool lastBudgetHit() const { return false; }
+    virtual std::uint64_t lastObjectiveBytes() const { return 0; }
 
     /**
      * Unit-health update (degraded mode): `failed[u]` marks unit u dead.
@@ -107,6 +121,18 @@ class NdpExtConfigurator : public Configurator
     {
         return algo_.lastMerges();
     }
+    std::uint64_t budgetHits() const override
+    {
+        return algo_.budgetHits();
+    }
+    bool lastBudgetHit() const override
+    {
+        return algo_.lastBudgetHit();
+    }
+    std::uint64_t lastObjectiveBytes() const override
+    {
+        return algo_.lastObjectiveBytes();
+    }
 
     void serialize(ckpt::Writer& w) const override { algo_.serialize(w); }
     void deserialize(ckpt::Reader& r) override { algo_.deserialize(r); }
@@ -159,6 +185,28 @@ struct RuntimeParams
      * stream of cache space.
      */
     std::uint64_t minSamplerAccesses = 256;
+    /**
+     * Incremental placement control plane (all default off, keeping
+     * every decision bit-identical to the non-incremental runtime):
+     *
+     * solverWarmStart seeds each epoch's max-flow sampler assignment
+     * with the previous epoch's still-valid (unit, stream) pairs and
+     * re-solves only the delta set -- streams whose demand fingerprint
+     * changed beyond the quantization threshold, arrived, departed, or
+     * were churn-notified by the serving layer.
+     */
+    bool solverWarmStart = false;
+    /**
+     * Deterministic per-decision iteration cap for the configuration
+     * algorithm (simulated budget; 0 = unlimited). Bit-identical
+     * across hosts.
+     */
+    std::uint64_t solverBudgetIters = 0;
+    /**
+     * Advisory wall-clock cap per configuration run in microseconds
+     * (`--solver-budget-us`; 0 = unlimited). Host-dependent.
+     */
+    std::uint64_t solverBudgetMicros = 0;
 };
 
 class NdpRuntime
@@ -220,6 +268,16 @@ class NdpRuntime
     }
 
     /**
+     * Serving-layer churn notification: the given streams' tenants
+     * changed activity at this epoch boundary (arrival or departure of
+     * an open-loop tenant window), so force them into the next delta
+     * set even if their demand fingerprints look unchanged. Cleared
+     * after each epoch's delta computation; a no-op unless
+     * solverWarmStart is enabled.
+     */
+    void noteStreamChurn(const std::vector<StreamId>& sids);
+
+    /**
      * Attach (or detach with nullptr) the telemetry sink. Every
      * configuration decision -- initial, per-epoch, emergency -- is then
      * captured in its decision log, and reconfiguration/failure instants
@@ -245,6 +303,19 @@ class NdpRuntime
         return skippedReconfigs_;
     }
     std::uint64_t streamsCovered() const { return covered_; }
+    /** Placement decisions taken (initial + epoch + emergency). */
+    std::uint64_t solverDecisions() const { return solverDecisions_; }
+    /** Cumulative configuration-loop iterations across decisions. */
+    std::uint64_t solverIterations() const { return solverIterations_; }
+    /** Decisions cut short by the anytime budget. */
+    std::uint64_t solverBudgetHits() const { return solverBudgetHits_; }
+    /** Previous-epoch sampler pairs reused by warm starts. */
+    std::uint64_t solverWarmReused() const { return solverWarmReused_; }
+    /** Cumulative delta-set size over warm-started decisions. */
+    std::uint64_t solverDeltaStreams() const
+    {
+        return solverDeltaStreams_;
+    }
     /** Wall-clock microseconds spent in the last sampler assignment. */
     double lastAssignMicros() const { return lastAssignMicros_; }
     /** Wall-clock microseconds spent in the last configuration run. */
@@ -264,8 +335,27 @@ class NdpRuntime
     /** Build demands from this epoch's profile. */
     std::vector<StreamDemand> gatherDemands();
 
-    /** Run max-flow assignment and install it in the sampler banks. */
-    void assignSamplers(bool first_epoch);
+    /**
+     * Run max-flow assignment and install it in the sampler banks.
+     * With a non-null `delta` (and a previous assignment to reuse) the
+     * solve warm-starts from lastAssignment_, re-solving only the
+     * delta streams; nullptr forces a cold solve.
+     */
+    void assignSamplers(bool first_epoch,
+                        const std::vector<StreamId>* delta = nullptr);
+
+    /**
+     * Delta set for this epoch's solves: streams whose demand
+     * fingerprint changed (quantized miss-curve buckets ~19% wide, so
+     * sub-threshold noise does not invalidate the warm start), arrived,
+     * departed, or were churn-notified. Updates lastFingerprints_ and
+     * consumes churnStreams_.
+     */
+    std::vector<StreamId>
+    computeDelta(const std::vector<StreamDemand>& demands);
+
+    /** Roll per-decision solver counters after a configure() call. */
+    void noteDecision();
 
     /**
      * Out-of-epoch reconfiguration after a unit failure. Applies
@@ -322,6 +412,24 @@ class NdpRuntime
     double lastAssignMicros_ = 0.0;
     double lastConfigMicros_ = 0.0;
     bool configuredOnce_ = false;
+
+    /** Per-stream demand fingerprints from the last delta computation. */
+    std::map<StreamId, std::uint64_t> lastFingerprints_;
+    /** Streams churn-notified since the last delta computation. */
+    std::vector<StreamId> churnStreams_;
+    /**
+     * solver.* counters. All deterministic (and checkpointed) except
+     * the cumulative wall-clock, which is advisory and reported only
+     * through StatGroup (a *Micros stat, outside the determinism
+     * contract) -- never through the metric registry, whose output is
+     * byte-compared across runs.
+     */
+    std::uint64_t solverDecisions_ = 0;
+    std::uint64_t solverIterations_ = 0;
+    std::uint64_t solverBudgetHits_ = 0;
+    std::uint64_t solverWarmReused_ = 0;
+    std::uint64_t solverDeltaStreams_ = 0;
+    double solverWallMicros_ = 0.0;
 };
 
 } // namespace ndpext

@@ -1,5 +1,7 @@
 #include "runtime/sampler_assign.h"
 
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "common/logging.h"
@@ -7,66 +9,182 @@
 
 namespace ndpext {
 
-SamplerAssignment
-SamplerAssigner::assign(const std::vector<std::vector<bool>>& accessed,
-                        const std::vector<StreamId>& streams) const
+namespace {
+
+/** (edge index, unit, stream) records kept for flow extraction. */
+struct Candidate
 {
-    const std::uint32_t num_units =
-        static_cast<std::uint32_t>(accessed.size());
-    const std::uint32_t num_streams =
-        static_cast<std::uint32_t>(streams.size());
+    std::size_t edge;
+    std::uint32_t unit;
+    std::uint32_t streamIdx;
+};
 
-    SamplerAssignment out;
-    out.perUnit.assign(num_units, {});
-    if (num_units == 0 || num_streams == 0) {
-        return out;
-    }
-
-    // Node layout: 0 = source, 1..U = units, U+1..U+S = streams, last=sink.
-    const std::uint32_t source = 0;
-    const std::uint32_t unit0 = 1;
-    const std::uint32_t stream0 = unit0 + num_units;
-    const std::uint32_t sink = stream0 + num_streams;
-    MaxFlow flow(sink + 1);
-
-    for (std::uint32_t u = 0; u < num_units; ++u) {
-        flow.addEdge(source, unit0 + u, samplersPerUnit_);
-    }
-    // Remember (edge index, unit, stream) for extraction.
-    struct Candidate
-    {
-        std::size_t edge;
-        std::uint32_t unit;
-        std::uint32_t streamIdx;
-    };
+/**
+ * The bipartite graph shared by the cold and warm paths. Both build it
+ * with identical edge-insertion order, so a warm solve that ends up
+ * doing the full work is still bit-identical to a cold one.
+ */
+struct AssignGraph
+{
+    MaxFlow flow;
+    std::uint32_t source;
+    std::uint32_t sink;
+    std::vector<std::size_t> sourceEdge;  ///< per unit
+    std::vector<std::size_t> sinkEdge;    ///< per stream index
     std::vector<Candidate> candidates;
-    for (std::uint32_t s = 0; s < num_streams; ++s) {
-        const StreamId sid = streams[s];
+    /** unit * numStreams + streamIdx -> candidate edge index. */
+    std::unordered_map<std::uint64_t, std::size_t> pairEdge;
+
+    AssignGraph(const std::vector<std::vector<bool>>& accessed,
+                const std::vector<StreamId>& streams,
+                std::uint32_t samplers_per_unit, bool index_pairs)
+        : flow(static_cast<std::uint32_t>(accessed.size())
+               + static_cast<std::uint32_t>(streams.size()) + 2)
+    {
+        const auto num_units =
+            static_cast<std::uint32_t>(accessed.size());
+        const auto num_streams =
+            static_cast<std::uint32_t>(streams.size());
+        // Node layout: 0=source, 1..U=units, U+1..U+S=streams, last=sink.
+        source = 0;
+        const std::uint32_t unit0 = 1;
+        const std::uint32_t stream0 = unit0 + num_units;
+        sink = stream0 + num_streams;
+
+        sourceEdge.reserve(num_units);
         for (std::uint32_t u = 0; u < num_units; ++u) {
-            if (sid < accessed[u].size() && accessed[u][sid]) {
-                const std::size_t e =
-                    flow.addEdge(unit0 + u, stream0 + s, 1);
-                candidates.push_back(Candidate{e, u, s});
+            sourceEdge.push_back(
+                flow.addEdge(source, unit0 + u, samplers_per_unit));
+        }
+        sinkEdge.reserve(num_streams);
+        for (std::uint32_t s = 0; s < num_streams; ++s) {
+            const StreamId sid = streams[s];
+            for (std::uint32_t u = 0; u < num_units; ++u) {
+                if (sid < accessed[u].size() && accessed[u][sid]) {
+                    const std::size_t e =
+                        flow.addEdge(unit0 + u, stream0 + s, 1);
+                    candidates.push_back(Candidate{e, u, s});
+                    if (index_pairs) {
+                        pairEdge.emplace(
+                            static_cast<std::uint64_t>(u) * num_streams
+                                + s,
+                            e);
+                    }
+                }
+            }
+            sinkEdge.push_back(flow.addEdge(stream0 + s, sink, 1));
+        }
+    }
+
+    SamplerAssignment extract(const std::vector<StreamId>& streams,
+                              std::uint32_t num_units) const
+    {
+        SamplerAssignment out;
+        out.perUnit.assign(num_units, {});
+        const auto num_streams =
+            static_cast<std::uint32_t>(streams.size());
+        std::vector<bool> stream_covered(num_streams, false);
+        for (const auto& c : candidates) {
+            if (flow.flowOn(c.edge) > 0) {
+                out.perUnit[c.unit].push_back(streams[c.streamIdx]);
+                stream_covered[c.streamIdx] = true;
+                ++out.covered;
             }
         }
-        flow.addEdge(stream0 + s, sink, 1);
-    }
-
-    out.covered = static_cast<std::uint64_t>(flow.solve(source, sink));
-
-    std::vector<bool> stream_covered(num_streams, false);
-    for (const auto& c : candidates) {
-        if (flow.flowOn(c.edge) > 0) {
-            out.perUnit[c.unit].push_back(streams[c.streamIdx]);
-            stream_covered[c.streamIdx] = true;
+        for (std::uint32_t s = 0; s < num_streams; ++s) {
+            if (!stream_covered[s]) {
+                out.uncovered.push_back(streams[s]);
+            }
         }
+        return out;
     }
+};
+
+} // namespace
+
+SamplerAssignment
+SamplerAssigner::assign(const std::vector<std::vector<bool>>& accessed,
+                        const std::vector<StreamId>& streams,
+                        SamplerAssignStats* stats) const
+{
+    const auto num_units = static_cast<std::uint32_t>(accessed.size());
+    if (num_units == 0 || streams.empty()) {
+        SamplerAssignment out;
+        out.perUnit.assign(num_units, {});
+        return out;
+    }
+    AssignGraph g(accessed, streams, samplersPerUnit_,
+                  /*index_pairs=*/false);
+    g.flow.solve(g.source, g.sink);
+    if (stats != nullptr) {
+        stats->augmentingPaths = g.flow.augmentingPaths();
+    }
+    return g.extract(streams, num_units);
+}
+
+SamplerAssignment
+SamplerAssigner::assignWarm(
+    const std::vector<std::vector<bool>>& accessed,
+    const std::vector<StreamId>& streams,
+    const SamplerAssignment& previous,
+    const std::vector<StreamId>& delta,
+    SamplerAssignStats* stats) const
+{
+    const auto num_units = static_cast<std::uint32_t>(accessed.size());
+    if (num_units == 0 || streams.empty()) {
+        SamplerAssignment out;
+        out.perUnit.assign(num_units, {});
+        return out;
+    }
+    AssignGraph g(accessed, streams, samplersPerUnit_,
+                  /*index_pairs=*/true);
+
+    const auto num_streams = static_cast<std::uint32_t>(streams.size());
+    std::unordered_map<StreamId, std::uint32_t> stream_idx;
+    stream_idx.reserve(num_streams);
     for (std::uint32_t s = 0; s < num_streams; ++s) {
-        if (!stream_covered[s]) {
-            out.uncovered.push_back(streams[s]);
+        stream_idx.emplace(streams[s], s);
+    }
+    const std::unordered_set<StreamId> dirty(delta.begin(), delta.end());
+
+    // Seed still-valid pairs from the previous epoch. A pair survives
+    // only if the stream is still requested, outside the delta set, and
+    // the unit's current bitvector still permits it (the candidate edge
+    // exists); seedPath() additionally enforces the per-unit sampler
+    // capacity and the one-sampler-per-stream sink edge, so a stale
+    // previous assignment can never over-commit the new graph.
+    std::uint64_t seeded = 0;
+    for (std::uint32_t u = 0;
+         u < num_units && u < previous.perUnit.size(); ++u) {
+        for (const StreamId sid : previous.perUnit[u]) {
+            if (dirty.count(sid) != 0) {
+                continue;
+            }
+            const auto sit = stream_idx.find(sid);
+            if (sit == stream_idx.end()) {
+                continue; // stream departed
+            }
+            const auto eit = g.pairEdge.find(
+                static_cast<std::uint64_t>(u) * num_streams
+                + sit->second);
+            if (eit == g.pairEdge.end()) {
+                continue; // unit no longer accesses the stream
+            }
+            if (g.flow.seedPath({g.sourceEdge[u], eit->second,
+                                 g.sinkEdge[sit->second]})) {
+                ++seeded;
+            }
         }
     }
-    return out;
+
+    // Augment only what the seed left uncovered (arrivals, delta
+    // streams, pairs invalidated by bitvector changes).
+    g.flow.solve(g.source, g.sink);
+    if (stats != nullptr) {
+        stats->seededPairs = seeded;
+        stats->augmentingPaths = g.flow.augmentingPaths();
+    }
+    return g.extract(streams, num_units);
 }
 
 } // namespace ndpext

@@ -29,6 +29,15 @@ struct SamplerAssignment
     std::uint64_t covered = 0;
 };
 
+/** Work counters for one assignment solve (cold or warm-started). */
+struct SamplerAssignStats
+{
+    /** Previous-epoch (unit, stream) pairs seeded into the flow. */
+    std::uint64_t seededPairs = 0;
+    /** BFS augmenting paths the solver still had to run. */
+    std::uint64_t augmentingPaths = 0;
+};
+
 class SamplerAssigner
 {
   public:
@@ -48,7 +57,27 @@ class SamplerAssigner
      */
     SamplerAssignment assign(
         const std::vector<std::vector<bool>>& accessed,
-        const std::vector<StreamId>& streams) const;
+        const std::vector<StreamId>& streams,
+        SamplerAssignStats* stats = nullptr) const;
+
+    /**
+     * Warm-started assignment: seed the flow with the previous epoch's
+     * (unit, stream) pairs -- skipping streams in `delta` (demand
+     * changed / arrived / departed) and pairs the current bitvectors no
+     * longer permit -- then let the solver augment only what the seed
+     * left uncovered. Coverage (max-flow value) is identical to a cold
+     * solve; when `delta` is empty and the access graph is unchanged,
+     * the result is bit-identical to `previous` with zero augmenting
+     * paths.
+     *
+     * @param delta sids to re-solve from scratch (sorted not required).
+     */
+    SamplerAssignment assignWarm(
+        const std::vector<std::vector<bool>>& accessed,
+        const std::vector<StreamId>& streams,
+        const SamplerAssignment& previous,
+        const std::vector<StreamId>& delta,
+        SamplerAssignStats* stats = nullptr) const;
 
   private:
     std::uint32_t samplersPerUnit_;

@@ -46,6 +46,8 @@ makeConfigurator(PolicyKind policy, const SystemConfig& cfg,
             cache.params().affineCapBytesPerUnit;
         params.dramLatency = probe->rowHitLatency();
         params.allowReplication = cfg.allowReplication;
+        params.budgetIterations = cfg.runtime.solverBudgetIters;
+        params.budgetMicros = cfg.runtime.solverBudgetMicros;
         return std::make_unique<NdpExtConfigurator>(params, noc);
       }
       case PolicyKind::NdpExtStatic:
@@ -164,6 +166,9 @@ NdpSystem::configHash(const Workload& workload) const
     w.u64(cfg_.runtime.partialUntilCycles);
     w.u32(cfg_.runtime.samplersPerUnit);
     w.u64(cfg_.runtime.minSamplerAccesses);
+    w.b(cfg_.runtime.solverWarmStart);
+    w.u64(cfg_.runtime.solverBudgetIters);
+    w.u64(cfg_.runtime.solverBudgetMicros);
     w.b(cfg_.allowReplication);
     w.u64(cfg_.faults.seed);
     w.d(cfg_.faults.cxlTransientProb);
@@ -862,6 +867,39 @@ NdpSystem::run(const Workload& workload)
                     epoch_start, next_epoch - epoch_start, args);
                 epoch_start = next_epoch;
                 ++epoch_idx;
+            }
+            // Serving churn feeds the incremental solver's delta set:
+            // streams of any tenant whose activity window opened or
+            // closed during the elapsed epoch are re-solved from
+            // scratch even if their demand fingerprints look stable.
+            if (servingWl != nullptr && cfg_.runtime.solverWarmStart) {
+                const Cycles lo =
+                    next_epoch > cfg_.runtime.epochCycles
+                    ? next_epoch - cfg_.runtime.epochCycles
+                    : 0;
+                const std::size_t ntenants =
+                    servingWl->serving().tenants.size();
+                std::vector<bool> churned(ntenants, false);
+                bool any = false;
+                for (std::size_t t = 0; t < ntenants; ++t) {
+                    const Cycles st = servingWl->activeStart(t);
+                    const Cycles en = servingWl->activeEnd(t);
+                    if ((st > lo && st <= next_epoch)
+                        || (en > lo && en <= next_epoch)) {
+                        churned[t] = true;
+                        any = true;
+                    }
+                }
+                if (any) {
+                    std::vector<StreamId> sids;
+                    for (const StreamConfig& scfg : table.all()) {
+                        if (churned[servingWl->streamTenant(
+                                scfg.sid)]) {
+                            sids.push_back(scfg.sid);
+                        }
+                    }
+                    runtime.noteStreamChurn(sids);
+                }
             }
             runtime.onEpochEnd(next_epoch);
             next_epoch += cfg_.runtime.epochCycles;

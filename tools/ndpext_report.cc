@@ -405,6 +405,32 @@ cmdSummary(const Run& run)
         prev_misses = misses;
     }
 
+    // --- incremental solver (solver.* series; zero when disabled) ---
+    const double solver_decisions = finalMetric(run, "solver.decisions");
+    if (solver_decisions > 0.0) {
+        const double iters = finalMetric(run, "solver.iterations");
+        const double budget_hits = finalMetric(run, "solver.budgetHits");
+        const double reused = finalMetric(run, "solver.warmStartReused");
+        const double delta = finalMetric(run, "solver.deltaStreams");
+        const double covered =
+            finalMetric(run, "runtime.streamsCovered");
+        std::printf("\nplacement solver:\n");
+        std::printf("  decisions          %.0f\n", solver_decisions);
+        std::printf("  iterations         %.0f (%.1f per decision)\n",
+                    iters, iters / solver_decisions);
+        std::printf("  budget hits        %.0f (%.1f%% of decisions)\n",
+                    budget_hits,
+                    100.0 * budget_hits / solver_decisions);
+        if (covered > 0.0) {
+            std::printf(
+                "  warm-start reused  %.0f pair(s) (%.1f%% hit rate)\n",
+                reused, 100.0 * reused / covered);
+        } else {
+            std::printf("  warm-start reused  %.0f pair(s)\n", reused);
+        }
+        std::printf("  delta streams      %.0f\n", delta);
+    }
+
     // --- per-stream hit rate ---
     const auto per_stream = streamHitMiss(run);
     if (!per_stream.empty()) {

@@ -30,6 +30,9 @@
  *   --footprint-mb=N     workload footprint (default 96)
  *   --accesses=N         accesses per core (default 20000)
  *   --epoch=N            reconfiguration interval in cycles
+ *   --solver-warm-start  incremental sampler assignment (delta re-solve)
+ *   --solver-budget-iters=N  deterministic anytime iteration cap
+ *   --solver-budget-us=N advisory wall-clock cap per decision
  *   --seed=N             workload seed (default 42)
  *   --fault=SPEC         inject faults (repeatable). SPECs:
  *                          unit:<id>@<cycle>    kill NDP unit at cycle
@@ -110,6 +113,14 @@ constexpr const char* kUsage =
     "  --footprint-mb=N    workload footprint in MB\n"
     "  --accesses=N        accesses per core\n"
     "  --epoch=N           reconfiguration interval in cycles\n"
+    "  --solver-warm-start warm-start each epoch's sampler assignment\n"
+    "                      from the previous one, re-solving only the\n"
+    "                      delta set (changed/arrived/departed streams)\n"
+    "  --solver-budget-iters=N  deterministic anytime budget: cap each\n"
+    "                      placement decision at N refinement iterations\n"
+    "                      (best-so-far placement is kept; 0 = off)\n"
+    "  --solver-budget-us=N  advisory wall-clock budget per decision in\n"
+    "                      microseconds (host-dependent; 0 = off)\n"
     "  --seed=N            workload seed\n"
     "  --fault=SPEC        unit:<id>@<cycle> | stack:<id>@<cycle> |\n"
     "                      cxl-transient:p=<p> | cxl-poison:p=<p> |\n"
@@ -180,6 +191,9 @@ struct Options
     std::uint64_t footprintMb = 96;
     std::uint64_t accesses = 20000;
     std::uint64_t epoch = 0;
+    bool solverWarmStart = false;
+    std::uint64_t solverBudgetIters = 0;
+    std::uint64_t solverBudgetMicros = 0;
     std::uint64_t seed = 42;
     /** Raw --fault specs; parsed once the geometry is known. */
     std::vector<std::string> faultSpecs;
@@ -419,6 +433,12 @@ parseArgs(int argc, char** argv)
             opt.accesses = number("--accesses=");
         } else if (arg.rfind("--epoch=", 0) == 0) {
             opt.epoch = number("--epoch=");
+        } else if (arg == "--solver-warm-start") {
+            opt.solverWarmStart = true;
+        } else if (arg.rfind("--solver-budget-iters=", 0) == 0) {
+            opt.solverBudgetIters = number("--solver-budget-iters=");
+        } else if (arg.rfind("--solver-budget-us=", 0) == 0) {
+            opt.solverBudgetMicros = number("--solver-budget-us=");
         } else if (arg.rfind("--seed=", 0) == 0) {
             opt.seed = number("--seed=");
         } else if (arg.rfind("--fault=", 0) == 0) {
@@ -630,6 +650,9 @@ main(int argc, char** argv)
     if (opt.epoch != 0) {
         cfg.runtime.epochCycles = opt.epoch;
     }
+    cfg.runtime.solverWarmStart = opt.solverWarmStart;
+    cfg.runtime.solverBudgetIters = opt.solverBudgetIters;
+    cfg.runtime.solverBudgetMicros = opt.solverBudgetMicros;
     if (opt.memBackendUnitSet) {
         cfg.memBackendUnit = opt.memBackendUnit;
     }
